@@ -1,0 +1,186 @@
+"""Ablations of GILL's default parameters (DESIGN.md, §17-§18).
+
+* **target reconstitution power** (default 0.94, Fig. 11): sweep the
+  stop threshold and measure the retention/information trade-off;
+* **gamma** (default 10%, §18.4): sweep the anchor candidate-pool
+  width and measure total anchor volume at fixed anchor count;
+* **correlation construction window** (default 2 days, §17.1): measure
+  how stable the correlation-group weight ranking is between two
+  disjoint training windows as the window grows;
+* **path/community correlation** (§18.2): the fraction of identical
+  AS paths sharing identical community sets (paper: 93%), which is why
+  Component #2's graphs omit a dedicated community dimension.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from conftest import print_series
+
+from repro.core import (
+    CorrelationGroups,
+    UpdateSampler,
+    detect_events,
+    infer_categories,
+    score_vps,
+    select_anchor_vps,
+    select_events_balanced,
+    update_volumes,
+)
+from repro.core.correlation import signature
+from repro.usecases import observed_as_links
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+
+@pytest.fixture(scope="module")
+def ablation_stream():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=24, n_prefix_groups=16, duration_s=2400.0, seed=81))
+    warmup, stream = generator.generate()
+    return warmup + stream
+
+
+def test_ablation_target_power(benchmark, ablation_stream):
+    """Retention grows with the target; information saturates by 0.94."""
+    targets = (0.5, 0.8, 0.94, 0.99)
+
+    def run():
+        rows = {}
+        full_links = observed_as_links(ablation_stream)
+        for target in targets:
+            result = UpdateSampler(target_power=target).run(
+                ablation_stream)
+            kept_links = observed_as_links(result.nonredundant)
+            rows[target] = (
+                result.retention,
+                len(kept_links & full_links) / len(full_links),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Ablation — target reconstitution power", [
+        f"target {t:4.2f}: retention {rows[t][0]:6.1%}  "
+        f"link coverage {rows[t][1]:6.1%}"
+        for t in targets
+    ])
+
+    retentions = [rows[t][0] for t in targets]
+    coverages = [rows[t][1] for t in targets]
+    # Retention and information are monotone in the target.
+    assert all(b >= a - 1e-9 for a, b in zip(retentions, retentions[1:]))
+    assert all(b >= a - 0.02 for a, b in zip(coverages, coverages[1:]))
+    # Diminishing returns: information bought per retained update
+    # decreases as the target rises — the Fig.-11 concavity that makes
+    # 0.94 a sensible stopping point.
+    efficiency = [c / r for c, r in zip(coverages, retentions)]
+    assert all(b <= a + 1e-9 for a, b in zip(efficiency, efficiency[1:]))
+
+
+def test_ablation_gamma(benchmark, ablation_stream):
+    """A wider candidate pool buys lower anchor volume (the trade-off
+    knob of §18.4: low gamma favors uniqueness, high gamma favors
+    cheapness)."""
+    gammas = (0.01, 0.1, 0.5, 1.0)
+
+    def run():
+        events = detect_events(ablation_stream)
+        categories = infer_categories(ablation_stream)
+        selected = select_events_balanced(events, categories, 10, seed=0)
+        vps, scores = score_vps(ablation_stream, selected)
+        volumes = update_volumes(ablation_stream, vps)
+        volume_of = dict(zip(vps, volumes))
+        rows = {}
+        for gamma in gammas:
+            selection = select_anchor_vps(vps, scores, volumes,
+                                          gamma=gamma, max_anchors=6)
+            total_volume = sum(volume_of[a] for a in selection.anchors)
+            rows[gamma] = (len(selection.anchors), total_volume)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Ablation — gamma (anchor pool width)", [
+        f"gamma {g:4.2f}: {rows[g][0]} anchors, "
+        f"total volume {rows[g][1]} updates"
+        for g in gammas
+    ])
+
+    # Same anchor count everywhere (capped), but the widest pool picks
+    # the cheapest VPs: volume at gamma=1.0 <= volume at gamma=0.01.
+    counts = {rows[g][0] for g in gammas}
+    assert len(counts) == 1
+    assert rows[1.0][1] <= rows[0.01][1]
+
+
+def test_ablation_correlation_window(benchmark):
+    """Longer training windows stabilize Component #1's classification.
+
+    The paper's framing is group-ranking stability (94% after two
+    days); what the platform consumes downstream is the redundant
+    (vp, prefix) classification that becomes drop rules, so stability
+    is measured there: two interleaved training sets of the same
+    window must agree on which keys are redundant, increasingly so as
+    the window grows.
+    """
+    lengths = (600.0, 2400.0, 7200.0)
+
+    def agreement(window_s, seed):
+        # Two same-size training sets drawn from the same period:
+        # interleave 100s time buckets so drift affects both equally.
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=20, n_prefix_groups=12, duration_s=window_s,
+            seed=seed))
+        generator.warmup_updates()
+        stream = generator.generate_window(1000.0, 2 * window_s)
+        first = [u for u in stream if int(u.time // 100) % 2 == 0]
+        second = [u for u in stream if int(u.time // 100) % 2 == 1]
+
+        def redundant_keys(sample):
+            result = UpdateSampler().run(sample)
+            return {(u.vp, u.prefix) for u in result.redundant}
+
+        keys_a = redundant_keys(first)
+        keys_b = redundant_keys(second)
+        union = keys_a | keys_b
+        if not union:
+            return 1.0
+        return len(keys_a & keys_b) / len(union)
+
+    def run():
+        return {
+            window: float(np.mean([agreement(window, seed)
+                                   for seed in (1, 2, 3)]))
+            for window in lengths
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Ablation — correlation construction window", [
+        f"window {w:6.0f}s: redundant-classification agreement "
+        f"{rows[w]:6.1%}"
+        for w in lengths
+    ])
+
+    values = [rows[w] for w in lengths]
+    # Longer windows agree more, and the default-scale window is
+    # already usably stable (the paper's 2-day sweet-spot argument).
+    assert values[-1] >= values[0] - 0.02
+    assert values[1] > 0.5
+
+
+def test_ablation_path_community_correlation(benchmark, ablation_stream):
+    """§18.2: identical AS paths share the exact community set in ~93%
+    of cases, so the feature graphs need no community dimension."""
+
+    def run():
+        comm_sets = defaultdict(set)
+        for update in ablation_stream:
+            if not update.is_withdrawal:
+                comm_sets[update.as_path].add(update.communities)
+        consistent = sum(1 for sets in comm_sets.values()
+                         if len(sets) == 1)
+        return consistent / len(comm_sets)
+
+    fraction = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nidentical paths sharing one community set: "
+          f"{fraction:.1%} (paper: 93%)")
+    assert fraction > 0.8

@@ -1,0 +1,42 @@
+"""Figure 2: growth in VPs vs. flat AS coverage (2003-2023).
+
+Top panel: number of ASes hosting a RIS / RV VP per year.
+Bottom panel: percentage of active ASes hosting a VP — the paper's
+headline observation that coverage has been flat for two decades.
+"""
+
+from conftest import print_series
+
+from repro.workload.growth import coverage_fraction, growth_series
+
+
+def _compute():
+    return growth_series(2003, 2023)
+
+
+def test_fig2_vp_growth(benchmark):
+    series = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    rows = [
+        f"{p.year}: RIS ASes {p.ris_vp_ases:6.0f}  "
+        f"RV ASes {p.rv_vp_ases:5.0f}  "
+        f"active ASes {p.active_ases:7.0f}  "
+        f"coverage {p.coverage:6.2%}"
+        for p in series
+    ]
+    print_series("Fig. 2 — VP growth and coverage", rows)
+
+    # Top panel: both platforms keep adding host ASes.
+    ris = [p.ris_vp_ases for p in series]
+    rv = [p.rv_vp_ases for p in series]
+    assert ris == sorted(ris)
+    assert rv == sorted(rv)
+    assert ris[-1] > 4 * ris[0]
+
+    # Bottom panel: the paper's point — coverage stays ~1%, flat.
+    coverages = [p.coverage for p in series]
+    assert max(coverages) < 0.02
+    assert max(coverages) / min(coverages) < 1.8   # no real growth
+
+    # The 2023 point matches the §3.1 figure of ~1.1%.
+    assert 0.009 < coverage_fraction(2023) < 0.013

@@ -1,0 +1,44 @@
+"""Figure 3: growth in updates collected by RIS and RV combined.
+
+(a) hourly average updates per VP; (b) updates per hour across all
+VPs — the quadratic compound of more VPs and more updates per VP
+(§3.2) that motivates overshoot-and-discard.
+"""
+
+from conftest import print_series
+
+from repro.workload.growth import (
+    growth_series,
+    quadratic_growth_factor,
+    total_updates_per_hour,
+    updates_per_vp_per_hour,
+)
+
+
+def _compute():
+    return growth_series(2003, 2023)
+
+
+def test_fig3_update_growth(benchmark):
+    series = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    rows = [
+        f"{p.year}: per-VP {p.updates_per_vp:7.0f}/h   "
+        f"total {p.total_updates / 1e6:7.1f}M/h"
+        for p in series
+    ]
+    print_series("Fig. 3 — update growth", rows)
+
+    # (a) per-VP rate grows monotonically, >10x over two decades.
+    per_vp = [p.updates_per_vp for p in series]
+    assert per_vp == sorted(per_vp)
+    assert per_vp[-1] / per_vp[0] > 10
+
+    # (a) 2023 average matches the §2 figure (28K updates/hour).
+    assert updates_per_vp_per_hour(2023) == 28_000
+
+    # (b) total growth outpaces VP growth (the quadratic compound).
+    assert quadratic_growth_factor() > 3.0
+
+    # (b) billions of updates per day in 2023 (§2).
+    assert total_updates_per_hour(2023) * 24 > 1e9

@@ -1,0 +1,214 @@
+"""Figure 4: how VP coverage limits three canonical analyses (§3.1).
+
+On a simulated mini-Internet we sweep the fraction of ASes hosting a VP
+from 1% to 100% and measure:
+
+* bottom panel — % of p2p and c2p links observed in collected paths;
+* middle panel — % of random link failures localized (p2p / c2p);
+* top panel — % of Type-1 / Type-2 forged-origin hijacks detected.
+
+The paper's red zone (RIS+RV's ~1% coverage) must show severe
+impairment and the green zone (25-100x more) near-complete results.
+For tractability each (failure, hijack, link) precomputes its observer
+set once, so all coverage points reuse the same routing work.
+"""
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from conftest import print_series
+
+from repro.simulation import (
+    Announcement,
+    propagate,
+    synthetic_known_topology,
+)
+from repro.simulation.policies import Relationship
+from repro.usecases.failure_localization import (
+    PathChange,
+    localize_failure,
+)
+
+COVERAGES = (0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00)
+N_ASES = 220
+N_FAILURES = 50
+N_HIJACK_VICTIMS = 60
+SEED = 51
+
+
+def _build_world():
+    topo = synthetic_known_topology(N_ASES, seed=SEED)
+    origins = topo.ases()
+    routes_per_origin = {
+        origin: propagate(topo, [Announcement.origination(origin)])
+        for origin in origins
+    }
+    return topo, routes_per_origin
+
+
+def _link_observers(topo, routes_per_origin):
+    """link -> set of ASes whose selected paths traverse it."""
+    observers: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+    for routes in routes_per_origin.values():
+        for asn, route in routes.items():
+            path = route.path
+            for i in range(len(path) - 1):
+                if path[i] != path[i + 1]:
+                    link = (min(path[i], path[i + 1]),
+                            max(path[i], path[i + 1]))
+                    observers[link].add(asn)
+    return observers
+
+
+def _failure_observations(topo, routes_per_origin, rng):
+    """For each failed link: per-AS (old, new) path changes."""
+    links = [(a, b) for a, b, rel in topo.links()]
+    rng.shuffle(links)
+    failures = []
+    for a, b in links[:N_FAILURES]:
+        rel = topo.relationship(a, b)
+        changes: Dict[int, PathChange] = {}
+        working = topo.copy()
+        working.remove_link(a, b)
+        for origin, routes in routes_per_origin.items():
+            affected = [asn for asn, r in routes.items()
+                        if _uses_link(r.path, a, b)]
+            if not affected:
+                continue
+            new_routes = propagate(
+                working, [Announcement.origination(origin)])
+            for asn in affected:
+                new = new_routes.get(asn)
+                changes[asn] = PathChange(
+                    routes[asn].path, new.path if new else ())
+        failures.append(((min(a, b), max(a, b)), rel, changes))
+    return failures
+
+
+def _uses_link(path, a, b):
+    for i in range(len(path) - 1):
+        if {path[i], path[i + 1]} == {a, b}:
+            return True
+    return False
+
+
+def _hijack_observations(topo, rng):
+    """For each (victim, type): set of ASes selecting the forged route."""
+    victims = rng.sample(topo.ases(), N_HIJACK_VICTIMS)
+    cases = []
+    for victim in victims:
+        pool = [a for a in topo.ases() if a != victim]
+        attacker = pool[rng.randrange(len(pool))]
+        for type_x in (1, 2):
+            intermediates = ()
+            if type_x == 2:
+                neighbors = sorted(topo.neighbors(victim) - {attacker})
+                mid = (neighbors[rng.randrange(len(neighbors))]
+                       if neighbors else pool[0])
+                intermediates = (mid,)
+            forged = Announcement.forged_origin(attacker, victim,
+                                                intermediates)
+            routes = propagate(topo, [Announcement.origination(victim),
+                                      forged])
+            # The attacker's own AS counts: if it hosts a VP, that VP
+            # exports the forged route like any full feeder would.
+            observers = {asn for asn, r in routes.items()
+                         if attacker in r.path}
+            cases.append((type_x, observers))
+    return cases
+
+
+def _evaluate(topo, link_observers, failures, hijacks, vp_sets):
+    p2p = topo.p2p_links()
+    c2p = {(min(a, b), max(a, b)) for a, b in topo.c2p_links()}
+    rows = {}
+    for coverage, vps in vp_sets.items():
+        vp_set = set(vps)
+        seen_links = {link for link, obs in link_observers.items()
+                      if obs & vp_set}
+        p2p_frac = len(seen_links & p2p) / len(p2p)
+        c2p_frac = len(seen_links & c2p) / len(c2p)
+
+        localized = {Relationship.PEER: [0, 0], "c2p": [0, 0]}
+        for link, rel, changes in failures:
+            bucket = (localized[Relationship.PEER]
+                      if rel is Relationship.PEER else localized["c2p"])
+            bucket[1] += 1
+            visible = [change for asn, change in changes.items()
+                       if asn in vp_set]
+            if visible and localize_failure(visible, link):
+                bucket[0] += 1
+
+        detected = {1: [0, 0], 2: [0, 0]}
+        for type_x, observers in hijacks:
+            detected[type_x][1] += 1
+            if observers & vp_set:
+                detected[type_x][0] += 1
+
+        rows[coverage] = {
+            "p2p_links": p2p_frac,
+            "c2p_links": c2p_frac,
+            "fail_p2p": _ratio(localized[Relationship.PEER]),
+            "fail_c2p": _ratio(localized["c2p"]),
+            "hijack_t1": _ratio(detected[1]),
+            "hijack_t2": _ratio(detected[2]),
+        }
+    return rows
+
+
+def _ratio(pair):
+    return pair[0] / pair[1] if pair[1] else 0.0
+
+
+def test_fig4_coverage(benchmark):
+    def run():
+        topo, routes_per_origin = _build_world()
+        rng = random.Random(SEED + 1)
+        link_observers = _link_observers(topo, routes_per_origin)
+        failures = _failure_observations(topo, routes_per_origin, rng)
+        hijacks = _hijack_observations(topo, rng)
+        # Nested VP sets: deployments grow monotonically with coverage.
+        order = topo.ases()
+        rng.shuffle(order)
+        vp_sets = {c: order[:max(1, round(c * len(order)))]
+                   for c in COVERAGES}
+        return topo, _evaluate(topo, link_observers, failures, hijacks,
+                               vp_sets)
+
+    topo, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"coverage {c:6.1%}: p2p links {r['p2p_links']:5.1%}  "
+        f"c2p links {r['c2p_links']:5.1%}  |  "
+        f"fail p2p {r['fail_p2p']:5.1%}  c2p {r['fail_c2p']:5.1%}  |  "
+        f"hijack T1 {r['hijack_t1']:5.1%}  T2 {r['hijack_t2']:5.1%}"
+        for c, r in sorted(rows.items())
+    ]
+    print_series("Fig. 4 — objectives vs. VP coverage", lines)
+
+    low = rows[0.01]
+    mid = rows[0.50]
+    full = rows[1.00]
+
+    # Bottom panel: at ~1% coverage p2p visibility is poor; c2p better.
+    assert low["p2p_links"] < 0.35
+    assert low["c2p_links"] > low["p2p_links"]
+    # Key observation #2: 50% coverage maps the vast majority of p2p.
+    assert mid["p2p_links"] > 0.75
+    assert full["c2p_links"] > 0.95
+
+    # Middle panel: failures on p2p links are hard at low coverage.
+    assert low["fail_p2p"] < 0.45
+    assert mid["fail_p2p"] > low["fail_p2p"]
+
+    # Top panel: a chunk of Type-1 hijacks is invisible at 1% coverage,
+    # Type-2 even more so; full coverage sees (almost) everything.
+    assert low["hijack_t1"] < 0.9
+    assert low["hijack_t2"] <= low["hijack_t1"]
+    assert full["hijack_t1"] > 0.95
+
+    # All six series grow (weakly) with coverage.
+    for key in ("p2p_links", "c2p_links", "hijack_t1", "hijack_t2"):
+        series = [rows[c][key] for c in COVERAGES]
+        assert all(b >= a - 0.05 for a, b in zip(series, series[1:]))

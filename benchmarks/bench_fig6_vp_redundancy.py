@@ -1,0 +1,50 @@
+"""Figure 6: VP-level redundancy under the three definitions.
+
+The paper finds that 70% / 26% / 22% of 100 random RIS+RV VPs are
+redundant with at least one other VP (>90% of their updates covered)
+under Definitions 1 / 2 / 3.  We reproduce the experiment on the
+calibrated synthetic hour and check the characteristic staircase.
+"""
+
+from conftest import print_series
+
+from repro.core.redundancy import RedundancyDefinition, vp_redundancy
+
+PAPER_FRACTIONS = {
+    RedundancyDefinition.PREFIX: 0.70,
+    RedundancyDefinition.PREFIX_ASPATH: 0.26,
+    RedundancyDefinition.PREFIX_ASPATH_COMMUNITY: 0.22,
+}
+
+
+def test_fig6_vp_redundancy(benchmark, ris_like_annotated):
+    def run():
+        return {
+            definition: vp_redundancy(ris_like_annotated, definition)
+            for definition in RedundancyDefinition
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        f"Def. {d.value}: {reports[d].fraction:6.1%} of VPs redundant "
+        f"({len(reports[d].redundant_pairs)} pairs; "
+        f"paper: {PAPER_FRACTIONS[d]:.0%})"
+        for d in RedundancyDefinition
+    ]
+    print_series("Fig. 6 — VP redundancy", rows)
+
+    fractions = [reports[d].fraction for d in RedundancyDefinition]
+    # The staircase: a large majority under Def 1, a sharp drop to a
+    # minority under Def 2, slightly lower still under Def 3.
+    assert fractions[0] >= fractions[1] >= fractions[2]
+    assert fractions[0] > 0.5
+    assert fractions[0] - fractions[1] > 0.2
+    assert fractions[1] < 0.5
+    assert fractions[2] > 0.0
+
+    # Redundancy is meaningful at the pair level too: some pairs are
+    # mutual (both directions), which random assignment wouldn't give.
+    pairs = set(reports[RedundancyDefinition.PREFIX].redundant_pairs)
+    mutual = {(a, b) for a, b in pairs if (b, a) in pairs}
+    assert mutual

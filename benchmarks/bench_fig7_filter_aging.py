@@ -1,0 +1,65 @@
+"""Figure 7: ability of generated filters to discard updates over time.
+
+GILL trains filters on one window and applies them to windows collected
+d days later, d in 1..128 (log scale).  The match rate (= fraction of
+updates discarded) decays as never-before-seen (vp, prefix) traffic —
+driven by newly announced prefixes — accumulates; the knee around 16
+days motivates Component #1's refresh cadence (§7).
+
+Scale substitution: one paper 'day' is compressed to a 20-minute
+synthetic epoch with a proportional prefix-birth rate; the decay shape
+(monotone, accelerating) is what the experiment checks.
+"""
+
+from conftest import print_series
+
+from repro.core.sampler import UpdateSampler
+from repro.core.filters import generate_filter_table
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+DAY_OFFSETS = (1, 2, 4, 8, 16, 32, 64, 128)
+EPOCH_S = 1200.0
+#: New prefix groups per epoch — the Internet's announcement growth.
+GROUP_BIRTHS_PER_EPOCH = 1
+
+
+def _run():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=30, n_prefix_groups=25, duration_s=EPOCH_S, seed=21))
+    warmup, training = generator.generate(start_time=1000.0)
+    result = UpdateSampler().run(warmup + training)
+    table = generate_filter_table(result.redundant)
+
+    match_rates = {}
+    clock = 1000.0 + EPOCH_S
+    previous_day = 0
+    for day in DAY_OFFSETS:
+        for _ in range(day - previous_day):
+            generator.add_prefix_groups(GROUP_BIRTHS_PER_EPOCH)
+            window = generator.generate_window(clock, EPOCH_S)
+            clock += EPOCH_S
+        previous_day = day
+        match_rates[day] = table.match_rate(window) if window else 0.0
+    return result, match_rates
+
+
+def test_fig7_filter_aging(benchmark):
+    result, match_rates = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [f"day {day:>3d}: {match_rates[day]:6.1%} of updates matched"
+            for day in DAY_OFFSETS]
+    print_series("Fig. 7 — filter match rate vs. age", rows)
+
+    rates = [match_rates[d] for d in DAY_OFFSETS]
+    # Fresh filters discard a substantial share of traffic...
+    assert rates[0] > 0.4
+    # ...and age: each epoch of the horizon matches less than the one
+    # before it (individual days are noisy at this scale, so epochs
+    # of the log-spaced axis are compared).
+    early = sum(rates[0:3]) / 3           # days 1-4
+    middle = sum(rates[3:6]) / 3          # days 8-32
+    late = sum(rates[6:8]) / 2            # days 64-128
+    assert early > middle > late
+    # ...with a critical drop by the end of the horizon (§7's reason
+    # for refreshing every 16 days rather than never).
+    assert late < early - 0.15

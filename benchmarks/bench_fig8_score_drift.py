@@ -1,0 +1,99 @@
+"""Figure 8: redundancy-score drift between two runs of Component #2.
+
+The paper compares pairwise VP redundancy scores computed m months
+apart (m = 6..66): within 12 months the median absolute difference
+stays below 0.1 (scores change <5%), justifying the yearly anchor
+refresh.  We compress a 'month' into one synthetic window and model
+long-term behavioral drift with the generator's ``drift_vps``.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.core import (
+    detect_events,
+    infer_categories,
+    score_drift,
+    select_events_balanced,
+    score_vps,
+)
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+MONTH_GAPS = (6, 12, 24, 42, 66)
+WINDOW_S = 2400.0
+#: Fraction of VPs whose behavior drifts per month.
+DRIFT_PER_MONTH = 0.04
+
+
+def _scores(generator, start):
+    warmup = generator.warmup_updates(start - 1.0)
+    stream = generator.generate_window(start, WINDOW_S)
+    data = warmup + stream
+    events = detect_events(stream)
+    selected = select_events_balanced(
+        events, infer_categories(data), per_cell=10, seed=0)
+    return score_vps(data, selected)
+
+
+def _run_one(seed):
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=25, n_prefix_groups=18, duration_s=WINDOW_S, seed=seed))
+    vps0, base = _scores(generator, 1000.0)
+
+    drifts = {}
+    clock = 1000.0 + WINDOW_S
+    previous = 0
+    for months in MONTH_GAPS:
+        for _ in range(months - previous):
+            generator.drift_vps(DRIFT_PER_MONTH)
+            clock += WINDOW_S
+        previous = months
+        vps, scores = _scores(generator, clock)
+        assert vps == vps0
+        drifts[months] = score_drift(base, scores)
+    return drifts
+
+
+def _run():
+    # One run's window-to-window noise swamps the drift signal at this
+    # scale; pooling seeded universes recovers it, and the growth
+    # check is a paired per-universe comparison (long gap vs short
+    # gap within the same universe).
+    per_seed = [_run_one(seed) for seed in (41, 42, 43, 44, 45)]
+    pooled = {
+        months: np.concatenate([d[months] for d in per_seed])
+        for months in MONTH_GAPS
+    }
+    paired_growth = [
+        float(np.median(d[MONTH_GAPS[-1]]) - np.median(d[MONTH_GAPS[0]]))
+        for d in per_seed
+    ]
+    return pooled, paired_growth
+
+
+def test_fig8_score_drift(benchmark):
+    drifts, paired_growth = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+
+    rows = [
+        f"{months:>2d} months: median |dR| "
+        f"{np.median(drifts[months]):.3f}   p90 "
+        f"{np.quantile(drifts[months], 0.9):.3f}"
+        for months in MONTH_GAPS
+    ]
+    rows.append(
+        "per-universe drift(66mo) - drift(6mo): "
+        + ", ".join(f"{g:+.3f}" for g in paired_growth))
+    print_series("Fig. 8 — redundancy-score drift", rows)
+
+    medians = [float(np.median(drifts[m])) for m in MONTH_GAPS]
+    # Within a year the drift stays modest — the yearly-refresh
+    # argument (the paper's median is below 0.1; our window-to-window
+    # measurement noise adds a constant floor).
+    assert medians[1] < 0.25
+    # Drift grows with the gap.  Each universe compares its own
+    # 66-month drift against its 6-month drift (paired, so the noise
+    # floor cancels): the mean paired growth is positive and a
+    # majority of universes agree.
+    assert float(np.mean(paired_growth)) > 0.0
+    assert sum(g > 0 for g in paired_growth) >= 3

@@ -1,0 +1,207 @@
+"""§12: immediate benefits — three study replications on sampled data.
+
+1. **AS-relationship inference** (after [31]): GILL-sampled data yields
+   at least as many inferred relationships as a fixed VP subset (the
+   CAIDA-648-VPs analogue) at the same or smaller update budget, with
+   unchanged validation accuracy (paper: +16%, TPR stays 97%).
+2. **Customer-cone sizes** (after AS-Rank [11]): GILL-sampled paths
+   produce cone sizes at least as accurate versus ground truth.
+3. **Forged-origin hijack inference** (after DFOH [25]): with
+   DFOH-on-all-data as approximate ground truth, DFOH on GILL's sample
+   has a better TPR and no worse FPR than DFOH on a random sample of
+   equal size (paper: TPR 94% vs 71.5%, FPR 14.4% vs 60.1%).
+"""
+
+import random
+
+import pytest
+from conftest import print_series
+
+from repro.core import categorize_ases
+from repro.sampling import GillScheme, RandomVPs
+from repro.simulation import (
+    ForgedOriginHijack,
+    LinkFailure,
+    LinkRestoration,
+    SimulatedInternet,
+    assign_prefix_ownership,
+    random_vp_deployment,
+    synthetic_known_topology,
+)
+from repro.usecases import (
+    DFOHDetector,
+    compare_to_reference,
+    customer_cone_sizes,
+    infer_relationships,
+    mean_absolute_cone_error,
+    paths_from_updates,
+    true_cone_sizes,
+    validate_relationships,
+)
+
+SEED = 71
+N_ASES = 300
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = synthetic_known_topology(N_ASES, seed=SEED)
+    net = SimulatedInternet(topo.copy(), seed=SEED)
+    net.announce_ownership(
+        assign_prefix_ownership(topo.ases(), N_ASES + 30, seed=SEED))
+    net.deploy_vps(random_vp_deployment(topo, 0.15, seed=SEED + 1))
+    rng = random.Random(SEED + 2)
+    links = [(a, b) for a, b, _ in net.topo.links()]
+
+    stream = list(net.initial_table_transfer(time=0.0))
+    t = 1000.0
+    for _ in range(40):
+        a, b = links[rng.randrange(len(links))]
+        try:
+            stream += net.apply_event(LinkFailure(a, b, t))
+            stream += net.apply_event(LinkRestoration(a, b, t + 600.0))
+        except ValueError:
+            pass
+        t += 1500.0
+
+    # Hijack phase (for the DFOH replication).
+    hijack_start = t
+    prefixes = net.prefixes()
+    hijacks = []
+    stubs = set(topo.stubs())
+    stub_prefixes = [p for p in prefixes if net.origin_of(p) in stubs]
+    for _ in range(30):
+        prefix = stub_prefixes[rng.randrange(len(stub_prefixes))]
+        victim = net.origin_of(prefix)
+        attacker = rng.choice([x for x in sorted(stubs) if x != victim])
+        try:
+            stream += net.apply_event(
+                ForgedOriginHijack(attacker, prefix, time=t, type_x=1))
+            hijacks.append((prefix, attacker))
+        except ValueError:
+            pass
+        t += 1500.0
+
+    stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return topo, net, stream, hijack_start, hijacks
+
+
+@pytest.fixture(scope="module")
+def samples(world):
+    topo, net, stream, _, _ = world
+    categories = categorize_ases(topo)
+    gill = GillScheme(seed=SEED, categories=categories,
+                      events_per_cell=8, max_anchors=6)
+    gill_sample = gill.sample(stream)
+    budget = len(gill_sample)
+    # The CAIDA-648-VPs analogue: a fixed arbitrary VP subset with the
+    # same update budget.
+    fixed_sample = RandomVPs(seed=SEED + 5).sample(stream, budget)
+    return gill_sample, fixed_sample, budget
+
+
+def test_sec12_as_relationships(benchmark, world, samples):
+    topo, _, _, _, _ = world
+    gill_sample, fixed_sample, budget = samples
+
+    def run():
+        gill_rel = infer_relationships(paths_from_updates(gill_sample))
+        fixed_rel = infer_relationships(paths_from_updates(fixed_sample))
+        return gill_rel, fixed_rel
+
+    gill_rel, fixed_rel = benchmark.pedantic(run, rounds=1, iterations=1)
+    gill_report = validate_relationships(gill_rel, topo)
+    fixed_report = validate_relationships(fixed_rel, topo)
+
+    print_series("§12 — AS-relationship inference", [
+        f"fixed-VP sample: {len(fixed_rel)} relationships, "
+        f"TPR {fixed_report.true_positive_rate:.1%}",
+        f"GILL sample:     {len(gill_rel)} relationships, "
+        f"TPR {gill_report.true_positive_rate:.1%}",
+        f"gain: {(len(gill_rel) / max(1, len(fixed_rel)) - 1):+.1%} "
+        f"(paper: +16%)",
+    ])
+
+    # More relationships at the same budget, without losing accuracy.
+    assert len(gill_rel) >= len(fixed_rel)
+    assert gill_report.true_positive_rate >= \
+        fixed_report.true_positive_rate - 0.05
+    assert gill_report.true_positive_rate > 0.8
+
+
+def test_sec12_customer_cones(benchmark, world, samples):
+    topo, _, _, _, _ = world
+    gill_sample, fixed_sample, _ = samples
+    truth = true_cone_sizes(topo)
+
+    def run():
+        gill_sizes = customer_cone_sizes(
+            infer_relationships(paths_from_updates(gill_sample)))
+        fixed_sizes = customer_cone_sizes(
+            infer_relationships(paths_from_updates(fixed_sample)))
+        return gill_sizes, fixed_sizes
+
+    gill_sizes, fixed_sizes = benchmark.pedantic(run, rounds=1,
+                                                 iterations=1)
+    gill_mae = mean_absolute_cone_error(gill_sizes, truth)
+    fixed_mae = mean_absolute_cone_error(fixed_sizes, truth)
+
+    # Corrections: ASes where the fixed sample errs but GILL is right.
+    corrections = [
+        asn for asn, want in truth.items()
+        if fixed_sizes.get(asn) not in (None, want)
+        and gill_sizes.get(asn) == want
+    ]
+    print_series("§12 — customer cone sizes", [
+        f"fixed-VP sample MAE: {fixed_mae:.2f}",
+        f"GILL sample MAE:     {gill_mae:.2f}",
+        f"cones corrected by GILL: {len(corrections)} "
+        f"(e.g. {sorted(corrections)[:5]})",
+    ])
+
+    assert gill_mae <= fixed_mae + 0.25
+    assert corrections
+
+
+def test_sec12_dfoh(benchmark, world, samples):
+    topo, net, stream, hijack_start, hijacks = world
+    gill_sample, fixed_sample, budget = samples
+
+    training = [u for u in stream if u.time < hijack_start]
+    inference_all = [u for u in stream if u.time >= hijack_start]
+    inference_gill = [u for u in gill_sample if u.time >= hijack_start]
+    inference_rnd = [u for u in fixed_sample if u.time >= hijack_start]
+
+    def run():
+        detector = DFOHDetector(suspicion_threshold=0.55)
+        detector.train_on_updates(training)
+        universe = {c.case_id for c in detector.scan(inference_all)}
+        reference = {c.case_id for c in detector.infer(inference_all)}
+        found_gill = {c.case_id for c in detector.infer(inference_gill)}
+        found_rnd = {c.case_id for c in detector.infer(inference_rnd)}
+        return universe, reference, found_gill, found_rnd
+
+    universe, reference, found_gill, found_rnd = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    perf_gill = compare_to_reference(found_gill, reference, universe)
+    perf_rnd = compare_to_reference(found_rnd, reference, universe)
+
+    print_series("§12 — DFOH replication", [
+        f"universe {len(universe)} new-link cases, "
+        f"reference {len(reference)} suspicious",
+        f"DFOH-GILL: TPR {perf_gill.tpr:.1%}  FPR {perf_gill.fpr:.1%} "
+        f"({len(found_gill)} cases)",
+        f"DFOH-R:    TPR {perf_rnd.tpr:.1%}  FPR {perf_rnd.fpr:.1%} "
+        f"({len(found_rnd)} cases)",
+    ])
+
+    assert len(reference) > 5
+    # GILL's sample preserves the suspicious cases better than the
+    # random sample at the same budget (paper: TPR 94% vs 71.5%).
+    assert perf_gill.tpr >= perf_rnd.tpr
+    assert perf_gill.tpr > 0.5
+    # And introduces no additional false alarms (FPR here counts
+    # sub-threshold universe cases flagged from the sample — both
+    # detectors use the same scoring, so only coverage differs).
+    assert perf_gill.fpr <= perf_rnd.fpr + 0.05

@@ -1,0 +1,46 @@
+"""§4.2 headline numbers: update-level redundancy under Defs 1/2/3.
+
+The paper measures, on one hour of RIS+RV data, that 97% / 77% / 70%
+of updates are redundant with at least one other update under the
+three gradually stricter definitions.  We reproduce the measurement on
+the calibrated synthetic hour.
+"""
+
+from conftest import print_series
+
+from repro.core.redundancy import RedundancyDefinition, update_redundancy
+
+PAPER_FRACTIONS = {
+    RedundancyDefinition.PREFIX: 0.97,
+    RedundancyDefinition.PREFIX_ASPATH: 0.77,
+    RedundancyDefinition.PREFIX_ASPATH_COMMUNITY: 0.70,
+}
+
+
+def test_sec4_update_redundancy(benchmark, ris_like_annotated):
+    def run():
+        return {
+            definition: update_redundancy(ris_like_annotated, definition)
+            for definition in RedundancyDefinition
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        f"Def. {d.value}: {reports[d].fraction:6.1%} redundant "
+        f"(paper: {PAPER_FRACTIONS[d]:.0%})"
+        for d in RedundancyDefinition
+    ]
+    print_series("§4.2 — redundant update fractions", rows)
+
+    fractions = [reports[d].fraction for d in RedundancyDefinition]
+    # Shape: strictly nested definitions give nonincreasing redundancy,
+    # with a large Def1->Def2 drop and a small Def2->Def3 drop.
+    assert fractions[0] >= fractions[1] >= fractions[2]
+    assert fractions[0] > 0.9
+    assert fractions[0] - fractions[1] > 0.1
+    assert fractions[1] - fractions[2] < 0.1
+    # Magnitudes within a reasonable band of the paper's.
+    assert abs(fractions[0] - 0.97) < 0.05
+    assert abs(fractions[1] - 0.77) < 0.15
+    assert abs(fractions[2] - 0.70) < 0.18

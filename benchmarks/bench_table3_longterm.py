@@ -1,0 +1,212 @@
+"""Table 3: GILL vs. Rnd.-VP vs. best-case on a simulated mini-Internet.
+
+For each VP coverage (2%..100% of ASes hosting a VP) we feed GILL the
+updates induced by random link failures (its training data, as in §11),
+let it build filters and anchors, and then score three use cases on:
+
+* GILL's retained sample,
+* a random-VP sample of the same size,
+* the full data (best case — which processes far more updates).
+
+Checked takeaways: (1) GILL discards a growing share as coverage rises;
+(2) GILL approaches best-case while collecting several times less;
+(3) GILL beats random VPs at equal budget.
+"""
+
+import random
+from typing import Dict, List
+
+import pytest
+from conftest import print_series
+
+from repro.core import categorize_ases
+from repro.sampling import GillScheme, RandomVPs
+from repro.simulation import (
+    ForgedOriginHijack,
+    LinkFailure,
+    LinkRestoration,
+    SimulatedInternet,
+    assign_prefix_ownership,
+    random_vp_deployment,
+    synthetic_known_topology,
+)
+from repro.usecases import (
+    PathChange,
+    localize_failure,
+    observed_as_links,
+    visible_hijacks,
+)
+
+COVERAGES = (0.02, 0.10, 0.25, 0.50)
+N_ASES = 200
+N_TRAINING_FAILURES = 30
+N_EVAL_FAILURES = 15
+N_EVAL_HIJACKS = 15
+SEED = 61
+
+
+def _build_streams(topo, coverage):
+    """One coverage point: stream + ground truth for the three tasks."""
+    net = SimulatedInternet(topo.copy(), seed=SEED)
+    net.announce_ownership(
+        assign_prefix_ownership(topo.ases(), N_ASES + 40, seed=SEED))
+    net.deploy_vps(random_vp_deployment(topo, coverage, seed=SEED + 1))
+    rng = random.Random(SEED + 2)
+    links = [(a, b) for a, b, _ in topo.links()]
+
+    stream = []
+    t = 1000.0
+    for _ in range(N_TRAINING_FAILURES):
+        a, b = links[rng.randrange(len(links))]
+        try:
+            stream += net.apply_event(LinkFailure(a, b, t))
+            stream += net.apply_event(LinkRestoration(a, b, t + 600.0))
+        except ValueError:
+            pass
+        t += 1500.0
+
+    # Evaluation failures: remember per-VP prior paths for localization.
+    eval_failures = []
+    for _ in range(N_EVAL_FAILURES):
+        a, b = links[rng.randrange(len(links))]
+        try:
+            prior = {}
+            for prefix in net.prefixes():
+                routes = net.routes_for(prefix)
+                for asn in net.vp_ases:
+                    route = routes.get(asn)
+                    if route is not None:
+                        prior[(f"vp{asn}", prefix)] = route.path
+            updates = net.apply_event(LinkFailure(a, b, t))
+            stream += updates
+            restored = net.apply_event(LinkRestoration(a, b, t + 600.0))
+            stream += restored
+            if updates:
+                eval_failures.append(((min(a, b), max(a, b)),
+                                      prior, updates))
+        except ValueError:
+            pass
+        t += 1500.0
+
+    # Evaluation hijacks (Type-1, the most common, §11).
+    eval_hijacks = []
+    prefixes = net.prefixes()
+    for _ in range(N_EVAL_HIJACKS):
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        victim = net.origin_of(prefix)
+        attacker = rng.choice([x for x in topo.ases() if x != victim])
+        try:
+            stream += net.apply_event(
+                ForgedOriginHijack(attacker, prefix, time=t, type_x=1))
+            eval_hijacks.append((prefix, attacker))
+        except ValueError:
+            pass
+        t += 1500.0
+
+    stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return net, stream, eval_failures, eval_hijacks
+
+
+def _score(sample, net, topo, eval_failures, eval_hijacks):
+    sample_set = {(u.vp, u.time, u.prefix, u.as_path) for u in sample}
+
+    p2p = topo.p2p_links()
+    observed = observed_as_links(sample)
+    topo_score = len(observed & p2p) / len(p2p) if p2p else 0.0
+
+    localized = 0
+    for link, prior, updates in eval_failures:
+        visible = [u for u in updates
+                   if (u.vp, u.time, u.prefix, u.as_path) in sample_set]
+        changes = [
+            PathChange(prior[(u.vp, u.prefix)],
+                       () if u.is_withdrawal else u.as_path)
+            for u in visible if (u.vp, u.prefix) in prior
+        ]
+        if changes and localize_failure(changes, link):
+            localized += 1
+    fail_score = (localized / len(eval_failures)
+                  if eval_failures else 0.0)
+
+    seen = visible_hijacks(sample, eval_hijacks)
+    hijack_score = (len(seen) / len(eval_hijacks)
+                    if eval_hijacks else 0.0)
+    return topo_score, fail_score, hijack_score
+
+
+@pytest.fixture(scope="module")
+def table3():
+    topo = synthetic_known_topology(N_ASES, seed=SEED)
+    categories = categorize_ases(topo)
+    rows = {}
+    for coverage in COVERAGES:
+        net, stream, eval_failures, eval_hijacks = _build_streams(
+            topo, coverage)
+        # A fixed absolute anchor budget: the paper's own Table-3 anchor
+        # percentages (17% of 20 VPs ... 0.4% of 1000 VPs) correspond to
+        # a near-constant 3-4 anchors — anchor diversity is a property
+        # of the topology, not of the VP count.
+        gill = GillScheme(seed=SEED, categories=categories,
+                          events_per_cell=8, max_anchors=4)
+        gill_sample = gill.sample(stream)
+        budget = len(gill_sample)
+        rnd_sample = RandomVPs(seed=SEED).sample(stream, budget)
+
+        result = gill.last_result
+        rows[coverage] = {
+            "retained": budget / len(stream) if stream else 0.0,
+            "anchor_fraction": result.anchors.fraction,
+            "GILL": _score(gill_sample, net, topo,
+                           eval_failures, eval_hijacks),
+            "Rnd.-VP": _score(rnd_sample, net, topo,
+                              eval_failures, eval_hijacks),
+            "Best": _score(stream, net, topo,
+                           eval_failures, eval_hijacks),
+        }
+    return rows
+
+
+def test_table3_longterm(benchmark, table3):
+    rows = benchmark.pedantic(lambda: table3, rounds=1, iterations=1)
+
+    lines = []
+    for coverage, row in sorted(rows.items()):
+        lines.append(
+            f"coverage {coverage:5.0%}: retained {row['retained']:5.1%}  "
+            f"anchors {row['anchor_fraction']:5.1%}")
+        for scheme in ("GILL", "Rnd.-VP", "Best"):
+            topo_s, fail_s, hijack_s = row[scheme]
+            lines.append(
+                f"    {scheme:8s} topo {topo_s:6.1%}  "
+                f"fail-loc {fail_s:6.1%}  hijack {hijack_s:6.1%}")
+    print_series("Table 3 — long-term simulation", lines)
+
+    # Takeaway #1: GILL discards more as coverage grows.
+    retained = [rows[c]["retained"] for c in COVERAGES]
+    assert retained[-1] < retained[0]
+
+    # Takeaway #2: overshoot-and-discard is efficient — GILL at high
+    # coverage approaches best-case on every use case while retaining
+    # a fraction of the updates.
+    high = rows[COVERAGES[-1]]
+    for i in range(3):
+        assert high["GILL"][i] >= high["Best"][i] - 0.25
+    assert high["retained"] < 0.5
+
+    # Takeaway #3: GILL beats random VPs at equal budget on a majority
+    # of (coverage, use case) cells and never loses badly.
+    wins, cells = 0, 0
+    for coverage in COVERAGES:
+        for i in range(3):
+            cells += 1
+            gill_v = rows[coverage]["GILL"][i]
+            rnd_v = rows[coverage]["Rnd.-VP"][i]
+            if gill_v >= rnd_v - 0.001:
+                wins += 1
+            assert gill_v >= rnd_v - 0.25
+    assert wins >= 2 * cells / 3
+
+    # Higher coverage helps every scheme (first vs last coverage).
+    for scheme in ("GILL", "Best"):
+        assert rows[COVERAGES[-1]][scheme][0] >= \
+            rows[COVERAGES[0]][scheme][0]

@@ -1,0 +1,57 @@
+"""Table 4: the author survey (§16), regenerated from the data module.
+
+The table lists every question asked to the authors of the 11 surveyed
+BGP papers and all collected answers, color-coded by whether they
+motivate a system like GILL.  The aggregate finding — the vast majority
+of answers are green — is asserted.
+"""
+
+from conftest import print_series
+
+from repro.platform.survey import (
+    PAPERS_SELECTED,
+    RESPONDENTS_C1,
+    RESPONDENTS_C2,
+    SURVEY,
+    Category,
+    Sentiment,
+    questions,
+    render_table,
+    sentiment_summary,
+)
+
+
+def test_table4_survey(benchmark):
+    table = benchmark.pedantic(render_table, rounds=1, iterations=1)
+    print_series("Table 4 — survey", table.splitlines())
+
+    # Survey framing (§3.2, §16).
+    assert PAPERS_SELECTED == 11
+    assert RESPONDENTS_C1 == 7
+    assert RESPONDENTS_C2 == 5
+
+    # Every question category is populated.
+    assert len(questions(Category.SUBSET_OF_VPS)) == 4
+    assert len(questions(Category.LIMITED_DURATION)) == 3
+    assert len(questions(Category.ALL)) == 2
+
+    # Key observation #1: the data volume is a limiting factor — 7 of 8
+    # respondents found RIS/RV data expensive to process.
+    expensive = questions(Category.ALL)[0]
+    negative = sum(a.count for a in expensive.answers
+                   if a.sentiment is Sentiment.DISINCENTIVES)
+    assert expensive.respondents - negative >= 7
+
+    # Key observation #2: users sacrifice quality — six C1 respondents
+    # said more VPs would improve their results, and six would have
+    # used more VPs if they could.
+    more_vps = questions(Category.SUBSET_OF_VPS)[3]
+    would = sum(a.count for a in more_vps.answers
+                if a.sentiment is Sentiment.MOTIVATES)
+    assert would == 6
+
+    # Aggregate: green answers dominate the table.
+    summary = sentiment_summary()
+    assert summary[Sentiment.MOTIVATES] > \
+        summary[Sentiment.NEUTRAL] + summary[Sentiment.DISINCENTIVES]
+    assert summary[Sentiment.DISINCENTIVES] <= 2

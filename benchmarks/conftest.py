@@ -1,0 +1,85 @@
+"""Shared fixtures for the experiment-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it
+computes the experiment on our substrates, prints the same rows or
+series the paper reports, and asserts the qualitative shape (who wins,
+where knees fall).  Absolute numbers depend on the synthetic substrate
+and are recorded in EXPERIMENTS.md.
+
+Scales are chosen so the full suite runs in minutes on a laptop; every
+generator is seeded, so outputs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.rib import annotate_stream
+from repro.simulation import (
+    LinkFailure,
+    LinkRestoration,
+    SimulatedInternet,
+    assign_prefix_ownership,
+    random_vp_deployment,
+    synthetic_known_topology,
+)
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+
+def hours(n: float) -> float:
+    return n * 3600.0
+
+
+@pytest.fixture(scope="session")
+def ris_like_stream() -> Tuple[List[BGPUpdate], List[BGPUpdate]]:
+    """One 'hour of RIS/RV' as (warmup, stream) — the §4 substrate."""
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=40, n_prefix_groups=30, duration_s=hours(1.0), seed=1,
+    ))
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def ris_like_annotated(ris_like_stream):
+    """The measured hour annotated with implicit withdrawals."""
+    warmup, stream = ris_like_stream
+    return annotate_stream(warmup + stream)[len(warmup):]
+
+
+@pytest.fixture(scope="session")
+def failure_world():
+    """A simulated mini-Internet with VPs and a failure event trace.
+
+    Used by the component-2 benches (Figs. 8, 12) that need realistic
+    event-driven update streams with topology ground truth.
+    """
+    topo = synthetic_known_topology(300, seed=10)
+    net = SimulatedInternet(topo.copy(), seed=10)
+    net.announce_ownership(
+        assign_prefix_ownership(topo.ases(), 340, seed=10))
+    net.deploy_vps(random_vp_deployment(topo, 0.2, seed=11))
+
+    rng = random.Random(12)
+    links = [(a, b) for a, b, _ in net.topo.links()]
+    stream: List[BGPUpdate] = []
+    t = 1000.0
+    for _ in range(60):
+        a, b = links[rng.randrange(len(links))]
+        try:
+            stream += net.apply_event(LinkFailure(a, b, t))
+            stream += net.apply_event(LinkRestoration(a, b, t + 600.0))
+        except ValueError:
+            pass
+        t += 1500.0
+    stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return topo, net, stream
+
+
+def print_series(title: str, rows) -> None:
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + row)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Defending your prefixes with GILL's operator services (§14).
+
+An operator peers with the platform and subscribes a forwarding rule
+for its address space.  The platform forwards every matching update —
+including ones its filters would discard — so the operator's local
+ARTEMIS-style monitor sees sub-prefix hijacks the moment any VP does.
+Meanwhile the platform's route validator quarantines a rogue peer
+injecting fabricated routes.
+"""
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.validation import RouteValidator
+from repro.core import (
+    ForwardingRule,
+    ForwardingService,
+    Orchestrator,
+    OrchestratorConfig,
+)
+from repro.simulation import (
+    ASTopology,
+    ForgedOriginHijack,
+    SimulatedInternet,
+    SubPrefixHijack,
+)
+from repro.usecases import SubPrefixDetector
+
+COVER = Prefix.parse("10.7.0.0/16")
+SUB = Prefix.parse("10.7.40.0/24")
+OTHER = Prefix.parse("10.8.0.0/16")
+
+
+def build_internet() -> SimulatedInternet:
+    topo = ASTopology()
+    topo.add_p2p(1, 2)
+    topo.add_c2p(4, 1)      # AS4: the defended operator
+    topo.add_c2p(4, 2)
+    topo.add_c2p(3, 1)
+    topo.add_c2p(6, 2)
+    topo.add_c2p(5, 2)
+    topo.add_c2p(7, 5)      # AS7: the attacker
+    net = SimulatedInternet(topo, seed=4)
+    net.announce_prefix(COVER, 4)
+    net.announce_prefix(OTHER, 6)
+    net.deploy_vps([2, 3, 5, 6])
+    return net
+
+
+def main() -> None:
+    net = build_internet()
+
+    # The operator's local monitor, seeded with its own prefixes
+    # (ARTEMIS mode: authoritative ownership, no learning needed).
+    monitor = SubPrefixDetector({COVER: 4})
+    alerts = []
+
+    forwarding = ForwardingService()
+    forwarding.subscribe(
+        ForwardingRule("AS4-noc", prefix=COVER),
+        callback=lambda op, u: alerts.extend(monitor.scan([u])),
+    )
+
+    orchestrator = Orchestrator(
+        OrchestratorConfig(component1_interval_s=1e9,
+                           mirror_window_s=1e9, events_per_cell=5),
+        forwarding=forwarding,
+        validator=RouteValidator(),
+    )
+
+    print("Bootstrapping the platform with the converged tables...")
+    baseline = net.initial_table_transfer(time=0.0)
+    orchestrator.process_stream(baseline)
+    print(f"  {orchestrator.stats.received} updates ingested, "
+          f"{forwarding.forwarded_count} forwarded to AS4-noc\n")
+
+    print("AS7 launches a sub-prefix hijack against AS4...")
+    attack = net.apply_event(SubPrefixHijack(7, COVER, SUB, time=1000.0))
+    orchestrator.process_stream(attack)
+    for alarm in alerts:
+        print(f"  ALERT at t={alarm.time:.0f}: {alarm.sub_prefix} "
+              f"announced by AS{alarm.announced_origin} "
+              f"(covering {alarm.covering_prefix} belongs to "
+              f"AS{alarm.covering_origin}), first seen via {alarm.vp}")
+    assert alerts, "the monitor must have fired"
+
+    print("\nAS7 also tries a Type-1 forged-origin hijack on AS6...")
+    forged = net.apply_event(ForgedOriginHijack(7, OTHER, time=2000.0))
+    orchestrator.process_stream(forged)
+    print(f"  {len(forged)} updates collected "
+          f"(forged-origin attacks need DFOH-style path analysis — "
+          f"see examples/hijack_monitoring.py)")
+
+    print("\nA rogue peer injects a fabricated route...")
+    from repro.bgp.message import BGPUpdate
+    fake = BGPUpdate("rogue", 3000.0, OTHER, (66666, 55555, 44444))
+    retained = orchestrator.process(fake)
+    print(f"  retained: {retained}; quarantined updates: "
+          f"{len(orchestrator.flagged_updates)}; rogue honesty score: "
+          f"{orchestrator.validator.peer_honesty('rogue'):.2f}")
+
+
+if __name__ == "__main__":
+    main()

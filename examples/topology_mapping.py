@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Topology mapping: what fraction of the AS graph do VPs reveal?
+
+Reproduces the intuition of the paper's Fig. 1 and Fig. 4 bottom panel
+interactively: sweep VP coverage on a simulated Internet, collect the
+selected routes, and measure how many p2p and c2p links appear in at
+least one collected AS path.  Then runs GILL's sampling at the highest
+coverage to show that most of the *data* can be discarded without
+losing the *links*.
+"""
+
+from repro.core import categorize_ases
+from repro.sampling import GillScheme, RandomVPs
+from repro.simulation import (
+    Announcement,
+    observed_links,
+    propagate,
+    random_vp_deployment,
+    synthetic_known_topology,
+)
+
+SEED = 17
+
+
+def main() -> None:
+    topo = synthetic_known_topology(180, seed=SEED)
+    p2p = topo.p2p_links()
+    c2p = {(min(a, b), max(a, b)) for a, b in topo.c2p_links()}
+    print(f"Ground truth: {len(topo)} ASes, "
+          f"{len(p2p)} p2p links, {len(c2p)} c2p links\n")
+
+    routes_per_origin = {
+        origin: propagate(topo, [Announcement.origination(origin)])
+        for origin in topo.ases()
+    }
+
+    print("VP coverage sweep (fraction of links observed):")
+    for coverage in (0.01, 0.05, 0.25, 1.0):
+        vps = random_vp_deployment(topo, coverage, seed=SEED)
+        seen = set()
+        for routes in routes_per_origin.values():
+            seen |= observed_links(routes, vps)
+        print(f"  {coverage:6.1%} coverage: "
+              f"p2p {len(seen & p2p) / len(p2p):6.1%}   "
+              f"c2p {len(seen & c2p) / len(c2p):6.1%}")
+
+    # Now show the overshoot-and-discard effect on an update stream:
+    # deploy widely, inject churn, and compare GILL's sample against a
+    # random-VP sample of the same size.
+    import random
+
+    from repro.simulation import (
+        LinkFailure,
+        LinkRestoration,
+        SimulatedInternet,
+        assign_prefix_ownership,
+    )
+    from repro.usecases import observed_as_links
+
+    net = SimulatedInternet(topo.copy(), seed=SEED)
+    net.announce_ownership(
+        assign_prefix_ownership(topo.ases(), 200, seed=SEED))
+    net.deploy_vps(random_vp_deployment(topo, 0.4, seed=SEED))
+    rng = random.Random(SEED)
+    links = [(a, b) for a, b, _ in net.topo.links()]
+    stream = list(net.initial_table_transfer())
+    t = 1000.0
+    for _ in range(30):
+        a, b = links[rng.randrange(len(links))]
+        try:
+            stream += net.apply_event(LinkFailure(a, b, t))
+            stream += net.apply_event(LinkRestoration(a, b, t + 600.0))
+        except ValueError:
+            pass
+        t += 1500.0
+    stream.sort(key=lambda u: u.time)
+
+    gill = GillScheme(seed=SEED, categories=categorize_ases(topo),
+                      events_per_cell=8, max_anchors=5)
+    sample = gill.sample(stream)
+    rnd = RandomVPs(seed=SEED).sample(stream, len(sample))
+
+    all_links = observed_as_links(stream)
+    print(f"\nAt 40% coverage the stream has {len(stream)} updates "
+          f"revealing {len(all_links)} links.")
+    for name, data in (("GILL sample", sample), ("random-VP", rnd)):
+        seen = observed_as_links(data)
+        print(f"  {name:12s}: {len(data):5d} updates "
+              f"({len(data) / len(stream):5.1%}) -> "
+              f"{len(seen & all_links) / len(all_links):6.1%} of links")
+
+
+if __name__ == "__main__":
+    main()

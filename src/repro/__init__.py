@@ -1,0 +1,54 @@
+"""repro — a reproduction of "The Next Generation of BGP Data
+Collection Platforms" (SIGCOMM 2024).
+
+The package implements GILL, the paper's overshoot-and-discard BGP
+collection system, together with every substrate its evaluation needs:
+
+* :mod:`repro.bgp` — BGP messages, prefixes, RIBs, MRT archives,
+  filter engine, daemon capacity model, peering workflow;
+* :mod:`repro.simulation` — a Gao-Rexford routing simulator with link
+  failures, forged-origin hijacks, origin changes, and VP collection;
+* :mod:`repro.workload` — RIS/RV growth models and calibrated
+  synthetic update streams;
+* :mod:`repro.core` — GILL's redundancy analytics: definitions,
+  correlation groups, reconstitution power, event-based VP scoring,
+  anchor selection, filter generation, and the orchestrator;
+* :mod:`repro.sampling` — GILL variants and all benchmark baselines;
+* :mod:`repro.usecases` — the analyses the evaluation exercises
+  (transient paths, MOAS, topology mapping, action communities,
+  unchanged-path updates, failure localization, hijack detection,
+  AS relationships, customer cones);
+* :mod:`repro.platform` — facts about existing platforms and the
+  author survey.
+
+Quickstart::
+
+    from repro.workload import SyntheticStreamGenerator
+    from repro.core import GillSampler
+
+    warmup, stream = SyntheticStreamGenerator().generate()
+    result = GillSampler().run(warmup + stream)
+    print(f"retained {result.component1.retention:.1%} of updates, "
+          f"{len(result.anchor_vps)} anchor VPs")
+"""
+
+from . import bgp, core, platform, sampling, simulation, usecases, workload
+from .core import GillSampler, Orchestrator, UpdateSampler
+from .workload import StreamConfig, SyntheticStreamGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GillSampler",
+    "Orchestrator",
+    "StreamConfig",
+    "SyntheticStreamGenerator",
+    "UpdateSampler",
+    "bgp",
+    "core",
+    "platform",
+    "sampling",
+    "simulation",
+    "usecases",
+    "workload",
+]

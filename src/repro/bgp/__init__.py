@@ -1,0 +1,71 @@
+"""BGP substrate: messages, prefixes, RIBs, MRT archives, filters, daemons."""
+
+from .archive import (
+    RIS_INTERVAL_S,
+    RV_INTERVAL_S,
+    ArchiveSegment,
+    RollingArchiveWriter,
+)
+from .daemon import (
+    AVG_RATE_PER_HOUR,
+    P99_RATE_PER_HOUR,
+    DaemonLoadResult,
+    simulate_loss,
+    steady_state_loss,
+    table1_grid,
+)
+from .filtering import DropRule, FilterGranularity, FilterTable, build_drop_rules
+from .message import AnnotatedUpdate, BGPUpdate, Community, path_links, sort_updates
+from .mrt import read_archive, write_archive
+from .prefix import Prefix, PrefixError
+from .rib import RIB, Route, annotate_stream, final_ribs
+from .validation import (
+    RouteValidator,
+    ValidationVerdict,
+)
+from .session import (
+    PeeringDB,
+    PeeringError,
+    PeeringRequest,
+    PeeringSession,
+    SessionManager,
+    SessionState,
+)
+
+__all__ = [
+    "AVG_RATE_PER_HOUR",
+    "P99_RATE_PER_HOUR",
+    "AnnotatedUpdate",
+    "ArchiveSegment",
+    "RIS_INTERVAL_S",
+    "RV_INTERVAL_S",
+    "RollingArchiveWriter",
+    "BGPUpdate",
+    "Community",
+    "DaemonLoadResult",
+    "DropRule",
+    "FilterGranularity",
+    "FilterTable",
+    "PeeringDB",
+    "PeeringError",
+    "PeeringRequest",
+    "PeeringSession",
+    "Prefix",
+    "PrefixError",
+    "RIB",
+    "Route",
+    "SessionManager",
+    "SessionState",
+    "annotate_stream",
+    "build_drop_rules",
+    "final_ribs",
+    "path_links",
+    "read_archive",
+    "simulate_loss",
+    "sort_updates",
+    "steady_state_loss",
+    "table1_grid",
+    "RouteValidator",
+    "ValidationVerdict",
+    "write_archive",
+]

@@ -1,0 +1,164 @@
+"""Rolling MRT archives: how the platform publishes collected data (§9).
+
+RIS and RouteViews publish update files covering fixed wall-clock
+intervals (5 and 15 minutes respectively) plus periodic RIB dumps.
+:class:`RollingArchiveWriter` reproduces that layout: retained updates
+are appended to the archive of their interval; closed intervals are
+flushed to ``updates.<start>-<end>.mrt[.bz2]`` files under the archive
+directory, and an index lets consumers locate the file for any time.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import bz2
+
+from .message import BGPUpdate
+from .mrt import RIBRecord, encode_rib_entry, read_archive, write_archive
+from .rib import Route
+
+#: RIS publishes 5-minute update files; RV publishes 15-minute files.
+RIS_INTERVAL_S = 300.0
+RV_INTERVAL_S = 900.0
+
+
+@dataclass(frozen=True)
+class ArchiveSegment:
+    """One published update file."""
+
+    start: float
+    end: float
+    path: str
+    count: int
+
+
+class RollingArchiveWriter:
+    """Write retained updates into per-interval MRT files.
+
+    Updates must arrive in nondecreasing time order (the platform's
+    natural ordering).  An interval's file is written when the first
+    update of a *later* interval arrives, or on :meth:`close`.
+    """
+
+    def __init__(self, directory: str,
+                 interval_s: float = RIS_INTERVAL_S,
+                 compress: bool = True):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.directory = directory
+        self.interval_s = interval_s
+        self.compress = compress
+        self.segments: List[ArchiveSegment] = []
+        self._pending: List[BGPUpdate] = []
+        self._current_slot: Optional[int] = None
+        self._last_time: Optional[float] = None
+        os.makedirs(directory, exist_ok=True)
+
+    def _slot(self, time: float) -> int:
+        return int(math.floor(time / self.interval_s))
+
+    def _segment_path(self, slot: int) -> str:
+        start = int(slot * self.interval_s)
+        end = int((slot + 1) * self.interval_s)
+        suffix = ".mrt.bz2" if self.compress else ".mrt"
+        return os.path.join(self.directory,
+                            f"updates.{start:012d}-{end:012d}{suffix}")
+
+    def write(self, update: BGPUpdate) -> Optional[ArchiveSegment]:
+        """Append one update; returns a segment if one was flushed."""
+        if self._last_time is not None and update.time < self._last_time:
+            raise ValueError("updates must be time-ordered")
+        self._last_time = update.time
+        slot = self._slot(update.time)
+        flushed = None
+        if self._current_slot is not None and slot != self._current_slot:
+            flushed = self._flush()
+        self._current_slot = slot
+        self._pending.append(update)
+        return flushed
+
+    def write_stream(self, updates: Iterable[BGPUpdate]
+                     ) -> List[ArchiveSegment]:
+        segments = []
+        for update in updates:
+            segment = self.write(update)
+            if segment is not None:
+                segments.append(segment)
+        return segments
+
+    def _flush(self) -> Optional[ArchiveSegment]:
+        if not self._pending or self._current_slot is None:
+            return None
+        path = self._segment_path(self._current_slot)
+        count = write_archive(self._pending, path, self.compress)
+        segment = ArchiveSegment(
+            self._current_slot * self.interval_s,
+            (self._current_slot + 1) * self.interval_s,
+            path, count,
+        )
+        self.segments.append(segment)
+        self._pending = []
+        return segment
+
+    def close(self) -> Optional[ArchiveSegment]:
+        """Flush the open interval (end of collection)."""
+        segment = self._flush()
+        self._current_slot = None
+        return segment
+
+    # -- consumer side ----------------------------------------------------
+
+    def segment_for(self, time: float) -> Optional[ArchiveSegment]:
+        """The published segment covering ``time``, if any."""
+        for segment in self.segments:
+            if segment.start <= time < segment.end:
+                return segment
+        return None
+
+    # -- RIB dumps ----------------------------------------------------------
+
+    def write_rib_dump(self, time: float,
+                       ribs: Dict[str, Sequence[Route]]) -> str:
+        """Publish a full RIB snapshot (platforms dump every 8h, §8).
+
+        ``ribs`` maps VP names to their routes; the file is named
+        ``rib.<time>.mrt[.bz2]`` next to the update segments.
+        """
+        suffix = ".mrt.bz2" if self.compress else ".mrt"
+        path = os.path.join(self.directory,
+                            f"rib.{int(time):012d}{suffix}")
+        payload = b"".join(
+            encode_rib_entry(vp, route)
+            for vp in sorted(ribs)
+            for route in ribs[vp]
+        )
+        if self.compress:
+            payload = bz2.compress(payload)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return path
+
+    def read_rib_dump(self, path: str) -> Dict[str, List[Route]]:
+        """Read back a published RIB snapshot."""
+        ribs: Dict[str, List[Route]] = {}
+        for record in read_archive(path, self.compress):
+            if isinstance(record, RIBRecord):
+                ribs.setdefault(record.vp, []).append(record.route)
+        return ribs
+
+    def read_range(self, start: float, end: float) -> List[BGPUpdate]:
+        """Replay all published updates with time in [start, end)."""
+        updates: List[BGPUpdate] = []
+        for segment in self.segments:
+            if segment.end <= start or segment.start >= end:
+                continue
+            for record in read_archive(segment.path, self.compress):
+                if isinstance(record, BGPUpdate) \
+                        and start <= record.time < end:
+                    updates.append(record)
+        updates.sort(key=lambda u: (u.time, u.vp, u.prefix))
+        return updates

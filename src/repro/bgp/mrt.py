@@ -1,0 +1,203 @@
+"""A compact MRT-style binary codec for update archives.
+
+GILL stores collected updates "in a public database using the MRT format
+with Bzip2 file compression" (§9).  We implement a simplified but faithful
+subset of RFC 6396 framing: each record is a header (timestamp, type,
+subtype, length) followed by a body.  Two record types are supported:
+
+* ``UPDATE`` — one BGP update (announce or withdraw) with VP, prefix,
+  AS path and communities;
+* ``RIB_ENTRY`` — one route from a RIB dump.
+
+The goal is byte-exact round-tripping of everything GILL's algorithms
+consume, plus optional bz2 compression, so archives written by the
+orchestrator can be replayed by users.
+"""
+
+from __future__ import annotations
+
+import bz2
+import io
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from .message import BGPUpdate
+from .prefix import Prefix
+from .rib import Route
+
+MRT_TYPE_UPDATE = 16       # BGP4MP, as in RFC 6396
+MRT_TYPE_RIB = 13          # TABLE_DUMP_V2
+SUBTYPE_ANNOUNCE = 1
+SUBTYPE_WITHDRAW = 2
+SUBTYPE_RIB_ENTRY = 4
+
+_HEADER = struct.Struct("!dHHI")   # timestamp, type, subtype, body length
+
+
+class MRTError(ValueError):
+    """Raised on malformed MRT data."""
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise MRTError("string too long for MRT encoding")
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _decode_str(buf: BinaryIO) -> str:
+    (length,) = struct.unpack("!H", _read_exact(buf, 2))
+    return _read_exact(buf, length).decode("utf-8")
+
+
+def _encode_prefix(prefix: Prefix) -> bytes:
+    nbytes = 4 if prefix.family == 4 else 16
+    return struct.pack("!BB", prefix.family, prefix.length) + \
+        prefix.network.to_bytes(nbytes, "big")
+
+
+def _decode_prefix(buf: BinaryIO) -> Prefix:
+    family, length = struct.unpack("!BB", _read_exact(buf, 2))
+    if family not in (4, 6):
+        raise MRTError(f"bad address family {family}")
+    nbytes = 4 if family == 4 else 16
+    network = int.from_bytes(_read_exact(buf, nbytes), "big")
+    return Prefix(family, network, length)
+
+
+def _encode_path(as_path) -> bytes:
+    return struct.pack("!H", len(as_path)) + \
+        b"".join(struct.pack("!I", asn) for asn in as_path)
+
+
+def _decode_path(buf: BinaryIO) -> tuple:
+    (count,) = struct.unpack("!H", _read_exact(buf, 2))
+    return tuple(
+        struct.unpack("!I", _read_exact(buf, 4))[0] for _ in range(count)
+    )
+
+
+def _encode_communities(communities) -> bytes:
+    ordered = sorted(communities)
+    return struct.pack("!H", len(ordered)) + \
+        b"".join(struct.pack("!II", a, v) for a, v in ordered)
+
+
+def _decode_communities(buf: BinaryIO) -> frozenset:
+    (count,) = struct.unpack("!H", _read_exact(buf, 2))
+    return frozenset(
+        struct.unpack("!II", _read_exact(buf, 8)) for _ in range(count)
+    )
+
+
+def _read_exact(buf: BinaryIO, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise MRTError(f"truncated record: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def encode_update(update: BGPUpdate) -> bytes:
+    """Serialize one update as an MRT record."""
+    body = io.BytesIO()
+    body.write(_encode_str(update.vp))
+    body.write(_encode_prefix(update.prefix))
+    if not update.is_withdrawal:
+        body.write(_encode_path(update.as_path))
+        body.write(_encode_communities(update.communities))
+    payload = body.getvalue()
+    subtype = SUBTYPE_WITHDRAW if update.is_withdrawal else SUBTYPE_ANNOUNCE
+    return _HEADER.pack(update.time, MRT_TYPE_UPDATE, subtype,
+                        len(payload)) + payload
+
+
+def encode_rib_entry(vp: str, route: Route) -> bytes:
+    """Serialize one RIB-dump route as an MRT record."""
+    body = io.BytesIO()
+    body.write(_encode_str(vp))
+    body.write(_encode_prefix(route.prefix))
+    body.write(_encode_path(route.as_path))
+    body.write(_encode_communities(route.communities))
+    payload = body.getvalue()
+    return _HEADER.pack(route.time, MRT_TYPE_RIB, SUBTYPE_RIB_ENTRY,
+                        len(payload)) + payload
+
+
+Record = Union[BGPUpdate, "RIBRecord"]
+
+
+class RIBRecord:
+    """A decoded RIB-dump entry: the VP plus its stored route."""
+
+    __slots__ = ("vp", "route")
+
+    def __init__(self, vp: str, route: Route):
+        self.vp = vp
+        self.route = route
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, RIBRecord)
+                and self.vp == other.vp and self.route == other.route)
+
+    def __repr__(self) -> str:
+        return f"RIBRecord(vp={self.vp!r}, route={self.route!r})"
+
+
+def decode_records(data: bytes) -> Iterator[Record]:
+    """Decode a concatenation of MRT records."""
+    buf = io.BytesIO(data)
+    while True:
+        header = buf.read(_HEADER.size)
+        if not header:
+            return
+        if len(header) != _HEADER.size:
+            raise MRTError("truncated MRT header")
+        time, rtype, subtype, length = _HEADER.unpack(header)
+        body = io.BytesIO(_read_exact(buf, length))
+        if rtype == MRT_TYPE_UPDATE:
+            vp = _decode_str(body)
+            prefix = _decode_prefix(body)
+            if subtype == SUBTYPE_WITHDRAW:
+                yield BGPUpdate(vp, time, prefix, is_withdrawal=True)
+            elif subtype == SUBTYPE_ANNOUNCE:
+                path = _decode_path(body)
+                comms = _decode_communities(body)
+                yield BGPUpdate(vp, time, prefix, path, comms)
+            else:
+                raise MRTError(f"unknown update subtype {subtype}")
+        elif rtype == MRT_TYPE_RIB and subtype == SUBTYPE_RIB_ENTRY:
+            vp = _decode_str(body)
+            prefix = _decode_prefix(body)
+            path = _decode_path(body)
+            comms = _decode_communities(body)
+            yield RIBRecord(vp, Route(prefix, path, comms, time))
+        else:
+            raise MRTError(f"unknown record type {rtype}/{subtype}")
+
+
+def write_archive(updates: Iterable[BGPUpdate], path: str,
+                  compress: bool = True) -> int:
+    """Write updates to an (optionally bz2-compressed) MRT archive file.
+
+    Returns the number of records written.
+    """
+    raw = io.BytesIO()
+    count = 0
+    for update in updates:
+        raw.write(encode_update(update))
+        count += 1
+    payload = raw.getvalue()
+    if compress:
+        payload = bz2.compress(payload)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return count
+
+
+def read_archive(path: str, compressed: bool = True) -> List[Record]:
+    """Read back an archive written by :func:`write_archive`."""
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    if compressed:
+        payload = bz2.decompress(payload)
+    return list(decode_records(payload))

@@ -1,0 +1,171 @@
+"""Peering sessions and the automated peering-activation workflow (§9).
+
+GILL automates VP onboarding: an operator submits a form with their AS
+number, confirms by email, and GILL cross-checks against PeeringDB that the
+sender's email domain owns that AS.  Once activated, a session feeds
+updates through the filter table; retained updates are stored and a RIB
+snapshot is dumped every eight hours (§8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from .filtering import FilterTable
+from .message import BGPUpdate
+from .rib import RIB, Route
+
+RIB_DUMP_INTERVAL_S = 8 * 3600.0
+
+
+class SessionState(enum.Enum):
+    PENDING_EMAIL = "pending-email"
+    PENDING_VALIDATION = "pending-validation"
+    ACTIVE = "active"
+    REJECTED = "rejected"
+
+
+class PeeringError(Exception):
+    """Raised when the onboarding workflow is violated."""
+
+
+@dataclass
+class PeeringRequest:
+    """The web form a network operator submits to peer with GILL."""
+
+    asn: int
+    contact_email: str
+    router_id: str
+
+
+class PeeringDB:
+    """Minimal stand-in for PeeringDB's AS-contact records.
+
+    Maps each AS number to the set of email domains authorized to speak
+    for it — exactly what GILL's step-2 cross-check consults.
+    """
+
+    def __init__(self, contacts: Optional[Dict[int, Set[str]]] = None):
+        self._contacts: Dict[int, Set[str]] = dict(contacts or {})
+
+    def register(self, asn: int, domain: str) -> None:
+        self._contacts.setdefault(asn, set()).add(domain.lower())
+
+    def authorizes(self, asn: int, email: str) -> bool:
+        domain = email.rsplit("@", 1)[-1].lower()
+        return domain in self._contacts.get(asn, set())
+
+
+@dataclass
+class PeeringSession:
+    """One VP's peering session with the platform."""
+
+    vp: str
+    asn: int
+    state: SessionState = SessionState.PENDING_EMAIL
+    retained: List[BGPUpdate] = field(default_factory=list)
+    discarded_count: int = 0
+    rib: RIB = None  # type: ignore[assignment]
+    rib_dumps: List[List[Route]] = field(default_factory=list)
+    _last_dump_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rib is None:
+            self.rib = RIB(self.vp)
+
+
+class SessionManager:
+    """Activates sessions (two-step auth) and routes updates through filters."""
+
+    def __init__(self, peeringdb: Optional[PeeringDB] = None,
+                 filters: Optional[FilterTable] = None):
+        self.peeringdb = peeringdb or PeeringDB()
+        self.filters = filters or FilterTable()
+        self.sessions: Dict[str, PeeringSession] = {}
+        self._requests: Dict[str, PeeringRequest] = {}
+
+    # -- onboarding -------------------------------------------------------
+
+    def submit_form(self, request: PeeringRequest) -> str:
+        """Step 0: the operator submits the form.  Returns the VP name."""
+        vp = f"vp-as{request.asn}-{request.router_id}"
+        if vp in self.sessions:
+            raise PeeringError(f"session {vp} already exists")
+        self._requests[vp] = request
+        self.sessions[vp] = PeeringSession(vp, request.asn)
+        return vp
+
+    def receive_email(self, vp: str, sender: str, claimed_asn: int) -> None:
+        """Step 1: an email arrives claiming the AS number from the form."""
+        session = self._get(vp)
+        if session.state is not SessionState.PENDING_EMAIL:
+            raise PeeringError(f"session {vp} not awaiting email")
+        request = self._requests[vp]
+        if claimed_asn != request.asn or sender != request.contact_email:
+            session.state = SessionState.REJECTED
+            return
+        session.state = SessionState.PENDING_VALIDATION
+        self._validate(vp)
+
+    def _validate(self, vp: str) -> None:
+        """Step 2: cross-check the sender's domain against PeeringDB."""
+        session = self._get(vp)
+        request = self._requests[vp]
+        if self.peeringdb.authorizes(request.asn, request.contact_email):
+            session.state = SessionState.ACTIVE
+        else:
+            session.state = SessionState.REJECTED
+
+    # -- data plane -------------------------------------------------------
+
+    def receive(self, update: BGPUpdate) -> bool:
+        """Process one update from an active session.
+
+        Returns True when the update was retained (passed the filters).
+        Every update — retained or not — refreshes the session RIB so that
+        eight-hourly dumps reflect the peer's actual table.
+        """
+        session = self.sessions.get(update.vp)
+        if session is None or session.state is not SessionState.ACTIVE:
+            raise PeeringError(f"no active session for VP {update.vp!r}")
+        session.rib.apply(update)
+        self._maybe_dump_rib(session, update.time)
+        if self.filters.accept(update):
+            session.retained.append(update)
+            return True
+        session.discarded_count += 1
+        return False
+
+    def receive_stream(self, updates: Iterable[BGPUpdate]) -> int:
+        """Process a stream; returns how many updates were retained."""
+        return sum(1 for update in updates if self.receive(update))
+
+    def _maybe_dump_rib(self, session: PeeringSession, now: float) -> None:
+        if session._last_dump_time is None:
+            session._last_dump_time = now
+            return
+        if now - session._last_dump_time >= RIB_DUMP_INTERVAL_S:
+            session.rib_dumps.append(session.rib.snapshot())
+            session._last_dump_time = now
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def active_vps(self) -> List[str]:
+        return sorted(vp for vp, s in self.sessions.items()
+                      if s.state is SessionState.ACTIVE)
+
+    def activate_directly(self, vp: str, asn: int) -> PeeringSession:
+        """Bypass onboarding — used to bootstrap RIS/RV-mirrored VPs (§9)."""
+        if vp in self.sessions:
+            raise PeeringError(f"session {vp} already exists")
+        session = PeeringSession(vp, asn, state=SessionState.ACTIVE)
+        self.sessions[vp] = session
+        return session
+
+    def _get(self, vp: str) -> PeeringSession:
+        try:
+            return self.sessions[vp]
+        except KeyError:
+            raise PeeringError(f"unknown session {vp!r}") from None

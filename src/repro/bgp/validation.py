@@ -1,0 +1,167 @@
+"""Collected-route validation — the §14 research direction.
+
+Nothing prevents a malicious peer from announcing fake updates once it
+peers with GILL, and on-path attackers can tamper with remote peering
+sessions.  The paper names verifying collected routes as an open
+problem; this module implements a first line of defense based on
+cross-VP consistency:
+
+* **origin consistency** — an update whose (prefix → origin) binding
+  contradicts the stable majority view across VPs is suspicious;
+* **link plausibility** — an update whose path contains adjacencies no
+  other VP has ever reported accumulates suspicion per unknown link;
+* **peer honesty score** — a VP persistently sending suspicious
+  updates is flagged so operators can quarantine the session.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .message import BGPUpdate
+from .prefix import Prefix
+
+#: A prefix's majority origin must hold this share of VP votes to be
+#: considered established.
+ORIGIN_MAJORITY = 0.7
+
+#: Suspicion above this flags the update.
+DEFAULT_FLAG_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class ValidationVerdict:
+    """Outcome of validating one update."""
+
+    update: BGPUpdate
+    suspicion: float
+    reasons: Tuple[str, ...]
+
+    @property
+    def flagged(self) -> bool:
+        return self.suspicion >= DEFAULT_FLAG_THRESHOLD
+
+
+class RouteValidator:
+    """Cross-VP consistency checks over an update stream.
+
+    The validator is *stateful*: it learns the consensus view (origins
+    per prefix, the known link set) from the updates it validates, so
+    honest churn gradually becomes unsuspicious while persistent lies
+    keep standing out.
+    """
+
+    def __init__(self, flag_threshold: float = DEFAULT_FLAG_THRESHOLD):
+        self.flag_threshold = flag_threshold
+        # prefix -> origin -> set of VPs that reported it.
+        self._origin_votes: Dict[Prefix, Dict[int, Set[str]]] = \
+            defaultdict(lambda: defaultdict(set))
+        # undirected link -> set of VPs that reported it.
+        self._link_votes: Dict[Tuple[int, int], Set[str]] = \
+            defaultdict(set)
+        self._suspicious_per_vp: Dict[str, int] = defaultdict(int)
+        self._total_per_vp: Dict[str, int] = defaultdict(int)
+
+    # -- learning ------------------------------------------------------------
+
+    def learn(self, updates: Iterable[BGPUpdate]) -> None:
+        """Absorb a trusted bootstrap set without scoring it."""
+        for update in updates:
+            self._absorb(update)
+
+    def _absorb(self, update: BGPUpdate) -> None:
+        if update.is_withdrawal:
+            return
+        origin = update.origin_as
+        if origin is not None:
+            self._origin_votes[update.prefix][origin].add(update.vp)
+        path = update.as_path
+        for i in range(len(path) - 1):
+            if path[i] != path[i + 1]:
+                link = (min(path[i], path[i + 1]),
+                        max(path[i], path[i + 1]))
+                self._link_votes[link].add(update.vp)
+
+    # -- scoring ----------------------------------------------------------------
+
+    def _majority_origin(self, prefix: Prefix) -> Optional[int]:
+        votes = self._origin_votes.get(prefix)
+        if not votes:
+            return None
+        total = sum(len(vps) for vps in votes.values())
+        origin, supporters = max(votes.items(),
+                                 key=lambda kv: (len(kv[1]), -kv[0]))
+        if total >= 2 and len(supporters) / total >= ORIGIN_MAJORITY:
+            return origin
+        return None
+
+    def validate(self, update: BGPUpdate) -> ValidationVerdict:
+        """Score one update, then absorb it into the consensus state."""
+        self._total_per_vp[update.vp] += 1
+        suspicion = 0.0
+        reasons: List[str] = []
+
+        if not update.is_withdrawal:
+            majority = self._majority_origin(update.prefix)
+            origin = update.origin_as
+            if majority is not None and origin != majority:
+                # Unless the announcing VP is corroborated by others.
+                supporters = self._origin_votes[update.prefix].get(
+                    origin, set())
+                if len(supporters - {update.vp}) == 0:
+                    suspicion += 0.6
+                    reasons.append(
+                        f"origin {origin} contradicts majority "
+                        f"{majority} for {update.prefix}")
+
+            path = update.as_path
+            unknown = 0
+            links = 0
+            for i in range(len(path) - 1):
+                if path[i] == path[i + 1]:
+                    continue
+                links += 1
+                link = (min(path[i], path[i + 1]),
+                        max(path[i], path[i + 1]))
+                if self._link_votes.get(link, set()) - {update.vp} \
+                        == set() and link not in (
+                            (min(path[0], path[1]),
+                             max(path[0], path[1])),):
+                    unknown += 1
+            if links and unknown:
+                # First-hop links are legitimately unique to the peer;
+                # interior links nobody else knows are not.
+                suspicion += 0.4 * unknown / links
+                reasons.append(
+                    f"{unknown}/{links} path links corroborated by "
+                    f"no other VP")
+
+        verdict = ValidationVerdict(update, min(1.0, suspicion),
+                                    tuple(reasons))
+        if verdict.suspicion >= self.flag_threshold:
+            self._suspicious_per_vp[update.vp] += 1
+        self._absorb(update)
+        return verdict
+
+    def validate_stream(self, updates: Sequence[BGPUpdate]
+                        ) -> List[ValidationVerdict]:
+        return [self.validate(u)
+                for u in sorted(updates, key=lambda u: u.time)]
+
+    # -- peer reputation ------------------------------------------------------
+
+    def peer_honesty(self, vp: str) -> float:
+        """1.0 = never flagged; lower = more suspicious traffic."""
+        total = self._total_per_vp.get(vp, 0)
+        if not total:
+            return 1.0
+        return 1.0 - self._suspicious_per_vp[vp] / total
+
+    def dishonest_peers(self, threshold: float = 0.8) -> List[str]:
+        """VPs whose honesty dropped below ``threshold``."""
+        return sorted(
+            vp for vp, total in self._total_per_vp.items()
+            if total >= 5 and self.peer_honesty(vp) < threshold
+        )

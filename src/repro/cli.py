@@ -1,0 +1,222 @@
+"""Command-line interface: ``repro-bgp <command>``.
+
+Gives operators the platform's everyday verbs without writing Python:
+
+* ``generate``    — produce a synthetic RIS/RV-like stream as an MRT archive
+* ``inspect``     — summarize an archive (VPs, prefixes, redundancy)
+* ``sample``      — run GILL's sampling on an archive; write the retained
+                    archive plus the public filters/anchors documents
+* ``orchestrate`` — replay an archive through the orchestrator control loop
+* ``growth``      — print the Figs. 2-3 historical series
+* ``survey``      — print the §16 survey (Table 4)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .bgp.message import BGPUpdate
+from .bgp.mrt import read_archive, write_archive
+from .bgp.rib import annotate_stream
+from .core.filters import anchors_document, filters_document
+from .core.orchestrator import Orchestrator, OrchestratorConfig
+from .core.redundancy import RedundancyDefinition, update_redundancy
+from .core.sampler import GillSampler
+from .platform.survey import render_table
+from .workload.generator import StreamConfig, SyntheticStreamGenerator
+from .workload.growth import growth_series
+
+
+def _read_updates(path: str, compressed: bool) -> List[BGPUpdate]:
+    records = read_archive(path, compressed)
+    return [r for r in records if isinstance(r, BGPUpdate)]
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=args.vps,
+        n_prefix_groups=args.groups,
+        duration_s=args.duration,
+        seed=args.seed,
+    ))
+    warmup, stream = generator.generate()
+    updates = warmup + stream if args.include_warmup else stream
+    count = write_archive(updates, args.output,
+                          compress=not args.no_compress)
+    print(f"wrote {count} updates ({len(generator.vps)} VPs) "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    updates = _read_updates(args.archive, not args.no_compress)
+    if not updates:
+        print("archive holds no updates")
+        return 0
+    vps = {u.vp for u in updates}
+    prefixes = {u.prefix for u in updates}
+    start = min(u.time for u in updates)
+    end = max(u.time for u in updates)
+    print(f"{len(updates)} updates from {len(vps)} VPs over "
+          f"{len(prefixes)} prefixes, time span "
+          f"{start:.0f}..{end:.0f} ({end - start:.0f}s)")
+    withdrawals = sum(1 for u in updates if u.is_withdrawal)
+    print(f"withdrawals: {withdrawals} "
+          f"({withdrawals / len(updates):.1%})")
+    if args.redundancy:
+        annotated = annotate_stream(
+            sorted(updates, key=lambda u: u.time))
+        for definition in RedundancyDefinition:
+            report = update_redundancy(annotated, definition)
+            print(f"redundant under Def. {definition.value}: "
+                  f"{report.fraction:.1%}")
+    return 0
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    updates = _read_updates(args.archive, not args.no_compress)
+    sampler = GillSampler(
+        target_power=args.target_power,
+        events_per_cell=args.events_per_cell,
+        seed=args.seed,
+    )
+    result = sampler.run(updates)
+    retained = result.sample(updates)
+    print(f"component #1 retention: {result.component1.retention:.1%}  "
+          f"anchors: {len(result.anchor_vps)}  "
+          f"filters: {len(result.filters)} rules")
+    print(f"retained {len(retained)}/{len(updates)} updates "
+          f"({len(retained) / max(1, len(updates)):.1%})")
+    if args.output:
+        write_archive(retained, args.output,
+                      compress=not args.no_compress)
+        print(f"wrote retained updates to {args.output}")
+    if args.filters_doc:
+        with open(args.filters_doc, "w") as handle:
+            handle.write(filters_document(result.filters))
+        print(f"wrote filters document to {args.filters_doc}")
+    if args.anchors_doc:
+        with open(args.anchors_doc, "w") as handle:
+            handle.write(anchors_document(result.anchor_vps))
+        print(f"wrote anchors document to {args.anchors_doc}")
+    return 0
+
+
+def cmd_orchestrate(args: argparse.Namespace) -> int:
+    from .bgp.validation import RouteValidator
+    from .platform.status import collect_status, render_status
+
+    updates = _read_updates(args.archive, not args.no_compress)
+    updates.sort(key=lambda u: u.time)
+    orchestrator = Orchestrator(
+        OrchestratorConfig(
+            component1_interval_s=args.refresh_interval,
+            component2_interval_s=4 * args.refresh_interval,
+            mirror_window_s=args.mirror_window,
+            events_per_cell=args.events_per_cell,
+        ),
+        validator=RouteValidator() if args.validate else None,
+    )
+    retained = orchestrator.process_stream(updates)
+    stats = orchestrator.stats
+    print(f"received {stats.received}  retained {stats.retained} "
+          f"({stats.retention:.1%})  discarded {stats.discarded}")
+    print(f"component #1 runs: {stats.component1_runs}  "
+          f"component #2 runs: {stats.component2_runs}  "
+          f"anchors: {len(orchestrator.anchor_vps)}")
+    if args.status:
+        print()
+        print(render_status(
+            collect_status(orchestrator, updates, retained)), end="")
+    if args.output:
+        write_archive(retained, args.output,
+                      compress=not args.no_compress)
+        print(f"wrote retained updates to {args.output}")
+    return 0
+
+
+def cmd_growth(args: argparse.Namespace) -> int:
+    for point in growth_series(args.start, args.end):
+        print(f"{point.year}: RIS {point.ris_vp_ases:4.0f} AS  "
+              f"RV {point.rv_vp_ases:4.0f} AS  "
+              f"coverage {point.coverage:5.2%}  "
+              f"per-VP {point.updates_per_vp:6.0f}/h  "
+              f"total {point.total_updates / 1e6:6.1f}M/h")
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    print(render_table(), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp",
+        description="GILL reproduction toolkit (SIGCOMM 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic archive")
+    p.add_argument("output")
+    p.add_argument("--vps", type=int, default=30)
+    p.add_argument("--groups", type=int, default=20)
+    p.add_argument("--duration", type=float, default=3600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--include-warmup", action="store_true")
+    p.add_argument("--no-compress", action="store_true")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("inspect", help="summarize an archive")
+    p.add_argument("archive")
+    p.add_argument("--redundancy", action="store_true",
+                   help="also measure Def. 1-3 redundancy")
+    p.add_argument("--no-compress", action="store_true")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("sample", help="run GILL's sampling")
+    p.add_argument("archive")
+    p.add_argument("--output")
+    p.add_argument("--filters-doc")
+    p.add_argument("--anchors-doc")
+    p.add_argument("--target-power", type=float, default=0.94)
+    p.add_argument("--events-per-cell", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-compress", action="store_true")
+    p.set_defaults(func=cmd_sample)
+
+    p = sub.add_parser("orchestrate",
+                       help="replay through the control loop")
+    p.add_argument("archive")
+    p.add_argument("--output")
+    p.add_argument("--refresh-interval", type=float, default=900.0)
+    p.add_argument("--mirror-window", type=float, default=600.0)
+    p.add_argument("--events-per-cell", type=int, default=10)
+    p.add_argument("--status", action="store_true",
+                   help="print the per-peer status page afterwards")
+    p.add_argument("--validate", action="store_true",
+                   help="screen the stream with the route validator")
+    p.add_argument("--no-compress", action="store_true")
+    p.set_defaults(func=cmd_orchestrate)
+
+    p = sub.add_parser("growth", help="print the Figs. 2-3 series")
+    p.add_argument("--start", type=int, default=2003)
+    p.add_argument("--end", type=int, default=2023)
+    p.set_defaults(func=cmd_growth)
+
+    p = sub.add_parser("survey", help="print the survey (Table 4)")
+    p.set_defaults(func=cmd_survey)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""GILL's core: redundancy analytics, sampling, filters, orchestration."""
+
+from .anchors import AnchorSelection, score_drift, select_anchor_vps
+from .correlation import (
+    CORRELATION_WINDOW_S,
+    CorrelationGroup,
+    CorrelationGroups,
+    reconstitute,
+    signature,
+)
+from .cross_prefix import CrossPrefixResult, deduplicate_across_prefixes
+from .events import (
+    ASCategory,
+    EventKind,
+    ObservedEvent,
+    categorize_ases,
+    detect_events,
+    select_events_balanced,
+    select_events_random,
+    selection_matrix,
+)
+from .features import FEATURE_NAMES, RIBGraph, event_feature_vector
+from .filters import anchors_document, filters_document, generate_filter_table
+from .forwarding import ForwardingRule, ForwardingService
+from .orchestrator import (
+    COMPONENT1_INTERVAL_S,
+    COMPONENT2_INTERVAL_S,
+    Orchestrator,
+    OrchestratorConfig,
+    OrchestratorStats,
+)
+from .reconstitution import (
+    DEFAULT_TARGET_POWER,
+    PrefixSelection,
+    false_reconstitution_rate,
+    power_curve,
+    reconstitution_power,
+    select_nonredundant_for_prefix,
+)
+from .redundancy import (
+    RedundancyDefinition,
+    UpdateRedundancyReport,
+    VPRedundancyReport,
+    is_redundant_with,
+    update_redundancy,
+    vp_redundancy,
+)
+from .sampler import (
+    Component1Result,
+    GillResult,
+    GillSampler,
+    UpdateSampler,
+    infer_categories,
+)
+from .scoring import (
+    compute_event_features,
+    normalize_features,
+    pairwise_squared_distances,
+    redundancy_scores,
+    score_vps,
+    update_volumes,
+)
+
+__all__ = [
+    "ASCategory",
+    "AnchorSelection",
+    "COMPONENT1_INTERVAL_S",
+    "COMPONENT2_INTERVAL_S",
+    "CORRELATION_WINDOW_S",
+    "Component1Result",
+    "CorrelationGroup",
+    "CorrelationGroups",
+    "CrossPrefixResult",
+    "DEFAULT_TARGET_POWER",
+    "EventKind",
+    "FEATURE_NAMES",
+    "ForwardingRule",
+    "ForwardingService",
+    "GillResult",
+    "GillSampler",
+    "ObservedEvent",
+    "Orchestrator",
+    "OrchestratorConfig",
+    "OrchestratorStats",
+    "PrefixSelection",
+    "RIBGraph",
+    "RedundancyDefinition",
+    "UpdateRedundancyReport",
+    "UpdateSampler",
+    "VPRedundancyReport",
+    "anchors_document",
+    "categorize_ases",
+    "compute_event_features",
+    "deduplicate_across_prefixes",
+    "detect_events",
+    "event_feature_vector",
+    "false_reconstitution_rate",
+    "filters_document",
+    "generate_filter_table",
+    "infer_categories",
+    "is_redundant_with",
+    "normalize_features",
+    "pairwise_squared_distances",
+    "power_curve",
+    "reconstitute",
+    "reconstitution_power",
+    "redundancy_scores",
+    "score_drift",
+    "score_vps",
+    "select_anchor_vps",
+    "select_events_balanced",
+    "select_events_random",
+    "select_nonredundant_for_prefix",
+    "selection_matrix",
+    "signature",
+    "update_redundancy",
+    "update_volumes",
+    "vp_redundancy",
+]

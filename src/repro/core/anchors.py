@@ -1,0 +1,114 @@
+"""Anchor-VP selection (§18.4): Component #2's final step.
+
+GILL keeps *all* updates from a small set of anchor VPs so that studies
+needing visibility over every prefix (e.g. origin identification) stay
+possible.  The selection greedily balances two objectives: anchors
+should be mutually non-redundant (maximal pairwise Euclidean distance,
+i.e. minimal redundancy score) and individually cheap (low update
+volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Candidate-pool width: the fraction of unselected VPs considered each
+#: iteration (§18.4; the paper finds 10% works well across 1-50%).
+DEFAULT_GAMMA = 0.1
+
+#: Selection stops when every unselected VP is saturated (redundancy
+#: score of ~1) with some anchor.  The paper uses exact 1.0, which works
+#: on RIS/RV data where many VPs are byte-identical duplicates (several
+#: routers per AS); on simulated one-VP-per-AS deployments tiny feature
+#: differences keep scores just below 1, so the practical default
+#: tolerates 2% slack.  See DESIGN.md.
+SCORE_SATURATION = 0.98
+
+
+@dataclass
+class AnchorSelection:
+    """Result of the anchor-selection algorithm."""
+
+    vps: Tuple[str, ...]
+    anchors: Tuple[str, ...]
+    order: Tuple[str, ...]        # anchors in selection order
+
+    @property
+    def fraction(self) -> float:
+        return len(self.anchors) / len(self.vps) if self.vps else 0.0
+
+
+def select_anchor_vps(vps: Sequence[str],
+                      scores: np.ndarray,
+                      volumes: Sequence[float],
+                      gamma: float = DEFAULT_GAMMA,
+                      stop_threshold: float = SCORE_SATURATION,
+                      max_anchors: Optional[int] = None
+                      ) -> AnchorSelection:
+    """Greedy anchor selection per §18.4.
+
+    1. Seed with the most redundant VP (highest average score), so the
+       common part of the data is covered by the very first anchor.
+    2. Each iteration builds a candidate set K of the ``gamma`` fraction
+       of unselected VPs with the lowest maximum redundancy to the
+       selected set, then picks the K member with the lowest volume.
+    3. Stop once every unselected VP is saturated (score >=
+       ``stop_threshold`` with some anchor), everything is selected, or
+       ``max_anchors`` is hit.
+    """
+    n = len(vps)
+    if n == 0:
+        return AnchorSelection((), (), ())
+    if scores.shape != (n, n):
+        raise ValueError(f"scores must be {n}x{n}, got {scores.shape}")
+    if len(volumes) != n:
+        raise ValueError("one volume per VP required")
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+
+    volumes = np.asarray(volumes, dtype=float)
+    # Average redundancy to the *other* VPs (exclude the diagonal 1s).
+    own = np.arange(n)
+    avg_scores = (scores.sum(axis=1) - scores[own, own]) / max(1, n - 1)
+
+    selected: List[int] = [int(np.argmax(avg_scores))]
+    unselected = [i for i in range(n) if i != selected[0]]
+    limit = max_anchors if max_anchors is not None else n
+
+    while unselected and len(selected) < limit:
+        max_redundancy = np.array([
+            scores[i, selected].max() for i in unselected
+        ])
+        if (max_redundancy >= stop_threshold).all():
+            break
+        pool_size = max(1, int(gamma * len(unselected)))
+        # Lowest max-redundancy first; ties toward lower volume/index.
+        ranking = sorted(
+            range(len(unselected)),
+            key=lambda k: (max_redundancy[k],
+                           volumes[unselected[k]],
+                           unselected[k]),
+        )
+        pool = [unselected[k] for k in ranking[:pool_size]]
+        chosen = min(pool, key=lambda i: (volumes[i], i))
+        selected.append(chosen)
+        unselected.remove(chosen)
+
+    order = tuple(vps[i] for i in selected)
+    return AnchorSelection(tuple(vps), tuple(sorted(order)), order)
+
+
+def score_drift(scores_a: np.ndarray, scores_b: np.ndarray) -> np.ndarray:
+    """|R_a - R_b| over the upper triangle — the Fig. 8 distribution.
+
+    Used to decide how often Component #2 must re-run: the paper finds
+    median drift below 0.1 within 12 months, hence the yearly refresh.
+    """
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("score matrices must have the same shape")
+    n = scores_a.shape[0]
+    upper = np.triu_indices(n, k=1)
+    return np.abs(scores_a[upper] - scores_b[upper])

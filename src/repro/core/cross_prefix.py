@@ -1,0 +1,100 @@
+"""Cross-prefix redundancy: Step 3 of GILL's Component #1 (§17.3).
+
+Prefixes announced by the same AS are often subject to the same route
+updates (p1/p2 in Fig. 5), so the per-prefix nonredundant sets may still
+duplicate one another across prefixes.  GILL (i) splits each prefix's
+nonredundant set into per-VP subsets, (ii) finds subsets whose updates
+have identical attributes (ignoring the prefix, with 100s time slack),
+and (iii) keeps one subset per identical group, reclassifying the others
+as redundant.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+from .reconstitution import MATCH_SLACK_S, PrefixSelection
+
+#: (vp, sorted attribute tuples ignoring prefix and exact time)
+_SubsetShape = Tuple[str, Tuple]
+
+
+@dataclass
+class CrossPrefixResult:
+    """Updates reclassified by the cross-prefix pass."""
+
+    nonredundant: List[BGPUpdate]
+    demoted: List[BGPUpdate]     # formerly nonredundant, now redundant
+
+    @property
+    def demoted_count(self) -> int:
+        return len(self.demoted)
+
+
+def _subset_shape(vp: str, updates: Sequence[BGPUpdate]) -> _SubsetShape:
+    attrs = tuple(sorted(
+        (u.as_path, tuple(sorted(u.communities)), u.is_withdrawal)
+        for u in updates
+    ))
+    return (vp, attrs)
+
+
+def _time_aligned(a: Sequence[BGPUpdate], b: Sequence[BGPUpdate],
+                  slack: float) -> bool:
+    """True when the two equally-shaped subsets align in time (±slack)."""
+    key = lambda u: (u.as_path, tuple(sorted(u.communities)),
+                     u.is_withdrawal, u.time)
+    for ua, ub in zip(sorted(a, key=key), sorted(b, key=key)):
+        if abs(ua.time - ub.time) >= slack:
+            return False
+    return True
+
+
+def deduplicate_across_prefixes(
+    selections: Sequence[PrefixSelection],
+    slack: float = MATCH_SLACK_S,
+) -> CrossPrefixResult:
+    """Apply §17.3 to the per-prefix selections of §17.2.
+
+    Among identical per-VP subsets, the one belonging to the smallest
+    prefix stays nonredundant (a deterministic stand-in for the paper's
+    unspecified pick).
+    """
+    # (i) split nonredundant updates into per-(prefix, vp) subsets.
+    subsets: List[Tuple[Prefix, str, List[BGPUpdate]]] = []
+    for selection in selections:
+        per_vp: Dict[str, List[BGPUpdate]] = defaultdict(list)
+        for update in selection.nonredundant:
+            per_vp[update.vp].append(update)
+        for vp in sorted(per_vp):
+            subsets.append((selection.prefix, vp, per_vp[vp]))
+
+    # (ii) group subsets with identical attributes, then cluster each
+    # shape-group by time alignment.
+    by_shape: Dict[_SubsetShape,
+                   List[Tuple[Prefix, List[BGPUpdate]]]] = defaultdict(list)
+    for prefix, vp, updates in subsets:
+        by_shape[_subset_shape(vp, updates)].append((prefix, updates))
+
+    nonredundant: List[BGPUpdate] = []
+    demoted: List[BGPUpdate] = []
+    for shape, entries in by_shape.items():
+        entries.sort(key=lambda e: e[0])   # smallest prefix first
+        clusters: List[List[Tuple[Prefix, List[BGPUpdate]]]] = []
+        for prefix, updates in entries:
+            for cluster in clusters:
+                if _time_aligned(cluster[0][1], updates, slack):
+                    cluster.append((prefix, updates))
+                    break
+            else:
+                clusters.append([(prefix, updates)])
+        # (iii) keep the first subset of each cluster, demote the rest.
+        for cluster in clusters:
+            nonredundant.extend(cluster[0][1])
+            for _, updates in cluster[1:]:
+                demoted.extend(updates)
+    return CrossPrefixResult(nonredundant, demoted)

@@ -1,0 +1,252 @@
+"""BGP event detection, AS categories, and balanced sampling (§18.1).
+
+GILL gauges VP redundancy on *non-global* BGP events of three kinds:
+new links, outages, and origin changes.  An event is a candidate when at
+least one VP — but fewer than 50% of them — observed it.  To avoid the
+core/edge sampling bias of naive selection, GILL classifies ASes into
+the five categories of Table 5 and picks an equal number of events per
+(category-pair, kind) cell (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+from ..bgp.rib import annotate_stream
+from ..simulation.topology import ASTopology
+
+#: Observations of the same change within this window are one event.
+EVENT_CLUSTER_WINDOW_S = 300.0
+
+#: Event boundaries are padded by this slack so that every VP's
+#: (jittered) convergence on the same underlying event falls inside
+#: [start, end] — otherwise two VPs reacting identically but a few
+#: seconds apart would spuriously look different (§18.2).
+EVENT_SETTLE_SLACK_S = 100.0
+
+#: Events seen by at least this fraction of VPs are "global" and skipped.
+GLOBAL_VISIBILITY_CUTOFF = 0.5
+
+#: Default events per (category-pair, kind) cell; 15 pairs x 3 kinds x 50
+#: = the paper's 2250 events.
+DEFAULT_EVENTS_PER_CELL = 50
+
+
+class ASCategory(enum.IntEnum):
+    """Table 5.  Higher ID wins when an AS qualifies for several."""
+
+    STUB = 1
+    TRANSIT_1 = 2
+    TRANSIT_2 = 3
+    HYPERGIANT = 4
+    TIER_1 = 5
+
+
+class EventKind(enum.Enum):
+    NEW_LINK = "new-link"
+    OUTAGE = "outage"
+    ORIGIN_CHANGE = "origin-change"
+
+
+@dataclass(frozen=True)
+class ObservedEvent:
+    """A clustered, platform-level BGP event."""
+
+    kind: EventKind
+    as1: int
+    as2: int
+    start: float
+    end: float
+    observers: FrozenSet[str]
+    prefix: Optional[Prefix] = None
+
+    @property
+    def as_pair(self) -> Tuple[int, int]:
+        return (self.as1, self.as2)
+
+
+def categorize_ases(topo: ASTopology,
+                    hypergiant_count: int = 15) -> Dict[int, ASCategory]:
+    """Classify every AS of a topology into the Table-5 categories.
+
+    Tier-1s come from the providerless core; hypergiants are the
+    ``hypergiant_count`` highest-degree ASes (standing in for the
+    PeeringDB-based top-15 of [10]); transit ASes split by customer-cone
+    size relative to the transit average; the rest are stubs.
+    """
+    categories: Dict[int, ASCategory] = {}
+    tier1 = set(topo.tier1_ases())
+    by_degree = sorted(topo.ases(), key=lambda a: (-topo.degree(a), a))
+    hypergiants = set(by_degree[:hypergiant_count])
+    transits = set(topo.transit_ases())
+    cone_sizes = {asn: len(topo.customer_cone(asn)) for asn in transits}
+    avg_cone = (sum(cone_sizes.values()) / len(cone_sizes)
+                if cone_sizes else 0.0)
+
+    for asn in topo.ases():
+        candidates = [ASCategory.STUB]
+        if asn in transits:
+            candidates.append(
+                ASCategory.TRANSIT_1 if cone_sizes[asn] < avg_cone
+                else ASCategory.TRANSIT_2
+            )
+        if asn in hypergiants:
+            candidates.append(ASCategory.HYPERGIANT)
+        if asn in tier1:
+            candidates.append(ASCategory.TIER_1)
+        categories[asn] = max(candidates)
+    return categories
+
+
+def detect_events(updates: Sequence[BGPUpdate],
+                  total_vps: Optional[int] = None,
+                  cluster_window_s: float = EVENT_CLUSTER_WINDOW_S,
+                  visibility_cutoff: float = GLOBAL_VISIBILITY_CUTOFF,
+                  settle_slack_s: float = EVENT_SETTLE_SLACK_S,
+                  ) -> List[ObservedEvent]:
+    """Extract candidate (non-global) events from a multi-VP stream.
+
+    The stream is replayed per VP; a link (dis)appearing from a VP's
+    cross-prefix link view or a prefix changing origin is an observation.
+    Observations of the same change are clustered in time, and clusters
+    seen by >= ``visibility_cutoff`` of the VPs are dropped as global.
+    """
+    vps = sorted({u.vp for u in updates})
+    if total_vps is None:
+        total_vps = len(vps)
+
+    # Per-VP cross-prefix link refcounts and per-(vp, prefix) origins.
+    link_count: Dict[str, Dict[Tuple[int, int], int]] = defaultdict(
+        lambda: defaultdict(int))
+    origins: Dict[Tuple[str, Prefix], int] = {}
+
+    # observation key -> list of (time, vp)
+    observations: Dict[Tuple, List[Tuple[float, str]]] = defaultdict(list)
+
+    for annotated in annotate_stream(sorted(updates, key=lambda u: u.time)):
+        update = annotated.update
+        counts = link_count[update.vp]
+        for a, b in sorted(annotated.effective_links):
+            pair = (min(a, b), max(a, b))
+            counts[pair] += 1
+            if counts[pair] == 1:
+                observations[(EventKind.NEW_LINK, pair)].append(
+                    (update.time, update.vp))
+        for a, b in sorted(annotated.withdrawn_links):
+            pair = (min(a, b), max(a, b))
+            if counts[pair] > 0:
+                counts[pair] -= 1
+                if counts[pair] == 0:
+                    observations[(EventKind.OUTAGE, pair)].append(
+                        (update.time, update.vp))
+        if not update.is_withdrawal:
+            key = (update.vp, update.prefix)
+            old_origin = origins.get(key)
+            new_origin = update.origin_as
+            if old_origin is not None and old_origin != new_origin:
+                pair = (min(old_origin, new_origin),
+                        max(old_origin, new_origin))
+                observations[
+                    (EventKind.ORIGIN_CHANGE, pair, update.prefix)
+                ].append((update.time, update.vp))
+            origins[key] = new_origin
+
+    events: List[ObservedEvent] = []
+    for key, sightings in observations.items():
+        kind, pair = key[0], key[1]
+        prefix = key[2] if len(key) > 2 else None
+        sightings.sort()
+        cluster: List[Tuple[float, str]] = []
+        for time, vp in sightings + [(float("inf"), "")]:
+            if cluster and time - cluster[-1][0] > cluster_window_s:
+                event = _finalize_cluster(kind, pair, prefix, cluster,
+                                          settle_slack_s)
+                if len(event.observers) / max(1, total_vps) \
+                        < visibility_cutoff:
+                    events.append(event)
+                cluster = []
+            if time != float("inf"):
+                cluster.append((time, vp))
+    events.sort(key=lambda e: (e.start, e.kind.value, e.as_pair))
+    return events
+
+
+def _finalize_cluster(kind: EventKind, pair: Tuple[int, int],
+                      prefix: Optional[Prefix],
+                      cluster: List[Tuple[float, str]],
+                      settle_slack_s: float) -> ObservedEvent:
+    return ObservedEvent(
+        kind, pair[0], pair[1],
+        start=cluster[0][0] - settle_slack_s,
+        end=cluster[-1][0] + settle_slack_s,
+        observers=frozenset(vp for _, vp in cluster),
+        prefix=prefix,
+    )
+
+
+def category_pair(event: ObservedEvent,
+                  categories: Dict[int, ASCategory]
+                  ) -> Tuple[ASCategory, ASCategory]:
+    """The (unordered, sorted) category pair of an event's two ASes.
+
+    Unknown ASes (e.g. forged intermediates never seen in the topology)
+    default to STUB.
+    """
+    c1 = categories.get(event.as1, ASCategory.STUB)
+    c2 = categories.get(event.as2, ASCategory.STUB)
+    return (min(c1, c2), max(c1, c2))
+
+
+def select_events_balanced(events: Sequence[ObservedEvent],
+                           categories: Dict[int, ASCategory],
+                           per_cell: int = DEFAULT_EVENTS_PER_CELL,
+                           seed: Optional[int] = None
+                           ) -> List[ObservedEvent]:
+    """The paper's balanced selection: equal quota per (pair, kind) cell.
+
+    Cells with fewer candidates contribute what they have; the paper's
+    full quota (50 x 15 x 3 = 2250) applies when the data is rich enough.
+    """
+    rng = random.Random(seed)
+    cells: Dict[Tuple, List[ObservedEvent]] = defaultdict(list)
+    for event in events:
+        cells[(category_pair(event, categories), event.kind)].append(event)
+    selected: List[ObservedEvent] = []
+    for key in sorted(cells, key=lambda k: (k[0], k[1].value)):
+        pool = cells[key]
+        if len(pool) <= per_cell:
+            selected.extend(pool)
+        else:
+            selected.extend(rng.sample(pool, per_cell))
+    selected.sort(key=lambda e: (e.start, e.kind.value, e.as_pair))
+    return selected
+
+
+def select_events_random(events: Sequence[ObservedEvent], count: int,
+                         seed: Optional[int] = None) -> List[ObservedEvent]:
+    """The naive baseline selection of Fig. 12b."""
+    rng = random.Random(seed)
+    pool = list(events)
+    if len(pool) <= count:
+        return pool
+    return sorted(rng.sample(pool, count),
+                  key=lambda e: (e.start, e.kind.value, e.as_pair))
+
+
+def selection_matrix(events: Sequence[ObservedEvent],
+                     categories: Dict[int, ASCategory]
+                     ) -> Dict[Tuple[ASCategory, ASCategory], float]:
+    """Fraction of selected events per category pair (Fig. 12)."""
+    counts: Dict[Tuple[ASCategory, ASCategory], int] = defaultdict(int)
+    for event in events:
+        counts[category_pair(event, categories)] += 1
+    total = sum(counts.values())
+    if not total:
+        return {}
+    return {pair: count / total for pair, count in counts.items()}

@@ -1,0 +1,66 @@
+"""Filter generation from GILL's sampling output (§7, §9).
+
+Filters are the bridge from *past* redundancy inferences to *future*
+discards: GILL emits coarse drop rules matching only the sending VP and
+prefix of updates classified redundant, an accept-all rule per anchor
+VP, and an accept-everything default.  The two public documents of §9
+(the computed filters, the anchor list) are rendered here too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..bgp.filtering import (
+    FilterGranularity,
+    FilterTable,
+    build_drop_rules,
+)
+from ..bgp.message import BGPUpdate
+
+
+def generate_filter_table(
+    redundant_updates: Iterable[BGPUpdate],
+    anchor_vps: Iterable[str] = (),
+    granularity: FilterGranularity = FilterGranularity.PREFIX,
+) -> FilterTable:
+    """Build the prioritized filter table of §7.
+
+    Because Component #1 classifies all-or-none of a (prefix, VP)'s
+    updates as redundant, coarse rules can never match an update GILL
+    deemed nonredundant (§7's closing observation) — a property the test
+    suite checks.
+    """
+    return FilterTable(
+        anchor_vps=anchor_vps,
+        drop_rules=build_drop_rules(redundant_updates, granularity),
+    )
+
+
+def filters_document(table: FilterTable) -> str:
+    """Render the public filters document (§9): one rule per line.
+
+    Users read this to learn which updates GILL discards and may be
+    missing from the database.
+    """
+    lines: List[str] = []
+    for vp in sorted(table.anchor_vps):
+        lines.append(f"from {vp} accept all  # anchor")
+    rules = sorted(table.rules(), key=lambda r: (r.vp, r.prefix))
+    for rule in rules:
+        suffix = ""
+        if rule.as_path is not None:
+            suffix += f" as-path {'-'.join(map(str, rule.as_path))}"
+        if rule.communities is not None:
+            comms = ",".join(f"{a}:{v}"
+                             for a, v in sorted(rule.communities))
+            suffix += f" communities {comms}"
+        lines.append(f"from {rule.vp} drop prefix {rule.prefix}{suffix}")
+    lines.append("default accept")
+    return "\n".join(lines) + "\n"
+
+
+def anchors_document(anchor_vps: Sequence[str]) -> str:
+    """Render the public anchor-VP list (§9)."""
+    lines = [f"{i + 1} {vp}" for i, vp in enumerate(sorted(anchor_vps))]
+    return "\n".join(lines) + ("\n" if lines else "")

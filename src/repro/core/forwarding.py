@@ -1,0 +1,106 @@
+"""Operator forwarding rules — the §14 incentive mechanism.
+
+In return for peering, GILL can forward selected updates to an
+operator's network *before* discarding them, giving the operator high
+visibility over their own prefixes (and, at full coverage, making
+hijack-detection systems like ARTEMIS "bulletproof" for those
+prefixes).  This module implements the rule store and the delivery
+hook the orchestrator calls on every incoming update — including
+those the filters then discard.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+
+#: Callback invoked with each forwarded update.
+DeliveryFn = Callable[[str, BGPUpdate], None]
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """One operator subscription.
+
+    Matches updates whose prefix is covered by ``prefix`` (if set, the
+    rule matches equal-or-more-specific announcements — an operator
+    watches its aggregate and any hijacking more-specific), and/or
+    whose origin AS equals ``origin_as``.  At least one criterion is
+    required; when both are set, both must match.
+    """
+
+    operator: str
+    prefix: Optional[Prefix] = None
+    origin_as: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.prefix is None and self.origin_as is None:
+            raise ValueError("a rule needs a prefix or an origin AS")
+
+    def matches(self, update: BGPUpdate) -> bool:
+        if self.prefix is not None \
+                and not self.prefix.contains(update.prefix):
+            return False
+        if self.origin_as is not None:
+            if update.is_withdrawal:
+                return self.prefix is not None
+            if update.origin_as != self.origin_as:
+                return False
+        return True
+
+
+class ForwardingService:
+    """Evaluates forwarding rules over the raw (pre-filter) stream."""
+
+    def __init__(self) -> None:
+        self._rules: List[ForwardingRule] = []
+        self._deliveries: Dict[str, List[BGPUpdate]] = defaultdict(list)
+        self._callbacks: Dict[str, DeliveryFn] = {}
+        self.forwarded_count = 0
+
+    def subscribe(self, rule: ForwardingRule,
+                  callback: Optional[DeliveryFn] = None) -> None:
+        """Register a rule; optionally receive updates via callback
+        instead of the internal mailbox."""
+        self._rules.append(rule)
+        if callback is not None:
+            self._callbacks[rule.operator] = callback
+
+    def unsubscribe(self, operator: str) -> int:
+        """Drop all of an operator's rules; returns how many."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.operator != operator]
+        self._callbacks.pop(operator, None)
+        return before - len(self._rules)
+
+    def rules_for(self, operator: str) -> List[ForwardingRule]:
+        return [r for r in self._rules if r.operator == operator]
+
+    def process(self, update: BGPUpdate) -> List[str]:
+        """Forward one update; returns the operators it reached.
+
+        Called on *every* received update, whether or not the filters
+        later discard it — that ordering is the whole point (§14).
+        """
+        reached: List[str] = []
+        seen: Set[str] = set()
+        for rule in self._rules:
+            if rule.operator in seen or not rule.matches(update):
+                continue
+            seen.add(rule.operator)
+            callback = self._callbacks.get(rule.operator)
+            if callback is not None:
+                callback(rule.operator, update)
+            else:
+                self._deliveries[rule.operator].append(update)
+            reached.append(rule.operator)
+            self.forwarded_count += 1
+        return reached
+
+    def mailbox(self, operator: str) -> List[BGPUpdate]:
+        """Updates delivered to an operator (mailbox mode)."""
+        return list(self._deliveries.get(operator, ()))

@@ -1,0 +1,179 @@
+"""The orchestrator: GILL's control loop (§8, Fig. 9).
+
+The orchestrator feeds incoming updates through the filter table,
+temporarily mirrors *all* traffic (invisible to users) so the sampling
+algorithms have complete data to train on, re-runs Component #1 every
+16 days and Component #2 every year, regenerates filters, loads them
+into the daemons, and drops the mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.filtering import FilterGranularity, FilterTable
+from ..bgp.message import BGPUpdate
+from ..bgp.validation import RouteValidator
+from ..simulation.topology import ASTopology
+from .events import ASCategory
+from .filters import generate_filter_table
+from .forwarding import ForwardingService
+from .sampler import GillSampler, GillResult
+
+DAY_S = 24 * 3600.0
+
+#: Refresh cadences inferred experimentally (§7, Figs. 7-8).
+COMPONENT1_INTERVAL_S = 16 * DAY_S
+COMPONENT2_INTERVAL_S = 365 * DAY_S
+
+#: How much history the temporary mirror retains for training (§17.1
+#: recommends two days for stable correlation groups).
+MIRROR_WINDOW_S = 2 * DAY_S
+
+
+@dataclass
+class OrchestratorConfig:
+    component1_interval_s: float = COMPONENT1_INTERVAL_S
+    component2_interval_s: float = COMPONENT2_INTERVAL_S
+    mirror_window_s: float = MIRROR_WINDOW_S
+    target_power: float = 0.94
+    gamma: float = 0.1
+    events_per_cell: int = 50
+    granularity: FilterGranularity = FilterGranularity.PREFIX
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.component1_interval_s <= 0 or self.component2_interval_s <= 0:
+            raise ValueError("refresh intervals must be positive")
+        if self.mirror_window_s <= 0:
+            raise ValueError("mirror window must be positive")
+
+
+@dataclass
+class OrchestratorStats:
+    received: int = 0
+    retained: int = 0
+    discarded: int = 0
+    component1_runs: int = 0
+    component2_runs: int = 0
+
+    @property
+    def retention(self) -> float:
+        return self.retained / self.received if self.received else 1.0
+
+
+class Orchestrator:
+    """Drives filtering and periodic re-sampling over an update stream.
+
+    Updates must arrive in nondecreasing time order (the live platform's
+    natural ordering); refreshes fire lazily when an update's timestamp
+    crosses the next deadline.
+    """
+
+    def __init__(self, config: Optional[OrchestratorConfig] = None,
+                 topology: Optional[ASTopology] = None,
+                 categories: Optional[Dict[int, ASCategory]] = None,
+                 forwarding: Optional[ForwardingService] = None,
+                 validator: Optional[RouteValidator] = None):
+        self.config = config or OrchestratorConfig()
+        self.topology = topology
+        self.categories = categories
+        #: §14 extensions: operator forwarding runs on the raw stream
+        #: (before filtering); the route validator screens fake feeds.
+        self.forwarding = forwarding
+        self.validator = validator
+        self.filters = FilterTable()           # bootstrap: accept all
+        self.anchor_vps: Tuple[str, ...] = ()
+        self.stats = OrchestratorStats()
+        self.last_result: Optional[GillResult] = None
+        self.flagged_updates: List[BGPUpdate] = []
+        self._mirror: List[BGPUpdate] = []
+        self._last_time: Optional[float] = None
+        self._next_component1: Optional[float] = None
+        self._next_component2: Optional[float] = None
+
+    # -- stream processing ---------------------------------------------------
+
+    def process(self, update: BGPUpdate) -> bool:
+        """Process one update; True when it is retained (stored)."""
+        if self._last_time is not None and update.time < self._last_time:
+            raise ValueError(
+                f"updates must be time-ordered: {update.time} after "
+                f"{self._last_time}"
+            )
+        self._last_time = update.time
+        if self._next_component1 is None:
+            # Bootstrap: schedule the first refreshes one mirror window
+            # after the first update, so training data exists.
+            self._next_component1 = update.time + self.config.mirror_window_s
+            self._next_component2 = update.time + self.config.mirror_window_s
+
+        if self.validator is not None:
+            verdict = self.validator.validate(update)
+            if verdict.flagged:
+                # Fake-looking updates are quarantined: not mirrored,
+                # not stored, not used to train the samplers.
+                self.flagged_updates.append(update)
+                self.stats.received += 1
+                self.stats.discarded += 1
+                return False
+        if self.forwarding is not None:
+            # Operators receive matching updates before any discard.
+            self.forwarding.process(update)
+
+        self._mirror.append(update)
+        self._trim_mirror(update.time)
+        if update.time >= self._next_component1:
+            self._refresh(update.time)
+
+        self.stats.received += 1
+        if self.filters.accept(update):
+            self.stats.retained += 1
+            return True
+        self.stats.discarded += 1
+        return False
+
+    def process_stream(self, updates: Sequence[BGPUpdate]
+                       ) -> List[BGPUpdate]:
+        """Process a stream; returns the retained updates."""
+        return [u for u in updates if self.process(u)]
+
+    # -- refresh machinery -------------------------------------------------------
+
+    def _trim_mirror(self, now: float) -> None:
+        horizon = now - self.config.mirror_window_s
+        if self._mirror and self._mirror[0].time < horizon:
+            self._mirror = [u for u in self._mirror if u.time >= horizon]
+
+    def _refresh(self, now: float) -> None:
+        """Re-run sampling on the mirror and reload the daemons' filters."""
+        run_component2 = now >= self._next_component2
+        sampler = GillSampler(
+            target_power=self.config.target_power,
+            gamma=self.config.gamma,
+            events_per_cell=self.config.events_per_cell,
+            granularity=self.config.granularity,
+            seed=self.config.seed,
+        )
+        result = sampler.run(self._mirror, topology=self.topology,
+                             categories=self.categories)
+        self.stats.component1_runs += 1
+        if run_component2 or not self.anchor_vps:
+            self.anchor_vps = result.anchor_vps
+            self.stats.component2_runs += 1
+            self._next_component2 = now + self.config.component2_interval_s
+        self.filters = generate_filter_table(
+            result.component1.redundant, self.anchor_vps,
+            self.config.granularity,
+        )
+        self.last_result = result
+        self._next_component1 = now + self.config.component1_interval_s
+
+    def force_refresh(self) -> None:
+        """Operator override (§7): refresh immediately, e.g. during
+        bursts of new peering sessions at bootstrap."""
+        if self._last_time is None:
+            raise RuntimeError("no data received yet")
+        self._next_component2 = self._last_time   # also refresh anchors
+        self._refresh(self._last_time)

@@ -1,0 +1,195 @@
+"""Reconstitution power and per-prefix redundant-update selection (§17.2).
+
+The reconstitution power ``RP(V, U)`` measures how much of an update set
+``V`` can be identically rebuilt from its subset ``U`` via the
+correlation groups: for every update in ``U``, GILL reconstitutes the
+heaviest correlation group containing it; RP is the fraction of ``V``
+matched by the union of those reconstitutions (same VP, prefix, path,
+communities, and timestamp within 100s).
+
+Per prefix, GILL greedily grows ``U`` one *VP at a time* (all of a VP's
+updates or none — filters can only match VP+prefix) until RP reaches the
+0.94 stop threshold, classifying the rest of ``V`` as redundant.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+from .correlation import CorrelationGroups, reconstitute
+
+#: Stop growing U once RP(V, U) reaches this (§17.2, Fig. 11 knee).
+DEFAULT_TARGET_POWER = 0.94
+
+#: Timestamp slack when matching reconstituted against actual updates.
+MATCH_SLACK_S = 100.0
+
+_AttrKey = Tuple[str, Tuple[int, ...], FrozenSet, bool]
+
+
+def _attr_key(update: BGPUpdate) -> _AttrKey:
+    return (update.vp, update.as_path, update.communities,
+            update.is_withdrawal)
+
+
+class _MatchIndex:
+    """Index of V for identical-update matching with time slack."""
+
+    def __init__(self, v_updates: Sequence[BGPUpdate]):
+        self._times: Dict[_AttrKey, List[Tuple[float, int]]] = defaultdict(list)
+        for i, update in enumerate(v_updates):
+            self._times[_attr_key(update)].append((update.time, i))
+        for bucket in self._times.values():
+            bucket.sort()
+
+    def matches(self, update: BGPUpdate,
+                slack: float = MATCH_SLACK_S) -> List[int]:
+        """Indices of V updates identical to ``update`` (±slack)."""
+        bucket = self._times.get(_attr_key(update))
+        if not bucket:
+            return []
+        lo = bisect.bisect_left(bucket, (update.time - slack, -1))
+        result = []
+        for time, index in bucket[lo:]:
+            if time >= update.time + slack:
+                break
+            if abs(time - update.time) < slack:
+                result.append(index)
+        return result
+
+
+def reconstitution_power(v_updates: Sequence[BGPUpdate],
+                         u_updates: Sequence[BGPUpdate],
+                         groups: CorrelationGroups,
+                         slack: float = MATCH_SLACK_S) -> float:
+    """``RP(V, U)`` as formalized in §17.2.
+
+    Incorrectly reconstituted updates (not in V) are ignored; only the
+    fraction of V correctly rebuilt counts.
+    """
+    if not v_updates:
+        return 1.0
+    index = _MatchIndex(v_updates)
+    matched: Set[int] = set()
+    for update in u_updates:
+        for rebuilt in reconstitute(groups, update.prefix, update):
+            matched.update(index.matches(rebuilt, slack))
+    return len(matched) / len(v_updates)
+
+
+def false_reconstitution_rate(v_updates: Sequence[BGPUpdate],
+                              u_updates: Sequence[BGPUpdate],
+                              groups: CorrelationGroups,
+                              slack: float = MATCH_SLACK_S) -> float:
+    """Fraction of reconstituted updates that are *not* in V.
+
+    The paper measures 4.6% on RIS/RV data (§17.2) — reconstitution's
+    "false positives", which RP deliberately ignores.
+    """
+    index = _MatchIndex(v_updates)
+    produced = 0
+    wrong = 0
+    for update in u_updates:
+        for rebuilt in reconstitute(groups, update.prefix, update):
+            produced += 1
+            if not index.matches(rebuilt, slack):
+                wrong += 1
+    return wrong / produced if produced else 0.0
+
+
+@dataclass
+class PrefixSelection:
+    """Outcome of the per-prefix greedy selection for one prefix."""
+
+    prefix: Prefix
+    selected_vps: List[str]
+    nonredundant: List[BGPUpdate]
+    redundant: List[BGPUpdate]
+    power: float
+
+    @property
+    def retention(self) -> float:
+        """|U| / |V| for this prefix."""
+        total = len(self.nonredundant) + len(self.redundant)
+        return len(self.nonredundant) / total if total else 0.0
+
+
+def select_nonredundant_for_prefix(
+    prefix: Prefix,
+    v_updates: Sequence[BGPUpdate],
+    groups: CorrelationGroups,
+    target_power: float = DEFAULT_TARGET_POWER,
+    slack: float = MATCH_SLACK_S,
+) -> PrefixSelection:
+    """Greedy weighted max-coverage over VPs until RP >= target (§17.2).
+
+    Each candidate VP contributes the set of V-indices its updates can
+    reconstitute; GILL repeatedly adds the VP that most improves RP,
+    breaking ties toward fewer own updates, then lexicographic VP name.
+    """
+    v_list = list(v_updates)
+    if not v_list:
+        return PrefixSelection(prefix, [], [], [], 1.0)
+    index = _MatchIndex(v_list)
+
+    by_vp: Dict[str, List[BGPUpdate]] = defaultdict(list)
+    for update in v_list:
+        by_vp[update.vp].append(update)
+
+    coverage: Dict[str, Set[int]] = {}
+    for vp, updates in by_vp.items():
+        covered: Set[int] = set()
+        for update in updates:
+            for rebuilt in reconstitute(groups, prefix, update):
+                covered.update(index.matches(rebuilt, slack))
+        coverage[vp] = covered
+
+    selected: List[str] = []
+    matched: Set[int] = set()
+    remaining = set(by_vp)
+    threshold = target_power * len(v_list)
+    while remaining and len(matched) < threshold:
+        best_vp = max(
+            remaining,
+            key=lambda vp: (len(coverage[vp] - matched),
+                            -len(by_vp[vp]),
+                            [-ord(c) for c in vp]),
+        )
+        if not coverage[best_vp] - matched and matched:
+            break   # no candidate improves RP any further
+        selected.append(best_vp)
+        matched |= coverage[best_vp]
+        remaining.discard(best_vp)
+
+    selected_set = set(selected)
+    nonredundant = [u for u in v_list if u.vp in selected_set]
+    redundant = [u for u in v_list if u.vp not in selected_set]
+    return PrefixSelection(prefix, selected, nonredundant, redundant,
+                           len(matched) / len(v_list))
+
+
+def power_curve(prefix: Prefix, v_updates: Sequence[BGPUpdate],
+                groups: CorrelationGroups,
+                slack: float = MATCH_SLACK_S
+                ) -> List[Tuple[float, float]]:
+    """(|U|/|V|, RP) after each greedy step — the Fig. 11 curve."""
+    selection = select_nonredundant_for_prefix(
+        prefix, v_updates, groups, target_power=1.01, slack=slack,
+    )
+    v_list = list(v_updates)
+    by_vp: Dict[str, List[BGPUpdate]] = defaultdict(list)
+    for update in v_list:
+        by_vp[update.vp].append(update)
+
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    u_updates: List[BGPUpdate] = []
+    for vp in selection.selected_vps:
+        u_updates.extend(by_vp[vp])
+        rp = reconstitution_power(v_list, u_updates, groups, slack)
+        points.append((len(u_updates) / len(v_list), rp))
+    return points

@@ -1,0 +1,152 @@
+"""Pairwise VP redundancy scoring from event features (§18.2-§18.3).
+
+For every selected event, GILL computes the 15-dim feature difference
+each VP experienced (via its RIB graphs at the event's start and end),
+normalizes the per-event feature matrix column-wise, computes pairwise
+(squared) Euclidean distances between VPs, averages over events, and
+min-max scales into redundancy scores: 1 = the most redundant VP pair,
+0 = the least.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bgp.message import BGPUpdate
+from .events import ObservedEvent
+from .features import FEATURE_VECTOR_DIM, RIBGraph
+
+
+def compute_event_features(updates: Sequence[BGPUpdate],
+                           events: Sequence[ObservedEvent],
+                           vps: Sequence[str]) -> np.ndarray:
+    """Feature tensor of shape (n_events, n_vps, 15).
+
+    One chronological sweep maintains each VP's RIB graph; at every
+    event boundary the involved ASes' features are extracted.  The graph
+    at time ``t`` reflects all updates with ``time < t``.
+    """
+    vp_index = {vp: i for i, vp in enumerate(vps)}
+    graphs: Dict[str, RIBGraph] = {vp: RIBGraph() for vp in vps}
+
+    # (time, event index, is_end) boundaries, processed in time order.
+    boundaries: List[Tuple[float, int, bool]] = []
+    for i, event in enumerate(events):
+        boundaries.append((event.start, i, False))
+        boundaries.append((event.end, i, True))
+    boundaries.sort(key=lambda b: (b[0], b[2], b[1]))
+
+    ordered = sorted(
+        (u for u in updates if u.vp in vp_index),
+        key=lambda u: u.time,
+    )
+    tensor = np.zeros((len(events), len(vps), FEATURE_VECTOR_DIM))
+    start_snapshots: Dict[int, Dict[str, List[float]]] = {}
+
+    cursor = 0
+    for time, event_idx, is_end in boundaries:
+        while cursor < len(ordered) and ordered[cursor].time < time:
+            update = ordered[cursor]
+            graphs[update.vp].apply_update(update)
+            cursor += 1
+        event = events[event_idx]
+        if not is_end:
+            start_snapshots[event_idx] = {
+                vp: _node_pair_features(graphs[vp], event)
+                for vp in vps
+            }
+        else:
+            starts = start_snapshots.pop(event_idx)
+            for vp in vps:
+                end_feats = _node_pair_features(graphs[vp], event)
+                tensor[event_idx, vp_index[vp], :] = [
+                    s - e for s, e in zip(starts[vp], end_feats)
+                ]
+    return tensor
+
+
+def _node_pair_features(graph: RIBGraph,
+                        event: ObservedEvent) -> List[float]:
+    """Raw (not differenced) features at one instant, interleaved per
+    :func:`repro.core.features.event_feature_vector`'s layout."""
+    feats1 = graph.node_features(event.as1)
+    feats2 = graph.node_features(event.as2)
+    values: List[float] = []
+    for i in range(len(feats1)):
+        values.append(feats1[i])
+        values.append(feats2[i])
+    values.extend(graph.pair_features(event.as1, event.as2))
+    return values
+
+
+def normalize_features(matrix: np.ndarray) -> np.ndarray:
+    """Column-wise standard scaling (the ▽ operator, §18.3, Step 1).
+
+    Constant columns scale to zero rather than dividing by zero.
+    """
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std = np.where(std > 0, std, 1.0)
+    return (matrix - mean) / std
+
+
+def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
+    """The ⋄ operator (§18.3, Step 2): squared Euclidean distances
+    between every pair of rows (the paper's formula omits the root)."""
+    sq = np.sum(matrix ** 2, axis=1)
+    dist = sq[:, None] + sq[None, :] - 2.0 * (matrix @ matrix.T)
+    return np.maximum(dist, 0.0)
+
+
+def redundancy_scores(feature_tensor: np.ndarray) -> np.ndarray:
+    """Redundancy score matrix R (§18.3, Step 3).
+
+    Averages the per-event pairwise distances and min-max scales them
+    into [0, 1], flipped so 1 marks the most redundant pair.
+    """
+    n_events, n_vps, _ = feature_tensor.shape
+    if n_events == 0:
+        return np.ones((n_vps, n_vps))
+    total = np.zeros((n_vps, n_vps))
+    for e in range(n_events):
+        normalized = normalize_features(feature_tensor[e])
+        total += pairwise_squared_distances(normalized)
+    average = total / n_events
+
+    off_diagonal = ~np.eye(n_vps, dtype=bool)
+    values = average[off_diagonal]
+    if values.size == 0:
+        return np.ones((n_vps, n_vps))
+    low, high = values.min(), values.max()
+    if high - low <= 0:
+        scores = np.ones((n_vps, n_vps))
+    else:
+        scores = 1.0 - (average - low) / (high - low)
+        scores = np.clip(scores, 0.0, 1.0)
+    np.fill_diagonal(scores, 1.0)
+    return scores
+
+
+def score_vps(updates: Sequence[BGPUpdate],
+              events: Sequence[ObservedEvent],
+              vps: Optional[Sequence[str]] = None) -> Tuple[
+                  List[str], np.ndarray]:
+    """End-to-end §18.2-§18.3 pipeline: (vps, redundancy score matrix)."""
+    if vps is None:
+        vps = sorted({u.vp for u in updates})
+    else:
+        vps = list(vps)
+    tensor = compute_event_features(updates, events, vps)
+    return vps, redundancy_scores(tensor)
+
+
+def update_volumes(updates: Sequence[BGPUpdate],
+                   vps: Sequence[str]) -> List[int]:
+    """Updates collected per VP — the volume term of §18.4."""
+    counts: Dict[str, int] = defaultdict(int)
+    for update in updates:
+        counts[update.vp] += 1
+    return [counts.get(vp, 0) for vp in vps]

@@ -1,0 +1,86 @@
+"""Models of the existing collection platforms (§2, §13).
+
+Encodes the published platform facts the paper builds its motivation
+on — VP counts, distinct host ASes, full-feeder shares — plus coverage
+accounting against an AS population or a simulated topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..simulation.topology import ASTopology
+
+#: Active ASes in the global routing system (§3.1, CIDR report).
+ACTIVE_ASES_2023 = 74_000
+#: Transit ASes (at least one customer), §3.1.
+TRANSIT_ASES_2023 = 11_832
+#: Globally announced prefixes (§2).
+ANNOUNCED_PREFIXES_V4 = 944_000
+ANNOUNCED_PREFIXES_V6 = 205_000
+#: Share of RIS+RV VPs that are full feeders (§2, May 2023).
+FULL_FEEDER_FRACTION = 0.32
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A BGP route collection platform (public or private)."""
+
+    name: str
+    vp_count: int
+    distinct_ases: Optional[int] = None
+    public: bool = True
+
+    def coverage(self, active_ases: int = ACTIVE_ASES_2023) -> float:
+        """Fraction of active ASes hosting one of this platform's VPs."""
+        hosts = self.distinct_ases if self.distinct_ases is not None \
+            else self.vp_count
+        return hosts / active_ases
+
+
+def ris_platform() -> Platform:
+    """RIPE RIS as of Dec 2023 (§2)."""
+    return Platform("RIPE RIS", vp_count=1537, distinct_ases=816)
+
+
+def rv_platform() -> Platform:
+    """RouteViews as of Dec 2023 (§2)."""
+    return Platform("RouteViews", vp_count=1130, distinct_ases=337)
+
+
+def known_platforms() -> List[Platform]:
+    """The §13 census of public and private collection systems."""
+    return [
+        ris_platform(),
+        rv_platform(),
+        Platform("PCH", vp_count=700),
+        Platform("BGPWatch", vp_count=15),
+        Platform("bgp.tools", vp_count=1000, public=False),
+        Platform("PacketVis", vp_count=2000, public=False),
+        Platform("Radar by QRator", vp_count=800, public=False),
+    ]
+
+
+def combined_coverage(platforms: Iterable[Platform],
+                      active_ases: int = ACTIVE_ASES_2023,
+                      overlap_factor: float = 0.72) -> float:
+    """Approximate joint coverage of several platforms.
+
+    Platforms peer with overlapping AS sets; ``overlap_factor`` scales
+    the naive sum to match the paper's combined RIS+RV figure (1.1%).
+    """
+    hosts = sum(
+        p.distinct_ases if p.distinct_ases is not None else p.vp_count
+        for p in platforms
+    )
+    return min(1.0, overlap_factor * hosts / active_ases)
+
+
+def deployment_coverage(topo: ASTopology,
+                        vp_ases: Sequence[int]) -> float:
+    """Coverage of a simulated deployment: fraction of ASes with a VP."""
+    if not len(topo):
+        return 0.0
+    hosts = {asn for asn in vp_ases if asn in topo}
+    return len(hosts) / len(topo)

@@ -1,0 +1,182 @@
+"""The author survey of §16 (Table 4), encoded as data.
+
+The paper surveyed authors of 11 BGP-based papers about how and why
+they sampled RIS/RV data.  Table 4 lists the questions and every
+collected answer, color-coded by whether it motivates a system like
+GILL.  We reproduce the table as structured data so the benchmark can
+regenerate it and analyses can cite the aggregate findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class Sentiment(enum.Enum):
+    """Color code of Table 4."""
+
+    MOTIVATES = "green"       # supports the case for GILL
+    NEUTRAL = "blue"
+    DISINCENTIVES = "red"
+
+
+class Category(enum.Enum):
+    """How the surveyed paper sampled BGP data (§3.2)."""
+
+    SUBSET_OF_VPS = "C1"       # all routes, subset of VPs (7 papers)
+    LIMITED_DURATION = "C2"    # limited experiment duration (5 papers)
+    ALL = "all"                # questions asked to everyone
+
+
+@dataclass(frozen=True)
+class Answer:
+    text: str
+    count: int
+    sentiment: Sentiment
+
+
+@dataclass(frozen=True)
+class SurveyQuestion:
+    category: Category
+    question: str
+    answers: Tuple[Answer, ...]
+
+    @property
+    def respondents(self) -> int:
+        return sum(a.count for a in self.answers)
+
+
+#: Papers per category (§3.2: nine C1 + six C2, papers may be in both;
+#: seven C1 and five C2 respondents after three non-answers).
+PAPERS_SELECTED = 11
+RESPONDENTS_C1 = 7
+RESPONDENTS_C2 = 5
+
+_G, _B, _R = Sentiment.MOTIVATES, Sentiment.NEUTRAL, Sentiment.DISINCENTIVES
+
+SURVEY: Tuple[SurveyQuestion, ...] = (
+    SurveyQuestion(Category.SUBSET_OF_VPS,
+                   "Why did you use a subset of the VPs?", (
+        Answer("To speed up data processing", 2, _G),
+        Answer("For disk space and time efficiency", 1, _G),
+        Answer("I thought the rest would be similar", 1, _B),
+        Answer("I did not manage to use them all", 2, _G),
+    )),
+    SurveyQuestion(Category.SUBSET_OF_VPS,
+                   "How did you select your VPs?", (
+        Answer("I took them randomly", 2, _B),
+        Answer("I do not remember", 2, _B),
+        Answer("It was arbitrary: my script partially failed", 1, _B),
+        Answer("I took geographically distant BGP collectors", 1, _B),
+        Answer("I did not manage to use VPs from one data provider", 1, _G),
+    )),
+    SurveyQuestion(Category.SUBSET_OF_VPS,
+                   "Do you think more VPs would improve "
+                   "the quality of your results?", (
+        Answer("Yes", 4, _G),
+        Answer("Results would be similar, but it can help to find "
+               "corner cases", 1, _B),
+        Answer("Yes, but not significantly", 1, _B),
+        Answer("I am not sure", 1, _B),
+    )),
+    SurveyQuestion(Category.SUBSET_OF_VPS,
+                   "Would you have used more VPs if you could?", (
+        Answer("Yes", 4, _G),
+        Answer("Yes, I'd love to", 1, _G),
+        Answer("Definitely", 1, _G),
+        Answer("I am not sure, but I don't think so", 1, _R),
+    )),
+    SurveyQuestion(Category.LIMITED_DURATION,
+                   "Was the processing time a factor that you considered "
+                   "when you decided on the duration of your "
+                   "measurement study?", (
+        Answer("Yes", 3, _G),
+    )),
+    SurveyQuestion(Category.LIMITED_DURATION,
+                   "Do you think extending the duration of your "
+                   "measurement study would improve the quality "
+                   "of your results?", (
+        Answer("Yes", 2, _G),
+        Answer("Yes, especially for rare events", 1, _G),
+        Answer("Potentially", 1, _B),
+        Answer("Yes, but not significantly", 1, _B),
+    )),
+    SurveyQuestion(Category.LIMITED_DURATION,
+                   "Would have extended the duration of your measurement "
+                   "study if you had more resources?", (
+        Answer("Yes", 2, _G),
+        Answer("Yes, but it depends on the time remaining before "
+               "the deadline", 1, _G),
+        Answer("I think so, but also if I had more time before "
+               "the deadline", 1, _B),
+    )),
+    SurveyQuestion(Category.ALL,
+                   "Do you find the data from RIS and RouteViews "
+                   "expensive to process in terms of computational "
+                   "resources?", (
+        Answer("Yes", 1, _G),
+        Answer("Yes, CPU and storage", 2, _G),
+        Answer("Yes, the storage cost and the download cost are "
+               "very large", 1, _G),
+        Answer("CPU is the main issue", 1, _G),
+        Answer("RIS data takes a lot of time to download, especially "
+               "when we need data for multiple days", 1, _G),
+        Answer("Not the worst, but we definitely need a resourceful "
+               "server if we want to catch some deadline", 1, _B),
+        Answer("We did that in a server so that was not a huge issue",
+               1, _B),
+        Answer("No", 1, _R),
+    )),
+    SurveyQuestion(Category.ALL,
+                   "Is there any additional challenge that you "
+                   "encountered when processing the BGP data from "
+                   "RIS and RouteViews?", (
+        Answer("Our team used Spark clusters and Python but it was "
+               "too slow", 1, _G),
+        Answer("We had to download the data from all VPs as there is "
+               "no optimal solution for selecting them, the storage "
+               "overhead and time overhead were extremely high", 1, _G),
+        Answer("It'll be helpful to make processing faster and less "
+               "resource-consuming", 1, _G),
+        Answer("Too many duplicate announcements make processing "
+               "harder", 1, _G),
+        Answer("Variable sizes of update files exacerbate scheduling "
+               "parallelization", 1, _B),
+        Answer("RIS took a lot longer than RouteViews", 1, _B),
+        Answer("We had issues when collecting updates in real-time",
+               1, _B),
+        Answer("We had to deal with bugs in BGPdump", 1, _B),
+        Answer("Broken data feeds and data cleanup is also an issue "
+               "that we need to take care of", 1, _B),
+        Answer("Our study was done pre-BGPStream, which would have "
+               "helped quite a bit already", 1, _B),
+    )),
+)
+
+
+def questions(category: Category) -> List[SurveyQuestion]:
+    return [q for q in SURVEY if q.category is category]
+
+
+def sentiment_summary() -> Dict[Sentiment, int]:
+    """Answer counts per color — the table's headline: green dominates."""
+    summary = {s: 0 for s in Sentiment}
+    for question in SURVEY:
+        for answer in question.answers:
+            summary[answer.sentiment] += answer.count
+    return summary
+
+
+def render_table() -> str:
+    """Render Table 4 as plain text."""
+    lines: List[str] = []
+    for question in SURVEY:
+        lines.append(f"[{question.category.value}] {question.question}")
+        for answer in question.answers:
+            lines.append(
+                f"    ({answer.sentiment.value}) {answer.text} "
+                f"(x{answer.count})"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,36 @@
+"""Sampling schemes: GILL, its simplified variants, and all baselines."""
+
+from .base import SamplingScheme, fill_vp_by_vp, group_by_vp
+from .definition_based import DefinitionBasedVPs
+from .gill_variants import GillScheme, GillUpd, GillVp
+from .naive import ASDistanceVPs, RandomUpdates, RandomVPs, UnbiasedVPs
+from .usecase_based import (
+    UseCaseSpecificVPs,
+    all_usecase_specifics,
+    communities_specific,
+    moas_specific,
+    topology_specific,
+    transient_specific,
+    unchanged_path_specific,
+)
+
+__all__ = [
+    "ASDistanceVPs",
+    "DefinitionBasedVPs",
+    "GillScheme",
+    "GillUpd",
+    "GillVp",
+    "RandomUpdates",
+    "RandomVPs",
+    "SamplingScheme",
+    "UnbiasedVPs",
+    "UseCaseSpecificVPs",
+    "all_usecase_specifics",
+    "communities_specific",
+    "fill_vp_by_vp",
+    "group_by_vp",
+    "moas_specific",
+    "topology_specific",
+    "transient_specific",
+    "unchanged_path_specific",
+]

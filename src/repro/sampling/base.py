@@ -1,0 +1,67 @@
+"""Common interface for BGP data sampling schemes (§10).
+
+Every scheme answers the same question GILL does: given a training
+stream and an update budget, which updates do you keep?  The Table-2
+benchmark holds the budget fixed at GILL's retention so schemes compete
+on information per update, not on volume.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from ..bgp.message import BGPUpdate
+
+
+class SamplingScheme(abc.ABC):
+    """A scheme selecting which updates of a stream to retain."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        """Return at most ``budget`` updates from ``updates``."""
+
+    @staticmethod
+    def _check_budget(budget: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be nonnegative")
+
+
+def group_by_vp(updates: Sequence[BGPUpdate]
+                ) -> Dict[str, List[BGPUpdate]]:
+    by_vp: Dict[str, List[BGPUpdate]] = defaultdict(list)
+    for update in updates:
+        by_vp[update.vp].append(update)
+    return dict(by_vp)
+
+
+def fill_vp_by_vp(order: Sequence[str],
+                  by_vp: Dict[str, List[BGPUpdate]],
+                  budget: int,
+                  rng: Optional[random.Random] = None) -> List[BGPUpdate]:
+    """Accumulate whole VPs in ``order`` until the budget is reached.
+
+    The VP that crosses the budget contributes a random subset of its
+    updates so the scheme returns exactly ``budget`` updates (matching
+    the paper's 'until the total number of collected updates reaches
+    the number retained by GILL', §11).
+    """
+    rng = rng or random.Random(0)
+    chosen: List[BGPUpdate] = []
+    for vp in order:
+        bucket = by_vp.get(vp, [])
+        remaining = budget - len(chosen)
+        if remaining <= 0:
+            break
+        if len(bucket) <= remaining:
+            chosen.extend(bucket)
+        else:
+            chosen.extend(rng.sample(bucket, remaining))
+    chosen.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return chosen

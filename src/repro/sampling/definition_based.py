@@ -1,0 +1,66 @@
+"""Definition-based specific samplers (§5, Ingredient #1's foil).
+
+Each scheme greedily selects the VP minimizing the proportion of
+collected updates that are redundant *under one fixed redundancy
+definition* of §4.2.  The paper builds these to demonstrate the
+overfitting risk: they look great on their own definition and perform
+poorly on actual use cases (Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..bgp.message import AnnotatedUpdate, BGPUpdate
+from ..bgp.rib import annotate_stream
+from ..core.redundancy import RedundancyDefinition, update_redundancy
+from .base import SamplingScheme, fill_vp_by_vp, group_by_vp
+
+
+class DefinitionBasedVPs(SamplingScheme):
+    """Greedy VP selection minimizing Def-X redundancy of the sample."""
+
+    def __init__(self, definition: RedundancyDefinition,
+                 seed: Optional[int] = 0,
+                 max_candidate_vps: int = 64):
+        self.definition = definition
+        self.seed = seed
+        self.max_candidate_vps = max_candidate_vps
+        self.name = f"Def.{definition.value}"
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        rng = random.Random(self.seed)
+        by_vp = group_by_vp(updates)
+        annotated = annotate_stream(
+            sorted(updates, key=lambda u: (u.vp, u.time)))
+        by_vp_annotated: Dict[str, List[AnnotatedUpdate]] = {}
+        for item in annotated:
+            by_vp_annotated.setdefault(item.update.vp, []).append(item)
+
+        order: List[str] = []
+        pool = sorted(by_vp_annotated)
+        selected_updates: List[AnnotatedUpdate] = []
+        retained = 0
+        while pool and retained < budget:
+            candidates = pool
+            if len(candidates) > self.max_candidate_vps:
+                candidates = rng.sample(pool, self.max_candidate_vps)
+            best_vp = min(
+                candidates,
+                key=lambda vp: (self._redundancy_with(
+                    selected_updates, by_vp_annotated[vp]), vp),
+            )
+            order.append(best_vp)
+            selected_updates.extend(by_vp_annotated[best_vp])
+            retained += len(by_vp_annotated[best_vp])
+            pool.remove(best_vp)
+        order.extend(pool)   # deterministic tail if the budget is huge
+        return fill_vp_by_vp(order, by_vp, budget, rng)
+
+    def _redundancy_with(self, selected: List[AnnotatedUpdate],
+                         candidate: List[AnnotatedUpdate]) -> float:
+        report = update_redundancy(selected + candidate, self.definition)
+        return report.fraction

@@ -1,0 +1,109 @@
+"""GILL and its simplified variants as sampling schemes (§10).
+
+* ``GillScheme`` — the full system: Component #1 classification plus
+  anchor VPs, applied through the generated filters.
+* ``GillUpd`` — Component #1 only (update-granularity sampling).
+* ``GillVp`` — Component #2 only (VP-granularity sampling: keep all
+  updates from anchor VPs, nothing else).
+
+The benchmark uses GILL's own retained-update count as every other
+scheme's budget, so ``GillScheme.sample`` ignores the budget argument
+and reports its natural retention via :meth:`natural_budget`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..bgp.message import BGPUpdate
+from ..core.events import ASCategory
+from ..core.sampler import GillSampler, UpdateSampler
+from ..simulation.topology import ASTopology
+from .base import SamplingScheme, fill_vp_by_vp, group_by_vp
+
+
+class GillScheme(SamplingScheme):
+    """The full GILL sampler wrapped in the benchmark interface."""
+
+    name = "GILL"
+
+    def __init__(self, seed: Optional[int] = 0,
+                 topology: Optional[ASTopology] = None,
+                 categories: Optional[Dict[int, ASCategory]] = None,
+                 events_per_cell: int = 20,
+                 max_anchor_fraction: Optional[float] = 0.25,
+                 max_anchors: Optional[int] = None):
+        self.seed = seed
+        self.topology = topology
+        self.categories = categories
+        self.events_per_cell = events_per_cell
+        self.max_anchor_fraction = max_anchor_fraction
+        self.max_anchors = max_anchors
+        self.last_result = None
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int = -1) -> List[BGPUpdate]:
+        sampler = GillSampler(events_per_cell=self.events_per_cell,
+                              max_anchor_fraction=self.max_anchor_fraction,
+                              max_anchors=self.max_anchors,
+                              seed=self.seed)
+        self.last_result = sampler.run(updates, topology=self.topology,
+                                       categories=self.categories)
+        sample = self.last_result.sample(updates)
+        sample.sort(key=lambda u: (u.time, u.vp, u.prefix))
+        return sample
+
+    def natural_budget(self, updates: Sequence[BGPUpdate]) -> int:
+        """How many updates GILL retains on its own."""
+        return len(self.sample(updates))
+
+
+class GillUpd(SamplingScheme):
+    """GILL-upd: Component #1 only (§10's first simplified version)."""
+
+    name = "GILL-upd"
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        result = UpdateSampler().run(updates)
+        chosen = sorted(result.nonredundant,
+                        key=lambda u: (u.time, u.vp, u.prefix))
+        if len(chosen) > budget:
+            rng = random.Random(self.seed)
+            chosen = sorted(rng.sample(chosen, budget),
+                            key=lambda u: (u.time, u.vp, u.prefix))
+        return chosen
+
+
+class GillVp(SamplingScheme):
+    """GILL-vp: Component #2 only — all updates from anchors, in
+    selection order, until the budget is filled."""
+
+    name = "GILL-vp"
+
+    def __init__(self, seed: Optional[int] = 0,
+                 topology: Optional[ASTopology] = None,
+                 categories: Optional[Dict[int, ASCategory]] = None,
+                 events_per_cell: int = 20):
+        self.seed = seed
+        self.topology = topology
+        self.categories = categories
+        self.events_per_cell = events_per_cell
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        sampler = GillSampler(events_per_cell=self.events_per_cell,
+                              seed=self.seed)
+        result = sampler.run(updates, topology=self.topology,
+                             categories=self.categories)
+        by_vp = group_by_vp(updates)
+        order = list(result.anchors.order)
+        order.extend(vp for vp in sorted(by_vp) if vp not in set(order))
+        return fill_vp_by_vp(order, by_vp, budget,
+                             random.Random(self.seed))

@@ -1,0 +1,186 @@
+"""The four naive baselines of §10 (some used in practice, §16)."""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..bgp.message import BGPUpdate
+from ..core.events import ASCategory
+from ..core.sampler import infer_categories
+from .base import SamplingScheme, fill_vp_by_vp, group_by_vp
+
+
+class RandomUpdates(SamplingScheme):
+    """Rnd.-Upd: sample updates uniformly, regardless of the VP."""
+
+    name = "Rnd.-Upd"
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        rng = random.Random(self.seed)
+        if len(updates) <= budget:
+            chosen = list(updates)
+        else:
+            chosen = rng.sample(list(updates), budget)
+        chosen.sort(key=lambda u: (u.time, u.vp, u.prefix))
+        return chosen
+
+
+class RandomVPs(SamplingScheme):
+    """Rnd.-VP: take all updates from a random set of VPs — the most
+    common sampling strategy reported by the survey (§16)."""
+
+    name = "Rnd.-VP"
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        rng = random.Random(self.seed)
+        by_vp = group_by_vp(updates)
+        order = sorted(by_vp)
+        rng.shuffle(order)
+        return fill_vp_by_vp(order, by_vp, budget, rng)
+
+
+class ASDistanceVPs(SamplingScheme):
+    """AS-Dist.: pick VPs maximizing pairwise AS-level distance.
+
+    One survey respondent used 'geographically distant collectors';
+    this is the AS-hop analogue: the first VP is random, each next VP
+    maximizes its minimal AS-path distance to the already selected ones
+    (distances measured on the AS graph built from the stream's paths).
+    """
+
+    name = "AS-Dist."
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        rng = random.Random(self.seed)
+        by_vp = group_by_vp(updates)
+        vps = sorted(by_vp)
+        if not vps:
+            return []
+        graph = self._as_graph(updates)
+        vp_as = {vp: by_vp[vp][0].as_path[0]
+                 for vp in vps if by_vp[vp] and by_vp[vp][0].as_path}
+
+        order = [vps[rng.randrange(len(vps))]]
+        remaining = [vp for vp in vps if vp != order[0]]
+        while remaining:
+            distances = {
+                vp: min(self._distance(graph, vp_as.get(vp),
+                                       vp_as.get(chosen))
+                        for chosen in order)
+                for vp in remaining
+            }
+            best = max(remaining, key=lambda vp: (distances[vp], vp))
+            order.append(best)
+            remaining.remove(best)
+        return fill_vp_by_vp(order, by_vp, budget, rng)
+
+    @staticmethod
+    def _as_graph(updates: Sequence[BGPUpdate]) -> Dict[int, Set[int]]:
+        graph: Dict[int, Set[int]] = defaultdict(set)
+        for update in updates:
+            path = update.as_path
+            for i in range(len(path) - 1):
+                if path[i] != path[i + 1]:
+                    graph[path[i]].add(path[i + 1])
+                    graph[path[i + 1]].add(path[i])
+        return graph
+
+    @staticmethod
+    def _distance(graph: Dict[int, Set[int]],
+                  a: Optional[int], b: Optional[int]) -> int:
+        if a is None or b is None:
+            return 0
+        if a == b:
+            return 0
+        # BFS bounded to keep the scheme cheap; distances above 6 AS
+        # hops are all "far" for selection purposes.
+        frontier = {a}
+        seen = {a}
+        for depth in range(1, 7):
+            frontier = {n for cur in frontier
+                        for n in graph.get(cur, ()) if n not in seen}
+            if b in frontier:
+                return depth
+            seen |= frontier
+            if not frontier:
+                break
+        return 7
+
+
+class UnbiasedVPs(SamplingScheme):
+    """Unbiased: iteratively drop the VP whose removal best reduces the
+    sampling bias of the remaining set (after [57]).
+
+    Bias is the L1 distance between the AS-category distribution of the
+    VP-hosting ASes and that of all ASes observed in the data.
+    """
+
+    name = "Unbiased"
+
+    def __init__(self, seed: Optional[int] = 0,
+                 categories: Optional[Dict[int, ASCategory]] = None):
+        self.seed = seed
+        self.categories = categories
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        rng = random.Random(self.seed)
+        by_vp = group_by_vp(updates)
+        categories = self.categories or infer_categories(updates)
+        population = self._distribution(categories.values())
+        vp_category = {
+            vp: categories.get(bucket[0].as_path[0], ASCategory.STUB)
+            for vp, bucket in by_vp.items() if bucket and bucket[0].as_path
+        }
+
+        kept = sorted(vp_category)
+        removal_order: List[str] = []
+        while len(kept) > 1:
+            best_vp = min(
+                kept,
+                key=lambda vp: (self._bias(
+                    [vp_category[v] for v in kept if v != vp], population),
+                    vp),
+            )
+            kept.remove(best_vp)
+            removal_order.append(best_vp)
+        # Keep order: last removed = least valuable; fill from the
+        # survivors backwards.
+        order = kept + removal_order[::-1]
+        return fill_vp_by_vp(order, by_vp, budget, rng)
+
+    @staticmethod
+    def _distribution(categories) -> Dict[ASCategory, float]:
+        counts: Dict[ASCategory, int] = defaultdict(int)
+        total = 0
+        for category in categories:
+            counts[category] += 1
+            total += 1
+        if not total:
+            return {}
+        return {cat: count / total for cat, count in counts.items()}
+
+    @classmethod
+    def _bias(cls, sample_categories, population) -> float:
+        sample = cls._distribution(sample_categories)
+        keys = set(sample) | set(population)
+        return sum(abs(sample.get(k, 0.0) - population.get(k, 0.0))
+                   for k in keys)

@@ -1,0 +1,98 @@
+"""Use-case-specific samplers (§10's overfitting baselines).
+
+Each scheme greedily selects the VP with the best marginal trade-off
+between new *objective items* discovered (transient events, MOAS
+prefixes, AS links, action communities, unchanged-path updates) and
+update volume.  They win on their own use case and lose on the others
+— Table 2's diagonal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Set
+
+from ..bgp.message import BGPUpdate
+from ..usecases.communities import detect_action_communities
+from ..usecases.moas import moas_prefixes
+from ..usecases.topo_mapping import observed_as_links
+from ..usecases.transient import transient_event_ids
+from ..usecases.unchanged_path import unchanged_path_event_ids
+from .base import SamplingScheme, fill_vp_by_vp, group_by_vp
+
+#: A metric maps a set of updates to the set of items it detects.
+MetricFn = Callable[[Sequence[BGPUpdate]], Set]
+
+
+class UseCaseSpecificVPs(SamplingScheme):
+    """Greedy VP selection maximizing marginal items per update."""
+
+    def __init__(self, metric: MetricFn, name: str,
+                 seed: Optional[int] = 0):
+        self._metric = metric
+        self.name = name
+        self.seed = seed
+
+    def sample(self, updates: Sequence[BGPUpdate],
+               budget: int) -> List[BGPUpdate]:
+        self._check_budget(budget)
+        rng = random.Random(self.seed)
+        by_vp = group_by_vp(updates)
+        per_vp_items = {vp: self._metric(bucket)
+                        for vp, bucket in by_vp.items()}
+
+        order: List[str] = []
+        covered: Set = set()
+        pool = sorted(by_vp)
+        while pool:
+            def gain(vp: str) -> float:
+                new = len(per_vp_items[vp] - covered)
+                return new / max(1, len(by_vp[vp]))
+            best_vp = max(pool, key=lambda vp: (gain(vp), vp))
+            order.append(best_vp)
+            covered |= per_vp_items[best_vp]
+            pool.remove(best_vp)
+        return fill_vp_by_vp(order, by_vp, budget, rng)
+
+
+def transient_specific(seed: Optional[int] = 0) -> UseCaseSpecificVPs:
+    """Optimized for use case I (transient paths)."""
+    return UseCaseSpecificVPs(
+        lambda ups: transient_event_ids(ups, per_vp=False),
+        "Specific-I", seed)
+
+
+def moas_specific(seed: Optional[int] = 0) -> UseCaseSpecificVPs:
+    """Optimized for use case II (MOAS prefixes)."""
+    return UseCaseSpecificVPs(
+        lambda ups: moas_prefixes(ups), "Specific-II", seed)
+
+
+def topology_specific(seed: Optional[int] = 0) -> UseCaseSpecificVPs:
+    """Optimized for use case III (AS links)."""
+    return UseCaseSpecificVPs(
+        lambda ups: observed_as_links(ups), "Specific-III", seed)
+
+
+def communities_specific(seed: Optional[int] = 0) -> UseCaseSpecificVPs:
+    """Optimized for use case IV (action communities)."""
+    return UseCaseSpecificVPs(
+        lambda ups: detect_action_communities(ups), "Specific-IV", seed)
+
+
+def unchanged_path_specific(seed: Optional[int] = 0) -> UseCaseSpecificVPs:
+    """Optimized for use case V (unchanged-path updates)."""
+    return UseCaseSpecificVPs(
+        lambda ups: unchanged_path_event_ids(ups, per_vp=False),
+        "Specific-V", seed)
+
+
+def all_usecase_specifics(seed: Optional[int] = 0
+                          ) -> List[UseCaseSpecificVPs]:
+    return [
+        transient_specific(seed),
+        moas_specific(seed),
+        topology_specific(seed),
+        communities_specific(seed),
+        unchanged_path_specific(seed),
+    ]

@@ -1,0 +1,89 @@
+"""A from-scratch Gao-Rexford routing simulator (the C-BGP substitute)."""
+
+from .events import (
+    CommunityRetag,
+    ForgedOriginHijack,
+    HijackEnd,
+    LinkFailure,
+    LinkRestoration,
+    OriginChange,
+    PathPrepend,
+    PrefixAnnouncement,
+    PrefixWithdrawal,
+    SessionReset,
+    SubPrefixHijack,
+)
+from .network import (
+    ACTION_COMMUNITY_BASE,
+    SimulatedInternet,
+    assign_prefix_ownership,
+    vp_asn,
+    vp_name,
+)
+from .policies import Relationship, RouteClass, SimRoute, may_export
+from .routing import Announcement, observed_links, propagate, routes_using_link
+from .scenarios import (
+    FailureRecord,
+    HijackRecord,
+    Scenario,
+    build_world,
+    failure_churn,
+    hijack_campaign,
+    merge_scenarios,
+)
+from .topology import (
+    ASTopology,
+    TopologyError,
+    hyperbolic_topology,
+    prune_leaves,
+    synthetic_known_topology,
+)
+from .vantage import (
+    EventRecord,
+    random_vp_deployment,
+    run_events,
+    stream_from_records,
+)
+
+__all__ = [
+    "ACTION_COMMUNITY_BASE",
+    "ASTopology",
+    "Announcement",
+    "CommunityRetag",
+    "EventRecord",
+    "FailureRecord",
+    "HijackRecord",
+    "Scenario",
+    "build_world",
+    "failure_churn",
+    "hijack_campaign",
+    "merge_scenarios",
+    "ForgedOriginHijack",
+    "HijackEnd",
+    "LinkFailure",
+    "LinkRestoration",
+    "OriginChange",
+    "PathPrepend",
+    "PrefixAnnouncement",
+    "PrefixWithdrawal",
+    "SessionReset",
+    "SubPrefixHijack",
+    "Relationship",
+    "RouteClass",
+    "SimRoute",
+    "SimulatedInternet",
+    "TopologyError",
+    "assign_prefix_ownership",
+    "hyperbolic_topology",
+    "may_export",
+    "observed_links",
+    "propagate",
+    "prune_leaves",
+    "random_vp_deployment",
+    "routes_using_link",
+    "run_events",
+    "stream_from_records",
+    "synthetic_known_topology",
+    "vp_asn",
+    "vp_name",
+]

@@ -1,0 +1,167 @@
+"""Routing events the simulator can inject (§3.1, §11).
+
+Each event mutates the simulated Internet (fail/restore a link, start or
+stop a forged-origin hijack, move a prefix to a new origin, retag a
+prefix's communities) and yields the BGP updates the deployed vantage
+points would observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..bgp.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """An AS-level link goes down at ``time``."""
+
+    a: int
+    b: int
+    time: float
+
+
+@dataclass(frozen=True)
+class LinkRestoration:
+    """A previously failed link comes back up at ``time``."""
+
+    a: int
+    b: int
+    time: float
+
+
+@dataclass(frozen=True)
+class ForgedOriginHijack:
+    """A Type-X forged-origin hijack (§3.1): the attacker announces the
+    victim's prefix with the valid origin kept at the end of the path.
+
+    ``type_x`` is the attacker's position in the forged path: Type-1 means
+    ``(attacker, origin)``, Type-2 inserts one intermediate AS, etc.
+    """
+
+    attacker: int
+    prefix: Prefix
+    time: float
+    type_x: int = 1
+    intermediate: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.type_x < 1:
+            raise ValueError("type_x must be >= 1")
+        if self.intermediate is not None and \
+                len(self.intermediate) != self.type_x - 1:
+            raise ValueError("need type_x - 1 intermediate ASes")
+
+
+@dataclass(frozen=True)
+class SubPrefixHijack:
+    """The attacker announces a *more-specific* of the victim's prefix.
+
+    Longest-prefix matching makes sub-prefix hijacks globally
+    effective regardless of AS-path length — every AS that hears the
+    more-specific prefers it, which is why ARTEMIS-class systems [56]
+    treat them as the most severe case.
+    """
+
+    attacker: int
+    prefix: Prefix          # the victim's covering prefix
+    sub_prefix: Prefix      # the announced more-specific
+    time: float
+
+    def __post_init__(self) -> None:
+        if not self.prefix.contains(self.sub_prefix) \
+                or self.sub_prefix == self.prefix:
+            raise ValueError(
+                "sub_prefix must be strictly more specific than prefix"
+            )
+
+
+@dataclass(frozen=True)
+class HijackEnd:
+    """The attacker withdraws its forged announcement."""
+
+    attacker: int
+    prefix: Prefix
+    time: float
+
+
+@dataclass(frozen=True)
+class OriginChange:
+    """A prefix moves to a new (single) origin AS — legitimate or not."""
+
+    prefix: Prefix
+    new_origin: int
+    time: float
+
+
+@dataclass(frozen=True)
+class PrefixWithdrawal:
+    """The origin stops announcing a prefix entirely."""
+
+    prefix: Prefix
+    time: float
+
+
+@dataclass(frozen=True)
+class PrefixAnnouncement:
+    """An origin (re-)announces a prefix (new or previously withdrawn)."""
+
+    prefix: Prefix
+    origin: int
+    time: float
+
+
+@dataclass(frozen=True)
+class SessionReset:
+    """A VP's BGP session to the platform bounces: the platform sees a
+    withdraw-everything burst followed by a full table re-transfer —
+    the classic source of duplicate announcements in collected data."""
+
+    vp_as: int
+    time: float
+    #: seconds between the withdrawals and the re-announcements.
+    downtime_s: float = 30.0
+
+
+@dataclass(frozen=True)
+class PathPrepend:
+    """The origin prepends itself ``count`` times on a prefix.
+
+    The classic traffic-engineering action (often signaled by action
+    communities): a longer AS path makes the route less preferred, so
+    remote ASes shift to alternative routes where one exists, while
+    single-homed observers simply see the longer path.
+
+    With ``towards`` set, prepending is *selective*: only the
+    announcement to that neighbor is inflated (the standard way to
+    de-prefer one upstream), while other neighbors keep the plain path.
+    """
+
+    prefix: Prefix
+    count: int
+    time: float
+    towards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("prepend count must be nonnegative")
+
+
+@dataclass(frozen=True)
+class CommunityRetag:
+    """A traffic-engineering action: the origin retags a prefix's routes.
+
+    Produces *unchanged-path* updates (use case V): the AS path stays the
+    same, only community values change.  When ``action`` is True the new
+    tag is an action community (use case IV).
+    """
+
+    prefix: Prefix
+    time: float
+    tag: int
+    action: bool = False
+
+
+Event = object  # structural union of the dataclasses above

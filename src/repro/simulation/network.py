@@ -1,0 +1,562 @@
+"""The simulated mini-Internet: topology + prefixes + events + VPs.
+
+:class:`SimulatedInternet` glues the substrate together.  It owns the
+prefix-to-origin assignment, computes Gao-Rexford routes (cached per
+distinct announcement set — all prefixes of one origin share a routing
+tree until an event splits them), deploys vantage points, and converts
+injected events into the streams of BGP updates those VPs would export
+to a collection platform.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.message import BGPUpdate, Community
+from ..bgp.prefix import Prefix
+from ..bgp.rib import Route
+from .events import (
+    CommunityRetag,
+    ForgedOriginHijack,
+    HijackEnd,
+    LinkFailure,
+    LinkRestoration,
+    OriginChange,
+    PathPrepend,
+    PrefixAnnouncement,
+    PrefixWithdrawal,
+    SessionReset,
+    SubPrefixHijack,
+)
+from .policies import Relationship, SimRoute
+from .routing import Announcement, observed_links, propagate, routes_using_link
+from .topology import ASTopology
+
+AnnouncementKey = Tuple[Announcement, ...]
+
+#: Community values >= this are "action communities" (use case IV):
+#: they request special handling (blackholing, prepending, ...) rather
+#: than merely tagging where a route entered the network.
+ACTION_COMMUNITY_BASE = 900
+
+
+def _stable_hash(*parts: int) -> int:
+    """Deterministic hash (builtin ``hash`` is salted per process)."""
+    data = ",".join(str(p) for p in parts).encode()
+    return zlib.crc32(data)
+
+
+def vp_name(asn: int) -> str:
+    """Canonical VP identifier for the VP hosted by AS ``asn``."""
+    return f"vp{asn}"
+
+
+def vp_asn(name: str) -> int:
+    """Inverse of :func:`vp_name`."""
+    if not name.startswith("vp"):
+        raise ValueError(f"not a VP name: {name!r}")
+    return int(name[2:])
+
+
+def assign_prefix_ownership(ases: Sequence[int], total_prefixes: int,
+                            seed: Optional[int] = None
+                            ) -> Dict[Prefix, int]:
+    """Assign ``total_prefixes`` prefixes to ASes with a heavy tail.
+
+    The paper ensures per-AS prefix counts follow the real Internet's
+    distribution (§3.1): most ASes announce one prefix, a few announce
+    many.  We draw counts from a Pareto tail and normalize.
+    """
+    if total_prefixes < len(ases):
+        raise ValueError("need at least one prefix per AS")
+    rng = random.Random(seed)
+    counts = {asn: 1 for asn in ases}
+    remaining = total_prefixes - len(ases)
+    weights = [rng.paretovariate(1.3) for _ in ases]
+    total_weight = sum(weights)
+    order = sorted(range(len(ases)), key=lambda i: -weights[i])
+    for i in order:
+        if remaining <= 0:
+            break
+        extra = min(remaining, int(weights[i] / total_weight
+                                   * (total_prefixes - len(ases)) + 0.5))
+        counts[ases[i]] += extra
+        remaining -= extra
+    # Distribute any rounding leftovers to the heaviest ASes.
+    for i in order:
+        if remaining <= 0:
+            break
+        counts[ases[i]] += 1
+        remaining -= 1
+
+    ownership: Dict[Prefix, int] = {}
+    index = 0
+    for asn in ases:
+        for _ in range(counts[asn]):
+            ownership[Prefix.from_index(index)] = asn
+            index += 1
+    return ownership
+
+
+class SimulatedInternet:
+    """A policy-routed mini-Internet with deployable VPs (§3.1, §11)."""
+
+    def __init__(self, topo: ASTopology, seed: Optional[int] = None):
+        self.topo = topo
+        self._rng = random.Random(seed)
+        self._announcements: Dict[Prefix, AnnouncementKey] = {}
+        self._route_cache: Dict[AnnouncementKey, Dict[int, SimRoute]] = {}
+        self._keys_during_outage: Dict[AnnouncementKey, Set[Tuple[int, int]]] = {}
+        self._overlays: Dict[Prefix, FrozenSet[Community]] = {}
+        self._failed_links: Dict[Tuple[int, int], Relationship] = {}
+        self._failure_affected: Dict[Tuple[int, int], Set[Prefix]] = {}
+        self.vp_ases: List[int] = []
+
+    # -- setup -------------------------------------------------------------
+
+    def announce_prefix(self, prefix: Prefix, origin: int) -> None:
+        """Originate ``prefix`` at AS ``origin``."""
+        if origin not in self.topo:
+            raise ValueError(f"AS{origin} not in topology")
+        self._announcements[prefix] = (Announcement.origination(origin),)
+
+    def announce_ownership(self, ownership: Dict[Prefix, int]) -> None:
+        for prefix, origin in ownership.items():
+            self.announce_prefix(prefix, origin)
+
+    def deploy_vps(self, ases: Iterable[int]) -> None:
+        """Host one VP in each of the given ASes."""
+        ases = sorted(set(ases))
+        missing = [a for a in ases if a not in self.topo]
+        if missing:
+            raise ValueError(f"ASes not in topology: {missing[:5]}")
+        self.vp_ases = ases
+
+    @property
+    def vp_names(self) -> List[str]:
+        return [vp_name(a) for a in self.vp_ases]
+
+    def prefixes(self) -> List[Prefix]:
+        return sorted(self._announcements)
+
+    def origin_of(self, prefix: Prefix) -> int:
+        """The legitimate origin (first announcement's true origin)."""
+        return self._announcements[prefix][0].path[-1]
+
+    # -- routing -----------------------------------------------------------
+
+    def routes_for(self, prefix: Prefix) -> Dict[int, SimRoute]:
+        """Best route of every AS for ``prefix`` (cached)."""
+        key = self._announcements[prefix]
+        return self._routes_for_key(key)
+
+    def _routes_for_key(self, key: AnnouncementKey) -> Dict[int, SimRoute]:
+        routes = self._route_cache.get(key)
+        if routes is None:
+            routes = propagate(self.topo, key)
+            self._route_cache[key] = routes
+            if self._failed_links:
+                self._keys_during_outage[key] = set(self._failed_links)
+        return routes
+
+    def links_observed_by_vps(self) -> Set[Tuple[int, int]]:
+        """Undirected AS links visible in any VP's selected routes."""
+        seen: Set[Tuple[int, int]] = set()
+        for key in set(self._announcements.values()):
+            routes = self._routes_for_key(key)
+            seen |= observed_links(routes, self.vp_ases)
+        return seen
+
+    # -- communities model ---------------------------------------------------
+
+    def communities_for(self, prefix: Prefix,
+                        path: Tuple[int, ...]) -> FrozenSet[Community]:
+        """Communities attached to a route, per our tagging model.
+
+        Ingress tag (set by the VP's AS, derived from the next hop) plus an
+        origin tag, plus any per-prefix overlay a :class:`CommunityRetag`
+        event installed.  Identical AS paths thus share communities unless
+        an overlay differs — reproducing the ~93% path/community
+        correlation the paper measures (§18.2).
+        """
+        comms: Set[Community] = {(path[-1], 0)}
+        if len(path) >= 2:
+            comms.add((path[0], path[1] % 500))
+        overlay = self._overlays.get(prefix)
+        if overlay:
+            comms |= overlay
+        return frozenset(comms)
+
+    # -- VP data collection --------------------------------------------------
+
+    def vp_ribs(self, time: float = 0.0) -> Dict[str, List[Route]]:
+        """A RIB snapshot per VP: what each VP would dump at ``time``."""
+        ribs: Dict[str, List[Route]] = {vp_name(a): [] for a in self.vp_ases}
+        for prefix in self.prefixes():
+            routes = self.routes_for(prefix)
+            for asn in self.vp_ases:
+                route = routes.get(asn)
+                if route is None:
+                    continue
+                ribs[vp_name(asn)].append(Route(
+                    prefix, route.path,
+                    self.communities_for(prefix, route.path), time,
+                ))
+        return ribs
+
+    def initial_table_transfer(self, time: float = 0.0) -> List[BGPUpdate]:
+        """The announcements a platform receives when sessions start."""
+        updates: List[BGPUpdate] = []
+        for vp, routes in self.vp_ribs(time).items():
+            for route in routes:
+                updates.append(BGPUpdate(
+                    vp, time, route.prefix, route.as_path, route.communities,
+                ))
+        return sorted(updates, key=lambda u: (u.time, u.vp, u.prefix))
+
+    def _jitter(self, asn: int, prefix: Prefix, time: float,
+                path_len: int) -> float:
+        """Deterministic per-VP convergence delay, within the 100s window."""
+        salt = _stable_hash(asn, prefix.network, int(time))
+        return 1.0 + path_len + (salt % 60)
+
+    def _updates_for_change(self, prefix: Prefix,
+                            old: Dict[int, SimRoute],
+                            new: Dict[int, SimRoute],
+                            time: float) -> List[BGPUpdate]:
+        updates: List[BGPUpdate] = []
+        for asn in self.vp_ases:
+            before = old.get(asn)
+            after = new.get(asn)
+            if before is None and after is None:
+                continue
+            if after is None:
+                updates.append(BGPUpdate(
+                    vp_name(asn),
+                    time + self._jitter(asn, prefix, time, len(before.path)),
+                    prefix, is_withdrawal=True,
+                ))
+            elif before is None or before.path != after.path:
+                updates.append(BGPUpdate(
+                    vp_name(asn),
+                    time + self._jitter(asn, prefix, time, len(after.path)),
+                    prefix, after.path,
+                    self.communities_for(prefix, after.path),
+                ))
+        return sorted(updates, key=lambda u: (u.time, u.vp, u.prefix))
+
+    # -- events --------------------------------------------------------------
+
+    def apply_event(self, event) -> List[BGPUpdate]:
+        """Mutate the Internet per ``event``; return the VP updates."""
+        if isinstance(event, LinkFailure):
+            return self._apply_link_failure(event)
+        if isinstance(event, LinkRestoration):
+            return self._apply_link_restoration(event)
+        if isinstance(event, ForgedOriginHijack):
+            return self._apply_hijack(event)
+        if isinstance(event, HijackEnd):
+            return self._apply_hijack_end(event)
+        if isinstance(event, OriginChange):
+            return self._apply_origin_change(event)
+        if isinstance(event, CommunityRetag):
+            return self._apply_retag(event)
+        if isinstance(event, PrefixWithdrawal):
+            return self._apply_prefix_withdrawal(event)
+        if isinstance(event, PrefixAnnouncement):
+            return self._apply_prefix_announcement(event)
+        if isinstance(event, SessionReset):
+            return self._apply_session_reset(event)
+        if isinstance(event, SubPrefixHijack):
+            return self._apply_subprefix_hijack(event)
+        if isinstance(event, PathPrepend):
+            return self._apply_prepend(event)
+        raise TypeError(f"unknown event type {type(event).__name__}")
+
+    def _snapshot_keys(self, keys: Iterable[AnnouncementKey]
+                       ) -> Dict[AnnouncementKey, Dict[int, SimRoute]]:
+        return {key: dict(self._routes_for_key(key)) for key in keys}
+
+    def _keys_using_link(self, a: int, b: int) -> Set[AnnouncementKey]:
+        hit: Set[AnnouncementKey] = set()
+        for key in set(self._announcements.values()):
+            routes = self._routes_for_key(key)
+            if routes_using_link(routes, a, b):
+                hit.add(key)
+        return hit
+
+    def _recompute(self, keys: Iterable[AnnouncementKey],
+                   old: Dict[AnnouncementKey, Dict[int, SimRoute]],
+                   time: float) -> List[BGPUpdate]:
+        updates: List[BGPUpdate] = []
+        key_prefixes: Dict[AnnouncementKey, List[Prefix]] = {}
+        for prefix, key in self._announcements.items():
+            key_prefixes.setdefault(key, []).append(prefix)
+        for key in keys:
+            self._route_cache.pop(key, None)
+            new_routes = self._routes_for_key(key)
+            for prefix in sorted(key_prefixes.get(key, ())):
+                updates.extend(self._updates_for_change(
+                    prefix, old[key], new_routes, time,
+                ))
+        return sorted(updates, key=lambda u: (u.time, u.vp, u.prefix))
+
+    def _apply_link_failure(self, event: LinkFailure) -> List[BGPUpdate]:
+        link = (min(event.a, event.b), max(event.a, event.b))
+        if link in self._failed_links:
+            raise ValueError(f"link {link} already failed")
+        affected_keys = self._keys_using_link(event.a, event.b)
+        old = self._snapshot_keys(affected_keys)
+        rel = self.topo.remove_link(event.a, event.b)
+        self._failed_links[link] = rel if event.a <= event.b else _invert(rel)
+        self._failure_affected[link] = {
+            p for p, k in self._announcements.items() if k in affected_keys
+        }
+        return self._recompute(affected_keys, old, event.time)
+
+    def _apply_link_restoration(self, event: LinkRestoration
+                                ) -> List[BGPUpdate]:
+        link = (min(event.a, event.b), max(event.a, event.b))
+        rel = self._failed_links.pop(link, None)
+        if rel is None:
+            raise ValueError(f"link {link} is not failed")
+        affected_prefixes = self._failure_affected.pop(link, set())
+        affected_keys = {self._announcements[p] for p in affected_prefixes}
+        # Keys first computed while this link was down may also improve.
+        for key, down in list(self._keys_during_outage.items()):
+            if link in down:
+                affected_keys.add(key)
+                down.discard(link)
+        affected_keys = {k for k in affected_keys
+                         if k in set(self._announcements.values())}
+        old = self._snapshot_keys(affected_keys)
+        low, high = link
+        if rel is Relationship.PEER:
+            self.topo.add_p2p(low, high)
+        elif rel is Relationship.PROVIDER:   # high is low's provider
+            self.topo.add_c2p(low, high)
+        else:                                # high is low's customer
+            self.topo.add_c2p(high, low)
+        return self._recompute(affected_keys, old, event.time)
+
+    def _apply_hijack(self, event: ForgedOriginHijack) -> List[BGPUpdate]:
+        key = self._announcements[event.prefix]
+        if any(a.sender == event.attacker for a in key):
+            raise ValueError(f"AS{event.attacker} already announces "
+                             f"{event.prefix}")
+        victim = self.origin_of(event.prefix)
+        intermediates = event.intermediate
+        if intermediates is None:
+            intermediates = self._pick_intermediates(
+                victim, event.attacker, event.type_x - 1,
+            )
+        forged = Announcement.forged_origin(
+            event.attacker, victim, intermediates,
+        )
+        old = {key: dict(self._routes_for_key(key))}
+        new_key = key + (forged,)
+        self._announcements[event.prefix] = new_key
+        new_routes = self._routes_for_key(new_key)
+        return self._updates_for_change(
+            event.prefix, old[key], new_routes, event.time,
+        )
+
+    def _pick_intermediates(self, victim: int, attacker: int,
+                            count: int) -> Tuple[int, ...]:
+        """Plausible fake hops adjacent to the victim (as in DFOH [25])."""
+        chosen: List[int] = []
+        pool = sorted(self.topo.neighbors(victim) - {attacker})
+        while len(chosen) < count:
+            if pool:
+                chosen.append(pool[self._rng.randrange(len(pool))])
+                pool = [p for p in pool if p not in chosen]
+            else:
+                candidate = self._rng.choice(self.topo.ases())
+                if candidate not in (victim, attacker, *chosen):
+                    chosen.append(candidate)
+        return tuple(chosen)
+
+    def _apply_subprefix_hijack(self, event: SubPrefixHijack
+                                ) -> List[BGPUpdate]:
+        """Announce a more-specific: longest-prefix match means every
+        VP with a route to the attacker sees (and prefers) it."""
+        if event.prefix not in self._announcements:
+            raise ValueError(f"{event.prefix} is not announced")
+        if event.sub_prefix in self._announcements:
+            raise ValueError(f"{event.sub_prefix} is already announced")
+        if event.attacker not in self.topo:
+            raise ValueError(f"AS{event.attacker} not in topology")
+        # The more-specific is a fresh announcement by the attacker —
+        # it propagates like any origination (data-plane capture is
+        # total, but control-plane visibility still depends on BGP
+        # propagation of the attacker's announcement).
+        self._announcements[event.sub_prefix] = (
+            Announcement.origination(event.attacker),
+        )
+        routes = self.routes_for(event.sub_prefix)
+        updates = [
+            BGPUpdate(
+                vp_name(asn),
+                event.time + self._jitter(asn, event.sub_prefix,
+                                          event.time,
+                                          len(routes[asn].path)),
+                event.sub_prefix, routes[asn].path,
+                self.communities_for(event.sub_prefix,
+                                     routes[asn].path),
+            )
+            for asn in self.vp_ases if asn in routes
+        ]
+        return sorted(updates, key=lambda u: (u.time, u.vp))
+
+    def _apply_hijack_end(self, event: HijackEnd) -> List[BGPUpdate]:
+        key = self._announcements[event.prefix]
+        remaining = tuple(a for a in key if a.sender != event.attacker)
+        if remaining == key:
+            raise ValueError(f"AS{event.attacker} does not announce "
+                             f"{event.prefix}")
+        old = {key: dict(self._routes_for_key(key))}
+        self._announcements[event.prefix] = remaining
+        new_routes = self._routes_for_key(remaining)
+        return self._updates_for_change(
+            event.prefix, old[key], new_routes, event.time,
+        )
+
+    def _apply_origin_change(self, event: OriginChange) -> List[BGPUpdate]:
+        if event.new_origin not in self.topo:
+            raise ValueError(f"AS{event.new_origin} not in topology")
+        key = self._announcements[event.prefix]
+        old = {key: dict(self._routes_for_key(key))}
+        new_key = (Announcement.origination(event.new_origin),)
+        self._announcements[event.prefix] = new_key
+        new_routes = self._routes_for_key(new_key)
+        return self._updates_for_change(
+            event.prefix, old[key], new_routes, event.time,
+        )
+
+    def _apply_prefix_withdrawal(self, event: PrefixWithdrawal
+                                 ) -> List[BGPUpdate]:
+        key = self._announcements.pop(event.prefix, None)
+        if key is None:
+            raise ValueError(f"{event.prefix} is not announced")
+        routes = self._routes_for_key(key)
+        self._overlays.pop(event.prefix, None)
+        updates = [
+            BGPUpdate(
+                vp_name(asn),
+                event.time + self._jitter(asn, event.prefix, event.time,
+                                          len(routes[asn].path)),
+                event.prefix, is_withdrawal=True,
+            )
+            for asn in self.vp_ases if asn in routes
+        ]
+        return sorted(updates, key=lambda u: (u.time, u.vp))
+
+    def _apply_prefix_announcement(self, event: PrefixAnnouncement
+                                   ) -> List[BGPUpdate]:
+        if event.prefix in self._announcements:
+            raise ValueError(f"{event.prefix} is already announced")
+        self.announce_prefix(event.prefix, event.origin)
+        routes = self.routes_for(event.prefix)
+        updates = [
+            BGPUpdate(
+                vp_name(asn),
+                event.time + self._jitter(asn, event.prefix, event.time,
+                                          len(routes[asn].path)),
+                event.prefix, routes[asn].path,
+                self.communities_for(event.prefix, routes[asn].path),
+            )
+            for asn in self.vp_ases if asn in routes
+        ]
+        return sorted(updates, key=lambda u: (u.time, u.vp))
+
+    def _apply_session_reset(self, event: SessionReset
+                             ) -> List[BGPUpdate]:
+        if event.vp_as not in self.vp_ases:
+            raise ValueError(f"AS{event.vp_as} hosts no VP")
+        vp = vp_name(event.vp_as)
+        updates: List[BGPUpdate] = []
+        for prefix in self.prefixes():
+            routes = self.routes_for(prefix)
+            route = routes.get(event.vp_as)
+            if route is None:
+                continue
+            updates.append(BGPUpdate(
+                vp, event.time + (_stable_hash(event.vp_as,
+                                               prefix.network, 1) % 10),
+                prefix, is_withdrawal=True,
+            ))
+            updates.append(BGPUpdate(
+                vp,
+                event.time + event.downtime_s
+                + (_stable_hash(event.vp_as, prefix.network, 2) % 30),
+                prefix, route.path,
+                self.communities_for(prefix, route.path),
+            ))
+        return sorted(updates, key=lambda u: (u.time, u.prefix))
+
+    def _apply_prepend(self, event: PathPrepend) -> List[BGPUpdate]:
+        """Re-announce with the origin prepended ``count`` extra times.
+
+        Multi-homed ASes may shift away from the now-longer route;
+        everyone still using it sees the inflated path.
+        """
+        key = self._announcements.get(event.prefix)
+        if key is None:
+            raise ValueError(f"{event.prefix} is not announced")
+        origin = self.origin_of(event.prefix)
+        if event.towards is not None \
+                and event.towards not in self.topo.neighbors(origin):
+            raise ValueError(
+                f"AS{event.towards} is not a neighbor of AS{origin}")
+        old = {key: dict(self._routes_for_key(key))}
+        prepended = Announcement(origin, (origin,) * (event.count + 1))
+        if event.towards is None:
+            replacement = (prepended,)
+        else:
+            # Selective prepending: the plain path everywhere except
+            # ``towards``, which receives the inflated one.
+            others = frozenset(
+                self.topo.neighbors(origin) - {event.towards})
+            replacement = (
+                Announcement(origin, (origin,), only_via=others),
+                Announcement(origin, prepended.path,
+                             only_via=frozenset({event.towards})),
+            )
+        new_key = tuple(
+            a for a in key
+            if not (a.sender == origin and a.path[-1] == origin)
+        ) + replacement
+        self._announcements[event.prefix] = new_key
+        new_routes = self._routes_for_key(new_key)
+        return self._updates_for_change(
+            event.prefix, old[key], new_routes, event.time,
+        )
+
+    def _apply_retag(self, event: CommunityRetag) -> List[BGPUpdate]:
+        origin = self.origin_of(event.prefix)
+        value = (ACTION_COMMUNITY_BASE + event.tag % 100 if event.action
+                 else 500 + event.tag % 400)
+        self._overlays[event.prefix] = frozenset({(origin, value)})
+        routes = self.routes_for(event.prefix)
+        updates: List[BGPUpdate] = []
+        for asn in self.vp_ases:
+            route = routes.get(asn)
+            if route is None:
+                continue
+            updates.append(BGPUpdate(
+                vp_name(asn),
+                event.time + self._jitter(asn, event.prefix, event.time,
+                                          len(route.path)),
+                event.prefix, route.path,
+                self.communities_for(event.prefix, route.path),
+            ))
+        return sorted(updates, key=lambda u: (u.time, u.vp, u.prefix))
+
+
+def _invert(rel: Relationship) -> Relationship:
+    if rel is Relationship.PEER:
+        return rel
+    return (Relationship.CUSTOMER if rel is Relationship.PROVIDER
+            else Relationship.PROVIDER)

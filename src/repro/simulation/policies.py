@@ -1,0 +1,83 @@
+"""Gao-Rexford routing policies (preference and export rules).
+
+The paper's simulations assume every AS follows the Gao-Rexford model
+[23]: prefer customer-learned routes over peer-learned over
+provider-learned, and only export customer-learned (or self-originated)
+routes to peers and providers.  These two rules are the entire policy
+surface our simulator needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Relationship(enum.Enum):
+    """The business relationship of a neighbor, from the local AS's view."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+
+class RouteClass(enum.IntEnum):
+    """Gao-Rexford preference classes; lower value = more preferred."""
+
+    SELF = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+    @classmethod
+    def from_relationship(cls, rel: Relationship) -> "RouteClass":
+        return {
+            Relationship.CUSTOMER: cls.CUSTOMER,
+            Relationship.PEER: cls.PEER,
+            Relationship.PROVIDER: cls.PROVIDER,
+        }[rel]
+
+
+@dataclass(frozen=True)
+class SimRoute:
+    """A route as selected by one simulated AS.
+
+    ``path`` starts at the local AS and ends at the (claimed) origin, e.g.
+    ``(local, ..., origin)``.  ``route_class`` records from which kind of
+    neighbor the route was learned, which drives preference and export.
+    """
+
+    path: Tuple[int, ...]
+    route_class: RouteClass
+
+    @property
+    def local_as(self) -> int:
+        return self.path[0]
+
+    @property
+    def origin_as(self) -> int:
+        return self.path[-1]
+
+    def preference_key(self) -> Tuple[int, int, int]:
+        """Sort key: lower is better.
+
+        Gao-Rexford class first, then AS-path length, then lowest
+        next-hop AS number as the deterministic tie-break.
+        """
+        next_hop = self.path[1] if len(self.path) > 1 else self.path[0]
+        return (int(self.route_class), len(self.path), next_hop)
+
+    def better_than(self, other: Optional["SimRoute"]) -> bool:
+        return other is None or self.preference_key() < other.preference_key()
+
+
+def may_export(route_class: RouteClass, to: Relationship) -> bool:
+    """Gao-Rexford export rule.
+
+    Routes learned from customers (or originated locally) are exported to
+    everyone; routes learned from peers or providers go to customers only.
+    """
+    if to is Relationship.CUSTOMER:
+        return True
+    return route_class in (RouteClass.SELF, RouteClass.CUSTOMER)

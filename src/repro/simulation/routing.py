@@ -1,0 +1,206 @@
+"""Gao-Rexford BGP route propagation (the C-BGP replacement).
+
+Given an :class:`~repro.simulation.topology.ASTopology` and one or more
+announcements of a prefix, compute the best route every AS selects under
+Gao-Rexford preferences and export rules.  The classic three-phase
+computation applies:
+
+1. customer routes climb c2p links from the origin (Dijkstra on
+   preference keys, so each AS finalizes its best customer route);
+2. ASes holding customer/self routes export once across p2p links;
+3. provider routes descend c2p links to customers.
+
+Multiple simultaneous announcements of the same prefix (MOAS, hijacks)
+are supported by seeding phase 1 with several origins, each with its own
+(possibly forged) initial AS path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .policies import RouteClass, SimRoute
+from .topology import ASTopology
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A prefix announcement injected at one AS.
+
+    ``path`` is the AS path the announcer attaches, starting with itself.
+    A legitimate origination is ``(origin,)``; a Type-X forged-origin
+    hijack announces ``(attacker, ..., victim)`` with the attacker in
+    position X (§3.1).
+
+    ``only_via`` restricts the *initial export* to the given neighbors —
+    the mechanism behind selective AS-path prepending and other
+    per-upstream traffic engineering.  ``None`` exports everywhere.
+    When several announcements at one sender target the same neighbor,
+    the last one listed wins for that neighbor.
+    """
+
+    sender: int
+    path: Tuple[int, ...]
+    only_via: Optional[frozenset] = None
+
+    def __post_init__(self) -> None:
+        if not self.path or self.path[0] != self.sender:
+            raise ValueError("announcement path must start at the sender")
+        if self.only_via is not None \
+                and not isinstance(self.only_via, frozenset):
+            object.__setattr__(self, "only_via",
+                               frozenset(self.only_via))
+
+    @classmethod
+    def origination(cls, origin: int) -> "Announcement":
+        return cls(origin, (origin,))
+
+    @classmethod
+    def forged_origin(cls, attacker: int, victim: int,
+                      intermediates: Tuple[int, ...] = ()) -> "Announcement":
+        """A forged-origin announcement: attacker prepends the victim.
+
+        ``intermediates`` are the fake ASes between attacker and victim;
+        Type-1 has none, Type-2 has one, etc.
+        """
+        return cls(attacker, (attacker, *intermediates, victim))
+
+
+def propagate(topo: ASTopology,
+              announcements: Iterable[Announcement]
+              ) -> Dict[int, SimRoute]:
+    """Compute every AS's best route for one prefix.
+
+    Returns a mapping AS → :class:`SimRoute`; ASes with no route (possible
+    under restrictive policies or after failures) are absent.
+    """
+    seeds = list(announcements)
+    for seed in seeds:
+        if seed.sender not in topo:
+            raise ValueError(f"announcer AS{seed.sender} not in topology")
+
+    # Per-edge initial exports: (sender, neighbor) -> announced path.
+    # Selective announcements (only_via) send different paths to
+    # different neighbors; the sender itself selects its shortest own
+    # announcement as its local route.
+    seed_export: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    seed_senders = set()
+    for seed in seeds:
+        seed_senders.add(seed.sender)
+        targets = (seed.only_via if seed.only_via is not None
+                   else topo.neighbors(seed.sender))
+        for neighbor in targets:
+            seed_export[(seed.sender, neighbor)] = seed.path
+
+    def export_path(node: int, neighbor: int,
+                    route: SimRoute) -> Tuple[int, ...]:
+        """What ``node`` announces to ``neighbor`` for this prefix."""
+        if node in seed_senders and route.route_class is RouteClass.SELF:
+            return seed_export.get((node, neighbor), ())
+        return route.path
+
+    best: Dict[int, SimRoute] = {}
+    counter = 0  # heap tie-break for identical preference keys
+
+    # ---- Phase 1: customer routes climb the hierarchy -------------------
+    heap: List[Tuple[Tuple[int, int, int], int, int, SimRoute]] = []
+    for seed in seeds:
+        route = SimRoute(seed.path, RouteClass.SELF)
+        heapq.heappush(heap, (route.preference_key(), counter,
+                              seed.sender, route))
+        counter += 1
+
+    while heap:
+        _, _, node, route = heapq.heappop(heap)
+        if node in best:
+            continue   # already finalized with a better-or-equal route
+        best[node] = route
+        for provider in topo.providers(node):
+            path = export_path(node, provider, route)
+            if not path or provider in path:
+                continue
+            candidate = SimRoute((provider,) + path,
+                                 RouteClass.CUSTOMER)
+            if provider not in best:
+                heapq.heappush(heap, (candidate.preference_key(), counter,
+                                      provider, candidate))
+                counter += 1
+
+    # ---- Phase 2: one hop across peering links --------------------------
+    # Customer/self routes are final (most preferred class), so exports
+    # across p2p links are determined entirely by phase 1's result.
+    peer_candidates: Dict[int, SimRoute] = {}
+    for node, route in best.items():
+        if route.route_class not in (RouteClass.SELF, RouteClass.CUSTOMER):
+            continue
+        for peer in topo.peers(node):
+            path = export_path(node, peer, route)
+            if not path or peer in path or peer in best:
+                continue
+            candidate = SimRoute((peer,) + path, RouteClass.PEER)
+            current = peer_candidates.get(peer)
+            if candidate.better_than(current):
+                peer_candidates[peer] = candidate
+    best.update(peer_candidates)
+
+    # ---- Phase 3: provider routes descend to customers -------------------
+    heap = []
+    for node, route in best.items():
+        for customer in topo.customers(node):
+            path = export_path(node, customer, route)
+            if not path or customer in path:
+                continue
+            candidate = SimRoute((customer,) + path,
+                                 RouteClass.PROVIDER)
+            if customer not in best:
+                heapq.heappush(heap, (candidate.preference_key(), counter,
+                                      customer, candidate))
+                counter += 1
+
+    while heap:
+        _, _, node, route = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = route
+        for customer in topo.customers(node):
+            if customer in route.path:
+                continue
+            candidate = SimRoute((customer,) + route.path,
+                                 RouteClass.PROVIDER)
+            if customer not in best:
+                heapq.heappush(heap, (candidate.preference_key(), counter,
+                                      customer, candidate))
+                counter += 1
+
+    return best
+
+
+def routes_using_link(routes: Dict[int, SimRoute],
+                      a: int, b: int) -> List[int]:
+    """ASes whose selected path traverses link a-b (either direction)."""
+    hit: List[int] = []
+    for node, route in routes.items():
+        path = route.path
+        for i in range(len(path) - 1):
+            if (path[i] == a and path[i + 1] == b) or \
+               (path[i] == b and path[i + 1] == a):
+                hit.append(node)
+                break
+    return hit
+
+
+def observed_links(routes: Dict[int, SimRoute],
+                   observers: Iterable[int]) -> set:
+    """Undirected AS links visible in the paths selected by ``observers``."""
+    links = set()
+    for node in observers:
+        route = routes.get(node)
+        if route is None:
+            continue
+        path = route.path
+        for i in range(len(path) - 1):
+            if path[i] != path[i + 1]:
+                links.add(tuple(sorted((path[i], path[i + 1]))))
+    return links

@@ -1,0 +1,168 @@
+"""Prebuilt simulation scenarios used across benchmarks and examples.
+
+Every evaluation in the paper drives the simulator the same way: build
+an Internet, deploy VPs, inject a workload of events, and hand the
+resulting update stream to samplers and analyses.  These factories
+package the recurring recipes with ground-truth bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+from .events import ForgedOriginHijack, LinkFailure, LinkRestoration
+from .network import SimulatedInternet, assign_prefix_ownership
+from .topology import ASTopology, synthetic_known_topology
+from .vantage import random_vp_deployment
+
+
+@dataclass
+class FailureRecord:
+    """Ground truth for one evaluated link failure."""
+
+    link: Tuple[int, int]
+    prior_paths: Dict[Tuple[str, Prefix], Tuple[int, ...]]
+    updates: List[BGPUpdate]
+
+
+@dataclass
+class HijackRecord:
+    """Ground truth for one injected forged-origin hijack."""
+
+    prefix: Prefix
+    victim: int
+    attacker: int
+    type_x: int
+    updates: List[BGPUpdate]
+
+
+@dataclass
+class Scenario:
+    """A built world plus its event trace and ground truth."""
+
+    topo: ASTopology
+    net: SimulatedInternet
+    stream: List[BGPUpdate]
+    failures: List[FailureRecord] = field(default_factory=list)
+    hijacks: List[HijackRecord] = field(default_factory=list)
+
+    @property
+    def hijack_pairs(self) -> List[Tuple[Prefix, int]]:
+        return [(h.prefix, h.attacker) for h in self.hijacks]
+
+
+def build_world(n_ases: int, coverage: float, seed: int,
+                prefixes_per_as: float = 1.2) -> SimulatedInternet:
+    """An announced, VP-deployed mini-Internet."""
+    topo = synthetic_known_topology(n_ases, seed=seed)
+    net = SimulatedInternet(topo.copy(), seed=seed)
+    total_prefixes = max(n_ases, int(prefixes_per_as * n_ases))
+    net.announce_ownership(
+        assign_prefix_ownership(topo.ases(), total_prefixes, seed=seed))
+    net.deploy_vps(random_vp_deployment(topo, coverage, seed=seed + 1))
+    return net
+
+
+def _snapshot_prior_paths(net: SimulatedInternet
+                          ) -> Dict[Tuple[str, Prefix], Tuple[int, ...]]:
+    prior: Dict[Tuple[str, Prefix], Tuple[int, ...]] = {}
+    for prefix in net.prefixes():
+        routes = net.routes_for(prefix)
+        for asn in net.vp_ases:
+            route = routes.get(asn)
+            if route is not None:
+                prior[(f"vp{asn}", prefix)] = route.path
+    return prior
+
+
+def failure_churn(net: SimulatedInternet, count: int, seed: int,
+                  start_time: float = 1000.0,
+                  spacing_s: float = 1500.0,
+                  outage_s: float = 600.0,
+                  record_ground_truth: bool = False) -> Scenario:
+    """Random link failure/restore cycles — the §11 training workload.
+
+    With ``record_ground_truth`` each failure snapshots the VPs' prior
+    paths so failure localization can be scored afterwards (expensive:
+    one full RIB walk per failure).
+    """
+    rng = random.Random(seed)
+    links = [(a, b) for a, b, _ in net.topo.links()]
+    scenario = Scenario(net.topo, net, [])
+    t = start_time
+    for _ in range(count):
+        a, b = links[rng.randrange(len(links))]
+        try:
+            prior = (_snapshot_prior_paths(net)
+                     if record_ground_truth else {})
+            updates = net.apply_event(LinkFailure(a, b, t))
+            scenario.stream += updates
+            scenario.stream += net.apply_event(
+                LinkRestoration(a, b, t + outage_s))
+            if record_ground_truth and updates:
+                scenario.failures.append(FailureRecord(
+                    (min(a, b), max(a, b)), prior, updates))
+        except ValueError:
+            pass
+        t += spacing_s
+    scenario.stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return scenario
+
+
+def hijack_campaign(net: SimulatedInternet, count: int, seed: int,
+                    start_time: float,
+                    spacing_s: float = 1500.0,
+                    type_x: int = 1,
+                    stub_parties_only: bool = False) -> Scenario:
+    """A series of forged-origin hijacks against random victims.
+
+    ``stub_parties_only`` restricts attackers and victims to stub ASes,
+    which keeps each attack's catchment small — the adversarially
+    interesting case of [34].
+    """
+    rng = random.Random(seed)
+    scenario = Scenario(net.topo, net, [])
+    prefixes = net.prefixes()
+    pool: Sequence[int] = (net.topo.stubs() if stub_parties_only
+                           else net.topo.ases())
+    if stub_parties_only:
+        stub_set = set(pool)
+        prefixes = [p for p in prefixes
+                    if net.origin_of(p) in stub_set] or prefixes
+    t = start_time
+    for _ in range(count):
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        victim = net.origin_of(prefix)
+        candidates = [x for x in pool if x != victim]
+        attacker = candidates[rng.randrange(len(candidates))]
+        try:
+            updates = net.apply_event(ForgedOriginHijack(
+                attacker, prefix, time=t, type_x=type_x))
+            scenario.stream += updates
+            scenario.hijacks.append(HijackRecord(
+                prefix, victim, attacker, type_x, updates))
+        except ValueError:
+            pass
+        t += spacing_s
+    scenario.stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return scenario
+
+
+def merge_scenarios(*scenarios: Scenario) -> Scenario:
+    """Combine traces built against the same world."""
+    if not scenarios:
+        raise ValueError("need at least one scenario")
+    base = scenarios[0]
+    merged = Scenario(base.topo, base.net, [])
+    for scenario in scenarios:
+        if scenario.net is not base.net:
+            raise ValueError("scenarios must share one world")
+        merged.stream += scenario.stream
+        merged.failures += scenario.failures
+        merged.hijacks += scenario.hijacks
+    merged.stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    return merged

@@ -1,0 +1,465 @@
+"""AS-level topologies with business relationships, and their generators.
+
+The paper evaluates on (a) a *pruned known* topology derived from CAIDA's
+AS-relationship dataset, and (b) ten *artificial* topologies from the
+Hyperbolic Graph Generator (average degree 6.1, power-law exponent 2.1),
+tiered and labeled with Gao-Rexford-compatible relationships (§3.1).
+
+We have no CAIDA data offline, so the "known" topology is replaced by a
+preferential-attachment Internet-like generator with the same downstream
+interface (see DESIGN.md substitutions); the hyperbolic generator is
+implemented from scratch following Aldecoa et al. [3].
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .policies import Relationship
+
+#: An undirected AS link with its relationship type.  For c2p links the
+#: tuple is ``(customer, provider)``; for p2p, the lower ASN comes first.
+Link = Tuple[int, int, Relationship]
+
+
+class TopologyError(ValueError):
+    """Raised on malformed topology operations."""
+
+
+class ASTopology:
+    """An AS graph annotated with c2p / p2p relationships.
+
+    The class enforces consistency (an AS pair has at most one
+    relationship) and exposes the queries the simulator and GILL's
+    analytics need: neighbors by relationship, degrees, tiers, customer
+    cones, and link enumeration.
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_as(self, asn: int) -> None:
+        if asn not in self._providers:
+            self._providers[asn] = set()
+            self._customers[asn] = set()
+            self._peers[asn] = set()
+
+    def add_c2p(self, customer: int, provider: int) -> None:
+        """Add a customer-to-provider link."""
+        if customer == provider:
+            raise TopologyError("self-links are not allowed")
+        if self.has_link(customer, provider):
+            raise TopologyError(
+                f"link {customer}-{provider} already exists"
+            )
+        self.add_as(customer)
+        self.add_as(provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_p2p(self, a: int, b: int) -> None:
+        """Add a peer-to-peer link."""
+        if a == b:
+            raise TopologyError("self-links are not allowed")
+        if self.has_link(a, b):
+            raise TopologyError(f"link {a}-{b} already exists")
+        self.add_as(a)
+        self.add_as(b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def remove_link(self, a: int, b: int) -> Relationship:
+        """Remove the link between ``a`` and ``b``; returns its type."""
+        rel = self.relationship(a, b)
+        if rel is None:
+            raise TopologyError(f"no link {a}-{b}")
+        if rel is Relationship.PEER:
+            self._peers[a].discard(b)
+            self._peers[b].discard(a)
+        elif rel is Relationship.PROVIDER:   # b is a's provider
+            self._providers[a].discard(b)
+            self._customers[b].discard(a)
+        else:                                # b is a's customer
+            self._customers[a].discard(b)
+            self._providers[b].discard(a)
+        return rel
+
+    def remove_as(self, asn: int) -> None:
+        for provider in list(self._providers.get(asn, ())):
+            self.remove_link(asn, provider)
+        for customer in list(self._customers.get(asn, ())):
+            self.remove_link(asn, customer)
+        for peer in list(self._peers.get(asn, ())):
+            self.remove_link(asn, peer)
+        self._providers.pop(asn, None)
+        self._customers.pop(asn, None)
+        self._peers.pop(asn, None)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def ases(self) -> List[int]:
+        return sorted(self._providers)
+
+    def providers(self, asn: int) -> Set[int]:
+        return set(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> Set[int]:
+        return set(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> Set[int]:
+        return set(self._peers.get(asn, ()))
+
+    def neighbors(self, asn: int) -> Set[int]:
+        return (self._providers.get(asn, set())
+                | self._customers.get(asn, set())
+                | self._peers.get(asn, set()))
+
+    def degree(self, asn: int) -> int:
+        return (len(self._providers.get(asn, ()))
+                + len(self._customers.get(asn, ()))
+                + len(self._peers.get(asn, ())))
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        """The relationship of ``b`` from ``a``'s point of view."""
+        if b in self._providers.get(a, ()):
+            return Relationship.PROVIDER
+        if b in self._customers.get(a, ()):
+            return Relationship.CUSTOMER
+        if b in self._peers.get(a, ()):
+            return Relationship.PEER
+        return None
+
+    def has_link(self, a: int, b: int) -> bool:
+        return self.relationship(a, b) is not None
+
+    def links(self) -> List[Link]:
+        """All links, each reported once."""
+        result: List[Link] = []
+        for asn in self._providers:
+            for provider in self._providers[asn]:
+                result.append((asn, provider, Relationship.PROVIDER))
+            for peer in self._peers[asn]:
+                if asn < peer:
+                    result.append((asn, peer, Relationship.PEER))
+        return result
+
+    def c2p_links(self) -> Set[Tuple[int, int]]:
+        """All c2p links as (customer, provider) pairs."""
+        return {(a, b) for a, b, rel in self.links()
+                if rel is Relationship.PROVIDER}
+
+    def p2p_links(self) -> Set[Tuple[int, int]]:
+        """All p2p links as (low-ASN, high-ASN) pairs."""
+        return {(a, b) for a, b, rel in self.links()
+                if rel is Relationship.PEER}
+
+    def link_count(self) -> int:
+        return len(self.links())
+
+    def average_degree(self) -> float:
+        if not self._providers:
+            return 0.0
+        return 2.0 * self.link_count() / len(self)
+
+    def stubs(self) -> List[int]:
+        """ASes with no customers (the Internet's edge)."""
+        return sorted(asn for asn in self._providers
+                      if not self._customers[asn])
+
+    def transit_ases(self) -> List[int]:
+        """ASes with at least one customer."""
+        return sorted(asn for asn in self._providers
+                      if self._customers[asn])
+
+    def tier1_ases(self) -> List[int]:
+        """ASes with no providers (and at least one customer)."""
+        return sorted(asn for asn in self._providers
+                      if not self._providers[asn] and self._customers[asn])
+
+    def customer_cone(self, asn: int) -> Set[int]:
+        """All ASes reachable from ``asn`` by descending c2p links,
+        including ``asn`` itself — the AS-Rank customer-cone definition."""
+        cone: Set[int] = set()
+        stack = [asn]
+        while stack:
+            node = stack.pop()
+            if node in cone:
+                continue
+            cone.add(node)
+            stack.extend(self._customers.get(node, ()))
+        return cone
+
+    def check_hierarchy_acyclic(self) -> bool:
+        """True if the c2p digraph (customer→provider) has no cycle."""
+        state: Dict[int, int] = {}   # 0 = visiting, 1 = done
+
+        for start in self._providers:
+            if start in state:
+                continue
+            stack: List[Tuple[int, Iterator[int]]] = [
+                (start, iter(self._providers[start]))
+            ]
+            state[start] = 0
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if state.get(nxt) == 0:
+                        return False
+                    if nxt not in state:
+                        state[nxt] = 0
+                        stack.append((nxt, iter(self._providers[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = 1
+                    stack.pop()
+        return True
+
+    def copy(self) -> "ASTopology":
+        clone = ASTopology()
+        clone._providers = {k: set(v) for k, v in self._providers.items()}
+        clone._customers = {k: set(v) for k, v in self._customers.items()}
+        clone._peers = {k: set(v) for k, v in self._peers.items()}
+        return clone
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def hyperbolic_topology(n: int, avg_degree: float = 6.1,
+                        gamma: float = 2.1,
+                        seed: Optional[int] = None) -> ASTopology:
+    """Hyperbolic-graph AS topology, tiered per the paper (§3.1).
+
+    Nodes are placed in a hyperbolic disk (radial density ``e^{alpha r}``
+    with ``alpha = (gamma - 1) / 2``); two nodes connect when their
+    hyperbolic distance is below the disk radius, which yields a power-law
+    degree distribution with exponent ``gamma``.  The three highest-degree
+    ASes become fully meshed Tier-1s; every other AS gets a level equal to
+    one plus its closest-to-Tier1 neighbor.  Same-level links are p2p,
+    cross-level links are c2p with the lower level as provider.
+    """
+    import numpy as np
+
+    if n < 4:
+        raise TopologyError("need at least 4 ASes")
+    rng = np.random.default_rng(seed)
+    alpha = (gamma - 1.0) / 2.0
+    # Disk radius controlling average degree; the asymptotic formula is
+    # refined below by adjusting R until the degree target is met.
+    radius = 2.0 * math.log(8.0 * n * alpha ** 2
+                            / (avg_degree * math.pi * (2 * alpha - 1) ** 2))
+    radius = max(radius, 1.0)
+
+    # Radial CDF inversion: F(r) = (cosh(alpha r) - 1)/(cosh(alpha R) - 1).
+    u = rng.random(n)
+    r = np.arccosh(1.0 + u * (np.cosh(alpha * radius) - 1.0)) / alpha
+    theta = rng.random(n) * 2.0 * math.pi
+
+    def edge_arrays(rad: float):
+        cos_dt = np.cos(
+            np.abs(theta[:, None] - theta[None, :]) % (2 * math.pi)
+        )
+        cosh_d = (np.cosh(r)[:, None] * np.cosh(r)[None, :]
+                  - np.sinh(r)[:, None] * np.sinh(r)[None, :] * cos_dt)
+        # Numerical guard: cosh of a distance is >= 1.
+        np.fill_diagonal(cosh_d, np.inf)
+        return np.argwhere(
+            np.triu(cosh_d <= math.cosh(rad), k=1)
+        )
+
+    # Adjust the connection radius until the average degree is within 10%
+    # of the target (the closed form is asymptotic and drifts for small n).
+    lo, hi = 0.1, 2.0 * radius
+    edges = edge_arrays(radius)
+    for _ in range(30):
+        avg = 2.0 * len(edges) / n
+        if abs(avg - avg_degree) / avg_degree < 0.1:
+            break
+        if avg < avg_degree:
+            lo = radius
+        else:
+            hi = radius
+        radius = (lo + hi) / 2.0
+        edges = edge_arrays(radius)
+
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for a, b in edges:
+        adjacency[int(a)].add(int(b))
+        adjacency[int(b)].add(int(a))
+
+    # Keep the giant component; re-attach stray nodes to their
+    # hyperbolically closest node inside it so every AS participates.
+    component = _largest_component(adjacency)
+    inside = sorted(component)
+    for node in range(n):
+        if node in component:
+            continue
+        dists = [
+            (math.cosh(r[node]) * math.cosh(r[other])
+             - math.sinh(r[node]) * math.sinh(r[other])
+             * math.cos(abs(theta[node] - theta[other]) % (2 * math.pi)),
+             other)
+            for other in inside
+        ]
+        _, closest = min(dists)
+        adjacency[node].add(closest)
+        adjacency[closest].add(node)
+
+    return _tiered_topology_from_adjacency(adjacency)
+
+
+def _largest_component(adjacency: Dict[int, Set[int]]) -> Set[int]:
+    seen: Set[int] = set()
+    best: Set[int] = set()
+    for start in adjacency:
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt not in component:
+                    component.add(nxt)
+                    stack.append(nxt)
+        seen |= component
+        if len(component) > len(best):
+            best = component
+    return best
+
+
+def _tiered_topology_from_adjacency(
+    adjacency: Dict[int, Set[int]]
+) -> ASTopology:
+    """Label an undirected AS graph with relationships via tier levels."""
+    degrees = {node: len(neigh) for node, neigh in adjacency.items()}
+    tier1 = sorted(degrees, key=lambda x: (-degrees[x], x))[:3]
+
+    # Level = BFS distance from the Tier-1 mesh.
+    level: Dict[int, int] = {t: 0 for t in tier1}
+    frontier = list(tier1)
+    while frontier:
+        nxt: List[int] = []
+        for node in frontier:
+            for neigh in adjacency[node]:
+                if neigh not in level:
+                    level[neigh] = level[node] + 1
+                    nxt.append(neigh)
+        frontier = nxt
+
+    topo = ASTopology()
+    for node in adjacency:
+        topo.add_as(node)
+    for t1 in tier1:
+        for other in tier1:
+            if t1 < other and other not in adjacency[t1]:
+                adjacency[t1].add(other)
+                adjacency[other].add(t1)
+    for node, neighbors in adjacency.items():
+        for neigh in neighbors:
+            if node >= neigh:
+                continue
+            if level[node] == level[neigh]:
+                topo.add_p2p(node, neigh)
+            elif level[node] < level[neigh]:
+                topo.add_c2p(neigh, node)     # node is the provider
+            else:
+                topo.add_c2p(node, neigh)     # neigh is the provider
+    return topo
+
+
+def synthetic_known_topology(n: int, seed: Optional[int] = None,
+                             p2p_fraction: float = 0.35) -> ASTopology:
+    """An Internet-like 'known' topology replacing the CAIDA dataset.
+
+    Preferential attachment on providers creates the heavy-tailed transit
+    hierarchy; additional p2p links connect ASes of similar degree (dense
+    at the edge, sparse at the core), matching the qualitative structure
+    the paper's pruned CAIDA topology exhibits.
+    """
+    if n < 5:
+        raise TopologyError("need at least 5 ASes")
+    rng = random.Random(seed)
+    topo = ASTopology()
+    # Seed clique of Tier-1s.
+    tier1 = [1, 2, 3]
+    for t in tier1:
+        topo.add_as(t)
+    topo.add_p2p(1, 2)
+    topo.add_p2p(1, 3)
+    topo.add_p2p(2, 3)
+
+    attachment_pool: List[int] = tier1 * 3   # weighted by (initial) degree
+    for asn in range(4, n + 1):
+        n_providers = 1 if rng.random() < 0.55 else 2
+        providers: Set[int] = set()
+        while len(providers) < n_providers:
+            candidate = rng.choice(attachment_pool)
+            if candidate != asn and candidate not in providers:
+                providers.add(candidate)
+        for provider in providers:
+            topo.add_c2p(asn, provider)
+            attachment_pool.append(provider)
+        attachment_pool.append(asn)
+
+    # Sprinkle p2p links between degree-similar *transit* ASes.  Stub
+    # networks rarely expose settlement-free peering in public BGP data,
+    # and keeping them single-homed-shaped preserves the duplicate edge
+    # views that make anchor selection meaningful.
+    transit = topo.transit_ases()
+    target_p2p = int(p2p_fraction * topo.link_count())
+    attempts = 0
+    added = 0
+    while added < target_p2p and attempts < 50 * target_p2p:
+        attempts += 1
+        a, b = rng.sample(transit, 2)
+        if topo.has_link(a, b):
+            continue
+        da, db = topo.degree(a), topo.degree(b)
+        # Accept when degrees are within a factor of ~4 of each other.
+        if max(da, db) <= 4 * max(1, min(da, db)):
+            topo.add_p2p(a, b)
+            added += 1
+    return topo
+
+
+def prune_leaves(topo: ASTopology, target_n: int) -> ASTopology:
+    """Iteratively remove leaf ASes until at most ``target_n`` remain (§3.1).
+
+    This is the paper's procedure for shrinking the known AS topology to a
+    simulatable size.  Removal is deterministic (lowest-degree, then lowest
+    ASN first) so runs are reproducible.
+    """
+    pruned = topo.copy()
+    while len(pruned) > target_n:
+        leaves = sorted(
+            (asn for asn in pruned.ases() if pruned.degree(asn) <= 1),
+            key=lambda a: (pruned.degree(a), a),
+        )
+        if not leaves:
+            # No pure leaves left: peel the lowest-degree stubs instead.
+            leaves = sorted(pruned.stubs(),
+                            key=lambda a: (pruned.degree(a), a))
+            if not leaves:
+                break
+        for asn in leaves:
+            if len(pruned) <= target_n:
+                break
+            pruned.remove_as(asn)
+    return pruned

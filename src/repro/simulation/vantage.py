@@ -1,0 +1,68 @@
+"""Vantage-point deployment and scenario execution helpers.
+
+The paper's simulations (§3.1, §11) deploy VPs in a randomly selected
+fraction of ASes ("coverage"), inject events, and hand the resulting
+update streams to samplers and analyses.  This module provides those
+building blocks plus ground-truth bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..bgp.message import BGPUpdate, sort_updates
+from .network import SimulatedInternet
+from .topology import ASTopology
+
+
+def random_vp_deployment(topo: ASTopology, coverage: float,
+                         seed: Optional[int] = None,
+                         always_include: Iterable[int] = ()) -> List[int]:
+    """Pick the ASes hosting a VP for a target coverage fraction.
+
+    ``coverage`` is the fraction of ASes hosting a VP (the paper's x-axis
+    in Fig. 4 and Table 3, from 0.005 to 1.0).
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    rng = random.Random(seed)
+    ases = topo.ases()
+    count = max(1, round(coverage * len(ases)))
+    chosen = set(always_include)
+    pool = [a for a in ases if a not in chosen]
+    need = max(0, count - len(chosen))
+    chosen.update(rng.sample(pool, min(need, len(pool))))
+    return sorted(chosen)
+
+
+@dataclass
+class EventRecord:
+    """One injected event together with the updates it triggered."""
+
+    event: object
+    updates: List[BGPUpdate] = field(default_factory=list)
+
+    @property
+    def observed(self) -> bool:
+        """True when at least one VP saw the event."""
+        return bool(self.updates)
+
+    def observing_vps(self) -> Set[str]:
+        return {u.vp for u in self.updates}
+
+
+def run_events(net: SimulatedInternet,
+               events: Sequence[object]) -> List[EventRecord]:
+    """Apply events in chronological order and record their updates."""
+    ordered = sorted(events, key=lambda e: e.time)
+    return [EventRecord(event, net.apply_event(event)) for event in ordered]
+
+
+def stream_from_records(records: Iterable[EventRecord]) -> List[BGPUpdate]:
+    """Flatten event records into one time-ordered update stream."""
+    updates: List[BGPUpdate] = []
+    for record in records:
+        updates.extend(record.updates)
+    return sort_updates(updates)

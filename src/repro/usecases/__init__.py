@@ -1,0 +1,103 @@
+"""Analyses that consume collected BGP data (the paper's use cases)."""
+
+from .as_relationships import (
+    InferredRelationships,
+    ValidationReport,
+    infer_relationships,
+    paths_from_updates,
+    transit_degrees,
+    validate_relationships,
+)
+from .communities import (
+    community_usage,
+    detect_action_communities,
+    is_action_community,
+)
+from .customer_cone import (
+    cone_errors,
+    customer_cone_sizes,
+    customer_graph,
+    mean_absolute_cone_error,
+    true_cone_sizes,
+)
+from .failure_localization import (
+    PathChange,
+    candidate_failed_links,
+    changes_from_updates,
+    localize_failure,
+)
+from .hijack_detection import (
+    DetectorPerformance,
+    DFOHDetector,
+    SuspiciousCase,
+    compare_to_reference,
+    hijack_visible,
+    visible_hijacks,
+)
+from .moas import MOASConflict, detect_moas, moas_prefixes
+from .subprefix import (
+    SubPrefixAlarm,
+    SubPrefixDetector,
+    detect_subprefix_hijacks,
+)
+from .topo_mapping import (
+    TopologyCoverage,
+    compare_link_sets,
+    links_in_path,
+    observed_as_links,
+    topology_coverage,
+)
+from .transient import (
+    TransientPath,
+    detect_transient_paths,
+    transient_event_ids,
+)
+from .unchanged_path import (
+    UnchangedPathUpdate,
+    detect_unchanged_path_updates,
+    unchanged_path_event_ids,
+)
+
+__all__ = [
+    "DFOHDetector",
+    "DetectorPerformance",
+    "InferredRelationships",
+    "MOASConflict",
+    "PathChange",
+    "SubPrefixAlarm",
+    "SubPrefixDetector",
+    "SuspiciousCase",
+    "TopologyCoverage",
+    "TransientPath",
+    "UnchangedPathUpdate",
+    "ValidationReport",
+    "candidate_failed_links",
+    "changes_from_updates",
+    "community_usage",
+    "compare_link_sets",
+    "compare_to_reference",
+    "cone_errors",
+    "customer_cone_sizes",
+    "customer_graph",
+    "detect_action_communities",
+    "detect_moas",
+    "detect_subprefix_hijacks",
+    "detect_transient_paths",
+    "detect_unchanged_path_updates",
+    "hijack_visible",
+    "infer_relationships",
+    "is_action_community",
+    "links_in_path",
+    "localize_failure",
+    "mean_absolute_cone_error",
+    "moas_prefixes",
+    "observed_as_links",
+    "paths_from_updates",
+    "topology_coverage",
+    "transient_event_ids",
+    "transit_degrees",
+    "true_cone_sizes",
+    "unchanged_path_event_ids",
+    "validate_relationships",
+    "visible_hijacks",
+]

@@ -1,0 +1,54 @@
+"""Use case IV: action-community detection (§10).
+
+Action communities request special handling (blackholing, prepending,
+selective announcement) rather than merely tagging a route.  They are
+the hardest community class to observe [60] because they appear rarely
+and often only near their target.  Detection needs the *communities*
+attribute of the updates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Sequence, Set
+
+from ..bgp.message import BGPUpdate, Community
+from ..simulation.network import ACTION_COMMUNITY_BASE
+
+
+def is_action_community(community: Community) -> bool:
+    """Our substrate's convention: values >= the action base are actions
+    (mirrors how the simulator and generator tag TE actions)."""
+    return community[1] >= ACTION_COMMUNITY_BASE
+
+
+def detect_action_communities(
+    updates: Sequence[BGPUpdate],
+    known_actions: Optional[Set[Community]] = None,
+) -> Set[Community]:
+    """Action communities observed in a sample.
+
+    When ``known_actions`` is given (the paper uses the 8683 labeled
+    action communities of [60]), only those count; otherwise the
+    substrate convention identifies them.
+    """
+    observed: Set[Community] = set()
+    for update in updates:
+        for community in update.communities:
+            if known_actions is not None:
+                if community in known_actions:
+                    observed.add(community)
+            elif is_action_community(community):
+                observed.add(community)
+    return observed
+
+
+def community_usage(updates: Sequence[BGPUpdate]
+                    ) -> Dict[Community, int]:
+    """How many updates carry each community — handy for studying which
+    communities are rare (and therefore sampling-sensitive)."""
+    counts: Dict[Community, int] = defaultdict(int)
+    for update in updates:
+        for community in update.communities:
+            counts[community] += 1
+    return dict(counts)

@@ -1,0 +1,78 @@
+"""Customer-cone sizes, after AS-Rank [11] (§12).
+
+The Customer Cone Size (CCS) of an AS counts the ASes reachable by
+descending only inferred customer links (the AS itself included).  The
+§12 replication shows GILL-sampled paths fix CCS errors that CAIDA's
+fixed 648-VP sample produces (e.g. a route server wrongly credited
+with a 16-AS cone).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+from ..simulation.policies import Relationship
+from ..simulation.topology import ASTopology
+from .as_relationships import InferredRelationships
+
+
+def customer_graph(relationships: InferredRelationships
+                   ) -> Dict[int, Set[int]]:
+    """provider -> direct customers, from inferred relationships."""
+    customers: Dict[int, Set[int]] = defaultdict(set)
+    for (low, high), label in relationships.items():
+        if label is Relationship.PROVIDER:      # low is high's customer
+            customers[high].add(low)
+        elif label is Relationship.CUSTOMER:    # high is low's customer
+            customers[low].add(high)
+    return customers
+
+
+def customer_cone_sizes(relationships: InferredRelationships
+                        ) -> Dict[int, int]:
+    """CCS for every AS appearing in the inferred relationships."""
+    customers = customer_graph(relationships)
+    ases: Set[int] = set()
+    for low, high in relationships:
+        ases.add(low)
+        ases.add(high)
+
+    sizes: Dict[int, int] = {}
+    for asn in ases:
+        cone: Set[int] = set()
+        stack = [asn]
+        while stack:
+            node = stack.pop()
+            if node in cone:
+                continue
+            cone.add(node)
+            stack.extend(customers.get(node, ()))
+        sizes[asn] = len(cone)
+    return sizes
+
+
+def true_cone_sizes(topo: ASTopology) -> Dict[int, int]:
+    """Ground-truth CCS from a simulated topology."""
+    return {asn: len(topo.customer_cone(asn)) for asn in topo.ases()}
+
+
+def cone_errors(inferred_sizes: Dict[int, int],
+                truth: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """ASes whose inferred CCS deviates from truth: asn -> (got, want)."""
+    errors: Dict[int, Tuple[int, int]] = {}
+    for asn, want in truth.items():
+        got = inferred_sizes.get(asn)
+        if got is not None and got != want:
+            errors[asn] = (got, want)
+    return errors
+
+
+def mean_absolute_cone_error(inferred_sizes: Dict[int, int],
+                             truth: Dict[int, int]) -> float:
+    """Average |inferred - true| CCS over ASes present in both."""
+    common = [asn for asn in truth if asn in inferred_sizes]
+    if not common:
+        return 0.0
+    return sum(abs(inferred_sizes[a] - truth[a]) for a in common) \
+        / len(common)

@@ -1,0 +1,67 @@
+"""Link-failure localization (§3.1), after Feldmann et al. [21].
+
+When a link fails, every affected VP switches from a path using the
+link to one avoiding it.  The candidate set of failed links is the
+intersection, across observers, of the links each VP's route *lost*.
+A failure is localized when that intersection pins down the failed
+link exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+from .topo_mapping import UndirectedLink, links_in_path
+
+
+@dataclass(frozen=True)
+class PathChange:
+    """One VP's route change: the old and new AS paths (new may be
+    empty when the route was withdrawn)."""
+
+    old_path: Tuple[int, ...]
+    new_path: Tuple[int, ...] = ()
+
+
+def candidate_failed_links(changes: Sequence[PathChange]
+                           ) -> Set[UndirectedLink]:
+    """Links every observer lost — the [21]-style candidate set."""
+    candidates: Optional[Set[UndirectedLink]] = None
+    for change in changes:
+        lost = links_in_path(change.old_path) - links_in_path(change.new_path)
+        if not lost:
+            continue
+        candidates = lost if candidates is None else (candidates & lost)
+        if not candidates:
+            return set()
+    return candidates or set()
+
+
+def localize_failure(changes: Sequence[PathChange],
+                     failed_link: Tuple[int, int]) -> bool:
+    """True when the observations pin the failure to ``failed_link``."""
+    normalized = (min(failed_link), max(failed_link))
+    return candidate_failed_links(changes) == {normalized}
+
+
+def changes_from_updates(
+    prior_paths: Dict[Tuple[str, Prefix], Tuple[int, ...]],
+    updates: Iterable[BGPUpdate],
+) -> List[PathChange]:
+    """Build :class:`PathChange` records from event updates.
+
+    ``prior_paths`` maps (vp, prefix) to the route held before the
+    event; updates lacking a prior route are skipped (nothing was
+    lost from their perspective).
+    """
+    changes: List[PathChange] = []
+    for update in updates:
+        old = prior_paths.get((update.vp, update.prefix))
+        if old is None:
+            continue
+        new = () if update.is_withdrawal else update.as_path
+        changes.append(PathChange(old, new))
+    return changes

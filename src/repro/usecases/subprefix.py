@@ -1,0 +1,97 @@
+"""Sub-prefix hijack detection (ARTEMIS-style [56]).
+
+A sub-prefix hijack announces a strict more-specific of a victim's
+prefix; longest-prefix matching then diverts traffic globally.
+Detection is self-referential: learn which covering prefixes belong to
+which origins, then flag any newly announced more-specific whose origin
+differs from its covering prefix's owner.  Same-origin more-specifics
+are legitimate de-aggregation and stay silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class SubPrefixAlarm:
+    """One flagged more-specific announcement."""
+
+    sub_prefix: Prefix
+    covering_prefix: Prefix
+    covering_origin: int
+    announced_origin: int
+    time: float
+    vp: str
+
+    @property
+    def case_id(self) -> Tuple:
+        return (self.sub_prefix, self.announced_origin)
+
+
+class SubPrefixDetector:
+    """Tracks covering prefixes and flags foreign more-specifics."""
+
+    def __init__(self,
+                 ownership: Optional[Dict[Prefix, int]] = None):
+        #: covering prefix -> legitimate origin.  Can be seeded from
+        #: authoritative data (ARTEMIS mode: the operator's own
+        #: prefixes) or learned from the stream (platform mode).
+        self._ownership: Dict[Prefix, int] = dict(ownership or {})
+
+    def learn(self, updates: Iterable[BGPUpdate]) -> None:
+        """Absorb a trusted bootstrap: first origin seen per prefix."""
+        for update in sorted(updates, key=lambda u: u.time):
+            if update.is_withdrawal or update.origin_as is None:
+                continue
+            self._ownership.setdefault(update.prefix, update.origin_as)
+
+    def covering_for(self, prefix: Prefix
+                     ) -> Optional[Tuple[Prefix, int]]:
+        """The most specific known covering prefix, if any."""
+        best: Optional[Tuple[Prefix, int]] = None
+        for known, origin in self._ownership.items():
+            if known != prefix and known.contains(prefix):
+                if best is None or known.length > best[0].length:
+                    best = (known, origin)
+        return best
+
+    def scan(self, updates: Sequence[BGPUpdate]) -> List[SubPrefixAlarm]:
+        """Flag foreign more-specifics; learns as it goes.
+
+        Every announcement for an unknown prefix is checked against
+        the covering table before being absorbed, so a hijack is
+        flagged at first sight and not whitewashed by its own arrival.
+        """
+        alarms: Dict[Tuple, SubPrefixAlarm] = {}
+        for update in sorted(updates, key=lambda u: u.time):
+            if update.is_withdrawal or update.origin_as is None:
+                continue
+            if update.prefix not in self._ownership:
+                covering = self.covering_for(update.prefix)
+                if covering is not None \
+                        and covering[1] != update.origin_as:
+                    alarm = SubPrefixAlarm(
+                        update.prefix, covering[0], covering[1],
+                        update.origin_as, update.time, update.vp,
+                    )
+                    alarms.setdefault(alarm.case_id, alarm)
+                    # Do not absorb hijacked prefixes into ownership.
+                    continue
+                self._ownership[update.prefix] = update.origin_as
+        return sorted(alarms.values(), key=lambda a: a.time)
+
+
+def detect_subprefix_hijacks(
+    bootstrap: Sequence[BGPUpdate],
+    updates: Sequence[BGPUpdate],
+    ownership: Optional[Dict[Prefix, int]] = None,
+) -> List[SubPrefixAlarm]:
+    """Convenience wrapper: learn from ``bootstrap``, scan ``updates``."""
+    detector = SubPrefixDetector(ownership)
+    detector.learn(bootstrap)
+    return detector.scan(updates)

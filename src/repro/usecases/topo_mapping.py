@@ -1,0 +1,77 @@
+"""Use case III: AS-topology mapping (§3.1, §10).
+
+Mapping the AS-level topology means extracting the set of AS links from
+all collected AS paths — the *AS path* attribute's canonical use.  The
+§3.1 simulations measure the fraction of p2p and c2p links visible from
+a VP deployment; the §10 benchmark measures distinct links observed
+from a data sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.rib import Route
+from ..simulation.topology import ASTopology
+
+#: An undirected AS link (low ASN first).
+UndirectedLink = Tuple[int, int]
+
+
+def links_in_path(path: Sequence[int]) -> Set[UndirectedLink]:
+    links: Set[UndirectedLink] = set()
+    for i in range(len(path) - 1):
+        a, b = path[i], path[i + 1]
+        if a != b:
+            links.add((min(a, b), max(a, b)))
+    return links
+
+
+def observed_as_links(updates: Iterable[BGPUpdate],
+                      ribs: Iterable[Route] = ()) -> Set[UndirectedLink]:
+    """All AS links appearing in the sample's paths (updates + RIBs)."""
+    links: Set[UndirectedLink] = set()
+    for update in updates:
+        links |= links_in_path(update.as_path)
+    for route in ribs:
+        links |= links_in_path(route.as_path)
+    return links
+
+
+@dataclass(frozen=True)
+class TopologyCoverage:
+    """Fraction of the true topology visible in a sample (§3.1)."""
+
+    p2p_total: int
+    p2p_observed: int
+    c2p_total: int
+    c2p_observed: int
+
+    @property
+    def p2p_fraction(self) -> float:
+        return self.p2p_observed / self.p2p_total if self.p2p_total else 0.0
+
+    @property
+    def c2p_fraction(self) -> float:
+        return self.c2p_observed / self.c2p_total if self.c2p_total else 0.0
+
+
+def topology_coverage(observed: Set[UndirectedLink],
+                      topo: ASTopology) -> TopologyCoverage:
+    """Score observed links against ground truth, split by link type."""
+    p2p = topo.p2p_links()
+    c2p = {(min(a, b), max(a, b)) for a, b in topo.c2p_links()}
+    return TopologyCoverage(
+        p2p_total=len(p2p),
+        p2p_observed=len(p2p & observed),
+        c2p_total=len(c2p),
+        c2p_observed=len(c2p & observed),
+    )
+
+
+def compare_link_sets(a: Set[UndirectedLink],
+                      b: Set[UndirectedLink]) -> Tuple[int, int, int]:
+    """(only in a, only in b, common) — the §3.1 bgp.tools comparison."""
+    return (len(a - b), len(b - a), len(a & b))

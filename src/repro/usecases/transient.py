@@ -1,0 +1,82 @@
+"""Use case I: transient-path detection (§10).
+
+Transient paths are BGP routes visible for less than five minutes — a
+typical convergence delay — attributable to, e.g., path exploration.
+Detecting them requires the *time* attribute: a sampler that discards
+the short-lived announcement loses the event entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+
+#: Routes replaced within this lifetime are transient (§10: 5 minutes).
+TRANSIENT_LIFETIME_S = 300.0
+
+
+@dataclass(frozen=True)
+class TransientPath:
+    """One transient-path event: a short-lived route at one VP."""
+
+    vp: str
+    prefix: Prefix
+    as_path: Tuple[int, ...]
+    appeared: float
+    lifetime: float
+
+    @property
+    def event_id(self) -> Tuple:
+        """Identity used when comparing detection across samples."""
+        return (self.vp, self.prefix, self.as_path)
+
+
+def detect_transient_paths(updates: Sequence[BGPUpdate],
+                           max_lifetime_s: float = TRANSIENT_LIFETIME_S
+                           ) -> List[TransientPath]:
+    """Find routes that lived for under ``max_lifetime_s``.
+
+    A route 'appears' when a VP announces a path for a prefix and 'dies'
+    when the same VP replaces or withdraws it.  The final route of each
+    (vp, prefix) never dies and is never transient.
+    """
+    current: Dict[Tuple[str, Prefix], Tuple[Tuple[int, ...], float]] = {}
+    transients: List[TransientPath] = []
+    for update in sorted(updates, key=lambda u: u.time):
+        key = (update.vp, update.prefix)
+        previous = current.get(key)
+        if previous is not None:
+            old_path, appeared = previous
+            lifetime = update.time - appeared
+            changed = update.is_withdrawal or update.as_path != old_path
+            if changed and lifetime < max_lifetime_s:
+                transients.append(TransientPath(
+                    update.vp, update.prefix, old_path, appeared, lifetime))
+        if update.is_withdrawal:
+            current.pop(key, None)
+        else:
+            if previous is None or previous[0] != update.as_path:
+                current[key] = (update.as_path, update.time)
+    return transients
+
+
+def transient_event_ids(updates: Sequence[BGPUpdate],
+                        max_lifetime_s: float = TRANSIENT_LIFETIME_S,
+                        per_vp: bool = True) -> Set[Tuple]:
+    """Detection set for benchmark scoring.
+
+    With ``per_vp=False`` the identity drops the observing VP (and the
+    VP's own AS at the head of the path), counting *platform-level*
+    events: a transient route counts as detected if any retained VP
+    exposed it — the §10 benchmark granularity.
+    """
+    transients = detect_transient_paths(updates, max_lifetime_s)
+    if per_vp:
+        return {t.event_id for t in transients}
+    # Platform identity keeps the route's core segment: the observing
+    # VP's own AS and its access hop vary per observer of the same
+    # underlying transient route.
+    return {(t.prefix, t.as_path[2:]) for t in transients}

@@ -1,0 +1,85 @@
+"""Use case V: unchanged-path update detection (§10).
+
+Unchanged-path updates re-announce a prefix with the *same AS path* but
+different community values [29] — pure signaling traffic.  Detecting
+them requires both the AS path and the communities of consecutive
+updates, making this the use case most sensitive to community-blind
+sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..bgp.message import BGPUpdate, Community
+from ..bgp.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class UnchangedPathUpdate:
+    """An update whose only change versus the previous route is the
+    community set."""
+
+    vp: str
+    prefix: Prefix
+    as_path: Tuple[int, ...]
+    time: float
+    old_communities: FrozenSet[Community]
+    new_communities: FrozenSet[Community]
+
+    @property
+    def event_id(self) -> Tuple:
+        return (self.vp, self.prefix, self.as_path,
+                self.old_communities, self.new_communities)
+
+
+def detect_unchanged_path_updates(updates: Sequence[BGPUpdate]
+                                  ) -> List[UnchangedPathUpdate]:
+    """Replay the stream per (vp, prefix) and flag community-only changes."""
+    state: Dict[Tuple[str, Prefix],
+                Tuple[Tuple[int, ...], FrozenSet[Community]]] = {}
+    found: List[UnchangedPathUpdate] = []
+    for update in sorted(updates, key=lambda u: u.time):
+        key = (update.vp, update.prefix)
+        if update.is_withdrawal:
+            state.pop(key, None)
+            continue
+        previous = state.get(key)
+        if previous is not None:
+            old_path, old_comms = previous
+            if old_path == update.as_path \
+                    and old_comms != update.communities:
+                found.append(UnchangedPathUpdate(
+                    update.vp, update.prefix, update.as_path, update.time,
+                    old_comms, update.communities))
+        state[key] = (update.as_path, update.communities)
+    return found
+
+
+def unchanged_path_event_ids(updates: Sequence[BGPUpdate],
+                             per_vp: bool = True,
+                             min_observers: int = 1) -> Set[Tuple]:
+    """Detection set for benchmark scoring.
+
+    With ``per_vp=False`` the identity drops the observing VP and its
+    own AS, and keys the event on the community *change* (added and
+    removed values), counting platform-level signaling events (§10).
+    ``min_observers`` (platform mode only) keeps only events seen by
+    at least that many VPs — ground-truth construction uses 2 so that
+    single-VP local noise does not count as a platform event.
+    """
+    found = detect_unchanged_path_updates(updates)
+    if per_vp:
+        return {u.event_id for u in found}
+    # An unchanged-path event is a pure signaling change: the platform
+    # identity is the prefix plus the community delta (the path, by
+    # definition, did not change).
+    observers: Dict[Tuple, Set[str]] = {}
+    for u in found:
+        key = (u.prefix,
+               frozenset(u.new_communities - u.old_communities),
+               frozenset(u.old_communities - u.new_communities))
+        observers.setdefault(key, set()).add(u.vp)
+    return {key for key, vps in observers.items()
+            if len(vps) >= min_observers}

@@ -1,0 +1,30 @@
+"""Workload substrate: growth models and synthetic RIS/RV-like streams."""
+
+from .generator import StreamConfig, SyntheticStreamGenerator
+from .growth import (
+    GrowthPoint,
+    active_ases,
+    coverage_fraction,
+    growth_series,
+    quadratic_growth_factor,
+    ris_vp_ases,
+    rv_vp_ases,
+    total_updates_per_hour,
+    total_vp_count,
+    updates_per_vp_per_hour,
+)
+
+__all__ = [
+    "GrowthPoint",
+    "StreamConfig",
+    "SyntheticStreamGenerator",
+    "active_ases",
+    "coverage_fraction",
+    "growth_series",
+    "quadratic_growth_factor",
+    "ris_vp_ases",
+    "rv_vp_ases",
+    "total_updates_per_hour",
+    "total_vp_count",
+    "updates_per_vp_per_hour",
+]

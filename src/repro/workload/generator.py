@@ -1,0 +1,454 @@
+"""Synthetic RIS/RV-like BGP update streams.
+
+GILL's redundancy experiments (§4.2, Figs. 6-8, 11) run on live RIS/RV
+feeds, which we cannot access offline.  This generator produces streams
+with the same statistical structure the paper exploits:
+
+* most updates are triggered by *events* that reach many VPs within the
+  100s correlation window (high Definition-1 redundancy);
+* VPs cluster into regions that co-observe local events, so whole VPs
+  are redundant with one another (Fig. 6);
+* path changes alter a *core segment* shared across observers, so the
+  per-update "new links" sets nest across VPs (Definition-2 redundancy),
+  except where per-VP path divergence breaks the nesting;
+* community noise breaks a further slice of Definition-3 redundancy.
+
+The generator is deterministic given its seed, and every knob that
+drives the calibration is an explicit :class:`StreamConfig` field.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.message import BGPUpdate, Community
+from ..bgp.prefix import Prefix
+
+VP_ASN_BASE = 10_000
+ORIGIN_ASN_BASE = 1_000
+ENTRY_ASN_BASE = 100
+HUB_ASN_BASE = 60
+N_HUBS = 4
+CORE_ASN_BASE = 1
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of the synthetic stream (defaults calibrated to §4.2)."""
+
+    n_vps: int = 40
+    n_prefix_groups: int = 30
+    max_prefixes_per_group: int = 4
+    #: fraction of prefix groups announcing IPv6 space (the real
+    #: Internet carries ~205k v6 vs ~944k v4 prefixes, §2).
+    ipv6_fraction: float = 0.18
+    duration_s: float = 3600.0
+    events_per_hour: float = 150.0
+    #: VPs per region; regions co-observe local events.
+    region_size: int = 4
+    #: fraction of VPs placed in singleton regions (weak co-observation).
+    solo_fraction: float = 0.25
+    #: probability an event is globally visible rather than regional.
+    wide_event_prob: float = 0.12
+    #: how many extra regions a local event spills into.
+    spill_regions: int = 1
+    #: per-VP path-divergence probabilities (drawn per VP from levels
+    #: with the given weights) — drives Def-2 nonredundancy.
+    divergence_levels: Tuple[float, ...] = (0.0, 0.35, 0.65)
+    divergence_weights: Tuple[float, ...] = (0.38, 0.31, 0.31)
+    #: extra per-event divergence applied to every observer — spreads a
+    #: thin layer of path uniqueness across all VPs without pushing the
+    #: stable ones over the 90% VP-redundancy threshold.
+    event_divergence: float = 0.05
+    #: fraction of VPs whose entry AS is drawn randomly instead of
+    #: from their co-observation region: AS-level adjacency only
+    #: loosely predicts what a VP sees.
+    entry_scramble: float = 0.5
+    #: probability a VP adds a private community on a path change —
+    #: drives Def-3 nonredundancy.
+    community_noise: float = 0.10
+    #: probability a community retag is a traffic-engineering *action*
+    #: community (use case IV) rather than an informational tag.
+    action_tag_prob: float = 0.4
+    #: per-VP chattiness levels (duplicate copies emitted per update)
+    #: and their weights.  Chattiness drives update *volume* without
+    #: changing what a VP *sees* — the property GILL's anchor selection
+    #: exploits when preferring low-volume VPs (§18.4).
+    chattiness_levels: Tuple[int, ...] = (1, 2)
+    chattiness_weights: Tuple[float, ...] = (0.7, 0.3)
+    #: probability a core shift *revisits* a previously used chain
+    #: (primary/backup oscillation) instead of converging on a fresh
+    #: one.  Revisits are what make correlation groups recur and gain
+    #: weight (§17.1) and what lets filters keep matching over time.
+    chain_revisit_prob: float = 0.6
+    #: event-type mix (core path shift / solo entry flap / duplicate
+    #: re-announcement / community retag / origin change).
+    event_mix: Tuple[float, ...] = (0.36, 0.22, 0.15, 0.17, 0.10)
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.n_vps < 2:
+            raise ValueError("need at least 2 VPs")
+        if abs(sum(self.event_mix) - 1.0) > 1e-9:
+            raise ValueError("event_mix must sum to 1")
+        if len(self.divergence_levels) != len(self.divergence_weights):
+            raise ValueError("divergence levels/weights length mismatch")
+
+
+class SyntheticStreamGenerator:
+    """Generates warm-up plus in-window update streams per the config."""
+
+    def __init__(self, config: Optional[StreamConfig] = None):
+        self.config = config or StreamConfig()
+        self._rng = random.Random(self.config.seed)
+        cfg = self.config
+
+        self.vps = [f"vp{VP_ASN_BASE + i}" for i in range(cfg.n_vps)]
+        self._vp_asn = {vp: VP_ASN_BASE + i
+                        for i, vp in enumerate(self.vps)}
+        self._divergence = {
+            vp: self._rng.choices(cfg.divergence_levels,
+                                  cfg.divergence_weights)[0]
+            for vp in self.vps
+        }
+        self._chattiness = {
+            vp: self._rng.choices(cfg.chattiness_levels,
+                                  cfg.chattiness_weights)[0]
+            for vp in self.vps
+        }
+        self._regions = self._build_regions()
+        # Entry (upstream) assignment: mostly regional, but partially
+        # scrambled — in the real Internet, AS-level adjacency only
+        # loosely predicts which VPs co-observe events, so schemes that
+        # maximize AS distance must not get co-observation for free.
+        self._entry = {}
+        for region, members in enumerate(self._regions):
+            for vp in members:
+                if self._rng.random() < cfg.entry_scramble:
+                    self._entry[vp] = (ENTRY_ASN_BASE
+                                       + self._rng.randrange(
+                                           len(self._regions)))
+                else:
+                    self._entry[vp] = ENTRY_ASN_BASE + region
+        self._entry_override: Dict[Tuple[str, int], int] = {}
+
+        # Prefix groups: group g is originated by one origin AS and
+        # contains 1..max prefixes (all prefixes of a group move together,
+        # like p1/p2 of AS4 in Fig. 5).
+        self._groups: List[List[Prefix]] = []
+        index = 0
+        for g in range(cfg.n_prefix_groups):
+            size = 1 + self._rng.randrange(cfg.max_prefixes_per_group)
+            self._groups.append(self._mint_prefixes(index, size))
+            index += size
+        self._origin = {g: ORIGIN_ASN_BASE + g
+                        for g in range(cfg.n_prefix_groups)}
+        self._core_pool = [CORE_ASN_BASE + i for i in range(24)]
+        self._core_chain: Dict[int, Tuple[int, ...]] = {
+            g: self._random_chain() for g in range(cfg.n_prefix_groups)
+        }
+        # Chains a group has used before — revisited on oscillation.
+        self._chain_history: Dict[int, List[Tuple[int, ...]]] = {
+            g: [chain] for g, chain in self._core_chain.items()
+        }
+        # Per (vp, group) state used to build paths and communities.
+        self._vp_chain: Dict[Tuple[str, int], Tuple[int, ...]] = {}
+        self._vp_extra_comm: Dict[Tuple[str, int], Optional[Community]] = {}
+        self._overlay: Dict[int, Optional[Community]] = {
+            g: None for g in range(cfg.n_prefix_groups)
+        }
+
+    # -- structure ----------------------------------------------------------
+
+    def _build_regions(self) -> List[List[str]]:
+        cfg = self.config
+        rng = self._rng
+        shuffled = list(self.vps)
+        rng.shuffle(shuffled)
+        n_solo = int(cfg.solo_fraction * len(shuffled))
+        regions = [[vp] for vp in shuffled[:n_solo]]
+        rest = shuffled[n_solo:]
+        for start in range(0, len(rest), cfg.region_size):
+            chunk = rest[start:start + cfg.region_size]
+            if chunk:
+                regions.append(chunk)
+        return regions
+
+    def _mint_prefixes(self, index: int, size: int) -> List[Prefix]:
+        """Mint a group's prefixes, IPv6 with the configured share.
+        Groups are single-family, as real originations typically are."""
+        if self._rng.random() < self.config.ipv6_fraction:
+            return [Prefix.from_index(index + k, family=6, length=48)
+                    for k in range(size)]
+        return [Prefix.from_index(index + k) for k in range(size)]
+
+    def _random_chain(self) -> Tuple[int, ...]:
+        length = 1 + self._rng.randrange(2)
+        return tuple(self._rng.sample(self._core_pool, length))
+
+    def region_of(self, vp: str) -> int:
+        for i, region in enumerate(self._regions):
+            if vp in region:
+                return i
+        raise KeyError(vp)
+
+    # -- path/community model ------------------------------------------------
+
+    def _entry_for(self, vp: str, group: int) -> int:
+        return self._entry_override.get((vp, group), self._entry[vp])
+
+    def _path(self, vp: str, group: int) -> Tuple[int, ...]:
+        """(vp, regional entry, shared hub, core chain..., origin).
+
+        The hub tier models regional aggregation: entry-to-hub links
+        are shared across all of a region's prefixes and hub-to-core
+        links across all regions, as in the real transit hierarchy.
+        """
+        chain = self._vp_chain.get((vp, group), self._core_chain[group])
+        hub = HUB_ASN_BASE + group % N_HUBS
+        return (self._vp_asn[vp], self._entry_for(vp, group), hub,
+                *chain, self._origin[group])
+
+    def _communities(self, vp: str, group: int) -> frozenset:
+        comms: Set[Community] = {
+            (self._origin[group], 0),
+            (self._entry_for(vp, group), self._vp_asn[vp] % 500),
+        }
+        overlay = self._overlay[group]
+        if overlay:
+            comms.add(overlay)
+        extra = self._vp_extra_comm.get((vp, group))
+        if extra:
+            comms.add(extra)
+        return frozenset(comms)
+
+    def _emit(self, vp: str, group: int, time: float) -> List[BGPUpdate]:
+        comms = self._communities(vp, group)
+        path = self._path(vp, group)
+        copies = self._chattiness[vp]
+        return [
+            BGPUpdate(vp, time + 0.5 * k + 7.0 * copy, prefix, path, comms)
+            for k, prefix in enumerate(self._groups[group])
+            for copy in range(copies)
+        ]
+
+    def _jitter(self) -> float:
+        return self._rng.uniform(1.0, 60.0)
+
+    # -- events ---------------------------------------------------------------
+
+    def _event_vps(self, signature: Optional[Tuple] = None) -> List[str]:
+        """The VPs observing an event.
+
+        With a ``signature`` (e.g. the routing transition a core shift
+        performs) visibility is *deterministic*: the same transition
+        always reaches the same observers, as a real failure on a fixed
+        topology would — this is what makes correlation groups recur.
+        Events without a natural signature draw fresh randomness.
+        """
+        cfg = self.config
+        if signature is None:
+            rng = self._rng
+        else:
+            salt = zlib.crc32(repr(signature).encode())
+            rng = random.Random((self.config.seed or 0) ^ salt)
+        if rng.random() < cfg.wide_event_prob:
+            return list(self.vps)
+        picked = list(rng.choice(self._regions))
+        for _ in range(cfg.spill_regions):
+            picked.extend(rng.choice(self._regions))
+        return sorted(set(picked))
+
+    def _core_shift(self, time: float) -> List[BGPUpdate]:
+        """A routing change on a shared core segment (most events).
+
+        Real routes oscillate between a primary and a few backups, so
+        most shifts *revisit* a chain the group used before rather than
+        discovering a new one — which is what makes correlation groups
+        recur and gain weight (§17.1).
+        """
+        rng = self._rng
+        group = rng.randrange(self.config.n_prefix_groups)
+        history = self._chain_history[group]
+        previous = [c for c in history if c != self._core_chain[group]]
+        if previous and rng.random() < self.config.chain_revisit_prob:
+            new_chain = previous[rng.randrange(len(previous))]
+        else:
+            new_chain = self._random_chain()
+            while new_chain == self._core_chain[group]:
+                new_chain = self._random_chain()
+            history.append(new_chain)
+        old_chain = self._core_chain[group]
+        self._core_chain[group] = new_chain
+        updates: List[BGPUpdate] = []
+        observers = self._event_vps(
+            signature=("core", group, old_chain, new_chain))
+        for vp in observers:
+            divergence = (self._divergence[vp]
+                          + self.config.event_divergence)
+            if rng.random() < divergence:
+                # This VP converges onto its own alternate core path.
+                alt = self._random_chain()
+                self._vp_chain[(vp, group)] = alt
+            else:
+                self._vp_chain.pop((vp, group), None)
+            if rng.random() < self.config.community_noise:
+                self._vp_extra_comm[(vp, group)] = (
+                    self._entry[vp], 600 + rng.randrange(100),
+                )
+            updates.extend(self._emit(vp, group, time + self._jitter()))
+        return updates
+
+    def _entry_flap(self, time: float) -> List[BGPUpdate]:
+        """A single VP's access path changes for one prefix group:
+        a unique, nonredundant observation."""
+        rng = self._rng
+        vp = rng.choice(self.vps)
+        group = rng.randrange(self.config.n_prefix_groups)
+        self._entry_override[(vp, group)] = (
+            ENTRY_ASN_BASE + 500 + rng.randrange(40)
+        )
+        return self._emit(vp, group, time + self._jitter())
+
+    def _duplicate(self, time: float) -> List[BGPUpdate]:
+        """Re-announcements with unchanged attributes (BGP chatter)."""
+        updates: List[BGPUpdate] = []
+        group = self._rng.randrange(self.config.n_prefix_groups)
+        for vp in self._event_vps():
+            updates.extend(self._emit(vp, group, time + self._jitter()))
+        return updates
+
+    def _retag(self, time: float) -> List[BGPUpdate]:
+        """The origin retags its prefixes: unchanged-path updates.
+
+        Some retags carry traffic-engineering *action* communities
+        (values >= 900, the substrate convention of use case IV).
+        """
+        rng = self._rng
+        group = rng.randrange(self.config.n_prefix_groups)
+        if rng.random() < self.config.action_tag_prob:
+            value = 900 + rng.randrange(99)
+        else:
+            value = 700 + rng.randrange(90)
+        self._overlay[group] = (self._origin[group], value)
+        updates: List[BGPUpdate] = []
+        for vp in self._event_vps():
+            updates.extend(self._emit(vp, group, time + self._jitter()))
+        return updates
+
+    def _origin_change(self, time: float) -> List[BGPUpdate]:
+        """A prefix group moves to a new origin AS — the MOAS source
+        (use case II).  The overlay is cleared: new origin, new tags."""
+        rng = self._rng
+        group = rng.randrange(self.config.n_prefix_groups)
+        self._origin[group] = ORIGIN_ASN_BASE + 500 + rng.randrange(400)
+        self._overlay[group] = None
+        updates: List[BGPUpdate] = []
+        for vp in self._event_vps():
+            updates.extend(self._emit(vp, group, time + self._jitter()))
+        return updates
+
+    # -- public API -------------------------------------------------------------
+
+    def add_prefix_groups(self, count: int) -> List[int]:
+        """Grow the prefix population (new announcements over time).
+
+        The Internet announces new prefixes continuously (§3.2); filter
+        aging (Fig. 7) is driven by updates for prefixes that did not
+        exist when the filters were trained.  Returns the new group ids.
+        """
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        start = self.config.n_prefix_groups
+        index = sum(len(g) for g in self._groups)
+        new_ids: List[int] = []
+        for g in range(start, start + count):
+            size = 1 + self._rng.randrange(
+                self.config.max_prefixes_per_group)
+            self._groups.append(self._mint_prefixes(index, size))
+            index += size
+            self._origin[g] = ORIGIN_ASN_BASE + g
+            self._core_chain[g] = self._random_chain()
+            self._chain_history[g] = [self._core_chain[g]]
+            self._overlay[g] = None
+            new_ids.append(g)
+        self.config.n_prefix_groups += count
+        return new_ids
+
+    def drift_vps(self, fraction: float) -> List[str]:
+        """Re-roll the behavior of a fraction of VPs (long-term drift).
+
+        Over months, VPs change upstreams and route-selection behavior,
+        which slowly erodes pairwise redundancy scores (Fig. 8).  Each
+        drifted VP gets a fresh divergence level and entry AS.  Returns
+        the drifted VP names.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        rng = self._rng
+        count = round(fraction * len(self.vps))
+        drifted = rng.sample(self.vps, count)
+        for vp in drifted:
+            self._divergence[vp] = rng.choices(
+                self.config.divergence_levels,
+                self.config.divergence_weights)[0]
+            # Moving to a new upstream also moves the VP into that
+            # provider's co-observation region.
+            old_region = self.region_of(vp)
+            self._regions[old_region].remove(vp)
+            new_region = rng.randrange(len(self._regions))
+            self._regions[new_region].append(vp)
+            self._entry[vp] = ENTRY_ASN_BASE + new_region
+        self._regions = [r for r in self._regions if r]
+        return drifted
+
+    def warmup_updates(self, time: float = 0.0) -> List[BGPUpdate]:
+        """Initial announcements establishing every VP's table.
+
+        Replay these through the annotator before the measured stream so
+        that 'new links' are computed against realistic previous routes.
+        """
+        updates: List[BGPUpdate] = []
+        for vp in self.vps:
+            for group in range(self.config.n_prefix_groups):
+                updates.extend(self._emit(vp, group, time))
+        return sorted(updates, key=lambda u: (u.time, u.vp, u.prefix))
+
+    def generate_window(self, start_time: float,
+                        duration_s: float) -> List[BGPUpdate]:
+        """Produce one window of event-driven updates.
+
+        Generator state (core chains, overlays, per-VP divergence)
+        persists across calls, so consecutive windows form one coherent
+        timeline — the substrate for filter-aging experiments (Fig. 7).
+        """
+        cfg = self.config
+        rng = self._rng
+        handlers = (self._core_shift, self._entry_flap,
+                    self._duplicate, self._retag, self._origin_change)
+        if len(cfg.event_mix) != len(handlers):
+            raise ValueError(
+                f"event_mix needs {len(handlers)} weights"
+            )
+        stream: List[BGPUpdate] = []
+        time = start_time
+        end = start_time + duration_s
+        mean_gap = 3600.0 / cfg.events_per_hour
+        while True:
+            time += rng.expovariate(1.0 / mean_gap)
+            if time >= end:
+                break
+            handler = rng.choices(handlers, cfg.event_mix)[0]
+            stream.extend(handler(time))
+        stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+        return stream
+
+    def generate(self, start_time: float = 1000.0
+                 ) -> Tuple[List[BGPUpdate], List[BGPUpdate]]:
+        """Produce ``(warmup, stream)`` for the configured duration."""
+        warmup = self.warmup_updates(0.0)
+        stream = self.generate_window(start_time, self.config.duration_s)
+        return warmup, stream

@@ -1,0 +1,133 @@
+"""Historical growth models for the RIS/RV platforms (Figs. 2 and 3).
+
+The paper motivates GILL with two decade-scale trends: the number of ASes
+hosting a VP grows too slowly to keep coverage above ~1% (Fig. 2), while
+per-VP update rates grow steadily, so total collected updates grow
+quadratically (Fig. 3).  We encode the published anchor values (e.g.,
+1537 RIS VPs in 816 ASes and 1130 RV VPs in 337 ASes by Dec 2023; 28k
+updates/hour per VP on average) and interpolate between them, so the
+benchmark can regenerate the figures' series and shape.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+# Anchor series: (year, value).  End-of-2023 points are from the paper
+# (§2); earlier points reconstruct the qualitative trajectories of Figs
+# 2-3 (roughly linear VP growth, faster AS growth, growing per-VP rate).
+RIS_VP_AS_ANCHORS = [(2003, 140), (2008, 300), (2013, 420),
+                     (2018, 600), (2023, 816)]
+RV_VP_AS_ANCHORS = [(2003, 60), (2008, 120), (2013, 180),
+                    (2018, 260), (2023, 337)]
+RIS_VP_COUNT_ANCHORS = [(2003, 250), (2008, 500), (2013, 750),
+                        (2018, 1100), (2023, 1537)]
+RV_VP_COUNT_ANCHORS = [(2003, 150), (2008, 350), (2013, 550),
+                       (2018, 800), (2023, 1130)]
+ACTIVE_AS_ANCHORS = [(2003, 16_000), (2008, 30_000), (2013, 45_500),
+                     (2018, 63_000), (2023, 74_500)]
+UPDATES_PER_VP_PER_HOUR_ANCHORS = [(2003, 2_500), (2008, 7_000),
+                                   (2013, 12_000), (2018, 19_000),
+                                   (2023, 28_000)]
+
+
+def _interpolate(anchors: Sequence[Tuple[int, float]], year: float) -> float:
+    """Piecewise-linear interpolation, clamped at the series' ends."""
+    years = [y for y, _ in anchors]
+    if year <= years[0]:
+        return float(anchors[0][1])
+    if year >= years[-1]:
+        return float(anchors[-1][1])
+    hi = bisect.bisect_right(years, year)
+    (y0, v0), (y1, v1) = anchors[hi - 1], anchors[hi]
+    frac = (year - y0) / (y1 - y0)
+    return v0 + frac * (v1 - v0)
+
+
+def ris_vp_ases(year: float) -> float:
+    """ASes hosting at least one RIS VP (Fig. 2, top)."""
+    return _interpolate(RIS_VP_AS_ANCHORS, year)
+
+
+def rv_vp_ases(year: float) -> float:
+    """ASes hosting at least one RouteViews VP (Fig. 2, top)."""
+    return _interpolate(RV_VP_AS_ANCHORS, year)
+
+
+def total_vp_count(year: float) -> float:
+    """Total RIS + RV vantage points (routers)."""
+    return (_interpolate(RIS_VP_COUNT_ANCHORS, year)
+            + _interpolate(RV_VP_COUNT_ANCHORS, year))
+
+
+def active_ases(year: float) -> float:
+    """ASes participating in global routing (CIDR report trend)."""
+    return _interpolate(ACTIVE_AS_ANCHORS, year)
+
+
+def coverage_fraction(year: float) -> float:
+    """Fraction of active ASes hosting a VP (Fig. 2, bottom).
+
+    The paper's headline: this stays essentially flat (~1%) for two
+    decades despite continuous peering expansion.
+    """
+    # ASes hosting RIS and RV VPs overlap; the platforms combined cover
+    # slightly less than the sum.  We apply the overlap the 2023 numbers
+    # imply (1.1% combined coverage, §3.1).
+    combined = 0.72 * (ris_vp_ases(year) + rv_vp_ases(year))
+    return combined / active_ases(year)
+
+
+def updates_per_vp_per_hour(year: float) -> float:
+    """Average hourly updates from one VP (Fig. 3a)."""
+    return _interpolate(UPDATES_PER_VP_PER_HOUR_ANCHORS, year)
+
+
+def total_updates_per_hour(year: float) -> float:
+    """Hourly updates across all VPs (Fig. 3b) — the quadratic compound
+    of more VPs and more updates per VP (§3.2)."""
+    return total_vp_count(year) * updates_per_vp_per_hour(year)
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """One year of the Figs. 2-3 series."""
+
+    year: int
+    ris_vp_ases: float
+    rv_vp_ases: float
+    active_ases: float
+    coverage: float
+    updates_per_vp: float
+    total_updates: float
+
+
+def growth_series(start: int = 2003, end: int = 2023) -> List[GrowthPoint]:
+    """The full yearly series behind Figs. 2 and 3."""
+    if start > end:
+        raise ValueError("start year after end year")
+    return [
+        GrowthPoint(
+            year,
+            ris_vp_ases(year),
+            rv_vp_ases(year),
+            active_ases(year),
+            coverage_fraction(year),
+            updates_per_vp_per_hour(year),
+            total_updates_per_hour(year),
+        )
+        for year in range(start, end + 1)
+    ]
+
+
+def quadratic_growth_factor(start: int = 2003, end: int = 2023) -> float:
+    """How superlinear total update growth is vs. VP growth.
+
+    Returns (total-update growth) / (VP-count growth); a value well above
+    1 confirms the §3.2 'compound effect' (more VPs x more updates each).
+    """
+    vp_growth = total_vp_count(end) / total_vp_count(start)
+    update_growth = total_updates_per_hour(end) / total_updates_per_hour(start)
+    return update_growth / vp_growth

@@ -1,0 +1,130 @@
+"""Tests for the rolling archive writer."""
+
+import os
+
+import pytest
+
+from repro.bgp.archive import (
+    RIS_INTERVAL_S,
+    RollingArchiveWriter,
+)
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+def upd(t, vp="vp1"):
+    return BGPUpdate(vp, t, P1, (1, 2))
+
+
+class TestRollingWriter:
+    def test_flush_on_interval_crossing(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        assert writer.write(upd(10.0)) is None
+        assert writer.write(upd(50.0)) is None
+        segment = writer.write(upd(150.0))   # crosses into slot 1
+        assert segment is not None
+        assert segment.start == 0.0 and segment.end == 100.0
+        assert segment.count == 2
+        assert os.path.exists(segment.path)
+
+    def test_close_flushes_tail(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        writer.write(upd(10.0))
+        segment = writer.close()
+        assert segment is not None and segment.count == 1
+        assert writer.close() is None    # idempotent
+
+    def test_out_of_order_rejected(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        writer.write(upd(50.0))
+        with pytest.raises(ValueError):
+            writer.write(upd(10.0))
+
+    def test_invalid_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            RollingArchiveWriter(str(tmp_path), interval_s=0.0)
+
+    def test_write_stream_many_segments(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        stream = [upd(float(t)) for t in range(0, 500, 20)]
+        writer.write_stream(stream)
+        writer.close()
+        assert len(writer.segments) == 5
+        total = sum(s.count for s in writer.segments)
+        assert total == len(stream)
+
+    def test_segment_naming(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=300.0)
+        writer.write(upd(450.0))
+        segment = writer.close()
+        assert "updates.000000000300-000000000600" in segment.path
+
+    def test_uncompressed_mode(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False)
+        writer.write(upd(1.0))
+        segment = writer.close()
+        assert segment.path.endswith(".mrt")
+
+
+class TestConsumerSide:
+    @pytest.fixture
+    def published(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        writer.write_stream([upd(float(t)) for t in range(0, 400, 25)])
+        writer.close()
+        return writer
+
+    def test_segment_for(self, published):
+        segment = published.segment_for(150.0)
+        assert segment is not None
+        assert segment.start == 100.0
+
+    def test_segment_for_unpublished_time(self, published):
+        assert published.segment_for(9999.0) is None
+
+    def test_read_range_exact(self, published):
+        updates = published.read_range(100.0, 300.0)
+        assert all(100.0 <= u.time < 300.0 for u in updates)
+        assert len(updates) == 8
+
+    def test_read_range_partial_segment(self, published):
+        updates = published.read_range(110.0, 160.0)
+        assert [u.time for u in updates] == [125.0, 150.0]
+
+    def test_roundtrip_everything(self, published):
+        updates = published.read_range(0.0, 1e9)
+        assert len(updates) == 16
+
+    def test_default_interval_is_ris(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path))
+        assert writer.interval_s == RIS_INTERVAL_S
+
+
+class TestRIBDumps:
+    def test_rib_dump_roundtrip(self, tmp_path):
+        from repro.bgp.rib import Route
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        ribs = {
+            "vp1": [Route(P1, (1, 2), frozenset({(1, 5)}), 10.0)],
+            "vp2": [Route(P1, (3, 2), frozenset(), 10.0)],
+        }
+        path = writer.write_rib_dump(28800.0, ribs)
+        assert "rib.000000028800" in path
+        replayed = writer.read_rib_dump(path)
+        assert replayed == ribs
+
+    def test_rib_dump_uncompressed(self, tmp_path):
+        from repro.bgp.rib import Route
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False)
+        path = writer.write_rib_dump(0.0, {"vp1": [Route(P1, (1, 2))]})
+        assert path.endswith(".mrt")
+        assert writer.read_rib_dump(path)["vp1"][0].as_path == (1, 2)
+
+    def test_empty_rib_dump(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        path = writer.write_rib_dump(0.0, {})
+        assert writer.read_rib_dump(path) == {}

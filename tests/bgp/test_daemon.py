@@ -1,0 +1,92 @@
+"""Tests for the daemon capacity model (Table 1)."""
+
+import pytest
+
+from repro.bgp.daemon import (
+    AVG_RATE_PER_HOUR,
+    P99_RATE_PER_HOUR,
+    per_update_cost,
+    simulate_loss,
+    steady_state_loss,
+    table1_grid,
+)
+
+
+class TestPerUpdateCost:
+    def test_filtering_is_cheaper(self):
+        """§8: daemons process more updates with filters because less
+        data is written to disk."""
+        assert per_update_cost(True) < per_update_cost(False)
+
+    def test_cost_scales_with_retention(self):
+        assert per_update_cost(True, retain_fraction=0.5) > \
+            per_update_cost(True, retain_fraction=0.05)
+
+
+class TestSteadyState:
+    def test_no_peers_no_loss(self):
+        assert steady_state_loss(0, AVG_RATE_PER_HOUR, True).loss_fraction == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_loss(-1, AVG_RATE_PER_HOUR, True)
+
+    def test_loss_monotone_in_peers(self):
+        losses = [steady_state_loss(n, P99_RATE_PER_HOUR, False).loss_fraction
+                  for n in (100, 1000, 10000)]
+        assert losses == sorted(losses)
+
+
+class TestTable1Pattern:
+    """The qualitative cell pattern of Table 1 must be reproduced."""
+
+    def test_filters_avg_rate_copes_at_10k(self):
+        assert steady_state_loss(10000, AVG_RATE_PER_HOUR, True).copes
+
+    def test_filters_p99_copes_at_1k(self):
+        assert steady_state_loss(1000, P99_RATE_PER_HOUR, True).copes
+
+    def test_filters_p99_loses_at_10k(self):
+        assert not steady_state_loss(10000, P99_RATE_PER_HOUR, True).copes
+
+    def test_no_filters_avg_loses_at_10k(self):
+        """Paper reports 39% loss; we require the same order of magnitude."""
+        result = steady_state_loss(10000, AVG_RATE_PER_HOUR, False)
+        assert 0.25 < result.loss_fraction < 0.55
+
+    def test_no_filters_p99_loses_at_1k(self):
+        """Paper reports 32% loss at 1k peers, p99 rate, no filters."""
+        result = steady_state_loss(1000, P99_RATE_PER_HOUR, False)
+        assert 0.2 < result.loss_fraction < 0.45
+
+    def test_no_filters_p99_high_at_10k(self):
+        result = steady_state_loss(10000, P99_RATE_PER_HOUR, False)
+        assert result.label == "high"
+
+    def test_all_cells_cope_at_100_peers(self):
+        for filtered in (True, False):
+            for rate in (AVG_RATE_PER_HOUR, P99_RATE_PER_HOUR):
+                assert steady_state_loss(100, rate, filtered).copes
+
+    def test_grid_has_12_cells(self):
+        assert len(table1_grid()) == 12
+
+
+class TestSimulatedLoss:
+    def test_underloaded_system_loses_nothing(self):
+        assert simulate_loss(100, AVG_RATE_PER_HOUR, True, seed=1,
+                             duration_s=5.0) == 0.0
+
+    def test_overloaded_system_loses_updates(self):
+        loss = simulate_loss(10000, P99_RATE_PER_HOUR, False, seed=1,
+                             duration_s=2.0)
+        assert loss > 0.5
+
+    def test_simulation_close_to_analytic_when_saturated(self):
+        analytic = steady_state_loss(10000, AVG_RATE_PER_HOUR, False)
+        simulated = simulate_loss(10000, AVG_RATE_PER_HOUR, False, seed=7,
+                                  duration_s=5.0)
+        assert abs(simulated - analytic.loss_fraction) < 0.12
+
+    def test_zero_rate(self):
+        assert simulate_loss(10, 0.0, True, seed=1) == 0.0

@@ -1,0 +1,54 @@
+"""Property-based tests for the daemon capacity model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.daemon import per_update_cost, steady_state_loss
+
+peers = st.integers(min_value=0, max_value=50_000)
+rates = st.floats(min_value=0, max_value=500_000, allow_nan=False)
+retain = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(peers=peers, rate=rates, retain=retain)
+def test_loss_fraction_bounded(peers, rate, retain):
+    result = steady_state_loss(peers, rate, True, retain_fraction=retain)
+    assert 0.0 <= result.loss_fraction < 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(peers=peers, rate=rates)
+def test_filters_never_hurt(peers, rate):
+    """At any load, filtering loses no more updates than not filtering."""
+    with_filters = steady_state_loss(peers, rate, True)
+    without = steady_state_loss(peers, rate, False)
+    assert with_filters.loss_fraction <= without.loss_fraction + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(rate=rates, retain=retain)
+def test_loss_monotone_in_peers(rate, retain):
+    losses = [
+        steady_state_loss(n, rate, False,
+                          retain_fraction=retain).loss_fraction
+        for n in (10, 100, 1_000, 10_000)
+    ]
+    assert all(b >= a - 1e-12 for a, b in zip(losses, losses[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(retain=retain)
+def test_cost_monotone_in_retention(retain):
+    assert per_update_cost(True, retain) <= per_update_cost(True, 1.0)
+    assert per_update_cost(True, retain) >= per_update_cost(True, 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(peers=peers, rate=rates)
+def test_label_consistent(peers, rate):
+    result = steady_state_loss(peers, rate, False)
+    if result.copes:
+        assert result.label == "0%"
+    else:
+        assert result.label != "0%"

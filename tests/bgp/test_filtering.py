@@ -1,0 +1,104 @@
+"""Tests for the data-plane filter engine (§7 semantics)."""
+
+from repro.bgp.filtering import (
+    DropRule,
+    FilterGranularity,
+    FilterTable,
+    build_drop_rules,
+)
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp="vp1", t=0.0, prefix=P1, path=(1, 2), comms=()):
+    return BGPUpdate(vp, t, prefix, path, frozenset(comms))
+
+
+class TestDefaultPolicy:
+    def test_empty_table_accepts_everything(self):
+        table = FilterTable()
+        assert table.accept(upd())
+
+    def test_unknown_vp_prefix_accepted(self):
+        table = FilterTable(drop_rules=[DropRule("vp1", P1)])
+        assert table.accept(upd(vp="vp2"))
+        assert table.accept(upd(prefix=P2))
+
+
+class TestAnchorPriority:
+    def test_anchor_overrides_drop_rule(self):
+        """§7: the accept-all anchor filter has the highest priority."""
+        table = FilterTable(anchor_vps=["vp1"],
+                            drop_rules=[DropRule("vp1", P1)])
+        assert table.accept(upd(vp="vp1", prefix=P1))
+
+    def test_non_anchor_still_dropped(self):
+        table = FilterTable(anchor_vps=["vp2"],
+                            drop_rules=[DropRule("vp1", P1)])
+        assert not table.accept(upd(vp="vp1", prefix=P1))
+
+
+class TestGranularity:
+    def test_coarse_rule_matches_any_path(self):
+        table = FilterTable(drop_rules=[DropRule("vp1", P1)])
+        assert not table.accept(upd(path=(1, 2)))
+        assert not table.accept(upd(path=(9, 8, 7)))
+
+    def test_aspath_rule_matches_only_same_path(self):
+        rule = DropRule("vp1", P1, as_path=(1, 2))
+        table = FilterTable(drop_rules=[rule])
+        assert not table.accept(upd(path=(1, 2)))
+        assert table.accept(upd(path=(9, 8)))
+
+    def test_community_rule_matches_only_same_communities(self):
+        rule = DropRule("vp1", P1, as_path=(1, 2),
+                        communities=frozenset({(1, 1)}))
+        table = FilterTable(drop_rules=[rule])
+        assert not table.accept(upd(comms={(1, 1)}))
+        assert table.accept(upd(comms={(2, 2)}))
+
+
+class TestApply:
+    def test_split_stream(self):
+        table = FilterTable(drop_rules=[DropRule("vp1", P1)])
+        stream = [upd(), upd(vp="vp2"), upd(prefix=P2)]
+        retained, discarded = table.apply(stream)
+        assert len(retained) == 2
+        assert len(discarded) == 1
+
+    def test_match_rate(self):
+        table = FilterTable(drop_rules=[DropRule("vp1", P1)])
+        stream = [upd(), upd(), upd(vp="vp2"), upd(vp="vp3")]
+        assert table.match_rate(stream) == 0.5
+
+    def test_match_rate_empty_stream(self):
+        assert FilterTable().match_rate([]) == 0.0
+
+
+class TestBuildDropRules:
+    def test_coarse_dedups_by_vp_prefix(self):
+        redundant = [upd(path=(1, 2)), upd(path=(3, 4)), upd(vp="vp2")]
+        rules = build_drop_rules(redundant)
+        assert len(rules) == 2
+        assert all(r.as_path is None for r in rules)
+
+    def test_aspath_granularity_keeps_paths(self):
+        redundant = [upd(path=(1, 2)), upd(path=(3, 4))]
+        rules = build_drop_rules(redundant, FilterGranularity.PREFIX_ASPATH)
+        assert len(rules) == 2
+        assert {r.as_path for r in rules} == {(1, 2), (3, 4)}
+
+    def test_comm_granularity_keeps_communities(self):
+        redundant = [upd(comms={(1, 1)}), upd(comms={(2, 2)})]
+        rules = build_drop_rules(
+            redundant, FilterGranularity.PREFIX_ASPATH_COMM)
+        assert len(rules) == 2
+
+    def test_rules_drop_exactly_their_updates(self):
+        redundant = [upd(path=(1, 2)), upd(vp="vp2", path=(5, 6))]
+        table = FilterTable(drop_rules=build_drop_rules(redundant))
+        for u in redundant:
+            assert not table.accept(u)

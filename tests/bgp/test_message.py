@@ -1,0 +1,102 @@
+"""Tests for repro.bgp.message."""
+
+import pytest
+
+from repro.bgp.message import AnnotatedUpdate, BGPUpdate, path_links, sort_updates
+from repro.bgp.prefix import Prefix
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+class TestPathLinks:
+    def test_simple_path(self):
+        assert path_links((1, 2, 3)) == {(1, 2), (2, 3)}
+
+    def test_empty_path(self):
+        assert path_links(()) == set()
+
+    def test_single_as(self):
+        assert path_links((7,)) == set()
+
+    def test_prepending_creates_no_self_links(self):
+        assert path_links((1, 2, 2, 2, 3)) == {(1, 2), (2, 3)}
+
+    def test_links_are_directed(self):
+        assert path_links((1, 2)) != path_links((2, 1))
+
+
+class TestBGPUpdate:
+    def test_attributes(self):
+        u = BGPUpdate("vp1", 10.0, P1, (6, 2, 1, 4), {(6, 100)})
+        assert u.origin_as == 4
+        assert u.peer_as == 6
+        assert u.links() == {(6, 2), (2, 1), (1, 4)}
+
+    def test_containers_normalized(self):
+        u = BGPUpdate("vp1", 0.0, P1, [1, 2], [(1, 2)])
+        assert isinstance(u.as_path, tuple)
+        assert isinstance(u.communities, frozenset)
+
+    def test_withdrawal_has_no_path(self):
+        w = BGPUpdate("vp1", 0.0, P1, is_withdrawal=True)
+        assert w.origin_as is None
+        assert w.links() == set()
+
+    def test_withdrawal_with_path_rejected(self):
+        with pytest.raises(ValueError):
+            BGPUpdate("vp1", 0.0, P1, (1, 2), is_withdrawal=True)
+
+    def test_with_time(self):
+        u = BGPUpdate("vp1", 10.0, P1, (1, 2))
+        v = u.with_time(50.0)
+        assert v.time == 50.0
+        assert v.attribute_key() == u.attribute_key()
+
+    def test_attribute_key_ignores_time(self):
+        a = BGPUpdate("vp1", 1.0, P1, (1, 2))
+        b = BGPUpdate("vp1", 99.0, P1, (1, 2))
+        assert a.attribute_key() == b.attribute_key()
+
+    def test_attribute_key_differs_by_vp(self):
+        a = BGPUpdate("vp1", 1.0, P1, (1, 2))
+        b = BGPUpdate("vp2", 1.0, P1, (1, 2))
+        assert a.attribute_key() != b.attribute_key()
+
+    def test_hashable(self):
+        u = BGPUpdate("vp1", 1.0, P1, (1, 2))
+        assert u in {u}
+
+
+class TestAnnotatedUpdate:
+    def test_effective_links_are_new_links(self):
+        u = BGPUpdate("vp1", 0.0, P1, (1, 2, 3))
+        a = AnnotatedUpdate(u, previous_links=frozenset({(1, 2), (2, 9)}))
+        assert a.effective_links == frozenset({(2, 3)})
+
+    def test_withdrawn_links_are_obsolete_previous_links(self):
+        u = BGPUpdate("vp1", 0.0, P1, (1, 2, 3))
+        a = AnnotatedUpdate(u, previous_links=frozenset({(1, 2), (2, 9)}))
+        assert a.withdrawn_links == frozenset({(2, 9)})
+
+    def test_effective_communities(self):
+        u = BGPUpdate("vp1", 0.0, P1, (1, 2), {(1, 1), (2, 2)})
+        a = AnnotatedUpdate(u, previous_communities=frozenset({(1, 1)}))
+        assert a.effective_communities == frozenset({(2, 2)})
+
+    def test_withdrawn_communities(self):
+        u = BGPUpdate("vp1", 0.0, P1, (1, 2), {(1, 1)})
+        a = AnnotatedUpdate(
+            u, previous_communities=frozenset({(1, 1), (9, 9)}))
+        assert a.withdrawn_communities == frozenset({(9, 9)})
+
+    def test_defaults_empty(self):
+        a = AnnotatedUpdate(BGPUpdate("vp1", 0.0, P1, (1, 2)))
+        assert a.effective_links == frozenset({(1, 2)})
+        assert a.withdrawn_links == frozenset()
+
+
+def test_sort_updates_orders_by_time_then_vp():
+    u1 = BGPUpdate("vpB", 1.0, P1, (1,))
+    u2 = BGPUpdate("vpA", 1.0, P1, (1,))
+    u3 = BGPUpdate("vpA", 0.5, P1, (1,))
+    assert sort_updates([u1, u2, u3]) == [u3, u2, u1]

@@ -1,0 +1,111 @@
+"""Tests for the MRT-style codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.mrt import (
+    MRTError,
+    RIBRecord,
+    decode_records,
+    encode_rib_entry,
+    encode_update,
+    read_archive,
+    write_archive,
+)
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import Route
+
+P1 = Prefix.parse("10.0.0.0/24")
+P6 = Prefix.parse("2001:db8::/32")
+
+
+def roundtrip(update):
+    records = list(decode_records(encode_update(update)))
+    assert len(records) == 1
+    return records[0]
+
+
+class TestUpdateRoundtrip:
+    def test_announcement(self):
+        u = BGPUpdate("vp1", 123.5, P1, (6, 2, 1, 4), {(6, 100), (4, 0)})
+        assert roundtrip(u) == u
+
+    def test_withdrawal(self):
+        u = BGPUpdate("vp1", 7.0, P1, is_withdrawal=True)
+        assert roundtrip(u) == u
+
+    def test_ipv6_prefix(self):
+        u = BGPUpdate("vp-long-name", 0.0, P6, (1, 2))
+        assert roundtrip(u) == u
+
+    def test_empty_communities(self):
+        u = BGPUpdate("v", 0.0, P1, (1,))
+        assert roundtrip(u) == u
+
+    def test_large_asn(self):
+        u = BGPUpdate("v", 0.0, P1, (4200000000, 2))
+        assert roundtrip(u) == u
+
+
+class TestRIBRecordRoundtrip:
+    def test_rib_entry(self):
+        route = Route(P1, (1, 2, 3), frozenset({(1, 5)}), 42.0)
+        records = list(decode_records(encode_rib_entry("vp9", route)))
+        assert records == [RIBRecord("vp9", route)]
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        data = encode_update(BGPUpdate("v", 0.0, P1, (1,)))
+        with pytest.raises(MRTError):
+            list(decode_records(data[:-3] + b""))
+
+    def test_garbage_type(self):
+        data = bytearray(encode_update(BGPUpdate("v", 0.0, P1, (1,))))
+        data[8:10] = (99).to_bytes(2, "big")   # corrupt the type field
+        with pytest.raises(MRTError):
+            list(decode_records(bytes(data)))
+
+
+class TestArchive:
+    def test_write_read_compressed(self, tmp_path):
+        updates = [BGPUpdate(f"vp{i}", float(i), P1, (i + 1, 2))
+                   for i in range(10)]
+        path = str(tmp_path / "arch.mrt.bz2")
+        assert write_archive(updates, path) == 10
+        assert read_archive(path) == updates
+
+    def test_write_read_uncompressed(self, tmp_path):
+        updates = [BGPUpdate("vp1", 0.0, P1, (1, 2))]
+        path = str(tmp_path / "arch.mrt")
+        write_archive(updates, path, compress=False)
+        assert read_archive(path, compressed=False) == updates
+
+    def test_empty_archive(self, tmp_path):
+        path = str(tmp_path / "empty.mrt.bz2")
+        assert write_archive([], path) == 0
+        assert read_archive(path) == []
+
+
+as_paths = st.lists(st.integers(min_value=1, max_value=2**32 - 1),
+                    min_size=1, max_size=8).map(tuple)
+communities = st.sets(
+    st.tuples(st.integers(min_value=0, max_value=2**32 - 1),
+              st.integers(min_value=0, max_value=2**32 - 1)),
+    max_size=5,
+).map(frozenset)
+
+
+@given(
+    vp=st.text(min_size=1, max_size=20),
+    time=st.floats(min_value=0, max_value=2**31, allow_nan=False),
+    index=st.integers(min_value=0, max_value=10000),
+    path=as_paths,
+    comms=communities,
+)
+def test_codec_roundtrip_property(vp, time, index, path, comms):
+    """Property: decode(encode(u)) == u for arbitrary updates."""
+    u = BGPUpdate(vp, time, Prefix.from_index(index), path, comms)
+    assert roundtrip(u) == u

@@ -1,0 +1,142 @@
+"""Tests for repro.bgp.prefix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix, PrefixError
+
+
+class TestParse:
+    def test_parse_ipv4(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.family == 4
+        assert p.length == 8
+        assert str(p) == "10.0.0.0/8"
+
+    def test_parse_ipv6(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.family == 6
+        assert p.length == 32
+        assert str(p) == "2001:db8::/32"
+
+    def test_parse_host_route(self):
+        p = Prefix.parse("192.0.2.1/32")
+        assert p.length == 32
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("not-a-prefix")
+
+    def test_default_route(self):
+        p = Prefix.parse("0.0.0.0/0")
+        assert p.length == 0
+        assert p.network == 0
+
+
+class TestValidation:
+    def test_rejects_bad_family(self):
+        with pytest.raises(PrefixError):
+            Prefix(5, 0, 8)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix(4, 0, 33)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(PrefixError):
+            Prefix(4, 0, -1)
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(4, 1, 24)
+
+    def test_rejects_network_out_of_range(self):
+        with pytest.raises(PrefixError):
+            Prefix(4, 1 << 40, 0)
+
+
+class TestFromIndex:
+    def test_distinct_indices_distinct_prefixes(self):
+        prefixes = {Prefix.from_index(i) for i in range(100)}
+        assert len(prefixes) == 100
+
+    def test_index_zero_v4(self):
+        assert str(Prefix.from_index(0)) == "10.0.0.0/24"
+
+    def test_index_one_v4(self):
+        assert str(Prefix.from_index(1)) == "10.0.1.0/24"
+
+    def test_ipv6(self):
+        p = Prefix.from_index(3, family=6, length=48)
+        assert p.family == 6
+        assert p.length == 48
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_index(-1)
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").contains(
+            Prefix.parse("10.0.0.0/8"))
+
+    def test_does_not_contain_disjoint(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(
+            Prefix.parse("11.0.0.0/16"))
+
+    def test_cross_family(self):
+        assert not Prefix.parse("0.0.0.0/0").contains(Prefix.parse("::/0"))
+
+
+class TestSubprefixes:
+    def test_split_in_two(self):
+        subs = list(Prefix.parse("10.0.0.0/8").subprefixes(9))
+        assert [str(s) for s in subs] == ["10.0.0.0/9", "10.128.0.0/9"]
+
+    def test_same_length_is_identity(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert list(p.subprefixes(8)) == [p]
+
+    def test_rejects_shorter(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/8").subprefixes(7))
+
+
+class TestOrderingAndHashing:
+    def test_hashable_and_equal(self):
+        assert Prefix.parse("10.0.0.0/8") == Prefix.parse("10.0.0.0/8")
+        assert len({Prefix.parse("10.0.0.0/8"),
+                    Prefix.parse("10.0.0.0/8")}) == 1
+
+    def test_sortable(self):
+        a, b = Prefix.parse("10.0.0.0/8"), Prefix.parse("11.0.0.0/8")
+        assert sorted([b, a]) == [a, b]
+
+
+@given(st.integers(min_value=0, max_value=2**20 - 1),
+       st.integers(min_value=16, max_value=32))
+def test_roundtrip_via_str(index, length):
+    """Property: parse(str(p)) == p for generated prefixes."""
+    p = Prefix.from_index(index % (1 << max(0, length - 8)), length=length)
+    assert Prefix.parse(str(p)) == p
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_subprefixes_are_contained(index):
+    """Property: every subprefix is contained in its parent."""
+    parent = Prefix.from_index(index, length=24)
+    for sub in parent.subprefixes(26):
+        assert parent.contains(sub)

@@ -1,0 +1,89 @@
+"""Tests for repro.bgp.rib."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import RIB, annotate_stream, final_ribs
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+class TestRIB:
+    def test_first_announcement_has_no_withdrawals(self):
+        rib = RIB("vp1")
+        ann = rib.apply(BGPUpdate("vp1", 0.0, P1, (1, 2)))
+        assert ann.withdrawn_links == frozenset()
+        assert ann.withdrawn_communities == frozenset()
+        assert len(rib) == 1
+
+    def test_replacement_computes_withdrawn_links(self):
+        rib = RIB("vp1")
+        rib.apply(BGPUpdate("vp1", 0.0, P1, (6, 2, 1, 4)))
+        ann = rib.apply(BGPUpdate("vp1", 10.0, P1, (6, 3, 1, 4)))
+        assert ann.withdrawn_links == frozenset({(6, 2), (2, 1)})
+        assert ann.effective_links == frozenset({(6, 3), (3, 1)})
+
+    def test_replacement_computes_withdrawn_communities(self):
+        rib = RIB("vp1")
+        rib.apply(BGPUpdate("vp1", 0.0, P1, (1, 2), {(1, 1), (1, 2)}))
+        ann = rib.apply(BGPUpdate("vp1", 5.0, P1, (1, 2), {(1, 2), (1, 3)}))
+        assert ann.withdrawn_communities == frozenset({(1, 1)})
+        assert ann.effective_communities == frozenset({(1, 3)})
+
+    def test_withdrawal_removes_route(self):
+        rib = RIB("vp1")
+        rib.apply(BGPUpdate("vp1", 0.0, P1, (1, 2)))
+        ann = rib.apply(BGPUpdate("vp1", 5.0, P1, is_withdrawal=True))
+        assert P1 not in rib
+        assert ann.withdrawn_links == frozenset({(1, 2)})
+
+    def test_withdrawal_of_unknown_prefix_is_noop(self):
+        rib = RIB("vp1")
+        ann = rib.apply(BGPUpdate("vp1", 0.0, P1, is_withdrawal=True))
+        assert ann.withdrawn_links == frozenset()
+
+    def test_wrong_vp_rejected(self):
+        rib = RIB("vp1")
+        with pytest.raises(ValueError):
+            rib.apply(BGPUpdate("vp2", 0.0, P1, (1,)))
+
+    def test_snapshot_sorted_by_prefix(self):
+        rib = RIB("vp1")
+        rib.apply(BGPUpdate("vp1", 0.0, P2, (1, 2)))
+        rib.apply(BGPUpdate("vp1", 0.0, P1, (1, 3)))
+        snap = rib.snapshot()
+        assert [r.prefix for r in snap] == [P1, P2]
+
+    def test_identical_reannouncement_has_empty_withdrawals(self):
+        rib = RIB("vp1")
+        rib.apply(BGPUpdate("vp1", 0.0, P1, (1, 2), {(1, 1)}))
+        ann = rib.apply(BGPUpdate("vp1", 9.0, P1, (1, 2), {(1, 1)}))
+        assert ann.withdrawn_links == frozenset()
+        assert ann.withdrawn_communities == frozenset()
+
+
+class TestStreamHelpers:
+    def test_annotate_stream_multi_vp(self):
+        stream = [
+            BGPUpdate("vp1", 0.0, P1, (1, 2)),
+            BGPUpdate("vp2", 0.0, P1, (3, 2)),
+            BGPUpdate("vp1", 5.0, P1, (1, 4, 2)),
+        ]
+        annotated = annotate_stream(stream)
+        assert annotated[0].withdrawn_links == frozenset()
+        assert annotated[1].withdrawn_links == frozenset()
+        assert annotated[2].withdrawn_links == frozenset({(1, 2)})
+
+    def test_final_ribs(self):
+        stream = [
+            BGPUpdate("vp1", 0.0, P1, (1, 2)),
+            BGPUpdate("vp1", 1.0, P2, (1, 3)),
+            BGPUpdate("vp2", 0.0, P1, (9, 2)),
+            BGPUpdate("vp1", 2.0, P2, is_withdrawal=True),
+        ]
+        ribs = final_ribs(stream)
+        assert set(ribs) == {"vp1", "vp2"}
+        assert len(ribs["vp1"]) == 1
+        assert ribs["vp1"].get(P1).as_path == (1, 2)

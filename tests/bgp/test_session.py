@@ -1,0 +1,111 @@
+"""Tests for the peering-session workflow (§9)."""
+
+import pytest
+
+from repro.bgp.filtering import DropRule, FilterTable
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bgp.session import (
+    RIB_DUMP_INTERVAL_S,
+    PeeringDB,
+    PeeringError,
+    PeeringRequest,
+    SessionManager,
+    SessionState,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+@pytest.fixture
+def peeringdb():
+    db = PeeringDB()
+    db.register(65001, "example.net")
+    return db
+
+
+@pytest.fixture
+def manager(peeringdb):
+    return SessionManager(peeringdb)
+
+
+class TestOnboarding:
+    def test_happy_path_activates(self, manager):
+        vp = manager.submit_form(
+            PeeringRequest(65001, "noc@example.net", "r1"))
+        manager.receive_email(vp, "noc@example.net", 65001)
+        assert manager.sessions[vp].state is SessionState.ACTIVE
+        assert vp in manager.active_vps()
+
+    def test_wrong_asn_in_email_rejects(self, manager):
+        vp = manager.submit_form(
+            PeeringRequest(65001, "noc@example.net", "r1"))
+        manager.receive_email(vp, "noc@example.net", 65999)
+        assert manager.sessions[vp].state is SessionState.REJECTED
+
+    def test_unauthorized_domain_rejects(self, manager):
+        """Step 2: PeeringDB cross-check fails for a spoofed domain."""
+        vp = manager.submit_form(
+            PeeringRequest(65001, "attacker@evil.example", "r1"))
+        manager.receive_email(vp, "attacker@evil.example", 65001)
+        assert manager.sessions[vp].state is SessionState.REJECTED
+
+    def test_duplicate_form_rejected(self, manager):
+        manager.submit_form(PeeringRequest(65001, "noc@example.net", "r1"))
+        with pytest.raises(PeeringError):
+            manager.submit_form(
+                PeeringRequest(65001, "noc@example.net", "r1"))
+
+    def test_email_twice_rejected(self, manager):
+        vp = manager.submit_form(
+            PeeringRequest(65001, "noc@example.net", "r1"))
+        manager.receive_email(vp, "noc@example.net", 65001)
+        with pytest.raises(PeeringError):
+            manager.receive_email(vp, "noc@example.net", 65001)
+
+    def test_case_insensitive_domain(self, manager):
+        vp = manager.submit_form(
+            PeeringRequest(65001, "noc@EXAMPLE.NET", "r1"))
+        manager.receive_email(vp, "noc@EXAMPLE.NET", 65001)
+        assert manager.sessions[vp].state is SessionState.ACTIVE
+
+
+class TestDataPlane:
+    def _active(self, manager):
+        vp = manager.submit_form(
+            PeeringRequest(65001, "noc@example.net", "r1"))
+        manager.receive_email(vp, "noc@example.net", 65001)
+        return vp
+
+    def test_inactive_session_rejects_updates(self, manager):
+        vp = manager.submit_form(
+            PeeringRequest(65001, "noc@example.net", "r1"))
+        with pytest.raises(PeeringError):
+            manager.receive(BGPUpdate(vp, 0.0, P1, (65001,)))
+
+    def test_retained_update_stored(self, manager):
+        vp = self._active(manager)
+        assert manager.receive(BGPUpdate(vp, 0.0, P1, (65001,)))
+        assert len(manager.sessions[vp].retained) == 1
+
+    def test_filtered_update_discarded_but_in_rib(self, peeringdb):
+        manager = SessionManager(peeringdb)
+        vp = self._active(manager)
+        manager.filters.add_rule(DropRule(vp, P1))
+        assert not manager.receive(BGPUpdate(vp, 0.0, P1, (65001,)))
+        session = manager.sessions[vp]
+        assert session.discarded_count == 1
+        # The RIB still reflects the peer's table (used for 8h dumps).
+        assert P1 in session.rib
+
+    def test_rib_dump_every_eight_hours(self, manager):
+        vp = self._active(manager)
+        manager.receive(BGPUpdate(vp, 0.0, P1, (65001,)))
+        manager.receive(BGPUpdate(vp, RIB_DUMP_INTERVAL_S + 1, P1,
+                                  (65001, 2)))
+        assert len(manager.sessions[vp].rib_dumps) == 1
+
+    def test_bootstrap_bypass(self, manager):
+        session = manager.activate_directly("vp-ris-1", 3356)
+        assert session.state is SessionState.ACTIVE
+        assert manager.receive(BGPUpdate("vp-ris-1", 0.0, P1, (3356,)))

@@ -1,0 +1,125 @@
+"""Tests for the §14 collected-route validator."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bgp.validation import RouteValidator
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp, t, path, prefix=P1):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+def bootstrap(validator, n_vps=5):
+    """Five VPs agree: P1 originates at AS9 via core link 2-9."""
+    validator.learn([
+        upd(f"vp{i}", 0.0, (100 + i, 2, 9)) for i in range(n_vps)
+    ])
+
+
+class TestOriginConsistency:
+    def test_consistent_update_clean(self):
+        validator = RouteValidator()
+        bootstrap(validator)
+        verdict = validator.validate(upd("vp0", 10.0, (100, 2, 9)))
+        assert verdict.suspicion == 0.0
+        assert not verdict.flagged
+
+    def test_fake_origin_flagged(self):
+        """A lone VP claiming a different origin is suspicious."""
+        validator = RouteValidator()
+        bootstrap(validator)
+        verdict = validator.validate(upd("vp9", 10.0, (66, 6)))
+        assert verdict.flagged
+        assert any("origin" in r for r in verdict.reasons)
+
+    def test_corroborated_moas_not_flagged_for_origin(self):
+        """Two independent VPs reporting the new origin = likely real
+        MOAS, not a fake feed."""
+        validator = RouteValidator()
+        bootstrap(validator)
+        validator.learn([upd("vp1", 5.0, (101, 2, 6))])
+        verdict = validator.validate(upd("vp2", 10.0, (102, 2, 6)))
+        assert not any("origin" in r for r in verdict.reasons)
+
+    def test_no_majority_no_origin_flag(self):
+        validator = RouteValidator()
+        verdict = validator.validate(upd("vp0", 0.0, (1, 9)))
+        assert not any("origin" in r for r in verdict.reasons)
+
+
+class TestLinkPlausibility:
+    def test_unknown_interior_links_raise_suspicion(self):
+        validator = RouteValidator()
+        bootstrap(validator)
+        # Same origin (no origin flag) but a fabricated interior path.
+        verdict = validator.validate(
+            upd("vp9", 10.0, (200, 55, 66, 9)))
+        assert verdict.suspicion > 0.0
+        assert any("links" in r for r in verdict.reasons)
+
+    def test_first_hop_link_tolerated(self):
+        """A new peer's own access link is legitimately unique."""
+        validator = RouteValidator()
+        bootstrap(validator)
+        verdict = validator.validate(upd("vp9", 10.0, (200, 2, 9)))
+        assert not verdict.flagged
+
+    def test_withdrawals_never_flagged(self):
+        validator = RouteValidator()
+        bootstrap(validator)
+        w = BGPUpdate("vp9", 10.0, P1, is_withdrawal=True)
+        assert validator.validate(w).suspicion == 0.0
+
+
+class TestPeerHonesty:
+    def test_honest_peer_score_one(self):
+        validator = RouteValidator()
+        bootstrap(validator)
+        for t in range(10):
+            validator.validate(upd("vp0", float(t), (100, 2, 9)))
+        assert validator.peer_honesty("vp0") == 1.0
+
+    def test_liar_detected(self):
+        validator = RouteValidator()
+        bootstrap(validator)
+        for t in range(10):
+            validator.validate(
+                upd("evil", float(t), (66, 50 + t, 6), P1))
+        assert validator.peer_honesty("evil") < 0.8
+        assert "evil" in validator.dishonest_peers()
+
+    def test_unknown_peer_default_honest(self):
+        validator = RouteValidator()
+        assert validator.peer_honesty("nobody") == 1.0
+
+    def test_few_samples_not_listed(self):
+        """A peer with <5 updates is not condemned yet."""
+        validator = RouteValidator()
+        bootstrap(validator)
+        validator.validate(upd("new", 1.0, (66, 6)))
+        assert "new" not in validator.dishonest_peers()
+
+
+class TestStream:
+    def test_validate_stream_sorted(self):
+        validator = RouteValidator()
+        bootstrap(validator)
+        verdicts = validator.validate_stream([
+            upd("vp0", 20.0, (100, 2, 9)),
+            upd("vp1", 10.0, (101, 2, 9)),
+        ])
+        assert [v.update.time for v in verdicts] == [10.0, 20.0]
+
+    def test_learning_reduces_suspicion_over_time(self):
+        """Once several VPs report a new link, it stops being odd."""
+        validator = RouteValidator()
+        bootstrap(validator)
+        first = validator.validate(upd("vp1", 10.0, (101, 3, 2, 9)))
+        validator.validate(upd("vp2", 11.0, (102, 3, 2, 9)))
+        later = validator.validate(upd("vp3", 12.0, (103, 3, 2, 9)))
+        assert later.suspicion <= first.suspicion

@@ -1,0 +1,113 @@
+"""Tests for anchor-VP selection (§18.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchors import score_drift, select_anchor_vps
+
+
+def scores_from_clusters(clusters, n):
+    """Score matrix where VPs in the same cluster are perfectly
+    redundant (1.0) and cross-cluster pairs score 0.2."""
+    scores = np.full((n, n), 0.2)
+    for cluster in clusters:
+        for a in cluster:
+            for b in cluster:
+                scores[a, b] = 1.0
+    np.fill_diagonal(scores, 1.0)
+    return scores
+
+
+class TestSelectAnchors:
+    def test_one_anchor_per_cluster(self):
+        vps = [f"vp{i}" for i in range(6)]
+        scores = scores_from_clusters([(0, 1, 2), (3, 4), (5,)], 6)
+        result = select_anchor_vps(vps, scores, [10] * 6)
+        # Every unselected VP must be saturated with an anchor; one
+        # anchor per cluster suffices.
+        assert len(result.anchors) == 3
+        clusters = [{0, 1, 2}, {3, 4}, {5}]
+        anchor_ids = {int(a[2:]) for a in result.anchors}
+        for cluster in clusters:
+            assert anchor_ids & cluster
+
+    def test_volume_breaks_ties(self):
+        """Within the candidate pool the lowest-volume VP is chosen."""
+        vps = [f"vp{i}" for i in range(4)]
+        scores = scores_from_clusters([(0, 1), (2, 3)], 4)
+        volumes = [100, 1, 100, 1]
+        result = select_anchor_vps(vps, scores, volumes, gamma=1.0)
+        assert set(result.anchors) <= {"vp1", "vp3", "vp0", "vp2"}
+        # The second anchor (greedy pick) must be a low-volume VP.
+        assert result.order[1] in ("vp1", "vp3")
+
+    def test_seed_is_most_redundant(self):
+        """The first anchor has the highest average redundancy."""
+        vps = [f"vp{i}" for i in range(5)]
+        scores = scores_from_clusters([(0, 1, 2, 3)], 5)
+        result = select_anchor_vps(vps, scores, [1] * 5)
+        assert int(result.order[0][2:]) in (0, 1, 2, 3)
+
+    def test_no_redundancy_selects_everyone(self):
+        vps = [f"vp{i}" for i in range(4)]
+        scores = np.eye(4)
+        result = select_anchor_vps(vps, scores, [1] * 4)
+        assert len(result.anchors) == 4
+
+    def test_max_anchors_cap(self):
+        vps = [f"vp{i}" for i in range(6)]
+        scores = np.eye(6)
+        result = select_anchor_vps(vps, scores, [1] * 6, max_anchors=2)
+        assert len(result.anchors) == 2
+
+    def test_single_vp(self):
+        result = select_anchor_vps(["vp0"], np.ones((1, 1)), [5])
+        assert result.anchors == ("vp0",)
+
+    def test_empty(self):
+        result = select_anchor_vps([], np.zeros((0, 0)), [])
+        assert result.anchors == ()
+        assert result.fraction == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            select_anchor_vps(["a", "b"], np.zeros((3, 3)), [1, 1])
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            select_anchor_vps(["a"], np.ones((1, 1)), [1], gamma=0.0)
+
+    def test_lower_stop_threshold_fewer_anchors(self):
+        rng = np.random.default_rng(7)
+        n = 20
+        base = rng.random((n, n))
+        scores = (base + base.T) / 2
+        np.fill_diagonal(scores, 1.0)
+        many = select_anchor_vps([f"v{i}" for i in range(n)], scores,
+                                 [1] * n, stop_threshold=0.99)
+        few = select_anchor_vps([f"v{i}" for i in range(n)], scores,
+                                [1] * n, stop_threshold=0.5)
+        assert len(few.anchors) <= len(many.anchors)
+
+    def test_fraction(self):
+        vps = [f"vp{i}" for i in range(4)]
+        scores = scores_from_clusters([(0, 1, 2, 3)], 4)
+        result = select_anchor_vps(vps, scores, [1] * 4)
+        assert result.fraction == pytest.approx(0.25)
+
+
+class TestScoreDrift:
+    def test_identical_matrices_zero_drift(self):
+        m = np.random.default_rng(1).random((4, 4))
+        assert (score_drift(m, m) == 0).all()
+
+    def test_drift_values(self):
+        a = np.zeros((3, 3))
+        b = np.full((3, 3), 0.5)
+        drift = score_drift(a, b)
+        assert drift.shape == (3,)
+        assert np.allclose(drift, 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            score_drift(np.zeros((2, 2)), np.zeros((3, 3)))

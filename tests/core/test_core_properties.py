@@ -1,0 +1,141 @@
+"""Property-based tests on GILL's core data structures and invariants."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.correlation import (
+    CorrelationGroups,
+    signature,
+)
+from repro.core.filters import generate_filter_table
+from repro.core.redundancy import (
+    RedundancyDefinition,
+    update_redundancy,
+)
+from repro.core.sampler import UpdateSampler
+from repro.bgp.rib import annotate_stream
+
+# Compact update streams: few VPs/prefixes/paths so collisions (and
+# therefore interesting redundancy structure) actually happen.
+updates_strategy = st.lists(
+    st.builds(
+        BGPUpdate,
+        vp=st.sampled_from(["vp1", "vp2", "vp3", "vp4"]),
+        time=st.floats(min_value=0, max_value=2000, allow_nan=False),
+        prefix=st.integers(min_value=0, max_value=3).map(Prefix.from_index),
+        as_path=st.lists(st.integers(min_value=1, max_value=9),
+                         min_size=1, max_size=4).map(tuple),
+        communities=st.sets(
+            st.tuples(st.integers(min_value=1, max_value=5),
+                      st.integers(min_value=0, max_value=5)),
+            max_size=2).map(frozenset),
+    ),
+    max_size=40,
+)
+
+
+class TestCorrelationGroupProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(updates=updates_strategy)
+    def test_every_update_in_some_group(self, updates):
+        groups = CorrelationGroups.build(updates)
+        for update in updates:
+            hits = groups.groups_containing(update.prefix, update)
+            assert hits, f"update {update} in no group"
+            assert all(signature(update) in g for g in hits)
+
+    @settings(max_examples=50, deadline=None)
+    @given(updates=updates_strategy)
+    def test_weights_count_windows(self, updates):
+        """Per prefix, group weights sum to the number of 100s windows."""
+        groups = CorrelationGroups.build(updates)
+        by_prefix = defaultdict(list)
+        for u in updates:
+            by_prefix[u.prefix].append(u)
+        for prefix, bucket in by_prefix.items():
+            bucket.sort(key=lambda u: u.time)
+            windows = 0
+            window_start = None
+            for u in bucket:
+                if window_start is None or u.time - window_start >= 100.0:
+                    windows += 1
+                    window_start = u.time
+            total_weight = sum(
+                g.weight for g in groups.groups_for_prefix(prefix))
+            assert total_weight == windows
+
+    @settings(max_examples=50, deadline=None)
+    @given(updates=updates_strategy)
+    def test_groups_never_cross_prefixes(self, updates):
+        groups = CorrelationGroups.build(updates)
+        for prefix in groups.prefixes():
+            for group in groups.groups_for_prefix(prefix):
+                assert group.prefix == prefix
+
+
+class TestSamplerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(updates=updates_strategy)
+    def test_partition_property(self, updates):
+        """redundant + nonredundant is exactly the input multiset."""
+        result = UpdateSampler().run(updates)
+        combined = sorted(result.redundant + result.nonredundant,
+                          key=lambda u: (u.time, u.vp, repr(u.prefix),
+                                         u.as_path))
+        original = sorted(updates,
+                          key=lambda u: (u.time, u.vp, repr(u.prefix),
+                                         u.as_path))
+        assert combined == original
+
+    @settings(max_examples=30, deadline=None)
+    @given(updates=updates_strategy)
+    def test_per_key_coherence(self, updates):
+        """No (vp, prefix) key is split across the two classes."""
+        result = UpdateSampler().run(updates)
+        nonred = {(u.vp, u.prefix) for u in result.nonredundant}
+        red = {(u.vp, u.prefix) for u in result.redundant}
+        assert not (nonred & red)
+
+    @settings(max_examples=30, deadline=None)
+    @given(updates=updates_strategy)
+    def test_filters_never_drop_nonredundant(self, updates):
+        result = UpdateSampler().run(updates)
+        table = generate_filter_table(result.redundant)
+        for update in result.nonredundant:
+            assert table.accept(update)
+
+    @settings(max_examples=30, deadline=None)
+    @given(updates=updates_strategy)
+    def test_deterministic(self, updates):
+        a = UpdateSampler().run(updates)
+        b = UpdateSampler().run(updates)
+        assert a.nonredundant == b.nonredundant
+        assert a.redundant == b.redundant
+
+
+class TestRedundancyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(updates=updates_strategy)
+    def test_definitions_nested(self, updates):
+        """Def-3 redundant count <= Def-2 <= Def-1 on any stream."""
+        annotated = annotate_stream(
+            sorted(updates, key=lambda u: u.time))
+        counts = [
+            update_redundancy(annotated, d).redundant_updates
+            for d in RedundancyDefinition
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(updates=updates_strategy)
+    def test_fraction_bounds(self, updates):
+        annotated = annotate_stream(
+            sorted(updates, key=lambda u: u.time))
+        for definition in RedundancyDefinition:
+            report = update_redundancy(annotated, definition)
+            assert 0.0 <= report.fraction <= 1.0
+            assert report.total_updates == len(updates)

@@ -1,0 +1,129 @@
+"""Tests for correlation groups (§17.1), including the Fig. 10 example."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.correlation import (
+    CorrelationGroups,
+    reconstitute,
+    signature,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp, t, path, prefix=P1):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+@pytest.fixture
+def fig10_updates():
+    """The four events of Fig. 10 (appendix §17.1), prefix p1 only.
+
+    Events at T=1000/3000/5000/7000; events #2 and #4 produce identical
+    update pairs (the restored primary paths), so their group G2 ends up
+    with weight 2.
+    """
+    return [
+        # Event 1: link 2-4 fails.
+        upd("vp1", 1000.0, (2, 1, 4)),
+        upd("vp2", 1010.0, (6, 2, 1, 4)),
+        # Event 2: link restored.
+        upd("vp1", 3000.0, (2, 4)),
+        upd("vp2", 3010.0, (6, 2, 4)),
+        # Event 3: both 2-4 and 2-6 fail.
+        upd("vp1", 5000.0, (2, 1, 4)),
+        upd("vp2", 5010.0, (6, 3, 1, 4)),
+        # Event 4: both restored.
+        upd("vp1", 7000.0, (2, 4)),
+        upd("vp2", 7010.0, (6, 2, 4)),
+    ]
+
+
+class TestBuild:
+    def test_fig10_three_groups(self, fig10_updates):
+        groups = CorrelationGroups.build(fig10_updates)
+        assert groups.total_groups() == 3
+
+    def test_fig10_g2_weight_two(self, fig10_updates):
+        groups = CorrelationGroups.build(fig10_updates)
+        g2 = groups.max_weight_group(P1, upd("vp1", 0.0, (2, 4)))
+        assert g2 is not None
+        assert g2.weight == 2
+        others = [g for g in groups.groups_for_prefix(P1) if g is not g2]
+        assert all(g.weight == 1 for g in others)
+
+    def test_windows_split_by_100s(self):
+        updates = [upd("vp1", 0.0, (1, 2)), upd("vp2", 150.0, (3, 2))]
+        groups = CorrelationGroups.build(updates)
+        assert groups.total_groups() == 2
+
+    def test_windows_join_within_100s(self):
+        updates = [upd("vp1", 0.0, (1, 2)), upd("vp2", 99.0, (3, 2))]
+        groups = CorrelationGroups.build(updates)
+        assert groups.total_groups() == 1
+
+    def test_per_prefix_separation(self):
+        """Updates for different prefixes never share a group (§17.1)."""
+        updates = [upd("vp1", 0.0, (1, 2), P1), upd("vp1", 1.0, (1, 2), P2)]
+        groups = CorrelationGroups.build(updates)
+        assert len(groups.prefixes()) == 2
+        for prefix in (P1, P2):
+            assert len(groups.groups_for_prefix(prefix)) == 1
+
+    def test_empty(self):
+        groups = CorrelationGroups.build([])
+        assert groups.total_groups() == 0
+        assert groups.prefixes() == []
+
+
+class TestQueries:
+    def test_groups_containing(self, fig10_updates):
+        groups = CorrelationGroups.build(fig10_updates)
+        hits = groups.groups_containing(P1, upd("vp1", 0.0, (2, 1, 4)))
+        assert len(hits) == 2   # G1 and G3 both contain vp1's (2,1,4)
+
+    def test_unknown_update_no_groups(self, fig10_updates):
+        groups = CorrelationGroups.build(fig10_updates)
+        assert groups.groups_containing(P1, upd("vp9", 0.0, (9, 9))) == []
+        assert groups.max_weight_group(P1, upd("vp9", 0.0, (9, 9))) is None
+
+    def test_signature_ignores_time_and_prefix(self):
+        a = signature(upd("vp1", 0.0, (1, 2), P1))
+        b = signature(upd("vp1", 99.0, (1, 2), P2))
+        assert a == b
+
+
+class TestReconstitute:
+    def test_rebuilds_heaviest_group(self, fig10_updates):
+        groups = CorrelationGroups.build(fig10_updates)
+        rebuilt = reconstitute(groups, P1, upd("vp2", 9000.0, (6, 2, 4)))
+        # G2 (weight 2) contains vp1:(2,4) and vp2:(6,2,4).
+        assert {(u.vp, u.as_path) for u in rebuilt} == {
+            ("vp1", (2, 4)), ("vp2", (6, 2, 4))}
+        assert all(u.time == 9000.0 for u in rebuilt)
+        assert all(u.prefix == P1 for u in rebuilt)
+
+    def test_ambiguous_update_uses_weight(self, fig10_updates):
+        """vp1's (2,1,4) is in G1 and G3 (both weight 1): deterministic
+        tie-break picks one of them consistently."""
+        groups = CorrelationGroups.build(fig10_updates)
+        first = reconstitute(groups, P1, upd("vp1", 0.0, (2, 1, 4)))
+        second = reconstitute(groups, P1, upd("vp1", 50.0, (2, 1, 4)))
+        assert {(u.vp, u.as_path) for u in first} == \
+            {(u.vp, u.as_path) for u in second}
+
+    def test_unknown_update_rebuilds_nothing(self, fig10_updates):
+        groups = CorrelationGroups.build(fig10_updates)
+        assert reconstitute(groups, P1, upd("vp9", 0.0, (9, 9))) == []
+
+    def test_withdrawals_participate(self):
+        updates = [
+            upd("vp1", 0.0, (1, 2)),
+            BGPUpdate("vp2", 10.0, P1, is_withdrawal=True),
+        ]
+        groups = CorrelationGroups.build(updates)
+        rebuilt = reconstitute(groups, P1, updates[1])
+        assert any(u.is_withdrawal for u in rebuilt)

@@ -1,0 +1,96 @@
+"""Tests for the cross-prefix redundancy pass (§17.3)."""
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.cross_prefix import deduplicate_across_prefixes
+from repro.core.reconstitution import PrefixSelection
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+P3 = Prefix.parse("10.0.2.0/24")
+
+
+def sel(prefix, updates):
+    return PrefixSelection(prefix, sorted({u.vp for u in updates}),
+                           list(updates), [], 1.0)
+
+
+def upd(vp, t, path, prefix):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestDeduplication:
+    def test_identical_subsets_demoted(self):
+        """p1 and p2 see the same updates (Fig. 5's AS4 case): one
+        prefix's subset survives, the other is demoted."""
+        s1 = sel(P1, [upd("vp2", 100.0, (6, 2, 1, 4), P1)])
+        s2 = sel(P2, [upd("vp2", 101.0, (6, 2, 1, 4), P2)])
+        result = deduplicate_across_prefixes([s1, s2])
+        assert len(result.nonredundant) == 1
+        assert len(result.demoted) == 1
+        # The smallest prefix survives.
+        assert result.nonredundant[0].prefix == P1
+        assert result.demoted[0].prefix == P2
+
+    def test_different_paths_not_demoted(self):
+        s1 = sel(P1, [upd("vp2", 100.0, (6, 2, 1, 4), P1)])
+        s2 = sel(P2, [upd("vp2", 101.0, (6, 3, 1, 4), P2)])
+        result = deduplicate_across_prefixes([s1, s2])
+        assert result.demoted == []
+        assert len(result.nonredundant) == 2
+
+    def test_different_vps_not_demoted(self):
+        s1 = sel(P1, [upd("vp2", 100.0, (6, 2, 1, 4), P1)])
+        s2 = sel(P2, [upd("vp3", 101.0, (6, 2, 1, 4), P2)])
+        result = deduplicate_across_prefixes([s1, s2])
+        assert result.demoted == []
+
+    def test_time_slack_respected(self):
+        """Same attributes but far apart in time: both stay."""
+        s1 = sel(P1, [upd("vp2", 100.0, (6, 2), P1)])
+        s2 = sel(P2, [upd("vp2", 5000.0, (6, 2), P2)])
+        result = deduplicate_across_prefixes([s1, s2])
+        assert result.demoted == []
+
+    def test_three_way_group_keeps_one(self):
+        selections = [
+            sel(p, [upd("vp2", 100.0 + i, (6, 2), p)])
+            for i, p in enumerate((P1, P2, P3))
+        ]
+        result = deduplicate_across_prefixes(selections)
+        assert len(result.nonredundant) == 1
+        assert len(result.demoted) == 2
+
+    def test_multi_update_subsets_must_fully_match(self):
+        s1 = sel(P1, [upd("vp2", 100.0, (6, 2), P1),
+                      upd("vp2", 300.0, (6, 3), P1)])
+        s2 = sel(P2, [upd("vp2", 101.0, (6, 2), P2)])
+        result = deduplicate_across_prefixes([s1, s2])
+        assert result.demoted == []
+
+    def test_per_vp_subsets_independent(self):
+        """Only vp2's subsets match; vp1's differ, so vp1's survive for
+        both prefixes while vp2 is deduplicated."""
+        s1 = sel(P1, [upd("vp2", 100.0, (6, 2), P1),
+                      upd("vp1", 100.0, (2, 4), P1)])
+        s2 = sel(P2, [upd("vp2", 101.0, (6, 2), P2),
+                      upd("vp1", 101.0, (2, 5), P2)])
+        result = deduplicate_across_prefixes([s1, s2])
+        demoted_vps = {u.vp for u in result.demoted}
+        assert demoted_vps == {"vp2"}
+        assert len(result.nonredundant) == 3
+
+    def test_empty_input(self):
+        result = deduplicate_across_prefixes([])
+        assert result.nonredundant == []
+        assert result.demoted == []
+
+    def test_no_update_lost_or_duplicated(self):
+        selections = [
+            sel(P1, [upd("vp2", 100.0, (6, 2), P1),
+                     upd("vp1", 110.0, (2, 4), P1)]),
+            sel(P2, [upd("vp2", 101.0, (6, 2), P2)]),
+        ]
+        total_in = sum(len(s.nonredundant) for s in selections)
+        result = deduplicate_across_prefixes(selections)
+        assert len(result.nonredundant) + len(result.demoted) == total_in

@@ -1,0 +1,203 @@
+"""Tests for event detection, AS categories, and balanced selection (§18.1)."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.events import (
+    ASCategory,
+    EventKind,
+    categorize_ases,
+    category_pair,
+    detect_events,
+    select_events_balanced,
+    select_events_random,
+    selection_matrix,
+)
+from repro.simulation.topology import synthetic_known_topology
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp, t, path, prefix=P1):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestCategorizeAses:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return synthetic_known_topology(300, seed=1)
+
+    def test_every_as_categorized(self, topo):
+        categories = categorize_ases(topo)
+        assert set(categories) == set(topo.ases())
+
+    def test_tier1_identified(self, topo):
+        categories = categorize_ases(topo)
+        for asn in topo.tier1_ases():
+            assert categories[asn] is ASCategory.TIER_1
+
+    def test_stubs_identified(self, topo):
+        categories = categorize_ases(topo)
+        stubs = [a for a, c in categories.items() if c is ASCategory.STUB]
+        assert stubs
+        for asn in stubs:
+            assert not topo.customers(asn)
+
+    def test_highest_id_wins(self, topo):
+        """A Tier-1 that is also a hypergiant must stay Tier-1."""
+        categories = categorize_ases(topo)
+        by_degree = sorted(topo.ases(), key=lambda a: (-topo.degree(a), a))
+        top = by_degree[0]
+        if top in topo.tier1_ases():
+            assert categories[top] is ASCategory.TIER_1
+
+    def test_transit_split(self, topo):
+        categories = categorize_ases(topo)
+        t1 = [a for a, c in categories.items() if c is ASCategory.TRANSIT_1]
+        t2 = [a for a, c in categories.items() if c is ASCategory.TRANSIT_2]
+        assert t1 and t2
+        # Transit-1 ASes have smaller cones than Transit-2 ones on average.
+        cone = lambda a: len(topo.customer_cone(a))
+        avg1 = sum(map(cone, t1)) / len(t1)
+        avg2 = sum(map(cone, t2)) / len(t2)
+        assert avg1 < avg2
+
+
+class TestDetectEvents:
+    def test_new_link_detected(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2)),
+            upd("vp1", 500.0, (1, 3, 2)),   # links 1-3, 3-2 appear
+        ]
+        events = detect_events(stream, total_vps=10)
+        kinds = {(e.kind, e.as_pair) for e in events}
+        assert (EventKind.NEW_LINK, (1, 3)) in kinds
+        assert (EventKind.NEW_LINK, (2, 3)) in kinds
+
+    def test_outage_detected(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2, 9)),
+            upd("vp1", 500.0, (1, 3, 9)),   # 1-2, 2-9 disappear
+        ]
+        events = detect_events(stream, total_vps=10)
+        outages = {e.as_pair for e in events if e.kind is EventKind.OUTAGE}
+        assert (1, 2) in outages and (2, 9) in outages
+
+    def test_origin_change_detected(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2, 9)),
+            upd("vp1", 500.0, (1, 2, 7)),
+        ]
+        events = detect_events(stream, total_vps=10)
+        changes = [e for e in events if e.kind is EventKind.ORIGIN_CHANGE]
+        assert len(changes) == 1
+        assert changes[0].as_pair == (7, 9)
+        assert changes[0].prefix == P1
+
+    def test_observations_clustered(self):
+        """Two VPs seeing the same new link within the window = 1 event."""
+        stream = [
+            upd("vp1", 0.0, (1, 9)),
+            upd("vp2", 1.0, (2, 9)),
+            upd("vp1", 500.0, (1, 5, 9)),
+            upd("vp2", 520.0, (2, 5, 9)),
+        ]
+        events = detect_events(stream, total_vps=10)
+        five_nine = [e for e in events if e.as_pair == (5, 9)]
+        assert len(five_nine) == 1
+        assert five_nine[0].observers == frozenset({"vp1", "vp2"})
+
+    def test_separate_clusters_far_apart(self):
+        stream = [
+            upd("vp1", 0.0, (1, 9)),
+            upd("vp1", 500.0, (1, 5, 9)),
+            upd("vp1", 600.0, (1, 9)),       # 1-5/5-9 disappear
+            upd("vp1", 5000.0, (1, 5, 9)),   # reappear much later
+        ]
+        events = detect_events(stream, total_vps=10)
+        five_nine = [e for e in events
+                     if e.as_pair == (5, 9) and e.kind is EventKind.NEW_LINK]
+        assert len(five_nine) == 2
+
+    def test_global_events_excluded(self):
+        """An event seen by >= 50% of VPs is not a candidate."""
+        stream = []
+        for i in range(4):
+            stream.append(upd(f"vp{i}", float(i), (i + 10, 9)))
+        for i in range(4):
+            stream.append(upd(f"vp{i}", 500.0 + i, (i + 10, 5, 9)))
+        events = detect_events(stream, total_vps=4)
+        assert not [e for e in events if e.as_pair == (5, 9)]
+
+    def test_event_window_padded(self):
+        stream = [
+            upd("vp1", 1000.0, (1, 9)),
+            upd("vp1", 2000.0, (1, 5, 9)),
+        ]
+        events = detect_events(stream, total_vps=10)
+        event = [e for e in events if e.as_pair == (5, 9)][0]
+        assert event.start < 2000.0
+        assert event.end > 2000.0
+
+    def test_empty_stream(self):
+        assert detect_events([], total_vps=0) == []
+
+
+class TestBalancedSelection:
+    def _make_events(self):
+        """Events across two category pairs with skewed counts."""
+        from repro.core.events import ObservedEvent
+        events = []
+        for i in range(20):   # many stub-stub events
+            events.append(ObservedEvent(
+                EventKind.NEW_LINK, 100 + i, 200 + i, float(i), i + 1.0,
+                frozenset({"vp1"})))
+        for i in range(3):    # few tier1-tier1 events
+            events.append(ObservedEvent(
+                EventKind.NEW_LINK, 1, 2, 100.0 + i, 101.0 + i,
+                frozenset({"vp1"})))
+        categories = {1: ASCategory.TIER_1, 2: ASCategory.TIER_1}
+        for i in range(20):
+            categories[100 + i] = ASCategory.STUB
+            categories[200 + i] = ASCategory.STUB
+        return events, categories
+
+    def test_per_cell_quota(self):
+        events, categories = self._make_events()
+        selected = select_events_balanced(events, categories, per_cell=5,
+                                          seed=1)
+        matrix = selection_matrix(selected, categories)
+        stub_pair = (ASCategory.STUB, ASCategory.STUB)
+        tier_pair = (ASCategory.TIER_1, ASCategory.TIER_1)
+        # Stub-stub capped at 5; tier1-tier1 contributes its 3.
+        assert matrix[stub_pair] == pytest.approx(5 / 8)
+        assert matrix[tier_pair] == pytest.approx(3 / 8)
+
+    def test_balanced_less_biased_than_random(self):
+        events, categories = self._make_events()
+        balanced = select_events_balanced(events, categories, per_cell=3,
+                                          seed=1)
+        rnd = select_events_random(events, 6, seed=1)
+        mb = selection_matrix(balanced, categories)
+        mr = selection_matrix(rnd, categories)
+        stub_pair = (ASCategory.STUB, ASCategory.STUB)
+        assert mb.get(stub_pair, 0) < mr.get(stub_pair, 0)
+
+    def test_random_selection_size(self):
+        events, _ = self._make_events()
+        assert len(select_events_random(events, 10, seed=2)) == 10
+        assert len(select_events_random(events, 1000, seed=2)) == len(events)
+
+    def test_unknown_as_defaults_to_stub(self):
+        from repro.core.events import ObservedEvent
+        event = ObservedEvent(EventKind.NEW_LINK, 777, 888, 0.0, 1.0,
+                              frozenset({"vp1"}))
+        assert category_pair(event, {}) == (ASCategory.STUB, ASCategory.STUB)
+
+    def test_deterministic_with_seed(self):
+        events, categories = self._make_events()
+        a = select_events_balanced(events, categories, per_cell=5, seed=42)
+        b = select_events_balanced(events, categories, per_cell=5, seed=42)
+        assert a == b

@@ -1,0 +1,91 @@
+"""Tests for filter generation and the public documents (§7, §9)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.filtering import FilterGranularity
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.filters import (
+    anchors_document,
+    filters_document,
+    generate_filter_table,
+)
+from repro.core.sampler import UpdateSampler
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp="vp1", t=0.0, prefix=P1, path=(1, 2)):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestGenerateFilterTable:
+    def test_redundant_updates_dropped(self):
+        table = generate_filter_table([upd()])
+        assert not table.accept(upd())
+
+    def test_future_similar_updates_dropped(self):
+        """Coarse rules match the whole (vp, prefix) space (§7)."""
+        table = generate_filter_table([upd(path=(1, 2))])
+        assert not table.accept(upd(t=9999.0, path=(7, 8, 9)))
+
+    def test_anchor_updates_always_kept(self):
+        table = generate_filter_table([upd()], anchor_vps=["vp1"])
+        assert table.accept(upd())
+
+    def test_new_vp_accepted_by_default(self):
+        table = generate_filter_table([upd()])
+        assert table.accept(upd(vp="brand-new-vp"))
+
+    def test_fine_granularity_misses_new_paths(self):
+        """The GILL-asp ablation: path-specific rules age instantly."""
+        table = generate_filter_table(
+            [upd(path=(1, 2))], granularity=FilterGranularity.PREFIX_ASPATH)
+        assert not table.accept(upd(path=(1, 2)))
+        assert table.accept(upd(path=(7, 8)))
+
+
+class TestInvariantNeverDropNonredundant:
+    """§7: 'filters cannot match an update inferred as nonredundant'."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["vp1", "vp2", "vp3"]),
+                  st.floats(min_value=0, max_value=5000),
+                  st.integers(min_value=0, max_value=2),
+                  st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=40))
+    def test_property(self, raw):
+        updates = [
+            BGPUpdate(vp, t, Prefix.from_index(p), (path_id + 1, 99))
+            for vp, t, p, path_id in raw
+        ]
+        result = UpdateSampler().run(updates)
+        table = generate_filter_table(result.redundant)
+        for update in result.nonredundant:
+            assert table.accept(update)
+
+
+class TestDocuments:
+    def test_filters_document_format(self):
+        table = generate_filter_table(
+            [upd(), upd(vp="vp2", prefix=P2)], anchor_vps=["vp9"])
+        doc = filters_document(table)
+        assert "from vp9 accept all" in doc
+        assert "from vp1 drop prefix 10.0.0.0/24" in doc
+        assert "from vp2 drop prefix 10.0.1.0/24" in doc
+        assert doc.rstrip().endswith("default accept")
+
+    def test_filters_document_fine_grained(self):
+        table = generate_filter_table(
+            [upd(path=(1, 2))], granularity=FilterGranularity.PREFIX_ASPATH)
+        assert "as-path 1-2" in filters_document(table)
+
+    def test_anchors_document(self):
+        doc = anchors_document(["vpB", "vpA"])
+        assert doc.splitlines() == ["1 vpA", "2 vpB"]
+
+    def test_empty_anchors_document(self):
+        assert anchors_document([]) == ""

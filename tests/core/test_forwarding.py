@@ -1,0 +1,105 @@
+"""Tests for the §14 operator-forwarding extension."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.forwarding import ForwardingRule, ForwardingService
+
+AGG = Prefix.parse("10.0.0.0/16")
+P1 = Prefix.parse("10.0.1.0/24")
+OTHER = Prefix.parse("192.0.2.0/24")
+
+
+def upd(prefix=P1, path=(1, 2, 9), vp="vp1", t=0.0):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestForwardingRule:
+    def test_requires_a_criterion(self):
+        with pytest.raises(ValueError):
+            ForwardingRule("op")
+
+    def test_prefix_rule_matches_more_specifics(self):
+        """An operator watching its aggregate sees hijacking
+        more-specifics too."""
+        rule = ForwardingRule("op", prefix=AGG)
+        assert rule.matches(upd(prefix=P1))
+        assert rule.matches(upd(prefix=AGG))
+        assert not rule.matches(upd(prefix=OTHER))
+
+    def test_origin_rule(self):
+        rule = ForwardingRule("op", origin_as=9)
+        assert rule.matches(upd(path=(1, 9)))
+        assert not rule.matches(upd(path=(1, 7)))
+
+    def test_combined_rule_needs_both(self):
+        rule = ForwardingRule("op", prefix=AGG, origin_as=9)
+        assert rule.matches(upd(prefix=P1, path=(1, 9)))
+        assert not rule.matches(upd(prefix=P1, path=(1, 7)))
+        assert not rule.matches(upd(prefix=OTHER, path=(1, 9)))
+
+    def test_withdrawal_matches_prefix_rules(self):
+        rule = ForwardingRule("op", prefix=AGG)
+        w = BGPUpdate("vp1", 0.0, P1, is_withdrawal=True)
+        assert rule.matches(w)
+
+    def test_withdrawal_without_prefix_criterion(self):
+        rule = ForwardingRule("op", origin_as=9)
+        w = BGPUpdate("vp1", 0.0, P1, is_withdrawal=True)
+        assert not rule.matches(w)
+
+
+class TestForwardingService:
+    def test_mailbox_delivery(self):
+        service = ForwardingService()
+        service.subscribe(ForwardingRule("op", prefix=AGG))
+        assert service.process(upd()) == ["op"]
+        assert service.process(upd(prefix=OTHER)) == []
+        assert service.mailbox("op") == [upd()]
+
+    def test_callback_delivery(self):
+        received = []
+        service = ForwardingService()
+        service.subscribe(
+            ForwardingRule("op", origin_as=9),
+            callback=lambda operator, u: received.append((operator, u)))
+        service.process(upd())
+        assert received == [("op", upd())]
+        assert service.mailbox("op") == []
+
+    def test_one_delivery_per_operator(self):
+        """Two matching rules of the same operator deliver once."""
+        service = ForwardingService()
+        service.subscribe(ForwardingRule("op", prefix=AGG))
+        service.subscribe(ForwardingRule("op", origin_as=9))
+        assert service.process(upd()) == ["op"]
+        assert len(service.mailbox("op")) == 1
+
+    def test_multiple_operators(self):
+        service = ForwardingService()
+        service.subscribe(ForwardingRule("a", prefix=AGG))
+        service.subscribe(ForwardingRule("b", origin_as=9))
+        assert sorted(service.process(upd())) == ["a", "b"]
+        assert service.forwarded_count == 2
+
+    def test_unsubscribe(self):
+        service = ForwardingService()
+        service.subscribe(ForwardingRule("op", prefix=AGG))
+        service.subscribe(ForwardingRule("op", origin_as=9))
+        assert service.unsubscribe("op") == 2
+        assert service.process(upd()) == []
+        assert service.rules_for("op") == []
+
+    def test_discarded_updates_still_forwarded(self):
+        """The §14 point: forwarding happens before filtering, so an
+        operator sees updates GILL then discards."""
+        from repro.bgp.filtering import DropRule, FilterTable
+        service = ForwardingService()
+        service.subscribe(ForwardingRule("op", prefix=AGG))
+        table = FilterTable(drop_rules=[DropRule("vp1", P1)])
+        update = upd()
+        reached = service.process(update)
+        retained = table.accept(update)
+        assert reached == ["op"]
+        assert not retained

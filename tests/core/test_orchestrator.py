@@ -1,0 +1,103 @@
+"""Tests for the orchestrator control loop (§8)."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+
+def small_config(**overrides):
+    defaults = dict(
+        component1_interval_s=600.0,
+        component2_interval_s=1800.0,
+        mirror_window_s=400.0,
+        events_per_cell=5,
+    )
+    defaults.update(overrides)
+    return OrchestratorConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=12, n_prefix_groups=8, duration_s=2400.0, seed=11))
+    warmup, updates = generator.generate(start_time=10.0)
+    return warmup + updates
+
+
+class TestConfig:
+    def test_bad_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            OrchestratorConfig(component1_interval_s=0)
+
+    def test_bad_mirror_rejected(self):
+        with pytest.raises(ValueError):
+            OrchestratorConfig(mirror_window_s=-1)
+
+
+class TestProcessing:
+    def test_bootstrap_accepts_everything(self, stream):
+        orch = Orchestrator(small_config(component1_interval_s=1e9,
+                                         mirror_window_s=1e9))
+        retained = orch.process_stream(stream[:50])
+        assert len(retained) == 50
+        assert orch.stats.component1_runs == 0
+
+    def test_refresh_fires_and_discards(self, stream):
+        orch = Orchestrator(small_config())
+        orch.process_stream(stream)
+        assert orch.stats.component1_runs >= 2
+        assert orch.stats.discarded > 0
+        assert orch.stats.retention < 1.0
+
+    def test_component2_less_frequent(self, stream):
+        orch = Orchestrator(small_config())
+        orch.process_stream(stream)
+        assert 1 <= orch.stats.component2_runs <= orch.stats.component1_runs
+
+    def test_out_of_order_rejected(self, stream):
+        orch = Orchestrator(small_config())
+        prefix = Prefix.parse("10.9.0.0/24")
+        orch.process(BGPUpdate("vpX", 100.0, prefix, (1, 2)))
+        with pytest.raises(ValueError):
+            orch.process(BGPUpdate("vpX", 50.0, prefix, (1, 2)))
+
+    def test_anchor_traffic_survives_refresh(self, stream):
+        orch = Orchestrator(small_config())
+        orch.process_stream(stream)
+        assert orch.anchor_vps
+        anchor = orch.anchor_vps[0]
+        later = [u for u in stream if u.vp == anchor][-1]
+        probe = BGPUpdate(anchor, stream[-1].time + 1.0, later.prefix,
+                          later.as_path, later.communities)
+        assert orch.process(probe)
+
+    def test_stats_accounting(self, stream):
+        orch = Orchestrator(small_config())
+        orch.process_stream(stream)
+        assert orch.stats.received == len(stream)
+        assert orch.stats.retained + orch.stats.discarded == \
+            orch.stats.received
+
+    def test_force_refresh(self, stream):
+        orch = Orchestrator(small_config(component1_interval_s=1e9,
+                                         mirror_window_s=1e9))
+        orch.process_stream(stream[:200])
+        assert orch.stats.component1_runs == 0
+        orch.force_refresh()
+        assert orch.stats.component1_runs == 1
+        assert len(orch.filters) > 0
+
+    def test_force_refresh_without_data(self):
+        orch = Orchestrator(small_config())
+        with pytest.raises(RuntimeError):
+            orch.force_refresh()
+
+    def test_mirror_trimmed(self, stream):
+        orch = Orchestrator(small_config(mirror_window_s=100.0,
+                                         component1_interval_s=1e9))
+        orch.process_stream(stream)
+        horizon = stream[-1].time - 100.0
+        assert all(u.time >= horizon for u in orch._mirror)

@@ -1,0 +1,144 @@
+"""Tests for reconstitution power and the per-prefix selection (§17.2)."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.correlation import CorrelationGroups
+from repro.core.reconstitution import (
+    false_reconstitution_rate,
+    power_curve,
+    reconstitution_power,
+    select_nonredundant_for_prefix,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+def upd(vp, t, path):
+    return BGPUpdate(vp, t, P1, path)
+
+
+@pytest.fixture
+def fig10_v():
+    """The eight updates U1..U8 of the §17.2 worked example."""
+    return [
+        upd("vp1", 1000.0, (2, 1, 4)),       # U1
+        upd("vp2", 1010.0, (6, 2, 1, 4)),    # U2
+        upd("vp1", 3000.0, (2, 4)),          # U3
+        upd("vp2", 3010.0, (6, 2, 4)),       # U4
+        upd("vp1", 5000.0, (2, 1, 4)),       # U5
+        upd("vp2", 5010.0, (6, 3, 1, 4)),    # U6
+        upd("vp1", 7000.0, (2, 4)),          # U7
+        upd("vp2", 7010.0, (6, 2, 4)),       # U8
+    ]
+
+
+class TestReconstitutionPower:
+    def test_empty_v_is_fully_reconstituted(self):
+        groups = CorrelationGroups.build([])
+        assert reconstitution_power([], [], groups) == 1.0
+
+    def test_empty_u_reconstitutes_nothing(self, fig10_v):
+        groups = CorrelationGroups.build(fig10_v)
+        assert reconstitution_power(fig10_v, [], groups) == 0.0
+
+    def test_vp2_reconstitutes_everything(self, fig10_v):
+        """The paper's worked example: U = vp2's updates gives RP = 1."""
+        groups = CorrelationGroups.build(fig10_v)
+        u = [u for u in fig10_v if u.vp == "vp2"]
+        assert reconstitution_power(fig10_v, u, groups) == 1.0
+
+    def test_vp1_cannot_reconstitute_everything(self, fig10_v):
+        """vp1's (2,1,4) is ambiguous between G1 and G3, so one of
+        U2/U6 cannot be rebuilt (§17.2's worked example)."""
+        groups = CorrelationGroups.build(fig10_v)
+        u = [u for u in fig10_v if u.vp == "vp1"]
+        assert reconstitution_power(fig10_v, u, groups) < 1.0
+
+    def test_u_equals_v_is_complete(self, fig10_v):
+        groups = CorrelationGroups.build(fig10_v)
+        assert reconstitution_power(fig10_v, fig10_v, groups) == 1.0
+
+    def test_false_reconstitution_rate(self, fig10_v):
+        """vp1's ambiguous update incorrectly rebuilds a vp2 update at
+        the wrong time — the §17.2 'false positive' case."""
+        groups = CorrelationGroups.build(fig10_v)
+        u = [u for u in fig10_v if u.vp == "vp1"]
+        rate = false_reconstitution_rate(fig10_v, u, groups)
+        assert 0.0 < rate < 1.0
+
+    def test_no_false_positives_from_vp2(self, fig10_v):
+        groups = CorrelationGroups.build(fig10_v)
+        u = [u for u in fig10_v if u.vp == "vp2"]
+        assert false_reconstitution_rate(fig10_v, u, groups) == 0.0
+
+
+class TestSelection:
+    def test_selects_vp2_first(self, fig10_v):
+        """The greedy must pick vp2, whose updates rebuild all of V."""
+        groups = CorrelationGroups.build(fig10_v)
+        result = select_nonredundant_for_prefix(P1, fig10_v, groups)
+        assert result.selected_vps == ["vp2"]
+        assert result.power == 1.0
+        assert {u.vp for u in result.nonredundant} == {"vp2"}
+        assert {u.vp for u in result.redundant} == {"vp1"}
+        assert result.retention == 0.5
+
+    def test_all_or_none_per_vp(self, fig10_v):
+        """GILL adds all of a VP's updates or none (§17.2)."""
+        groups = CorrelationGroups.build(fig10_v)
+        result = select_nonredundant_for_prefix(P1, fig10_v, groups)
+        for vp in ("vp1", "vp2"):
+            classified = {vp2 for vp2 in
+                          ([u.vp for u in result.nonredundant]
+                           + [u.vp for u in result.redundant])}
+        nonred_vps = {u.vp for u in result.nonredundant}
+        red_vps = {u.vp for u in result.redundant}
+        assert not (nonred_vps & red_vps)
+
+    def test_empty_prefix(self):
+        groups = CorrelationGroups.build([])
+        result = select_nonredundant_for_prefix(P1, [], groups)
+        assert result.power == 1.0
+        assert result.nonredundant == []
+
+    def test_target_power_limits_selection(self):
+        """A low target stops after the first VP."""
+        updates = [upd(f"vp{i}", 10.0 * i, (i, 99)) for i in range(5)]
+        groups = CorrelationGroups.build(updates)
+        result = select_nonredundant_for_prefix(
+            P1, updates, groups, target_power=0.2)
+        assert len(result.selected_vps) == 1
+
+    def test_unreachable_target_selects_all_useful(self):
+        """Disjoint per-VP windows: each VP only rebuilds itself."""
+        updates = [upd(f"vp{i}", 1000.0 * i, (i, 99)) for i in range(4)]
+        groups = CorrelationGroups.build(updates)
+        result = select_nonredundant_for_prefix(
+            P1, updates, groups, target_power=1.0)
+        assert result.power == 1.0
+        assert len(result.selected_vps) == 4
+
+    def test_single_vp(self):
+        updates = [upd("vp1", 0.0, (1, 2)), upd("vp1", 10.0, (1, 3))]
+        groups = CorrelationGroups.build(updates)
+        result = select_nonredundant_for_prefix(P1, updates, groups)
+        assert result.selected_vps == ["vp1"]
+        assert result.redundant == []
+
+
+class TestPowerCurve:
+    def test_monotone_nondecreasing(self, fig10_v):
+        groups = CorrelationGroups.build(fig10_v)
+        curve = power_curve(P1, fig10_v, groups)
+        powers = [p for _, p in curve]
+        assert powers == sorted(powers)
+        assert curve[0] == (0.0, 0.0)
+        assert powers[-1] == 1.0
+
+    def test_fractions_increase(self, fig10_v):
+        groups = CorrelationGroups.build(fig10_v)
+        curve = power_curve(P1, fig10_v, groups)
+        fractions = [f for f, _ in curve]
+        assert fractions == sorted(fractions)

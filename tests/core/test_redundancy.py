@@ -1,0 +1,168 @@
+"""Tests for the §4.2 redundancy definitions."""
+
+import pytest
+
+from repro.bgp.message import AnnotatedUpdate, BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import annotate_stream
+from repro.core.redundancy import (
+    RedundancyDefinition,
+    condition1,
+    condition2,
+    condition3,
+    is_redundant_with,
+    update_redundancy,
+    vp_redundancy,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+DEF1 = RedundancyDefinition.PREFIX
+DEF2 = RedundancyDefinition.PREFIX_ASPATH
+DEF3 = RedundancyDefinition.PREFIX_ASPATH_COMMUNITY
+
+
+def ann(vp="vp1", t=0.0, prefix=P1, path=(1, 2), comms=(),
+        prev_links=(), prev_comms=()):
+    return AnnotatedUpdate(
+        BGPUpdate(vp, t, prefix, path, frozenset(comms)),
+        frozenset(prev_links), frozenset(prev_comms),
+    )
+
+
+class TestConditions:
+    def test_condition1_same_prefix_close_time(self):
+        assert condition1(ann(t=0.0), ann(vp="vp2", t=99.0))
+
+    def test_condition1_time_too_far(self):
+        assert not condition1(ann(t=0.0), ann(vp="vp2", t=100.0))
+
+    def test_condition1_different_prefix(self):
+        assert not condition1(ann(prefix=P1), ann(prefix=P2))
+
+    def test_condition2_subset(self):
+        u1 = ann(path=(1, 2))
+        u2 = ann(vp="vp2", path=(3, 1, 2))
+        assert condition2(u1, u2)
+        assert not condition2(u2, u1)
+
+    def test_condition2_equal_sets(self):
+        assert condition2(ann(path=(1, 2)), ann(vp="vp2", path=(1, 2)))
+
+    def test_condition2_uses_new_links_only(self):
+        """Links already present in the previous route don't count."""
+        u1 = ann(path=(9, 1, 2), prev_links={(9, 1)})
+        u2 = ann(vp="vp2", path=(7, 1, 2), prev_links={(7, 1)})
+        assert condition2(u1, u2)    # both introduce only (1, 2)
+
+    def test_condition3_subset(self):
+        u1 = ann(comms={(1, 1)})
+        u2 = ann(vp="vp2", comms={(1, 1), (2, 2)})
+        assert condition3(u1, u2)
+        assert not condition3(u2, u1)
+
+    def test_condition3_uses_new_communities_only(self):
+        u1 = ann(comms={(1, 1), (5, 5)}, prev_comms={(5, 5)})
+        u2 = ann(vp="vp2", comms={(1, 1)})
+        assert condition3(u1, u2)
+
+
+class TestDefinitions:
+    def test_def1_ignores_attributes(self):
+        u1 = ann(path=(1, 2), comms={(9, 9)})
+        u2 = ann(vp="vp2", path=(5, 6), comms={(7, 7)})
+        assert is_redundant_with(u1, u2, DEF1)
+
+    def test_def2_requires_link_inclusion(self):
+        u1 = ann(path=(1, 2))
+        u2 = ann(vp="vp2", path=(5, 6))
+        assert not is_redundant_with(u1, u2, DEF2)
+
+    def test_def3_requires_community_inclusion(self):
+        u1 = ann(path=(1, 2), comms={(9, 9)})
+        u2 = ann(vp="vp2", path=(1, 2), comms={(8, 8)})
+        assert is_redundant_with(u1, u2, DEF2)
+        assert not is_redundant_with(u1, u2, DEF3)
+
+    def test_definitions_strictly_nested(self):
+        """Def-3 redundancy implies Def-2 implies Def-1."""
+        u1 = ann(path=(1, 2), comms={(1, 1)})
+        u2 = ann(vp="vp2", t=50.0, path=(0, 1, 2), comms={(1, 1), (2, 2)})
+        assert is_redundant_with(u1, u2, DEF3)
+        assert is_redundant_with(u1, u2, DEF2)
+        assert is_redundant_with(u1, u2, DEF1)
+
+    def test_asymmetry(self):
+        u1 = ann(path=(1, 2))
+        u2 = ann(vp="vp2", path=(0, 1, 2))
+        assert is_redundant_with(u1, u2, DEF2)
+        assert not is_redundant_with(u2, u1, DEF2)
+
+
+class TestUpdateRedundancy:
+    def test_empty(self):
+        report = update_redundancy([], DEF1)
+        assert report.fraction == 0.0
+
+    def test_lone_update_not_redundant(self):
+        report = update_redundancy([ann()], DEF1)
+        assert report.redundant_updates == 0
+
+    def test_pair_redundant(self):
+        report = update_redundancy([ann(), ann(vp="vp2", t=10.0)], DEF1)
+        assert report.redundant_updates == 2
+        assert report.fraction == 1.0
+
+    def test_distant_updates_not_redundant(self):
+        report = update_redundancy(
+            [ann(t=0.0), ann(vp="vp2", t=500.0)], DEF1)
+        assert report.redundant_updates == 0
+
+    def test_stricter_definitions_monotone(self):
+        """Redundant fraction can only drop as definitions tighten."""
+        updates = [
+            ann(t=1.0, path=(1, 2)),
+            ann(vp="vp2", t=2.0, path=(0, 1, 2)),
+            ann(vp="vp3", t=3.0, path=(8, 9)),
+            ann(vp="vp4", t=4.0, path=(1, 2), comms={(7, 7)}),
+        ]
+        fr = [update_redundancy(updates, d).fraction
+              for d in (DEF1, DEF2, DEF3)]
+        assert fr[0] >= fr[1] >= fr[2]
+
+
+class TestVPRedundancy:
+    def test_identical_vps_redundant(self):
+        stream = []
+        for k in range(10):
+            stream.append(BGPUpdate("vp1", 200.0 * k, P1, (1, 2)))
+            stream.append(BGPUpdate("vp2", 200.0 * k + 5, P1, (1, 2)))
+        report = vp_redundancy(annotate_stream(stream), DEF1)
+        assert ("vp1", "vp2") in report.redundant_pairs
+        assert ("vp2", "vp1") in report.redundant_pairs
+        assert report.fraction == 1.0
+
+    def test_disjoint_vps_not_redundant(self):
+        stream = []
+        for k in range(10):
+            stream.append(BGPUpdate("vp1", 200.0 * k, P1, (1, 2)))
+            stream.append(BGPUpdate("vp2", 200.0 * k + 5, P2, (1, 2)))
+        report = vp_redundancy(annotate_stream(stream), DEF1)
+        assert report.redundant_pairs == ()
+
+    def test_threshold_boundary(self):
+        """9 of 10 covered = 90% is NOT strictly above the threshold."""
+        stream = []
+        for k in range(10):
+            stream.append(BGPUpdate("vp1", 200.0 * k, P1, (1, 2)))
+            if k < 9:
+                stream.append(BGPUpdate("vp2", 200.0 * k + 5, P1, (1, 2)))
+        report = vp_redundancy(annotate_stream(stream), DEF1)
+        assert ("vp1", "vp2") not in report.redundant_pairs
+        # vp2's updates are all covered by vp1, so the other direction holds.
+        assert ("vp2", "vp1") in report.redundant_pairs
+
+    def test_empty_stream(self):
+        report = vp_redundancy([], DEF1)
+        assert report.fraction == 0.0

@@ -1,0 +1,123 @@
+"""Tests for the end-to-end GILL sampler (§6)."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.sampler import (
+    GillSampler,
+    UpdateSampler,
+    infer_categories,
+)
+from repro.core.events import ASCategory
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+@pytest.fixture(scope="module")
+def synthetic_data():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=16, n_prefix_groups=10, duration_s=1800.0, seed=3))
+    warmup, stream = generator.generate()
+    return warmup + stream
+
+
+class TestUpdateSampler:
+    def test_redundant_plus_nonredundant_is_total(self, synthetic_data):
+        result = UpdateSampler().run(synthetic_data)
+        assert result.total == len(synthetic_data)
+
+    def test_substantial_redundancy_found(self, synthetic_data):
+        """On event-driven streams most updates are redundant (§6:
+        |U|/|V| ~ 0.07-0.16 on RIS/RV)."""
+        result = UpdateSampler().run(synthetic_data)
+        assert result.retention < 0.5
+
+    def test_cross_prefix_demotes(self, synthetic_data):
+        """Prefix groups share updates, so step 3 must find duplicates."""
+        with_cp = UpdateSampler(cross_prefix=True).run(synthetic_data)
+        without = UpdateSampler(cross_prefix=False).run(synthetic_data)
+        assert with_cp.demoted_count > 0
+        assert len(with_cp.nonredundant) == \
+            len(without.nonredundant) - with_cp.demoted_count
+
+    def test_per_key_all_or_none(self, synthetic_data):
+        """Every (vp, prefix) pair is entirely redundant or entirely
+        nonredundant — required for coarse filters (§7)."""
+        result = UpdateSampler().run(synthetic_data)
+        nonred = {(u.vp, u.prefix) for u in result.nonredundant}
+        red = {(u.vp, u.prefix) for u in result.redundant}
+        assert not (nonred & red)
+
+    def test_higher_target_retains_more(self, synthetic_data):
+        low = UpdateSampler(target_power=0.5).run(synthetic_data)
+        high = UpdateSampler(target_power=0.99).run(synthetic_data)
+        assert len(high.nonredundant) >= len(low.nonredundant)
+
+    def test_empty(self):
+        result = UpdateSampler().run([])
+        assert result.total == 0
+        assert result.retention == 0.0
+
+
+class TestInferCategories:
+    def test_degree_ordering(self):
+        updates = []
+        # AS 1 appears in every path (core); 50+ are stubs.
+        for i in range(10):
+            updates.append(BGPUpdate(f"vp{i}", float(i),
+                                     Prefix.from_index(i),
+                                     (50 + i, 1, 100 + i)))
+        categories = infer_categories(updates, hypergiant_count=2)
+        assert categories[1] is ASCategory.TIER_1
+
+    def test_empty(self):
+        assert infer_categories([]) == {}
+
+
+class TestGillSampler:
+    @pytest.fixture(scope="class")
+    def result(self, ):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=16, n_prefix_groups=10, duration_s=1800.0, seed=3))
+        warmup, stream = generator.generate()
+        data = warmup + stream
+        return GillSampler(events_per_cell=8).run(data), data
+
+    def test_produces_anchors(self, result):
+        gill, _ = result
+        assert 1 <= len(gill.anchor_vps) <= 16
+
+    def test_filters_keep_anchor_traffic(self, result):
+        gill, data = result
+        anchor = gill.anchor_vps[0]
+        for update in data:
+            if update.vp == anchor:
+                assert gill.filters.accept(update)
+
+    def test_sample_is_subset(self, result):
+        gill, data = result
+        sample = gill.sample(data)
+        assert len(sample) <= len(data)
+        assert set(u.attribute_key() for u in sample) <= \
+            set(u.attribute_key() for u in data)
+
+    def test_sample_keeps_nonredundant(self, result):
+        gill, data = result
+        sample_keys = {(u.vp, u.prefix) for u in gill.sample(data)}
+        for update in gill.component1.nonredundant:
+            assert (update.vp, update.prefix) in sample_keys
+
+    def test_events_used_positive(self, result):
+        gill, _ = result
+        assert gill.events_used > 0
+
+    def test_max_anchor_fraction(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=12, n_prefix_groups=8, duration_s=1200.0, seed=5))
+        warmup, stream = generator.generate()
+        gill = GillSampler(events_per_cell=5,
+                           max_anchor_fraction=0.25).run(warmup + stream)
+        assert len(gill.anchor_vps) <= 3

@@ -1,0 +1,150 @@
+"""Tests for feature scoring and redundancy matrices (§18.3)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.events import EventKind, ObservedEvent
+from repro.core.scoring import (
+    compute_event_features,
+    normalize_features,
+    pairwise_squared_distances,
+    redundancy_scores,
+    score_vps,
+    update_volumes,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp, t, path, prefix=P1):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestNormalize:
+    def test_zero_mean_unit_std(self):
+        m = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 60.0]])
+        n = normalize_features(m)
+        assert np.allclose(n.mean(axis=0), 0.0)
+        assert np.allclose(n.std(axis=0), 1.0)
+
+    def test_constant_column_zeroed(self):
+        m = np.array([[5.0, 1.0], [5.0, 2.0]])
+        n = normalize_features(m)
+        assert np.allclose(n[:, 0], 0.0)
+
+
+class TestPairwiseDistances:
+    def test_known_values(self):
+        m = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_squared_distances(m)
+        assert d[0, 1] == pytest.approx(25.0)
+        assert d[0, 0] == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        m = rng.random((5, 3))
+        d = pairwise_squared_distances(m)
+        assert np.allclose(d, d.T)
+        assert (d >= 0).all()
+
+
+class TestRedundancyScores:
+    def test_identical_rows_score_one(self):
+        tensor = np.zeros((2, 3, 15))
+        tensor[0, 0, 0] = 1.0
+        tensor[0, 1, 0] = 1.0      # VPs 0 and 1 identical
+        tensor[0, 2, 0] = 5.0      # VP 2 different
+        scores = redundancy_scores(tensor)
+        assert scores[0, 1] == pytest.approx(1.0)
+        assert scores[0, 2] < 1.0
+
+    def test_diagonal_is_one(self):
+        tensor = np.random.default_rng(2).random((3, 4, 15))
+        scores = redundancy_scores(tensor)
+        assert np.allclose(np.diag(scores), 1.0)
+
+    def test_range_zero_one(self):
+        tensor = np.random.default_rng(3).random((4, 6, 15))
+        scores = redundancy_scores(tensor)
+        assert (scores >= 0).all() and (scores <= 1).all()
+        # The least redundant pair scores exactly 0.
+        off = scores[~np.eye(6, dtype=bool)]
+        assert off.min() == pytest.approx(0.0)
+
+    def test_no_events_all_ones(self):
+        scores = redundancy_scores(np.zeros((0, 4, 15)))
+        assert np.allclose(scores, 1.0)
+
+    def test_all_identical_vps(self):
+        tensor = np.ones((2, 3, 15))
+        scores = redundancy_scores(tensor)
+        assert np.allclose(scores, 1.0)
+
+
+class TestComputeEventFeatures:
+    def _stream_and_event(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2, 9)),
+            upd("vp2", 0.0, (3, 2, 9)),
+            # Event: 2-9 replaced by 5-9 for vp1 only.
+            upd("vp1", 1000.0, (1, 5, 9)),
+        ]
+        event = ObservedEvent(EventKind.NEW_LINK, 5, 9, 900.0, 1100.0,
+                              frozenset({"vp1"}))
+        return stream, event
+
+    def test_observer_has_nonzero_vector(self):
+        stream, event = self._stream_and_event()
+        tensor = compute_event_features(stream, [event], ["vp1", "vp2"])
+        assert np.abs(tensor[0, 0]).sum() > 0     # vp1 changed
+        assert np.abs(tensor[0, 1]).sum() == 0    # vp2 unaffected
+
+    def test_change_outside_window_ignored(self):
+        stream, _ = self._stream_and_event()
+        early = ObservedEvent(EventKind.NEW_LINK, 5, 9, 100.0, 200.0,
+                              frozenset({"vp1"}))
+        tensor = compute_event_features(stream, [early], ["vp1", "vp2"])
+        assert np.abs(tensor[0]).sum() == 0
+
+    def test_unknown_vp_column_absent(self):
+        stream, event = self._stream_and_event()
+        tensor = compute_event_features(stream, [event], ["vp1"])
+        assert tensor.shape == (1, 1, 15)
+
+
+class TestScoreVPs:
+    def test_identical_vps_saturate(self):
+        """Two VPs reacting identically to an event score 1."""
+        stream = [
+            upd("vp1", 0.0, (101, 2, 9)),
+            upd("vp2", 0.0, (102, 2, 9)),
+            upd("vp3", 0.0, (103, 7, 9)),
+            upd("vp1", 1000.0, (101, 5, 9)),
+            upd("vp2", 1003.0, (102, 5, 9)),
+            upd("vp3", 1005.0, (103, 8, 9)),
+        ]
+        events = [
+            ObservedEvent(EventKind.NEW_LINK, 5, 9, 900.0, 1100.0,
+                          frozenset({"vp1", "vp2"})),
+            ObservedEvent(EventKind.NEW_LINK, 8, 9, 900.0, 1100.0,
+                          frozenset({"vp3"})),
+        ]
+        vps, scores = score_vps(stream, events)
+        i1, i2, i3 = (vps.index(v) for v in ("vp1", "vp2", "vp3"))
+        assert scores[i1, i2] == pytest.approx(1.0)
+        assert scores[i1, i3] < scores[i1, i2]
+
+    def test_vps_inferred_from_stream(self):
+        stream = [upd("vp1", 0.0, (1, 2)), upd("vp2", 1.0, (3, 2))]
+        vps, scores = score_vps(stream, [])
+        assert vps == ["vp1", "vp2"]
+        assert scores.shape == (2, 2)
+
+
+def test_update_volumes():
+    stream = [upd("vp1", 0.0, (1, 2)), upd("vp1", 1.0, (1, 3)),
+              upd("vp2", 2.0, (2, 3))]
+    assert update_volumes(stream, ["vp1", "vp2", "vp9"]) == [2, 1, 0]

@@ -1,0 +1,100 @@
+"""Tests for the feed layer (§9 ingestion paths)."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.mrt import write_archive
+from repro.bgp.prefix import Prefix
+from repro.platform.feeds import (
+    ArchiveFeed,
+    DumpProxy,
+    ListFeed,
+    merge_feeds,
+    ris_live_decode,
+    ris_live_encode,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp, t, path=(1, 2), prefix=P1, comms=()):
+    return BGPUpdate(vp, t, prefix, path, frozenset(comms))
+
+
+class TestRISLiveCodec:
+    def test_announcement_roundtrip(self):
+        u = upd("rrc00-peer1", 12.5, (6, 2, 1), comms={(6, 100)})
+        decoded = ris_live_decode(ris_live_encode(u))
+        assert decoded == [u]
+
+    def test_withdrawal_roundtrip(self):
+        u = BGPUpdate("vp1", 3.0, P1, is_withdrawal=True)
+        assert ris_live_decode(ris_live_encode(u)) == [u]
+
+    def test_multi_prefix_message(self):
+        message = ris_live_encode(upd("vp1", 1.0))
+        import json
+        envelope = json.loads(message)
+        envelope["data"]["announcements"][0]["prefixes"].append(str(P2))
+        decoded = ris_live_decode(json.dumps(envelope))
+        assert {u.prefix for u in decoded} == {P1, P2}
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError):
+            ris_live_decode('{"type": "ris_error", "data": {}}')
+
+
+class TestFeeds:
+    def test_list_feed_sorts(self):
+        feed = ListFeed("a", [upd("v", 2.0), upd("v", 1.0)])
+        assert [u.time for u in feed] == [1.0, 2.0]
+
+    def test_archive_feed(self, tmp_path):
+        updates = [upd("v", float(i)) for i in range(5)]
+        path = str(tmp_path / "a.mrt.bz2")
+        write_archive(updates, path)
+        feed = ArchiveFeed("arch", path)
+        assert list(feed) == updates
+
+    def test_merge_feeds_time_ordered(self):
+        a = ListFeed("a", [upd("a", 1.0), upd("a", 3.0)])
+        b = ListFeed("b", [upd("b", 2.0), upd("b", 4.0)])
+        merged = list(merge_feeds(a, b))
+        assert [u.time for u in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_merge_empty(self):
+        assert list(merge_feeds()) == []
+        assert list(merge_feeds(ListFeed("a", []))) == []
+
+
+class TestDumpProxy:
+    def test_availability_rounds_up_to_period(self):
+        proxy = DumpProxy("rv", [], period_s=900.0)
+        assert proxy.availability(upd("v", 100.0)) == 900.0
+        assert proxy.availability(upd("v", 900.0)) == 900.0
+        assert proxy.availability(upd("v", 901.0)) == 1800.0
+
+    def test_iteration_in_availability_order(self):
+        # 950 becomes available at 1800; 1750 also at 1800; 100 at 900.
+        updates = [upd("v", 950.0), upd("v", 100.0), upd("v", 1750.0)]
+        proxy = DumpProxy("rv", updates, period_s=900.0)
+        assert [u.time for u in proxy] == [100.0, 950.0, 1750.0]
+
+    def test_max_delay_bounded_by_period(self):
+        updates = [upd("v", t) for t in (1.0, 450.0, 899.0)]
+        proxy = DumpProxy("rv", updates, period_s=900.0)
+        assert 0.0 < proxy.max_delay() <= 900.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            DumpProxy("rv", [], period_s=0.0)
+
+    def test_merge_live_and_proxied(self):
+        """The §9 setup: RIS-live (instant) + RV (proxied dumps)."""
+        live = ListFeed("ris", [upd("ris", t) for t in (10.0, 500.0)])
+        proxied = DumpProxy("rv", [upd("rv", 20.0)], period_s=900.0)
+        # Merge on original timestamps: the platform stores by update
+        # time, even if the RV update arrived late.
+        merged = list(merge_feeds(live, proxied))
+        assert [u.vp for u in merged] == ["ris", "rv", "ris"]

@@ -1,0 +1,95 @@
+"""Tests for platform models and the survey data (§2, §13, §16)."""
+
+import pytest
+
+from repro.platform.collectors import (
+    ACTIVE_ASES_2023,
+    Platform,
+    combined_coverage,
+    deployment_coverage,
+    known_platforms,
+    ris_platform,
+    rv_platform,
+)
+from repro.platform.survey import (
+    PAPERS_SELECTED,
+    RESPONDENTS_C1,
+    RESPONDENTS_C2,
+    SURVEY,
+    Category,
+    Sentiment,
+    questions,
+    render_table,
+    sentiment_summary,
+)
+from repro.simulation.topology import synthetic_known_topology
+
+
+class TestPlatforms:
+    def test_ris_facts(self):
+        ris = ris_platform()
+        assert ris.vp_count == 1537
+        assert ris.distinct_ases == 816
+
+    def test_rv_facts(self):
+        rv = rv_platform()
+        assert rv.vp_count == 1130
+        assert rv.distinct_ases == 337
+
+    def test_combined_coverage_about_one_percent(self):
+        """§3.1: RIS + RV cover ~1.1% of active ASes."""
+        coverage = combined_coverage([ris_platform(), rv_platform()])
+        assert 0.009 < coverage < 0.013
+
+    def test_all_known_platforms_tiny_coverage(self):
+        """§13: every platform's coverage is below 2%."""
+        for platform in known_platforms():
+            assert platform.coverage() < 0.03
+
+    def test_deployment_coverage(self):
+        topo = synthetic_known_topology(100, seed=1)
+        ases = topo.ases()[:25]
+        assert deployment_coverage(topo, ases) == pytest.approx(0.25)
+
+    def test_deployment_coverage_ignores_unknown(self):
+        topo = synthetic_known_topology(100, seed=1)
+        assert deployment_coverage(topo, [999999]) == 0.0
+
+
+class TestSurvey:
+    def test_respondent_counts(self):
+        assert PAPERS_SELECTED == 11
+        assert RESPONDENTS_C1 == 7
+        assert RESPONDENTS_C2 == 5
+
+    def test_c1_vp_selection_answers_sum_to_respondents(self):
+        """Each C1 respondent gave one VP-selection answer."""
+        question = questions(Category.SUBSET_OF_VPS)[1]
+        assert question.respondents == RESPONDENTS_C1
+
+    def test_c1_why_subset_answers(self):
+        question = questions(Category.SUBSET_OF_VPS)[0]
+        assert question.respondents >= 6
+
+    def test_green_dominates(self):
+        """The survey's headline: most answers motivate GILL."""
+        summary = sentiment_summary()
+        assert summary[Sentiment.MOTIVATES] > summary[Sentiment.NEUTRAL]
+        assert summary[Sentiment.MOTIVATES] > \
+            summary[Sentiment.DISINCENTIVES]
+
+    def test_few_red_answers(self):
+        assert sentiment_summary()[Sentiment.DISINCENTIVES] <= 2
+
+    def test_all_categories_present(self):
+        assert questions(Category.SUBSET_OF_VPS)
+        assert questions(Category.LIMITED_DURATION)
+        assert questions(Category.ALL)
+
+    def test_render_table(self):
+        text = render_table()
+        assert "[C1]" in text and "[C2]" in text and "[all]" in text
+        assert "(green)" in text and "(red)" in text
+        # Every question appears.
+        assert sum(1 for line in text.splitlines()
+                   if line.startswith("[")) == len(SURVEY)

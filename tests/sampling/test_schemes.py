@@ -1,0 +1,141 @@
+"""Tests for the sampling schemes of §10."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core.redundancy import RedundancyDefinition
+from repro.sampling import (
+    ASDistanceVPs,
+    DefinitionBasedVPs,
+    GillScheme,
+    GillUpd,
+    GillVp,
+    RandomUpdates,
+    RandomVPs,
+    UnbiasedVPs,
+    all_usecase_specifics,
+    topology_specific,
+)
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+
+@pytest.fixture(scope="module")
+def data():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=14, n_prefix_groups=8, duration_s=1500.0, seed=2))
+    warmup, stream = generator.generate()
+    return warmup + stream
+
+
+ALL_SCHEMES = [
+    RandomUpdates(seed=1),
+    RandomVPs(seed=1),
+    ASDistanceVPs(seed=1),
+    UnbiasedVPs(seed=1),
+    DefinitionBasedVPs(RedundancyDefinition.PREFIX, seed=1),
+    DefinitionBasedVPs(RedundancyDefinition.PREFIX_ASPATH, seed=1),
+    DefinitionBasedVPs(RedundancyDefinition.PREFIX_ASPATH_COMMUNITY,
+                       seed=1),
+    GillUpd(seed=1),
+    GillVp(seed=1, events_per_cell=5),
+] + all_usecase_specifics(seed=1)
+
+
+class TestBudgetContract:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=lambda s: s.name)
+    def test_respects_budget(self, scheme, data):
+        budget = len(data) // 10
+        sample = scheme.sample(data, budget)
+        assert len(sample) <= budget
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=lambda s: s.name)
+    def test_sample_is_subset(self, scheme, data):
+        sample = scheme.sample(data, len(data) // 10)
+        pool = {id(u) for u in data}
+        universe = {(u.vp, u.time, u.prefix, u.as_path) for u in data}
+        assert all((u.vp, u.time, u.prefix, u.as_path) in universe
+                   for u in sample)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=lambda s: s.name)
+    def test_zero_budget(self, scheme, data):
+        assert scheme.sample(data, 0) == []
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=lambda s: s.name)
+    def test_negative_budget_rejected(self, scheme, data):
+        with pytest.raises(ValueError):
+            scheme.sample(data, -1)
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [RandomUpdates(seed=1), RandomVPs(seed=1), GillUpd(seed=1)],
+        ids=lambda s: s.name)
+    def test_huge_budget_returns_at_most_everything(self, scheme, data):
+        sample = scheme.sample(data, 10 * len(data))
+        assert len(sample) <= len(data)
+
+
+class TestSchemeBehavior:
+    def test_random_updates_deterministic(self, data):
+        a = RandomUpdates(seed=5).sample(data, 100)
+        b = RandomUpdates(seed=5).sample(data, 100)
+        assert a == b
+
+    def test_random_vps_selects_whole_vps(self, data):
+        budget = len(data) // 3
+        sample = RandomVPs(seed=4).sample(data, budget)
+        by_vp_total = {}
+        for u in data:
+            by_vp_total[u.vp] = by_vp_total.get(u.vp, 0) + 1
+        by_vp_sample = {}
+        for u in sample:
+            by_vp_sample[u.vp] = by_vp_sample.get(u.vp, 0) + 1
+        # All but at most one VP (the budget-crossing one) are complete.
+        partial = [vp for vp, n in by_vp_sample.items()
+                   if n < by_vp_total[vp]]
+        assert len(partial) <= 1
+
+    def test_as_distance_spreads_vps(self, data):
+        sample = ASDistanceVPs(seed=3).sample(data, len(data) // 4)
+        assert len({u.vp for u in sample}) >= 2
+
+    def test_def_based_less_redundant_than_random(self, data):
+        """The definition-based specific must reduce redundancy under
+        its own definition versus random VP selection (§5)."""
+        from repro.bgp.rib import annotate_stream
+        from repro.core.redundancy import update_redundancy
+        budget = len(data) // 4
+        definition = RedundancyDefinition.PREFIX
+        spec = DefinitionBasedVPs(definition, seed=1).sample(data, budget)
+        rnd = RandomVPs(seed=1).sample(data, budget)
+        red_spec = update_redundancy(annotate_stream(spec),
+                                     definition).fraction
+        red_rnd = update_redundancy(annotate_stream(rnd),
+                                    definition).fraction
+        assert red_spec <= red_rnd + 0.05
+
+    def test_usecase_specific_wins_its_usecase(self, data):
+        """Specific-III must observe at least as many links as Rnd-VP
+        at equal budget (the Table-2 diagonal logic)."""
+        from repro.usecases.topo_mapping import observed_as_links
+        budget = len(data) // 6
+        spec = topology_specific(seed=1).sample(data, budget)
+        rnd = RandomVPs(seed=1).sample(data, budget)
+        assert len(observed_as_links(spec)) >= len(observed_as_links(rnd))
+
+    def test_gill_scheme_natural_budget(self, data):
+        scheme = GillScheme(seed=1, events_per_cell=5)
+        sample = scheme.sample(data)
+        assert 0 < len(sample) < len(data)
+        assert scheme.last_result is not None
+
+    def test_gill_vp_prefers_anchor_updates(self, data):
+        scheme = GillVp(seed=1, events_per_cell=5)
+        sample = scheme.sample(data, len(data) // 5)
+        assert sample
+        # Updates come from few VPs (anchors first).
+        assert len({u.vp for u in sample}) <= 14

@@ -1,0 +1,257 @@
+"""Tests for the SimulatedInternet event engine."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.simulation.events import (
+    CommunityRetag,
+    ForgedOriginHijack,
+    HijackEnd,
+    LinkFailure,
+    LinkRestoration,
+    OriginChange,
+)
+from repro.simulation.network import (
+    ACTION_COMMUNITY_BASE,
+    SimulatedInternet,
+    assign_prefix_ownership,
+    vp_asn,
+    vp_name,
+)
+from repro.simulation.topology import ASTopology
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+P3 = Prefix.parse("10.0.2.0/24")
+
+
+@pytest.fixture
+def net():
+    """The paper's Fig. 5 scenario: AS4 owns p1, p2; AS6 owns p3."""
+    topo = ASTopology()
+    topo.add_p2p(1, 2)
+    topo.add_c2p(4, 1)
+    topo.add_c2p(4, 2)
+    topo.add_c2p(3, 1)
+    topo.add_c2p(6, 2)
+    topo.add_c2p(5, 2)
+    topo.add_c2p(7, 5)
+    topo.add_p2p(5, 6)
+    net = SimulatedInternet(topo, seed=42)
+    net.announce_prefix(P1, 4)
+    net.announce_prefix(P2, 4)
+    net.announce_prefix(P3, 6)
+    net.deploy_vps([2, 6, 3, 5])
+    return net
+
+
+class TestNames:
+    def test_roundtrip(self):
+        assert vp_asn(vp_name(123)) == 123
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            vp_asn("router7")
+
+
+class TestSetup:
+    def test_announce_unknown_as(self, net):
+        with pytest.raises(ValueError):
+            net.announce_prefix(Prefix.parse("9.9.9.0/24"), 99)
+
+    def test_deploy_unknown_as(self, net):
+        with pytest.raises(ValueError):
+            net.deploy_vps([1, 99])
+
+    def test_origin_of(self, net):
+        assert net.origin_of(P1) == 4
+        assert net.origin_of(P3) == 6
+
+    def test_prefixes_sorted(self, net):
+        assert net.prefixes() == [P1, P2, P3]
+
+
+class TestRouting:
+    def test_shared_routing_tree(self, net):
+        """Prefixes of the same origin share one routing tree."""
+        assert net.routes_for(P1) is net.routes_for(P2)
+        assert net.routes_for(P1) is not net.routes_for(P3)
+
+    def test_vp_ribs_full_feeders(self, net):
+        ribs = net.vp_ribs()
+        assert set(ribs) == {"vp2", "vp3", "vp5", "vp6"}
+        for routes in ribs.values():
+            assert len(routes) == 3   # all VPs see all prefixes
+
+    def test_initial_table_transfer(self, net):
+        updates = net.initial_table_transfer()
+        assert len(updates) == 12
+        assert all(not u.is_withdrawal for u in updates)
+
+    def test_links_observed_by_vps_subset_of_topology(self, net):
+        observed = net.links_observed_by_vps()
+        all_links = {tuple(sorted((a, b))) for a, b, _ in net.topo.links()}
+        assert observed <= all_links
+        assert observed     # not empty
+
+
+class TestLinkFailure:
+    def test_failure_generates_updates_for_owned_prefixes(self, net):
+        updates = net.apply_event(LinkFailure(2, 4, time=1000.0))
+        # p1 and p2 (owned by AS4) reroute; p3 is unaffected.
+        prefixes = {u.prefix for u in updates}
+        assert prefixes == {P1, P2}
+
+    def test_updates_within_correlation_window(self, net):
+        updates = net.apply_event(LinkFailure(2, 4, time=1000.0))
+        assert all(1000.0 < u.time < 1100.0 for u in updates)
+
+    def test_rerouted_path_avoids_failed_link(self, net):
+        net.apply_event(LinkFailure(2, 4, time=1000.0))
+        routes = net.routes_for(P1)
+        for route in routes.values():
+            for i in range(len(route.path) - 1):
+                assert {route.path[i], route.path[i + 1]} != {2, 4}
+
+    def test_double_failure_rejected(self, net):
+        net.apply_event(LinkFailure(2, 4, time=1000.0))
+        with pytest.raises(ValueError):
+            net.apply_event(LinkFailure(4, 2, time=2000.0))
+
+    def test_restoration_restores_routes(self, net):
+        before = {a: r.path for a, r in net.routes_for(P1).items()}
+        net.apply_event(LinkFailure(2, 4, time=1000.0))
+        updates = net.apply_event(LinkRestoration(2, 4, time=2000.0))
+        after = {a: r.path for a, r in net.routes_for(P1).items()}
+        assert before == after
+        assert updates   # VPs saw the paths flip back
+
+    def test_restoring_unfailed_link_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(LinkRestoration(2, 4, time=1.0))
+
+    def test_unused_link_failure_silent(self, net):
+        """Failing a link no VP route traverses produces no updates."""
+        # Only stub AS7 (which hosts no VP) sits behind the 7-5 link.
+        updates = net.apply_event(LinkFailure(7, 5, time=1000.0))
+        assert updates == []
+
+    def test_peer_link_failure_reroutes_edge_vp(self, net):
+        """AS5 prefers its p2p route to AS6; failing 5-6 reroutes vp5."""
+        updates = net.apply_event(LinkFailure(5, 6, time=1000.0))
+        by_vp = {u.vp: u for u in updates}
+        assert set(by_vp) == {"vp5"}
+        assert by_vp["vp5"].as_path == (5, 2, 6)
+
+
+class TestHijack:
+    def test_type1_hijack_visible_to_nearby_vp(self, net):
+        updates = net.apply_event(
+            ForgedOriginHijack(7, P3, time=500.0, type_x=1))
+        # VP5 is next to the attacker and switches to the forged route.
+        by_vp = {u.vp: u for u in updates}
+        assert "vp5" in by_vp
+        assert by_vp["vp5"].as_path == (5, 7, 6)
+        # The forged route still ends at the legitimate origin.
+        assert by_vp["vp5"].origin_as == 6
+
+    def test_type2_hijack_longer_path(self, net):
+        updates = net.apply_event(
+            ForgedOriginHijack(7, P3, time=500.0, type_x=2))
+        for u in updates:
+            if 7 in u.as_path:
+                assert len(u.as_path) >= 3
+
+    def test_double_hijack_rejected(self, net):
+        net.apply_event(ForgedOriginHijack(7, P3, time=500.0))
+        with pytest.raises(ValueError):
+            net.apply_event(ForgedOriginHijack(7, P3, time=600.0))
+
+    def test_hijack_end_restores(self, net):
+        before = {a: r.path for a, r in net.routes_for(P3).items()}
+        net.apply_event(ForgedOriginHijack(7, P3, time=500.0))
+        net.apply_event(HijackEnd(7, P3, time=900.0))
+        after = {a: r.path for a, r in net.routes_for(P3).items()}
+        assert before == after
+
+    def test_hijack_end_without_hijack_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(HijackEnd(7, P3, time=1.0))
+
+    def test_explicit_intermediates(self, net):
+        net.apply_event(ForgedOriginHijack(
+            7, P3, time=1.0, type_x=2, intermediate=(2,)))
+        routes = net.routes_for(P3)
+        hijacked = [r for r in routes.values() if r.path[-3:] == (7, 2, 6)]
+        assert hijacked
+
+    def test_bad_intermediate_count(self):
+        with pytest.raises(ValueError):
+            ForgedOriginHijack(7, P3, time=1.0, type_x=1, intermediate=(2,))
+
+
+class TestOriginChange:
+    def test_origin_change_moves_prefix(self, net):
+        updates = net.apply_event(OriginChange(P3, new_origin=3, time=10.0))
+        assert net.origin_of(P3) == 3
+        assert updates
+        for u in updates:
+            if not u.is_withdrawal:
+                assert u.origin_as == 3
+
+    def test_unknown_new_origin(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(OriginChange(P3, new_origin=99, time=10.0))
+
+
+class TestCommunityRetag:
+    def test_retag_produces_unchanged_path_updates(self, net):
+        before = {vp: {r.prefix: r.as_path for r in routes}
+                  for vp, routes in net.vp_ribs().items()}
+        updates = net.apply_event(CommunityRetag(P3, time=10.0, tag=5))
+        assert updates
+        for u in updates:
+            assert u.as_path == before[u.vp][P3]
+
+    def test_action_retag_sets_action_community(self, net):
+        updates = net.apply_event(
+            CommunityRetag(P3, time=10.0, tag=5, action=True))
+        origin = net.origin_of(P3)
+        for u in updates:
+            values = {v for a, v in u.communities if a == origin}
+            assert any(v >= ACTION_COMMUNITY_BASE for v in values)
+
+    def test_retag_persists_in_later_updates(self, net):
+        net.apply_event(CommunityRetag(P3, time=10.0, tag=5, action=True))
+        updates = net.apply_event(
+            ForgedOriginHijack(7, P3, time=500.0, type_x=1))
+        origin = 6
+        tagged = [u for u in updates
+                  if any(a == origin and v >= ACTION_COMMUNITY_BASE
+                         for a, v in u.communities)]
+        assert tagged
+
+
+class TestAssignPrefixOwnership:
+    def test_every_as_gets_a_prefix(self):
+        ownership = assign_prefix_ownership([1, 2, 3, 4], 10, seed=1)
+        assert set(ownership.values()) == {1, 2, 3, 4}
+
+    def test_total_count(self):
+        ownership = assign_prefix_ownership(list(range(1, 21)), 100, seed=2)
+        assert len(ownership) == 100
+
+    def test_distinct_prefixes(self):
+        ownership = assign_prefix_ownership(list(range(1, 21)), 60, seed=3)
+        assert len(set(ownership)) == 60
+
+    def test_heavy_tail(self):
+        ownership = assign_prefix_ownership(list(range(1, 101)), 1000, seed=4)
+        counts = {}
+        for origin in ownership.values():
+            counts[origin] = counts.get(origin, 0) + 1
+        assert max(counts.values()) >= 10
+
+    def test_too_few_prefixes_rejected(self):
+        with pytest.raises(ValueError):
+            assign_prefix_ownership([1, 2, 3], 2, seed=5)

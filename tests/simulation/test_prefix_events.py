@@ -1,0 +1,178 @@
+"""Tests for prefix-lifecycle and session-reset events."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.simulation import (
+    ASTopology,
+    PrefixAnnouncement,
+    PrefixWithdrawal,
+    SessionReset,
+    SimulatedInternet,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+NEW = Prefix.parse("10.9.0.0/24")
+
+
+@pytest.fixture
+def net():
+    topo = ASTopology()
+    topo.add_p2p(1, 2)
+    topo.add_c2p(4, 1)
+    topo.add_c2p(4, 2)
+    topo.add_c2p(6, 2)
+    topo.add_c2p(3, 1)
+    net = SimulatedInternet(topo, seed=1)
+    net.announce_prefix(P1, 4)
+    net.announce_prefix(P2, 6)
+    net.deploy_vps([2, 3, 6])
+    return net
+
+
+class TestPrefixWithdrawal:
+    def test_all_vps_withdraw(self, net):
+        updates = net.apply_event(PrefixWithdrawal(P1, time=100.0))
+        assert {u.vp for u in updates} == {"vp2", "vp3", "vp6"}
+        assert all(u.is_withdrawal for u in updates)
+        assert all(u.prefix == P1 for u in updates)
+
+    def test_prefix_gone_afterwards(self, net):
+        net.apply_event(PrefixWithdrawal(P1, time=100.0))
+        assert P1 not in net.prefixes()
+
+    def test_unknown_prefix_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(PrefixWithdrawal(NEW, time=100.0))
+
+
+class TestPrefixAnnouncement:
+    def test_new_prefix_announced_to_all(self, net):
+        updates = net.apply_event(
+            PrefixAnnouncement(NEW, origin=6, time=100.0))
+        assert {u.vp for u in updates} == {"vp2", "vp3", "vp6"}
+        assert all(u.origin_as == 6 for u in updates)
+        assert NEW in net.prefixes()
+
+    def test_reannouncement_after_withdrawal(self, net):
+        net.apply_event(PrefixWithdrawal(P1, time=100.0))
+        updates = net.apply_event(
+            PrefixAnnouncement(P1, origin=4, time=200.0))
+        assert updates
+        assert net.origin_of(P1) == 4
+
+    def test_duplicate_announcement_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(PrefixAnnouncement(P1, origin=6, time=1.0))
+
+
+class TestSessionReset:
+    def test_withdraw_then_reannounce_everything(self, net):
+        updates = net.apply_event(SessionReset(2, time=100.0))
+        withdrawals = [u for u in updates if u.is_withdrawal]
+        announcements = [u for u in updates if not u.is_withdrawal]
+        assert {u.prefix for u in withdrawals} == {P1, P2}
+        assert {u.prefix for u in announcements} == {P1, P2}
+        assert all(u.vp == "vp2" for u in updates)
+
+    def test_reannouncements_after_downtime(self, net):
+        updates = net.apply_event(
+            SessionReset(2, time=100.0, downtime_s=60.0))
+        last_withdrawal = max(u.time for u in updates if u.is_withdrawal)
+        first_announce = min(u.time for u in updates
+                             if not u.is_withdrawal)
+        assert first_announce >= 160.0
+        assert last_withdrawal < first_announce
+
+    def test_routes_unchanged_by_reset(self, net):
+        before = {a: r.path for a, r in net.routes_for(P1).items()}
+        updates = net.apply_event(SessionReset(2, time=100.0))
+        reannounced = [u for u in updates
+                       if not u.is_withdrawal and u.prefix == P1]
+        assert reannounced[0].as_path == before[2]
+
+    def test_non_vp_as_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(SessionReset(4, time=100.0))
+
+
+class TestPathPrepend:
+    def test_prepended_path_visible(self, net):
+        updates = net.apply_event(
+            __import__('repro.simulation', fromlist=['PathPrepend'])
+            .PathPrepend(P1, count=3, time=100.0))
+        assert updates
+        for u in updates:
+            assert u.as_path[-4:] == (4, 4, 4, 4)
+
+    def test_zero_prepend_noop_when_already_plain(self, net):
+        from repro.simulation import PathPrepend
+        updates = net.apply_event(PathPrepend(P1, count=0, time=100.0))
+        assert updates == []
+
+    def test_prepend_then_restore(self, net):
+        from repro.simulation import PathPrepend
+        before = {a: r.path for a, r in net.routes_for(P1).items()}
+        net.apply_event(PathPrepend(P1, count=2, time=100.0))
+        restored = net.apply_event(PathPrepend(P1, count=0, time=200.0))
+        after = {a: r.path for a, r in net.routes_for(P1).items()}
+        assert after == before
+        assert restored
+
+    def test_negative_count_rejected(self):
+        from repro.simulation import PathPrepend
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            PathPrepend(P1, count=-1, time=1.0)
+
+    def test_unannounced_prefix_rejected(self, net):
+        from repro.simulation import PathPrepend
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            net.apply_event(PathPrepend(NEW, count=1, time=1.0))
+
+    def test_global_prepend_does_not_shift_routes(self):
+        """Prepending toward *all* neighbors lengthens every path
+        equally, so nobody shifts — only selective prepending steers."""
+        from repro.simulation import ASTopology, PathPrepend, SimulatedInternet
+        topo = ASTopology()
+        topo.add_c2p(5, 9)
+        topo.add_c2p(6, 9)
+        topo.add_c2p(4, 5)
+        topo.add_c2p(40, 6)
+        topo.add_c2p(4, 40)
+        net2 = SimulatedInternet(topo, seed=3)
+        net2.announce_prefix(P1, 4)
+        net2.deploy_vps([9])
+        assert net2.routes_for(P1)[9].path == (9, 5, 4)
+        net2.apply_event(PathPrepend(P1, count=3, time=50.0))
+        assert net2.routes_for(P1)[9].path == (9, 5, 4, 4, 4, 4)
+
+    def test_selective_prepend_shifts_traffic(self):
+        """Prepending toward one upstream de-prefers routes via it —
+        the standard TE maneuver."""
+        from repro.simulation import ASTopology, PathPrepend, SimulatedInternet
+        topo = ASTopology()
+        # Origin 4 is dual-homed to 5 and 40; AS9 sits above both.
+        topo.add_c2p(5, 9)
+        topo.add_c2p(6, 9)
+        topo.add_c2p(4, 5)
+        topo.add_c2p(40, 6)
+        topo.add_c2p(4, 40)
+        net2 = SimulatedInternet(topo, seed=3)
+        net2.announce_prefix(P1, 4)
+        net2.deploy_vps([9])
+        assert net2.routes_for(P1)[9].path == (9, 5, 4)
+        # De-prefer the 4->5 upstream: announce 4 4 4 4 to AS5 only.
+        updates = net2.apply_event(
+            PathPrepend(P1, count=3, time=50.0, towards=5))
+        assert net2.routes_for(P1)[9].path == (9, 6, 40, 4)
+        assert updates and updates[0].as_path == (9, 6, 40, 4)
+
+    def test_selective_prepend_non_neighbor_rejected(self, net):
+        from repro.simulation import PathPrepend
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            net.apply_event(
+                PathPrepend(P1, count=1, time=1.0, towards=999))

@@ -1,0 +1,192 @@
+"""Tests for Gao-Rexford route propagation."""
+
+import pytest
+
+from repro.simulation.policies import (
+    Relationship,
+    RouteClass,
+    SimRoute,
+    may_export,
+)
+from repro.simulation.routing import (
+    Announcement,
+    observed_links,
+    propagate,
+    routes_using_link,
+)
+from repro.simulation.topology import ASTopology
+
+
+@pytest.fixture
+def chain():
+    """4 -> 2 -> 1 provider chain with a peer 3 of 2."""
+    topo = ASTopology()
+    topo.add_c2p(4, 2)
+    topo.add_c2p(2, 1)
+    topo.add_p2p(2, 3)
+    return topo
+
+
+@pytest.fixture
+def fig5_topo():
+    """A topology shaped like the paper's Fig. 5 scenario."""
+    topo = ASTopology()
+    # 1 and 2 are the core (peers); 4 is a customer of both 1 and 2;
+    # 3 customer of 1; 6 customer of 2; 5 customer of 2; 7 customer of 5;
+    # 5-6 peer at the edge.
+    topo.add_p2p(1, 2)
+    topo.add_c2p(4, 1)
+    topo.add_c2p(4, 2)
+    topo.add_c2p(3, 1)
+    topo.add_c2p(6, 2)
+    topo.add_c2p(5, 2)
+    topo.add_c2p(7, 5)
+    topo.add_p2p(5, 6)
+    return topo
+
+
+class TestPolicies:
+    def test_preference_order(self):
+        customer = SimRoute((1, 2), RouteClass.CUSTOMER)
+        peer = SimRoute((1, 2), RouteClass.PEER)
+        provider = SimRoute((1, 2), RouteClass.PROVIDER)
+        assert customer.better_than(peer)
+        assert peer.better_than(provider)
+
+    def test_shorter_path_preferred_within_class(self):
+        short = SimRoute((1, 2), RouteClass.CUSTOMER)
+        long = SimRoute((1, 3, 2), RouteClass.CUSTOMER)
+        assert short.better_than(long)
+
+    def test_lowest_next_hop_tie_break(self):
+        a = SimRoute((1, 2, 9), RouteClass.CUSTOMER)
+        b = SimRoute((1, 3, 9), RouteClass.CUSTOMER)
+        assert a.better_than(b)
+
+    def test_export_rules(self):
+        assert may_export(RouteClass.CUSTOMER, Relationship.PEER)
+        assert may_export(RouteClass.SELF, Relationship.PROVIDER)
+        assert not may_export(RouteClass.PEER, Relationship.PEER)
+        assert not may_export(RouteClass.PROVIDER, Relationship.PEER)
+        assert may_export(RouteClass.PROVIDER, Relationship.CUSTOMER)
+
+
+class TestAnnouncement:
+    def test_origination(self):
+        a = Announcement.origination(7)
+        assert a.path == (7,)
+
+    def test_forged_origin_type1(self):
+        a = Announcement.forged_origin(9, 4)
+        assert a.path == (9, 4)
+
+    def test_forged_origin_type2(self):
+        a = Announcement.forged_origin(9, 4, (5,))
+        assert a.path == (9, 5, 4)
+
+    def test_path_must_start_at_sender(self):
+        with pytest.raises(ValueError):
+            Announcement(1, (2, 1))
+
+
+class TestPropagation:
+    def test_chain_propagation(self, chain):
+        routes = propagate(chain, [Announcement.origination(4)])
+        assert routes[4].path == (4,)
+        assert routes[2].path == (2, 4)
+        assert routes[1].path == (1, 2, 4)
+        assert routes[1].route_class is RouteClass.CUSTOMER
+        assert routes[3].path == (3, 2, 4)
+        assert routes[3].route_class is RouteClass.PEER
+
+    def test_peer_route_not_reexported_to_peer(self):
+        """3 learns via peer 2; 3's peer 5 must NOT learn from 3."""
+        topo = ASTopology()
+        topo.add_c2p(4, 2)
+        topo.add_p2p(2, 3)
+        topo.add_p2p(3, 5)
+        routes = propagate(topo, [Announcement.origination(4)])
+        assert 5 not in routes
+
+    def test_provider_route_exported_to_customer_only(self):
+        topo = ASTopology()
+        topo.add_c2p(2, 1)       # origin 1 is 2's provider
+        topo.add_p2p(2, 3)       # 2's peer must not learn 2's provider route
+        topo.add_c2p(5, 2)       # 2's customer must learn it
+        routes = propagate(topo, [Announcement.origination(1)])
+        assert routes[2].path == (2, 1)
+        assert routes[2].route_class is RouteClass.PROVIDER
+        assert routes[5].path == (5, 2, 1)
+        assert 3 not in routes
+
+    def test_customer_route_preferred_over_peer_and_provider(self):
+        topo = ASTopology()
+        # AS 10 can reach origin 4 via customer 5, peer 6, or provider 7.
+        topo.add_c2p(5, 10)
+        topo.add_p2p(10, 6)
+        topo.add_c2p(10, 7)
+        topo.add_c2p(4, 5)
+        topo.add_c2p(4, 6)
+        topo.add_c2p(4, 7)
+        # make 6 and 7 also have the route as customer route
+        routes = propagate(topo, [Announcement.origination(4)])
+        assert routes[10].path == (10, 5, 4)
+        assert routes[10].route_class is RouteClass.CUSTOMER
+
+    def test_valley_free_paths(self, fig5_topo):
+        """No path may go down (to a customer) and then up again."""
+        for origin in fig5_topo.ases():
+            routes = propagate(fig5_topo, [Announcement.origination(origin)])
+            for route in routes.values():
+                path = route.path
+                descended = False
+                for i in range(len(path) - 1):
+                    rel = fig5_topo.relationship(path[i], path[i + 1])
+                    if rel is Relationship.CUSTOMER:
+                        descended = True
+                    elif descended:
+                        pytest.fail(f"valley in path {path}")
+
+    def test_all_ases_reach_announced_prefix(self, fig5_topo):
+        """In a connected GR topology every AS reaches every origin."""
+        for origin in fig5_topo.ases():
+            routes = propagate(fig5_topo, [Announcement.origination(origin)])
+            assert set(routes) == set(fig5_topo.ases())
+
+    def test_hijack_partitions_internet(self, fig5_topo):
+        """A Type-1 hijack by 7 of 6's prefix attracts nearby ASes (§4.1)."""
+        legit = Announcement.origination(6)
+        forged = Announcement.forged_origin(7, 6)
+        routes = propagate(fig5_topo, [legit, forged])
+        # 5 prefers its customer route to the attacker 7.
+        assert routes[5].path == (5, 7, 6)
+        # 2 prefers its direct customer route to the victim 6.
+        assert routes[2].path == (2, 6)
+
+    def test_unknown_announcer_rejected(self, chain):
+        with pytest.raises(ValueError):
+            propagate(chain, [Announcement.origination(99)])
+
+    def test_no_announcements_no_routes(self, chain):
+        assert propagate(chain, []) == {}
+
+    def test_deterministic(self, fig5_topo):
+        a = propagate(fig5_topo, [Announcement.origination(4)])
+        b = propagate(fig5_topo, [Announcement.origination(4)])
+        assert a == b
+
+
+class TestRouteQueries:
+    def test_routes_using_link(self, chain):
+        routes = propagate(chain, [Announcement.origination(4)])
+        assert set(routes_using_link(routes, 2, 4)) == {2, 1, 3}
+        assert set(routes_using_link(routes, 4, 2)) == {2, 1, 3}
+
+    def test_observed_links(self, chain):
+        routes = propagate(chain, [Announcement.origination(4)])
+        assert observed_links(routes, [1]) == {(1, 2), (2, 4)}
+        assert observed_links(routes, [4]) == set()
+
+    def test_observed_links_missing_observer(self, chain):
+        routes = propagate(chain, [Announcement.origination(4)])
+        assert observed_links(routes, [999]) == set()

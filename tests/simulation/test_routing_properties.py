@@ -1,0 +1,120 @@
+"""Property-based tests on Gao-Rexford routing invariants.
+
+Random topologies are generated via the library's own generators
+(seeded by hypothesis), and the fundamental properties of
+policy-compliant routing are asserted on every propagation result.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.policies import Relationship, RouteClass
+from repro.simulation.routing import Announcement, propagate
+from repro.simulation.topology import (
+    hyperbolic_topology,
+    synthetic_known_topology,
+)
+
+topo_params = st.tuples(
+    st.integers(min_value=10, max_value=60),     # size
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _check_invariants(topo, origin, routes):
+    for asn, route in routes.items():
+        path = route.path
+        # Paths start locally and end at the origin.
+        assert path[0] == asn
+        assert path[-1] == origin
+        # No loops.
+        assert len(set(path)) == len(path)
+        # Every hop is a real link.
+        for i in range(len(path) - 1):
+            assert topo.has_link(path[i], path[i + 1]), \
+                f"phantom link {path[i]}-{path[i + 1]}"
+        # Valley-free: never up (or sideways) after going down.
+        descended = False
+        peered = False
+        for i in range(len(path) - 1):
+            rel = topo.relationship(path[i], path[i + 1])
+            if rel is Relationship.CUSTOMER:      # going down
+                descended = True
+            elif rel is Relationship.PEER:
+                assert not descended and not peered, \
+                    f"peer link after descent in {path}"
+                peered = True
+            else:                                  # going up
+                assert not descended and not peered, \
+                    f"valley in {path}"
+        # The route class matches the first hop's relationship.
+        if len(path) == 1:
+            assert route.route_class is RouteClass.SELF
+        else:
+            rel = topo.relationship(asn, path[1])
+            expected = RouteClass.from_relationship(rel)
+            assert route.route_class is expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=topo_params)
+def test_pa_topology_routing_invariants(params):
+    size, seed = params
+    topo = synthetic_known_topology(size, seed=seed)
+    origin = topo.ases()[seed % len(topo)]
+    routes = propagate(topo, [Announcement.origination(origin)])
+    _check_invariants(topo, origin, routes)
+    # Connectivity: the PA topology is connected and GR always gives
+    # every AS a route to every origin through the provider hierarchy.
+    assert set(routes) == set(topo.ases())
+
+
+@settings(max_examples=8, deadline=None)
+@given(params=topo_params)
+def test_hyperbolic_topology_routing_invariants(params):
+    size, seed = params
+    topo = hyperbolic_topology(max(10, size), seed=seed)
+    origin = topo.ases()[seed % len(topo)]
+    routes = propagate(topo, [Announcement.origination(origin)])
+    _check_invariants(topo, origin, routes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=topo_params,
+       attacker_pick=st.integers(min_value=0, max_value=10_000))
+def test_hijack_routing_invariants(params, attacker_pick):
+    """With a forged announcement in play every selected route still
+    satisfies the policy invariants up to the announcing AS."""
+    size, seed = params
+    topo = synthetic_known_topology(size, seed=seed)
+    ases = topo.ases()
+    victim = ases[seed % len(ases)]
+    attacker = ases[attacker_pick % len(ases)]
+    if attacker == victim:
+        return
+    routes = propagate(topo, [
+        Announcement.origination(victim),
+        Announcement.forged_origin(attacker, victim),
+    ])
+    for asn, route in routes.items():
+        path = route.path
+        assert path[0] == asn
+        assert path[-1] == victim   # forged or not, it claims the victim
+        # The real part of the path (up to the announcing AS) uses
+        # only real links.
+        for i in range(len(path) - 1):
+            if path[i + 1] in (victim,) and path[i] == attacker:
+                break   # the forged adjacency
+            if not topo.has_link(path[i], path[i + 1]):
+                assert (path[i], path[i + 1]) == (attacker, victim)
+                break
+
+    # Exactly two "origins" serve the prefix: each AS picked one.
+    served_by_attacker = sum(
+        1 for r in routes.values() if attacker in r.path
+        and r.path[0] != attacker
+    )
+    served_by_victim = sum(
+        1 for r in routes.values() if attacker not in r.path
+    )
+    assert served_by_attacker + served_by_victim >= len(routes) - 1

@@ -1,0 +1,107 @@
+"""Tests for the prebuilt simulation scenarios."""
+
+import pytest
+
+from repro.simulation.scenarios import (
+    Scenario,
+    build_world,
+    failure_churn,
+    hijack_campaign,
+    merge_scenarios,
+)
+from repro.usecases import PathChange, localize_failure, visible_hijacks
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(n_ases=90, coverage=0.3, seed=5)
+
+
+class TestBuildWorld:
+    def test_world_is_announced_and_deployed(self, world):
+        assert len(world.prefixes()) >= 90
+        assert len(world.vp_ases) == 27
+
+    def test_prefix_count_scales(self):
+        net = build_world(60, 0.2, seed=1, prefixes_per_as=2.0)
+        assert len(net.prefixes()) == 120
+
+
+class TestFailureChurn:
+    def test_stream_sorted_and_nonempty(self, world):
+        scenario = failure_churn(world, count=10, seed=2)
+        times = [u.time for u in scenario.stream]
+        assert times == sorted(times)
+        assert scenario.stream
+
+    def test_ground_truth_localizable(self):
+        net = build_world(90, 0.4, seed=6)
+        scenario = failure_churn(net, count=8, seed=3,
+                                 record_ground_truth=True)
+        assert scenario.failures
+        localized = 0
+        for record in scenario.failures:
+            changes = [
+                PathChange(record.prior_paths[(u.vp, u.prefix)],
+                           () if u.is_withdrawal else u.as_path)
+                for u in record.updates
+                if (u.vp, u.prefix) in record.prior_paths
+            ]
+            if localize_failure(changes, record.link):
+                localized += 1
+        assert localized > 0
+
+    def test_no_ground_truth_by_default(self, world):
+        scenario = failure_churn(world, count=3, seed=4)
+        assert scenario.failures == []
+
+
+class TestHijackCampaign:
+    def test_hijacks_recorded_and_visible(self):
+        net = build_world(90, 0.4, seed=7)
+        scenario = hijack_campaign(net, count=10, seed=8,
+                                   start_time=1000.0)
+        assert scenario.hijacks
+        seen = visible_hijacks(scenario.stream, scenario.hijack_pairs)
+        assert seen   # at 40% coverage most hijacks reach some VP
+
+    def test_stub_parties_only(self):
+        net = build_world(90, 0.3, seed=9)
+        stubs = set(net.topo.stubs())
+        scenario = hijack_campaign(net, count=8, seed=10,
+                                   start_time=1000.0,
+                                   stub_parties_only=True)
+        for record in scenario.hijacks:
+            assert record.attacker in stubs
+            assert record.victim in stubs
+
+    def test_type2_campaign(self):
+        net = build_world(90, 0.3, seed=11)
+        scenario = hijack_campaign(net, count=5, seed=12,
+                                   start_time=1000.0, type_x=2)
+        for record in scenario.hijacks:
+            assert record.type_x == 2
+
+
+class TestMerge:
+    def test_merge_same_world(self):
+        net = build_world(90, 0.3, seed=13)
+        churn = failure_churn(net, count=5, seed=14)
+        attacks = hijack_campaign(net, count=5, seed=15,
+                                  start_time=20_000.0)
+        merged = merge_scenarios(churn, attacks)
+        assert len(merged.stream) == \
+            len(churn.stream) + len(attacks.stream)
+        assert merged.hijacks == attacks.hijacks
+        times = [u.time for u in merged.stream]
+        assert times == sorted(times)
+
+    def test_merge_different_worlds_rejected(self):
+        a = failure_churn(build_world(60, 0.3, seed=16), 2, seed=17)
+        b = failure_churn(build_world(60, 0.3, seed=18), 2, seed=19)
+        with pytest.raises(ValueError):
+            merge_scenarios(a, b)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_scenarios()

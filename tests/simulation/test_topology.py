@@ -1,0 +1,192 @@
+"""Tests for AS topologies and generators."""
+
+import pytest
+
+from repro.simulation.policies import Relationship
+from repro.simulation.topology import (
+    ASTopology,
+    TopologyError,
+    hyperbolic_topology,
+    prune_leaves,
+    synthetic_known_topology,
+)
+
+
+@pytest.fixture
+def small_topo():
+    """The 7-AS topology of the paper's Fig. 5.
+
+    Arrows in the figure are c2p (customer -> provider), lines are p2p:
+    4->1, 4->2 (via the failing link), 1<->2 p2p? — we encode a compatible
+    hierarchy: 1 and 2 are providers of 4; 3 peers with 4; etc.
+    """
+    topo = ASTopology()
+    topo.add_c2p(4, 1)
+    topo.add_c2p(4, 2)
+    topo.add_c2p(3, 1)
+    topo.add_c2p(6, 2)
+    topo.add_c2p(5, 2)
+    topo.add_c2p(7, 5)
+    topo.add_p2p(1, 2)
+    topo.add_p2p(5, 6)
+    return topo
+
+
+class TestASTopology:
+    def test_relationship_views(self, small_topo):
+        assert small_topo.relationship(4, 1) is Relationship.PROVIDER
+        assert small_topo.relationship(1, 4) is Relationship.CUSTOMER
+        assert small_topo.relationship(1, 2) is Relationship.PEER
+
+    def test_no_duplicate_links(self, small_topo):
+        with pytest.raises(TopologyError):
+            small_topo.add_p2p(4, 1)
+        with pytest.raises(TopologyError):
+            small_topo.add_c2p(1, 2)
+
+    def test_no_self_links(self):
+        topo = ASTopology()
+        with pytest.raises(TopologyError):
+            topo.add_c2p(1, 1)
+        with pytest.raises(TopologyError):
+            topo.add_p2p(2, 2)
+
+    def test_degree_and_neighbors(self, small_topo):
+        assert small_topo.degree(2) == 4
+        assert small_topo.neighbors(2) == {1, 4, 5, 6}
+
+    def test_links_reported_once(self, small_topo):
+        links = small_topo.links()
+        assert len(links) == 8
+        assert len(small_topo.p2p_links()) == 2
+        assert len(small_topo.c2p_links()) == 6
+
+    def test_remove_link(self, small_topo):
+        rel = small_topo.remove_link(4, 2)
+        assert rel is Relationship.PROVIDER
+        assert not small_topo.has_link(4, 2)
+
+    def test_remove_missing_link(self, small_topo):
+        with pytest.raises(TopologyError):
+            small_topo.remove_link(3, 7)
+
+    def test_remove_as(self, small_topo):
+        small_topo.remove_as(2)
+        assert 2 not in small_topo
+        assert not small_topo.has_link(4, 2)
+        assert 4 in small_topo
+
+    def test_stubs_and_transits(self, small_topo):
+        assert small_topo.stubs() == [3, 4, 6, 7]
+        assert small_topo.transit_ases() == [1, 2, 5]
+
+    def test_tier1(self, small_topo):
+        assert small_topo.tier1_ases() == [1, 2]
+
+    def test_customer_cone(self, small_topo):
+        assert small_topo.customer_cone(2) == {2, 4, 5, 6, 7}
+        assert small_topo.customer_cone(7) == {7}
+
+    def test_hierarchy_acyclic(self, small_topo):
+        assert small_topo.check_hierarchy_acyclic()
+
+    def test_hierarchy_cycle_detected(self):
+        topo = ASTopology()
+        topo.add_c2p(1, 2)
+        topo.add_c2p(2, 3)
+        topo.add_c2p(3, 1)
+        assert not topo.check_hierarchy_acyclic()
+
+    def test_copy_is_independent(self, small_topo):
+        clone = small_topo.copy()
+        clone.remove_as(2)
+        assert 2 in small_topo
+
+    def test_average_degree(self, small_topo):
+        assert small_topo.average_degree() == pytest.approx(16 / 7)
+
+
+class TestSyntheticKnownTopology:
+    def test_size(self):
+        topo = synthetic_known_topology(200, seed=1)
+        assert len(topo) == 200
+
+    def test_acyclic_hierarchy(self):
+        topo = synthetic_known_topology(300, seed=2)
+        assert topo.check_hierarchy_acyclic()
+
+    def test_every_nontier1_has_provider(self):
+        topo = synthetic_known_topology(200, seed=3)
+        tier1 = {1, 2, 3}
+        for asn in topo.ases():
+            if asn not in tier1:
+                assert topo.providers(asn)
+
+    def test_has_p2p_links(self):
+        topo = synthetic_known_topology(300, seed=4)
+        assert len(topo.p2p_links()) > 10
+
+    def test_deterministic_with_seed(self):
+        a = synthetic_known_topology(100, seed=5)
+        b = synthetic_known_topology(100, seed=5)
+        assert set(a.links()) == set(b.links())
+
+    def test_heavy_tail(self):
+        """A few ASes should have much higher degree than the median."""
+        topo = synthetic_known_topology(500, seed=6)
+        degrees = sorted(topo.degree(a) for a in topo.ases())
+        assert degrees[-1] > 10 * degrees[len(degrees) // 2]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            synthetic_known_topology(3)
+
+
+class TestHyperbolicTopology:
+    def test_size_and_connectivity(self):
+        topo = hyperbolic_topology(150, seed=1)
+        assert len(topo) == 150
+        # Every AS participates in the graph.
+        assert all(topo.degree(a) > 0 for a in topo.ases())
+
+    def test_average_degree_near_target(self):
+        topo = hyperbolic_topology(400, avg_degree=6.1, seed=2)
+        assert 3.5 < topo.average_degree() < 9.5
+
+    def test_three_tier1s_fully_meshed(self):
+        topo = hyperbolic_topology(150, seed=3)
+        tier1 = topo.tier1_ases()
+        assert len(tier1) == 3
+        for a in tier1:
+            for b in tier1:
+                if a < b:
+                    assert topo.relationship(a, b) is Relationship.PEER
+
+    def test_acyclic_hierarchy(self):
+        topo = hyperbolic_topology(200, seed=4)
+        assert topo.check_hierarchy_acyclic()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            hyperbolic_topology(2)
+
+
+class TestPruneLeaves:
+    def test_prunes_to_target(self):
+        topo = synthetic_known_topology(300, seed=7)
+        pruned = prune_leaves(topo, 100)
+        assert len(pruned) <= 100
+
+    def test_original_untouched(self):
+        topo = synthetic_known_topology(100, seed=8)
+        prune_leaves(topo, 50)
+        assert len(topo) == 100
+
+    def test_pruned_still_acyclic(self):
+        topo = synthetic_known_topology(300, seed=9)
+        pruned = prune_leaves(topo, 120)
+        assert pruned.check_hierarchy_acyclic()
+
+    def test_noop_when_already_small(self):
+        topo = synthetic_known_topology(50, seed=10)
+        assert len(prune_leaves(topo, 200)) == 50

@@ -1,0 +1,86 @@
+"""Tests for VP deployment and scenario execution."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.simulation import (
+    LinkFailure,
+    LinkRestoration,
+    SimulatedInternet,
+    random_vp_deployment,
+    run_events,
+    stream_from_records,
+    synthetic_known_topology,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return synthetic_known_topology(80, seed=6)
+
+
+class TestRandomDeployment:
+    def test_coverage_respected(self, topo):
+        vps = random_vp_deployment(topo, 0.25, seed=1)
+        assert len(vps) == round(0.25 * len(topo))
+
+    def test_minimum_one_vp(self, topo):
+        assert len(random_vp_deployment(topo, 0.001, seed=1)) == 1
+
+    def test_full_coverage(self, topo):
+        assert random_vp_deployment(topo, 1.0, seed=1) == topo.ases()
+
+    def test_always_include(self, topo):
+        anchor_as = topo.ases()[0]
+        vps = random_vp_deployment(topo, 0.1, seed=1,
+                                   always_include=[anchor_as])
+        assert anchor_as in vps
+
+    def test_invalid_coverage(self, topo):
+        with pytest.raises(ValueError):
+            random_vp_deployment(topo, 0.0)
+        with pytest.raises(ValueError):
+            random_vp_deployment(topo, 1.5)
+
+    def test_deterministic(self, topo):
+        assert random_vp_deployment(topo, 0.3, seed=7) == \
+            random_vp_deployment(topo, 0.3, seed=7)
+
+
+class TestRunEvents:
+    def test_records_in_time_order(self, topo):
+        net = SimulatedInternet(topo.copy(), seed=1)
+        origin = topo.ases()[5]
+        net.announce_prefix(P1, origin)
+        net.deploy_vps(random_vp_deployment(topo, 0.3, seed=2))
+        routes = net.routes_for(P1)
+        # Find a link some VP's route uses so events produce updates.
+        used = None
+        for asn in net.vp_ases:
+            route = routes.get(asn)
+            if route and len(route.path) >= 2:
+                used = (route.path[0], route.path[1])
+                break
+        assert used is not None
+        events = [
+            LinkRestoration(*used, time=2000.0),
+            LinkFailure(*used, time=1000.0),
+        ]
+        records = run_events(net, events)
+        assert isinstance(records[0].event, LinkFailure)
+        assert records[0].observed
+        stream = stream_from_records(records)
+        assert [u.time for u in stream] == sorted(u.time for u in stream)
+
+    def test_observing_vps(self, topo):
+        net = SimulatedInternet(topo.copy(), seed=1)
+        net.announce_prefix(P1, topo.ases()[5])
+        net.deploy_vps(random_vp_deployment(topo, 0.3, seed=2))
+        routes = net.routes_for(P1)
+        asn = next(a for a in net.vp_ases
+                   if routes.get(a) and len(routes[a].path) >= 2)
+        link = (routes[asn].path[0], routes[asn].path[1])
+        records = run_events(net, [LinkFailure(*link, time=1000.0)])
+        assert f"vp{asn}" in records[0].observing_vps()

@@ -1,0 +1,125 @@
+"""Tests for the repro-bgp command-line interface."""
+
+import pytest
+
+from repro.bgp.mrt import read_archive
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def archive(tmp_path):
+    path = str(tmp_path / "stream.mrt.bz2")
+    code = main(["generate", path, "--vps", "8", "--groups", "5",
+                 "--duration", "600", "--seed", "1",
+                 "--include-warmup"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_archive(self, archive):
+        records = read_archive(archive)
+        assert len(records) > 0
+
+    def test_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.mrt.bz2")
+        b = str(tmp_path / "b.mrt.bz2")
+        main(["generate", a, "--vps", "6", "--groups", "4",
+              "--duration", "300", "--seed", "7"])
+        main(["generate", b, "--vps", "6", "--groups", "4",
+              "--duration", "300", "--seed", "7"])
+        assert read_archive(a) == read_archive(b)
+
+    def test_uncompressed(self, tmp_path):
+        path = str(tmp_path / "raw.mrt")
+        main(["generate", path, "--vps", "4", "--groups", "3",
+              "--duration", "300", "--no-compress"])
+        assert read_archive(path, compressed=False)
+
+
+class TestInspect:
+    def test_summary(self, archive, capsys):
+        assert main(["inspect", archive]) == 0
+        out = capsys.readouterr().out
+        assert "updates from 8 VPs" in out
+
+    def test_redundancy_flag(self, archive, capsys):
+        assert main(["inspect", archive, "--redundancy"]) == 0
+        out = capsys.readouterr().out
+        assert "Def. 1" in out and "Def. 3" in out
+
+    def test_empty_archive(self, tmp_path, capsys):
+        from repro.bgp.mrt import write_archive
+        path = str(tmp_path / "empty.mrt.bz2")
+        write_archive([], path)
+        assert main(["inspect", path]) == 0
+        assert "no updates" in capsys.readouterr().out
+
+
+class TestSample:
+    def test_sampling_and_documents(self, archive, tmp_path, capsys):
+        out_path = str(tmp_path / "retained.mrt.bz2")
+        filters_path = str(tmp_path / "filters.txt")
+        anchors_path = str(tmp_path / "anchors.txt")
+        code = main(["sample", archive,
+                     "--output", out_path,
+                     "--filters-doc", filters_path,
+                     "--anchors-doc", anchors_path,
+                     "--events-per-cell", "5"])
+        assert code == 0
+        retained = read_archive(out_path)
+        original = read_archive(archive)
+        assert 0 < len(retained) <= len(original)
+        with open(filters_path) as handle:
+            assert "default accept" in handle.read()
+        with open(anchors_path) as handle:
+            assert handle.read().strip()
+
+
+class TestOrchestrate:
+    def test_control_loop(self, archive, capsys):
+        code = main(["orchestrate", archive,
+                     "--refresh-interval", "300",
+                     "--mirror-window", "200",
+                     "--events-per-cell", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "component #1 runs:" in out
+
+
+class TestInfoCommands:
+    def test_growth(self, capsys):
+        assert main(["growth", "--start", "2020", "--end", "2023"]) == 0
+        out = capsys.readouterr().out
+        assert "2023" in out and "coverage" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        assert "[C1]" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestOrchestrateStatus:
+    def test_status_page(self, archive, capsys):
+        code = main(["orchestrate", archive,
+                     "--refresh-interval", "300",
+                     "--mirror-window", "200",
+                     "--events-per-cell", "4",
+                     "--status", "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "platform status" in out
+        assert "honesty" in out
+
+    def test_output_archive_written(self, archive, tmp_path, capsys):
+        out_path = str(tmp_path / "kept.mrt.bz2")
+        code = main(["orchestrate", archive,
+                     "--refresh-interval", "300",
+                     "--mirror-window", "200",
+                     "--events-per-cell", "4",
+                     "--output", out_path])
+        assert code == 0
+        assert read_archive(out_path)

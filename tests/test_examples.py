@@ -1,0 +1,30 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_all_examples_present():
+    """The repository ships at least the five documented examples."""
+    assert {"quickstart.py", "filter_lifecycle.py",
+            "hijack_monitoring.py", "topology_mapping.py",
+            "platform_operator.py", "prefix_defense.py"} <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, \
+        f"{example} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{example} printed nothing"

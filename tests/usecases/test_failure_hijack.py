@@ -1,0 +1,159 @@
+"""Tests for failure localization and hijack detection."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.usecases.failure_localization import (
+    PathChange,
+    candidate_failed_links,
+    changes_from_updates,
+    localize_failure,
+)
+from repro.usecases.hijack_detection import (
+    DFOHDetector,
+    compare_to_reference,
+    hijack_visible,
+    visible_hijacks,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+class TestFailureLocalization:
+    def test_single_observer_pins_single_lost_link(self):
+        change = PathChange((1, 2, 9), (1, 3, 2, 9))
+        assert candidate_failed_links([change]) == {(1, 2)}
+
+    def test_intersection_narrows_candidates(self):
+        # Observer A lost links (1,2) and (2,9); observer B lost (2,9)
+        # and (2,5): the common lost link is (2,9).
+        changes = [
+            PathChange((1, 2, 9), (1, 7, 9)),
+            PathChange((5, 2, 9), (5, 8, 9)),
+        ]
+        assert candidate_failed_links(changes) == {(2, 9)}
+
+    def test_localize_success(self):
+        changes = [
+            PathChange((1, 2, 9), (1, 7, 9)),
+            PathChange((5, 2, 9), (5, 8, 9)),
+        ]
+        assert localize_failure(changes, (9, 2))
+        assert not localize_failure(changes, (1, 2))
+
+    def test_ambiguous_not_localized(self):
+        changes = [PathChange((1, 2, 9), (1, 7, 9))]
+        assert not localize_failure(changes, (1, 2))   # two candidates
+
+    def test_withdrawal_loses_whole_path(self):
+        change = PathChange((1, 2), ())
+        assert candidate_failed_links([change]) == {(1, 2)}
+
+    def test_disjoint_observations_empty(self):
+        changes = [
+            PathChange((1, 2), (1, 3)),
+            PathChange((5, 6), (5, 7)),
+        ]
+        assert candidate_failed_links(changes) == set()
+
+    def test_no_changes(self):
+        assert candidate_failed_links([]) == set()
+
+    def test_changes_from_updates(self):
+        prior = {("vp1", P1): (1, 2, 9)}
+        updates = [
+            BGPUpdate("vp1", 10.0, P1, (1, 7, 9)),
+            BGPUpdate("vp2", 10.0, P1, (5, 9)),    # no prior: skipped
+        ]
+        changes = changes_from_updates(prior, updates)
+        assert changes == [PathChange((1, 2, 9), (1, 7, 9))]
+
+
+class TestHijackVisibility:
+    def test_visible_when_attacker_on_path(self):
+        updates = [BGPUpdate("vp1", 0.0, P1, (5, 7, 6))]
+        assert hijack_visible(updates, P1, attacker=7)
+
+    def test_invisible_otherwise(self):
+        updates = [BGPUpdate("vp1", 0.0, P1, (5, 2, 6))]
+        assert not hijack_visible(updates, P1, attacker=7)
+
+    def test_prefix_must_match(self):
+        updates = [BGPUpdate("vp1", 0.0, P2, (5, 7, 6))]
+        assert not hijack_visible(updates, P1, attacker=7)
+
+    def test_visible_hijacks_batch(self):
+        updates = [
+            BGPUpdate("vp1", 0.0, P1, (5, 7, 6)),
+            BGPUpdate("vp1", 0.0, P2, (5, 2, 6)),
+        ]
+        hijacks = [(P1, 7), (P2, 9)]
+        assert visible_hijacks(updates, hijacks) == {(P1, 7)}
+
+
+class TestDFOHDetector:
+    @pytest.fixture
+    def detector(self):
+        detector = DFOHDetector(suspicion_threshold=0.6)
+        # A well-connected training graph: a clique core 1-2-3-4 with
+        # stubs hanging off it.
+        paths = [
+            (1, 2, 3), (2, 3, 4), (1, 3, 4), (1, 4, 2),
+            (10, 1, 2), (11, 2, 3), (12, 3, 4), (13, 4, 1),
+        ]
+        detector.train(paths)
+        return detector
+
+    def test_known_links_never_flagged(self, detector):
+        updates = [BGPUpdate("vp1", 0.0, P1, (1, 2, 3))]
+        assert detector.infer(updates) == []
+
+    def test_stranger_link_suspicious(self, detector):
+        """A new link between two stubs (no common neighbors) is the
+        forged-origin signature."""
+        assert detector.link_suspicion(10, 12) > 0.6
+
+    def test_core_link_plausible(self, detector):
+        """A new link between two core ASes sharing neighbors is
+        plausible (likely a genuinely new peering)."""
+        assert detector.link_suspicion(1, 2) < \
+            detector.link_suspicion(10, 12)
+
+    def test_infer_reports_new_suspicious_link(self, detector):
+        updates = [BGPUpdate("vp1", 0.0, P1, (10, 12, 99))]
+        cases = detector.infer(updates)
+        assert any(c.link == (10, 12) for c in cases)
+
+    def test_case_reported_once_per_prefix(self, detector):
+        updates = [
+            BGPUpdate("vp1", 0.0, P1, (10, 12, 99)),
+            BGPUpdate("vp2", 1.0, P1, (10, 12, 99)),
+            BGPUpdate("vp1", 2.0, P2, (10, 12, 99)),
+        ]
+        cases = detector.infer(updates)
+        same_link = [c for c in cases if c.link == (10, 12)]
+        assert len(same_link) == 2   # one per prefix
+
+    def test_train_on_updates(self):
+        detector = DFOHDetector()
+        detector.train_on_updates([BGPUpdate("vp1", 0.0, P1, (1, 2))])
+        assert detector.known_link_count == 1
+
+
+class TestPerformanceScoring:
+    def test_tpr_fpr(self):
+        found = {("a",), ("b",)}
+        reference = {("a",), ("c",)}
+        universe = {("a",), ("b",), ("c",), ("d",)}
+        perf = compare_to_reference(found, reference, universe)
+        assert perf.true_positives == 1
+        assert perf.false_positives == 1
+        assert perf.tpr == 0.5
+        assert perf.fpr == 0.5
+
+    def test_empty_sets(self):
+        perf = compare_to_reference(set(), set(), set())
+        assert perf.tpr == 0.0
+        assert perf.fpr == 0.0

@@ -1,0 +1,63 @@
+"""Additional tests for the DFOH scan/infer split."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.usecases.hijack_detection import DFOHDetector
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+@pytest.fixture
+def detector():
+    detector = DFOHDetector(suspicion_threshold=0.6)
+    detector.train([
+        (1, 2, 3), (2, 3, 4), (1, 3, 4), (1, 4, 2),
+        (10, 1, 2), (11, 2, 3), (12, 3, 4), (13, 4, 1),
+    ])
+    return detector
+
+
+class TestScan:
+    def test_scan_reports_all_new_links(self, detector):
+        updates = [
+            BGPUpdate("vp1", 0.0, P1, (10, 12, 99)),     # implausible
+            BGPUpdate("vp1", 1.0, P2, (1, 2, 3)),        # all known
+            BGPUpdate("vp1", 2.0, P2, (10, 11, 2)),      # new 10-11
+        ]
+        cases = detector.scan(updates)
+        links = {c.link for c in cases}
+        assert (10, 12) in links
+        assert (10, 11) in links
+        assert (1, 2) not in links
+
+    def test_infer_is_thresholded_scan(self, detector):
+        updates = [
+            BGPUpdate("vp1", 0.0, P1, (10, 12, 99)),
+            BGPUpdate("vp1", 2.0, P2, (1, 2, 10)),   # 2-10: plausible-ish
+        ]
+        scan_ids = {c.case_id for c in detector.scan(updates)}
+        infer_ids = {c.case_id for c in detector.infer(updates)}
+        assert infer_ids <= scan_ids
+        for case in detector.infer(updates):
+            assert case.score >= detector.suspicion_threshold
+
+    def test_scan_scores_sorted_descending(self, detector):
+        updates = [
+            BGPUpdate("vp1", 0.0, P1, (10, 12, 99)),
+            BGPUpdate("vp1", 1.0, P2, (1, 2, 10)),
+        ]
+        scores = [c.score for c in detector.scan(updates)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_withdrawals_ignored(self, detector):
+        updates = [BGPUpdate("vp1", 0.0, P1, is_withdrawal=True)]
+        assert detector.scan(updates) == []
+
+    def test_empty_training_everything_suspicious(self):
+        detector = DFOHDetector(suspicion_threshold=0.5)
+        cases = detector.scan([BGPUpdate("vp1", 0.0, P1, (1, 2))])
+        assert len(cases) == 1
+        assert cases[0].score > 0.5

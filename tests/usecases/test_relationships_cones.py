@@ -1,0 +1,137 @@
+"""Tests for AS-relationship inference and customer cones (§12)."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.simulation import (
+    Announcement,
+    SimulatedInternet,
+    propagate,
+    synthetic_known_topology,
+)
+from repro.simulation.policies import Relationship
+from repro.usecases.as_relationships import (
+    infer_relationships,
+    paths_from_updates,
+    transit_degrees,
+    validate_relationships,
+)
+from repro.usecases.customer_cone import (
+    cone_errors,
+    customer_cone_sizes,
+    customer_graph,
+    mean_absolute_cone_error,
+    true_cone_sizes,
+)
+
+
+class TestTransitDegrees:
+    def test_middle_as_counted(self):
+        degrees = transit_degrees([(1, 2, 3), (4, 2, 5)])
+        assert degrees[2] == 4
+
+    def test_edge_as_not_counted(self):
+        degrees = transit_degrees([(1, 2, 3)])
+        assert 1 not in degrees
+        assert 3 not in degrees
+
+
+class TestInferRelationships:
+    def test_ascending_run_oriented(self):
+        """Links strictly inside an ascending run are c2p toward the
+        path's peak."""
+        # Peak is AS 1 (highest transit degree); link (10, 5) sits
+        # strictly below it on the way up: 10 is 5's customer.
+        paths = [(10, 5, 1, 20), (11, 1, 21), (12, 1, 22), (13, 1, 5)]
+        inferred = infer_relationships(paths)
+        # Key (5, 10): the higher ASN (10) is the customer of 5.
+        assert inferred[(5, 10)] is Relationship.CUSTOMER
+
+    def test_peak_only_link_between_equals_is_peer(self):
+        """A link only ever seen joining two comparable peaks is p2p."""
+        paths = [(10, 1, 2, 20), (11, 2, 1, 21),
+                 (12, 1, 22), (13, 2, 23)]
+        inferred = infer_relationships(paths)
+        assert inferred[(1, 2)] is Relationship.PEER
+
+    def test_on_simulated_topology_accuracy(self):
+        """End-to-end: infer from policy-compliant paths and validate
+        against ground truth; c2p inferences should be mostly right
+        (the paper reports a 97% TPR for the original algorithm)."""
+        topo = synthetic_known_topology(120, seed=3)
+        paths = []
+        for origin in topo.ases()[::3]:
+            routes = propagate(topo, [Announcement.origination(origin)])
+            paths.extend(r.path for r in routes.values() if len(r.path) > 1)
+        inferred = infer_relationships(paths)
+        report = validate_relationships(inferred, topo)
+        assert report.validated > 50
+        assert report.true_positive_rate > 0.75
+
+    def test_more_paths_more_relationships(self):
+        topo = synthetic_known_topology(120, seed=4)
+        few_paths = []
+        many_paths = []
+        for i, origin in enumerate(topo.ases()):
+            routes = propagate(topo, [Announcement.origination(origin)])
+            all_paths = [r.path for r in routes.values() if len(r.path) > 1]
+            many_paths.extend(all_paths)
+            if i % 4 == 0:
+                few_paths.extend(all_paths[:10])
+        few = infer_relationships(few_paths)
+        many = infer_relationships(many_paths)
+        assert len(many) > len(few)
+
+    def test_empty(self):
+        assert infer_relationships([]) == {}
+
+
+class TestPathsFromUpdates:
+    def test_distinct_announcement_paths(self):
+        p = Prefix.parse("10.0.0.0/24")
+        updates = [
+            BGPUpdate("vp1", 0.0, p, (1, 2)),
+            BGPUpdate("vp1", 5.0, p, (1, 2)),
+            BGPUpdate("vp2", 0.0, p, is_withdrawal=True),
+        ]
+        assert paths_from_updates(updates) == [(1, 2)]
+
+
+class TestCustomerCones:
+    def test_customer_graph_orientation(self):
+        inferred = {(1, 2): Relationship.PROVIDER}   # 1 customer of 2
+        graph = customer_graph(inferred)
+        assert graph[2] == {1}
+
+    def test_cone_sizes_transitive(self):
+        inferred = {
+            (1, 3): Relationship.PROVIDER,   # 1 customer of 3
+            (2, 3): Relationship.PROVIDER,   # 2 customer of 3
+            (3, 4): Relationship.PROVIDER,   # 3 customer of 4
+        }
+        sizes = customer_cone_sizes(inferred)
+        assert sizes[4] == 4
+        assert sizes[3] == 3
+        assert sizes[1] == 1
+
+    def test_peer_links_do_not_grow_cones(self):
+        inferred = {(1, 2): Relationship.PEER}
+        sizes = customer_cone_sizes(inferred)
+        assert sizes[1] == 1 and sizes[2] == 1
+
+    def test_true_cone_sizes_match_topology(self):
+        topo = synthetic_known_topology(60, seed=5)
+        truth = true_cone_sizes(topo)
+        for asn in topo.ases():
+            assert truth[asn] == len(topo.customer_cone(asn))
+
+    def test_cone_errors_and_mae(self):
+        inferred = {1: 5, 2: 1}
+        truth = {1: 5, 2: 3, 9: 7}
+        errors = cone_errors(inferred, truth)
+        assert errors == {2: (1, 3)}
+        assert mean_absolute_cone_error(inferred, truth) == 1.0
+
+    def test_mae_empty(self):
+        assert mean_absolute_cone_error({}, {1: 2}) == 0.0

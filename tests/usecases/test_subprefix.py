@@ -1,0 +1,131 @@
+"""Tests for sub-prefix hijack simulation and detection."""
+
+import pytest
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.simulation import (
+    ASTopology,
+    SimulatedInternet,
+    SubPrefixHijack,
+)
+from repro.usecases.subprefix import (
+    SubPrefixDetector,
+    detect_subprefix_hijacks,
+)
+
+COVER = Prefix.parse("10.0.0.0/16")
+SUB = Prefix.parse("10.0.4.0/24")
+OTHER = Prefix.parse("192.0.2.0/24")
+
+
+def upd(vp, t, path, prefix):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestSubPrefixHijackEvent:
+    @pytest.fixture
+    def net(self):
+        topo = ASTopology()
+        topo.add_p2p(1, 2)
+        topo.add_c2p(4, 1)
+        topo.add_c2p(6, 2)
+        topo.add_c2p(3, 1)
+        net = SimulatedInternet(topo, seed=1)
+        net.announce_prefix(COVER, 4)
+        net.deploy_vps([2, 3, 6])
+        return net
+
+    def test_every_vp_sees_the_more_specific(self, net):
+        updates = net.apply_event(
+            SubPrefixHijack(6, COVER, SUB, time=100.0))
+        assert {u.vp for u in updates} == {"vp2", "vp3", "vp6"}
+        assert all(u.prefix == SUB for u in updates)
+        assert all(u.origin_as == 6 for u in updates)
+
+    def test_covering_prefix_untouched(self, net):
+        net.apply_event(SubPrefixHijack(6, COVER, SUB, time=100.0))
+        assert net.origin_of(COVER) == 4
+        assert net.origin_of(SUB) == 6
+
+    def test_invalid_containment_rejected(self):
+        with pytest.raises(ValueError):
+            SubPrefixHijack(6, COVER, OTHER, time=1.0)
+        with pytest.raises(ValueError):
+            SubPrefixHijack(6, COVER, COVER, time=1.0)
+
+    def test_unannounced_cover_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.apply_event(SubPrefixHijack(
+                6, Prefix.parse("11.0.0.0/16"),
+                Prefix.parse("11.0.1.0/24"), time=1.0))
+
+
+class TestSubPrefixDetector:
+    def bootstrap(self):
+        return [upd("vp1", 0.0, (1, 4), COVER),
+                upd("vp1", 0.0, (1, 9), OTHER)]
+
+    def test_foreign_more_specific_flagged(self):
+        alarms = detect_subprefix_hijacks(
+            self.bootstrap(), [upd("vp2", 100.0, (2, 6), SUB)])
+        assert len(alarms) == 1
+        alarm = alarms[0]
+        assert alarm.sub_prefix == SUB
+        assert alarm.covering_prefix == COVER
+        assert alarm.covering_origin == 4
+        assert alarm.announced_origin == 6
+
+    def test_same_origin_deaggregation_silent(self):
+        alarms = detect_subprefix_hijacks(
+            self.bootstrap(), [upd("vp2", 100.0, (2, 4), SUB)])
+        assert alarms == []
+
+    def test_unrelated_new_prefix_silent(self):
+        new = Prefix.parse("172.16.0.0/24")
+        alarms = detect_subprefix_hijacks(
+            self.bootstrap(), [upd("vp2", 100.0, (2, 6), new)])
+        assert alarms == []
+
+    def test_alarm_deduplicated_across_vps(self):
+        alarms = detect_subprefix_hijacks(self.bootstrap(), [
+            upd("vp2", 100.0, (2, 6), SUB),
+            upd("vp3", 105.0, (3, 6), SUB),
+        ])
+        assert len(alarms) == 1
+
+    def test_hijacked_prefix_not_learned(self):
+        """The hijack must keep alarming, not become 'owned'."""
+        detector = SubPrefixDetector()
+        detector.learn(self.bootstrap())
+        first = detector.scan([upd("vp2", 100.0, (2, 6), SUB)])
+        second = detector.scan([upd("vp3", 9000.0, (3, 6), SUB)])
+        assert first and second
+
+    def test_most_specific_cover_wins(self):
+        mid = Prefix.parse("10.0.0.0/20")
+        detector = SubPrefixDetector({COVER: 4, mid: 5})
+        alarms = detector.scan([upd("vp1", 1.0, (1, 6), SUB)])
+        assert alarms[0].covering_prefix == mid
+        assert alarms[0].covering_origin == 5
+
+    def test_authoritative_ownership_mode(self):
+        """ARTEMIS mode: seeded ownership, no bootstrap needed."""
+        detector = SubPrefixDetector({COVER: 4})
+        alarms = detector.scan([upd("vp1", 1.0, (1, 6), SUB)])
+        assert len(alarms) == 1
+
+    def test_end_to_end_with_simulator(self):
+        topo = ASTopology()
+        topo.add_p2p(1, 2)
+        topo.add_c2p(4, 1)
+        topo.add_c2p(6, 2)
+        net = SimulatedInternet(topo, seed=2)
+        net.announce_prefix(COVER, 4)
+        net.deploy_vps([1, 2])
+        bootstrap = net.initial_table_transfer(time=0.0)
+        attack = net.apply_event(
+            SubPrefixHijack(6, COVER, SUB, time=500.0))
+        alarms = detect_subprefix_hijacks(bootstrap, attack)
+        assert len(alarms) == 1
+        assert alarms[0].announced_origin == 6

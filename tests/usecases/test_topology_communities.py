@@ -1,0 +1,125 @@
+"""Tests for topology mapping (III), action communities (IV), and
+unchanged-path updates (V)."""
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import Route
+from repro.simulation.topology import ASTopology
+from repro.usecases.communities import (
+    community_usage,
+    detect_action_communities,
+    is_action_community,
+)
+from repro.usecases.topo_mapping import (
+    compare_link_sets,
+    links_in_path,
+    observed_as_links,
+    topology_coverage,
+)
+from repro.usecases.unchanged_path import detect_unchanged_path_updates
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+def upd(vp, t, path, comms=()):
+    return BGPUpdate(vp, t, P1, path, frozenset(comms))
+
+
+class TestTopologyMapping:
+    def test_links_in_path_undirected(self):
+        assert links_in_path((3, 1, 2)) == {(1, 3), (1, 2)}
+
+    def test_prepending_ignored(self):
+        assert links_in_path((1, 1, 2)) == {(1, 2)}
+
+    def test_observed_links_from_updates_and_ribs(self):
+        updates = [upd("vp1", 0.0, (1, 2))]
+        ribs = [Route(P1, (3, 4))]
+        assert observed_as_links(updates, ribs) == {(1, 2), (3, 4)}
+
+    def test_coverage_split_by_type(self):
+        topo = ASTopology()
+        topo.add_c2p(2, 1)
+        topo.add_c2p(3, 1)
+        topo.add_p2p(2, 3)
+        coverage = topology_coverage({(1, 2), (2, 3)}, topo)
+        assert coverage.c2p_observed == 1
+        assert coverage.c2p_total == 2
+        assert coverage.p2p_observed == 1
+        assert coverage.p2p_fraction == 1.0
+        assert coverage.c2p_fraction == 0.5
+
+    def test_empty_topology_coverage(self):
+        coverage = topology_coverage(set(), ASTopology())
+        assert coverage.p2p_fraction == 0.0
+        assert coverage.c2p_fraction == 0.0
+
+    def test_compare_link_sets(self):
+        a = {(1, 2), (2, 3)}
+        b = {(2, 3), (4, 5)}
+        assert compare_link_sets(a, b) == (1, 1, 1)
+
+
+class TestActionCommunities:
+    def test_substrate_convention(self):
+        assert is_action_community((65000, 950))
+        assert not is_action_community((65000, 100))
+
+    def test_detect_by_convention(self):
+        updates = [upd("vp1", 0.0, (1, 2), {(9, 950), (9, 10)})]
+        assert detect_action_communities(updates) == {(9, 950)}
+
+    def test_detect_with_known_set(self):
+        known = {(9, 10)}
+        updates = [upd("vp1", 0.0, (1, 2), {(9, 950), (9, 10)})]
+        assert detect_action_communities(updates, known) == {(9, 10)}
+
+    def test_community_usage_counts(self):
+        updates = [
+            upd("vp1", 0.0, (1, 2), {(9, 1)}),
+            upd("vp2", 1.0, (3, 2), {(9, 1), (9, 2)}),
+        ]
+        usage = community_usage(updates)
+        assert usage[(9, 1)] == 2
+        assert usage[(9, 2)] == 1
+
+
+class TestUnchangedPath:
+    def test_community_only_change_detected(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2), {(9, 1)}),
+            upd("vp1", 50.0, (1, 2), {(9, 2)}),
+        ]
+        found = detect_unchanged_path_updates(stream)
+        assert len(found) == 1
+        assert found[0].old_communities == frozenset({(9, 1)})
+        assert found[0].new_communities == frozenset({(9, 2)})
+
+    def test_path_change_not_counted(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2), {(9, 1)}),
+            upd("vp1", 50.0, (1, 3, 2), {(9, 2)}),
+        ]
+        assert detect_unchanged_path_updates(stream) == []
+
+    def test_exact_duplicate_not_counted(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2), {(9, 1)}),
+            upd("vp1", 50.0, (1, 2), {(9, 1)}),
+        ]
+        assert detect_unchanged_path_updates(stream) == []
+
+    def test_withdrawal_resets_state(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2), {(9, 1)}),
+            BGPUpdate("vp1", 10.0, P1, is_withdrawal=True),
+            upd("vp1", 50.0, (1, 2), {(9, 2)}),
+        ]
+        assert detect_unchanged_path_updates(stream) == []
+
+    def test_per_vp_tracking(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2), {(9, 1)}),
+            upd("vp2", 10.0, (1, 2), {(9, 2)}),
+        ]
+        assert detect_unchanged_path_updates(stream) == []

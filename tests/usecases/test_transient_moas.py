@@ -1,0 +1,117 @@
+"""Tests for transient-path (I) and MOAS (II) detection."""
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.usecases.moas import detect_moas, moas_prefixes
+from repro.usecases.transient import (
+    detect_transient_paths,
+    transient_event_ids,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+
+
+def upd(vp, t, path, prefix=P1):
+    return BGPUpdate(vp, t, prefix, path)
+
+
+class TestTransientPaths:
+    def test_short_lived_route_detected(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2)),
+            upd("vp1", 60.0, (1, 3, 2)),     # replaces after 60s
+        ]
+        transients = detect_transient_paths(stream)
+        assert len(transients) == 1
+        assert transients[0].as_path == (1, 2)
+        assert transients[0].lifetime == 60.0
+
+    def test_long_lived_route_not_transient(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2)),
+            upd("vp1", 400.0, (1, 3, 2)),
+        ]
+        assert detect_transient_paths(stream) == []
+
+    def test_withdrawal_ends_route(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2)),
+            BGPUpdate("vp1", 100.0, P1, is_withdrawal=True),
+        ]
+        transients = detect_transient_paths(stream)
+        assert len(transients) == 1
+
+    def test_duplicate_announcement_keeps_birth_time(self):
+        """Re-announcing the same path must not reset the clock."""
+        stream = [
+            upd("vp1", 0.0, (1, 2)),
+            upd("vp1", 200.0, (1, 2)),       # duplicate
+            upd("vp1", 400.0, (1, 3, 2)),    # change after 400s total
+        ]
+        assert detect_transient_paths(stream) == []
+
+    def test_final_route_never_transient(self):
+        stream = [upd("vp1", 0.0, (1, 2))]
+        assert detect_transient_paths(stream) == []
+
+    def test_path_exploration_chain(self):
+        """Each exploration step under 5 min is one transient event."""
+        stream = [
+            upd("vp1", 0.0, (1, 2)),
+            upd("vp1", 30.0, (1, 3, 2)),
+            upd("vp1", 60.0, (1, 4, 3, 2)),
+            upd("vp1", 90.0, (1, 5, 2)),
+        ]
+        assert len(detect_transient_paths(stream)) == 3
+
+    def test_event_ids_distinct_per_vp(self):
+        stream = [
+            upd("vp1", 0.0, (1, 2)), upd("vp1", 10.0, (1, 3)),
+            upd("vp2", 0.0, (1, 2)), upd("vp2", 10.0, (1, 3)),
+        ]
+        assert len(transient_event_ids(stream)) == 2
+
+
+class TestMOAS:
+    def test_two_origins_detected(self):
+        stream = [upd("vp1", 0.0, (1, 2, 9)), upd("vp2", 10.0, (3, 7))]
+        conflicts = detect_moas(stream)
+        assert len(conflicts) == 1
+        assert conflicts[0].origins == frozenset({9, 7})
+
+    def test_single_origin_clean(self):
+        stream = [upd("vp1", 0.0, (1, 9)), upd("vp2", 10.0, (3, 2, 9))]
+        assert detect_moas(stream) == []
+
+    def test_per_prefix(self):
+        stream = [
+            upd("vp1", 0.0, (1, 9), P1),
+            upd("vp2", 0.0, (1, 7), P2),
+        ]
+        assert detect_moas(stream) == []
+
+    def test_same_vp_over_time(self):
+        """A single VP seeing an origin change also reveals MOAS."""
+        stream = [upd("vp1", 0.0, (1, 9)), upd("vp1", 500.0, (1, 7))]
+        assert len(detect_moas(stream)) == 1
+
+    def test_private_asn_filtered(self):
+        stream = [upd("vp1", 0.0, (1, 9)), upd("vp2", 0.0, (3, 64512))]
+        assert detect_moas(stream) == []
+        assert len(detect_moas(stream, filter_false_positives=False)) == 1
+
+    def test_reserved_asn_filtered(self):
+        stream = [upd("vp1", 0.0, (1, 9)), upd("vp2", 0.0, (3, 23456))]
+        assert detect_moas(stream) == []
+
+    def test_withdrawals_ignored(self):
+        stream = [
+            upd("vp1", 0.0, (1, 9)),
+            BGPUpdate("vp2", 1.0, P1, is_withdrawal=True),
+        ]
+        assert detect_moas(stream) == []
+
+    def test_moas_prefixes_helper(self):
+        stream = [upd("vp1", 0.0, (1, 9)), upd("vp2", 10.0, (3, 7))]
+        assert moas_prefixes(stream) == {P1}

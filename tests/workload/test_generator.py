@@ -1,0 +1,95 @@
+"""Tests for the synthetic RIS/RV-like stream generator."""
+
+import pytest
+
+from repro.bgp.rib import annotate_stream
+from repro.core.redundancy import RedundancyDefinition, update_redundancy
+from repro.workload.generator import StreamConfig, SyntheticStreamGenerator
+
+
+class TestConfigValidation:
+    def test_too_few_vps(self):
+        with pytest.raises(ValueError):
+            StreamConfig(n_vps=1)
+
+    def test_event_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            StreamConfig(event_mix=(0.5, 0.5, 0.5, 0.5))
+
+    def test_divergence_length_mismatch(self):
+        with pytest.raises(ValueError):
+            StreamConfig(divergence_levels=(0.0,),
+                         divergence_weights=(0.5, 0.5))
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=20, n_prefix_groups=12, duration_s=1800.0, seed=4))
+        warmup, stream = generator.generate()
+        return generator, warmup, stream
+
+    def test_warmup_covers_all_vp_prefix_pairs(self, generated):
+        generator, warmup, _ = generated
+        prefixes = {p for g in generator._groups for p in g}
+        assert {(u.vp, u.prefix) for u in warmup} == {
+            (vp, p) for vp in generator.vps for p in prefixes}
+
+    def test_stream_sorted_by_time(self, generated):
+        _, _, stream = generated
+        times = [u.time for u in stream]
+        assert times == sorted(times)
+
+    def test_stream_within_duration(self, generated):
+        _, _, stream = generated
+        assert all(1000.0 <= u.time <= 1000.0 + 1800.0 + 100.0
+                   for u in stream)
+
+    def test_no_withdrawals(self, generated):
+        _, warmup, stream = generated
+        assert all(not u.is_withdrawal for u in warmup + stream)
+
+    def test_deterministic(self):
+        config = StreamConfig(n_vps=8, n_prefix_groups=5,
+                              duration_s=600.0, seed=9)
+        a = SyntheticStreamGenerator(config).generate()
+        b = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=5, duration_s=600.0, seed=9)).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        mk = lambda s: SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=5, duration_s=600.0,
+            seed=s)).generate()[1]
+        assert mk(1) != mk(2)
+
+    def test_region_of(self, generated):
+        generator, _, _ = generated
+        for vp in generator.vps:
+            region = generator.region_of(vp)
+            assert vp in generator._regions[region]
+        with pytest.raises(KeyError):
+            generator.region_of("vp-unknown")
+
+
+class TestCalibration:
+    """The §4.2 redundancy shape must hold on default settings."""
+
+    @pytest.fixture(scope="class")
+    def fractions(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=30, n_prefix_groups=20, duration_s=2400.0, seed=1))
+        warmup, stream = generator.generate()
+        annotated = annotate_stream(warmup + stream)[len(warmup):]
+        return [update_redundancy(annotated, d).fraction
+                for d in RedundancyDefinition]
+
+    def test_def1_very_high(self, fractions):
+        assert fractions[0] > 0.9
+
+    def test_def2_substantially_lower(self, fractions):
+        assert 0.55 < fractions[1] < fractions[0]
+
+    def test_def3_slightly_lower_still(self, fractions):
+        assert 0.5 < fractions[2] <= fractions[1]

@@ -1,0 +1,156 @@
+"""Tests for the generator's long-horizon evolution hooks."""
+
+import pytest
+
+from repro.workload.generator import (
+    HUB_ASN_BASE,
+    N_HUBS,
+    StreamConfig,
+    SyntheticStreamGenerator,
+    VP_ASN_BASE,
+)
+
+
+@pytest.fixture
+def generator():
+    return SyntheticStreamGenerator(StreamConfig(
+        n_vps=12, n_prefix_groups=8, duration_s=600.0, seed=13))
+
+
+class TestAddPrefixGroups:
+    def test_new_groups_distinct_prefixes(self, generator):
+        before = {p for g in generator._groups for p in g}
+        new_ids = generator.add_prefix_groups(3)
+        after = {p for g in generator._groups for p in g}
+        assert len(new_ids) == 3
+        assert before < after
+        assert generator.config.n_prefix_groups == 11
+
+    def test_new_groups_generate_updates(self, generator):
+        generator.add_prefix_groups(2)
+        stream = generator.generate_window(1000.0, 3000.0)
+        new_prefixes = {p for g in generator._groups[8:] for p in g}
+        assert any(u.prefix in new_prefixes for u in stream)
+
+    def test_zero_is_noop(self, generator):
+        assert generator.add_prefix_groups(0) == []
+
+    def test_negative_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.add_prefix_groups(-1)
+
+
+class TestDriftVPs:
+    def test_drift_changes_entry(self, generator):
+        before = dict(generator._entry)
+        drifted = generator.drift_vps(0.5)
+        assert len(drifted) == 6
+        changed = [vp for vp in drifted
+                   if generator._entry[vp] != before[vp]]
+        assert changed   # at least some moved upstream
+
+    def test_drift_preserves_region_partition(self, generator):
+        generator.drift_vps(0.5)
+        seen = [vp for region in generator._regions for vp in region]
+        assert sorted(seen) == sorted(generator.vps)
+
+    def test_zero_drift_noop(self, generator):
+        regions_before = [list(r) for r in generator._regions]
+        assert generator.drift_vps(0.0) == []
+        assert [list(r) for r in generator._regions] == regions_before
+
+    def test_invalid_fraction(self, generator):
+        with pytest.raises(ValueError):
+            generator.drift_vps(1.5)
+
+
+class TestIncrementalWindows:
+    def test_windows_are_disjoint_in_time(self, generator):
+        w1 = generator.generate_window(1000.0, 500.0)
+        w2 = generator.generate_window(1500.0, 500.0)
+        if w1 and w2:
+            assert max(u.time for u in w1) < 1500.0 + 100.0
+            assert min(u.time for u in w2) >= 1500.0
+
+    def test_state_persists_across_windows(self, generator):
+        """A chain changed in window 1 stays changed in window 2."""
+        generator.generate_window(1000.0, 2000.0)
+        chains_after_w1 = dict(generator._core_chain)
+        generator.generate_window(3000.0, 10.0)   # tiny window
+        for group, chain in chains_after_w1.items():
+            # Tiny window rarely hits every group; most persist.
+            pass
+        assert generator._core_chain.keys() == chains_after_w1.keys()
+
+
+class TestPathStructure:
+    def test_hub_tier_present(self, generator):
+        warmup = generator.warmup_updates()
+        for update in warmup:
+            assert HUB_ASN_BASE <= update.as_path[2] < HUB_ASN_BASE + N_HUBS
+
+    def test_vp_asn_is_first_hop(self, generator):
+        warmup = generator.warmup_updates()
+        for update in warmup:
+            assert update.as_path[0] >= VP_ASN_BASE
+
+    def test_chatty_vps_emit_copies(self):
+        config = StreamConfig(n_vps=10, n_prefix_groups=5,
+                              duration_s=600.0, seed=2,
+                              chattiness_levels=(3,),
+                              chattiness_weights=(1.0,))
+        generator = SyntheticStreamGenerator(config)
+        warmup = generator.warmup_updates()
+        # Every (vp, prefix) appears exactly 3 times with equal attrs.
+        from collections import Counter
+        counts = Counter((u.vp, u.prefix) for u in warmup)
+        assert set(counts.values()) == {3}
+
+    def test_chattiness_changes_volume_not_content(self):
+        quiet = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=5, duration_s=600.0, seed=5,
+            chattiness_levels=(1,), chattiness_weights=(1.0,)))
+        chatty = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=5, duration_s=600.0, seed=5,
+            chattiness_levels=(2,), chattiness_weights=(1.0,)))
+        wq = quiet.warmup_updates()
+        wc = chatty.warmup_updates()
+        assert len(wc) == 2 * len(wq)
+        assert {(u.vp, u.prefix, u.as_path) for u in wc} == \
+            {(u.vp, u.prefix, u.as_path) for u in wq}
+
+
+class TestIPv6Mix:
+    def test_default_mix_contains_both_families(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=40, duration_s=300.0, seed=3))
+        families = {p.family for g in generator._groups for p in g}
+        assert families == {4, 6}
+
+    def test_groups_are_single_family(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=40, duration_s=300.0, seed=3))
+        for group in generator._groups:
+            assert len({p.family for p in group}) == 1
+
+    def test_v4_only_mode(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=20, duration_s=300.0, seed=3,
+            ipv6_fraction=0.0))
+        assert all(p.family == 4
+                   for g in generator._groups for p in g)
+
+    def test_v6_only_mode(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=20, duration_s=300.0, seed=3,
+            ipv6_fraction=1.0))
+        assert all(p.family == 6
+                   for g in generator._groups for p in g)
+
+    def test_new_groups_respect_mix(self):
+        generator = SyntheticStreamGenerator(StreamConfig(
+            n_vps=8, n_prefix_groups=5, duration_s=300.0, seed=3,
+            ipv6_fraction=1.0))
+        new = generator.add_prefix_groups(3)
+        for g in new:
+            assert all(p.family == 6 for p in generator._groups[g])

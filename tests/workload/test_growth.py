@@ -1,0 +1,73 @@
+"""Tests for the Figs. 2-3 growth models."""
+
+import pytest
+
+from repro.workload.growth import (
+    active_ases,
+    coverage_fraction,
+    growth_series,
+    quadratic_growth_factor,
+    ris_vp_ases,
+    rv_vp_ases,
+    total_updates_per_hour,
+    total_vp_count,
+    updates_per_vp_per_hour,
+)
+
+
+class TestAnchors:
+    def test_2023_ris_ases(self):
+        assert ris_vp_ases(2023) == 816
+
+    def test_2023_rv_ases(self):
+        assert rv_vp_ases(2023) == 337
+
+    def test_2023_total_vps(self):
+        """RIS 1537 + RV 1130 VPs by Dec 2023 (§2)."""
+        assert total_vp_count(2023) == 1537 + 1130
+
+    def test_2023_update_rate(self):
+        """28K updates/hour per VP, Dec 2023 average (§2)."""
+        assert updates_per_vp_per_hour(2023) == 28_000
+
+
+class TestShapes:
+    def test_vp_growth_monotone(self):
+        series = [ris_vp_ases(y) + rv_vp_ases(y) for y in range(2003, 2024)]
+        assert series == sorted(series)
+
+    def test_coverage_flat_around_one_percent(self):
+        """Fig. 2 bottom: coverage stays in the 0.5-2% band for 20 years."""
+        for year in range(2003, 2024):
+            assert 0.005 < coverage_fraction(year) < 0.02
+
+    def test_total_updates_superlinear(self):
+        """Fig. 3b: the compound effect is quadratic-like (§3.2)."""
+        assert quadratic_growth_factor() > 3.0
+
+    def test_updates_2023_order_of_magnitude(self):
+        """~75M updates/hour -> billions per day (§2)."""
+        per_day = total_updates_per_hour(2023) * 24
+        assert per_day > 1e9
+
+    def test_interpolation_between_anchors(self):
+        mid = ris_vp_ases(2005.5)
+        assert ris_vp_ases(2003) < mid < ris_vp_ases(2008)
+
+    def test_clamped_outside_range(self):
+        assert ris_vp_ases(1999) == ris_vp_ases(2003)
+        assert ris_vp_ases(2030) == ris_vp_ases(2023)
+
+
+class TestSeries:
+    def test_length(self):
+        assert len(growth_series(2003, 2023)) == 21
+
+    def test_fields_consistent(self):
+        for point in growth_series():
+            assert point.total_updates == pytest.approx(
+                total_vp_count(point.year) * point.updates_per_vp)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            growth_series(2023, 2003)
