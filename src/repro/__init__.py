@@ -18,6 +18,9 @@ collection system, together with every substrate its evaluation needs:
   (transient paths, MOAS, topology mapping, action communities,
   unchanged-path updates, failure localization, hijack detection,
   AS relationships, customer cones);
+* :mod:`repro.pipeline` — the concurrent collection runtime: sharded
+  peer ingestion, bounded queues with backpressure, a watermark-ordered
+  batching archive writer, and live metrics;
 * :mod:`repro.platform` — facts about existing platforms and the
   author survey.
 
@@ -32,20 +35,25 @@ Quickstart::
           f"{len(result.anchor_vps)} anchor VPs")
 """
 
-from . import bgp, core, platform, sampling, simulation, usecases, workload
+from . import bgp, core, pipeline, platform, sampling, simulation, \
+    usecases, workload
 from .core import GillSampler, Orchestrator, UpdateSampler
+from .pipeline import CollectionPipeline, PipelineConfig
 from .workload import StreamConfig, SyntheticStreamGenerator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CollectionPipeline",
     "GillSampler",
     "Orchestrator",
+    "PipelineConfig",
     "StreamConfig",
     "SyntheticStreamGenerator",
     "UpdateSampler",
     "bgp",
     "core",
+    "pipeline",
     "platform",
     "sampling",
     "simulation",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import os
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -53,6 +54,9 @@ class RollingArchiveWriter:
         self.interval_s = interval_s
         self.compress = compress
         self.segments: List[ArchiveSegment] = []
+        # Segment start times, for bisection: segments are flushed in
+        # time order, so ``_starts`` is strictly increasing.
+        self._starts: List[float] = []
         self._pending: List[BGPUpdate] = []
         self._current_slot: Optional[int] = None
         self._last_time: Optional[float] = None
@@ -101,6 +105,7 @@ class RollingArchiveWriter:
             path, count,
         )
         self.segments.append(segment)
+        self._starts.append(segment.start)
         self._pending = []
         return segment
 
@@ -114,9 +119,9 @@ class RollingArchiveWriter:
 
     def segment_for(self, time: float) -> Optional[ArchiveSegment]:
         """The published segment covering ``time``, if any."""
-        for segment in self.segments:
-            if segment.start <= time < segment.end:
-                return segment
+        index = bisect_right(self._starts, time) - 1
+        if index >= 0 and time < self.segments[index].end:
+            return self.segments[index]
         return None
 
     # -- RIB dumps ----------------------------------------------------------
@@ -153,8 +158,13 @@ class RollingArchiveWriter:
     def read_range(self, start: float, end: float) -> List[BGPUpdate]:
         """Replay all published updates with time in [start, end)."""
         updates: List[BGPUpdate] = []
-        for segment in self.segments:
-            if segment.end <= start or segment.start >= end:
+        # Bisect to the first segment that can overlap [start, end);
+        # segments are start-ordered, so stop at the first past ``end``.
+        first = max(0, bisect_right(self._starts, start) - 1)
+        for segment in self.segments[first:]:
+            if segment.start >= end:
+                break
+            if segment.end <= start:
                 continue
             for record in read_archive(segment.path, self.compress):
                 if isinstance(record, BGPUpdate) \

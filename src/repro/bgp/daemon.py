@@ -56,7 +56,10 @@ class DaemonLoadResult:
             return "0%"
         if self.loss_fraction > 0.5:
             return "high"
-        return f"{self.loss_fraction:.0%}"
+        label = f"{self.loss_fraction:.0%}"
+        # '0%' is reserved for genuinely lossless cells; a loss under
+        # half a percent must not round into it.
+        return "<1%" if label == "0%" else label
 
 
 def per_update_cost(filtered: bool,
@@ -108,8 +111,12 @@ def simulate_loss(peers: int, rate_per_hour: float, filtered: bool,
     queued = 0
     arrived = 0
     lost = 0
-    while now < duration_s:
+    while True:
         now += rng.expovariate(rate_per_s)
+        if now >= duration_s:
+            # The arrival that lands past the horizon is outside the
+            # measured window; counting it would bias short runs.
+            break
         arrived += 1
         # Drain the queue up to the current time.
         while queued and server_free_at <= now:

@@ -7,6 +7,8 @@ Gives operators the platform's everyday verbs without writing Python:
 * ``sample``      — run GILL's sampling on an archive; write the retained
                     archive plus the public filters/anchors documents
 * ``orchestrate`` — replay an archive through the orchestrator control loop
+* ``pipeline``    — replay an archive through the concurrent collection
+                    runtime (sharded sessions, bounded queues, live metrics)
 * ``growth``      — print the Figs. 2-3 historical series
 * ``survey``      — print the §16 survey (Table 4)
 """
@@ -137,6 +139,64 @@ def cmd_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .bgp.archive import RollingArchiveWriter
+    from .bgp.daemon import CPU_CAPACITY
+    from .bgp.validation import RouteValidator
+    from .pipeline import (
+        CollectionPipeline,
+        PipelineConfig,
+        ServiceCostModel,
+        render_metrics,
+    )
+    from .workload.streams import split_by_vp
+
+    updates = _read_updates(args.archive, not args.no_compress)
+    if not updates:
+        print("archive holds no updates")
+        return 0
+    updates.sort(key=lambda u: (u.time, u.vp, u.prefix))
+
+    filters = None
+    if args.train_filters:
+        result = GillSampler(seed=args.seed).run(updates)
+        filters = result.filters
+        print(f"trained {len(filters)} drop rules, "
+              f"{len(result.anchor_vps)} anchors")
+
+    archive = None
+    if args.archive_dir:
+        archive = RollingArchiveWriter(args.archive_dir,
+                                       interval_s=args.interval,
+                                       compress=not args.no_compress)
+    cost_model = None
+    if args.model_cpu:
+        cost_model = ServiceCostModel(args.capacity or CPU_CAPACITY)
+    pipeline = CollectionPipeline(
+        PipelineConfig(
+            n_shards=args.shards,
+            shard_by=args.shard_by,
+            ingest_queue_capacity=args.queue_capacity,
+            overflow_policy=args.policy,
+            time_scale=args.time_scale,
+            cost_model=cost_model,
+        ),
+        filters=filters,
+        validator=RouteValidator() if args.validate else None,
+        archive=archive,
+    )
+    result = pipeline.run(split_by_vp(updates))
+    print(render_metrics(result.metrics, per_session=args.per_session),
+          end="")
+    if archive is not None:
+        print(f"wrote {len(result.segments)} segments to "
+              f"{args.archive_dir}")
+    if not result.accounted:
+        print("WARNING: pipeline lost queued updates", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_growth(args: argparse.Namespace) -> int:
     for point in growth_series(args.start, args.end):
         print(f"{point.year}: RIS {point.ris_vp_ases:4.0f} AS  "
@@ -200,6 +260,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="screen the stream with the route validator")
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_orchestrate)
+
+    p = sub.add_parser("pipeline",
+                       help="replay through the concurrent runtime")
+    p.add_argument("archive")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--shard-by", choices=("vp", "prefix"), default="vp")
+    p.add_argument("--queue-capacity", type=int, default=1024)
+    p.add_argument("--policy", choices=("drop", "block"), default="block")
+    p.add_argument("--time-scale", type=float, default=None,
+                   help="stream seconds per wall second (default: flood)")
+    p.add_argument("--model-cpu", action="store_true",
+                   help="charge Table-1 work units against a CPU budget")
+    p.add_argument("--capacity", type=float, default=None,
+                   help="modelled CPU capacity in work units/s")
+    p.add_argument("--train-filters", action="store_true",
+                   help="train GILL filters on the archive first")
+    p.add_argument("--validate", action="store_true",
+                   help="screen the stream with the route validator")
+    p.add_argument("--archive-dir",
+                   help="write retained updates as rolling MRT segments")
+    p.add_argument("--interval", type=float, default=300.0,
+                   help="archive segment interval in seconds")
+    p.add_argument("--per-session", action="store_true",
+                   help="print per-session ingest/drop rows")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-compress", action="store_true")
+    p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("growth", help="print the Figs. 2-3 series")
     p.add_argument("--start", type=int, default=2003)

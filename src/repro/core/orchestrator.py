@@ -9,8 +9,10 @@ into the daemons, and drops the mirror.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Mapping, \
+    Optional, Sequence, Tuple
 
 from ..bgp.filtering import FilterGranularity, FilterTable
 from ..bgp.message import BGPUpdate
@@ -20,6 +22,10 @@ from .events import ASCategory
 from .filters import generate_filter_table
 from .forwarding import ForwardingService
 from .sampler import GillSampler, GillResult
+
+if TYPE_CHECKING:   # pragma: no cover - typing only, avoids a cycle
+    from ..bgp.archive import RollingArchiveWriter
+    from ..pipeline.runtime import PipelineConfig, PipelineResult
 
 DAY_S = 24 * 3600.0
 
@@ -88,7 +94,7 @@ class Orchestrator:
         self.stats = OrchestratorStats()
         self.last_result: Optional[GillResult] = None
         self.flagged_updates: List[BGPUpdate] = []
-        self._mirror: List[BGPUpdate] = []
+        self._mirror: Deque[BGPUpdate] = deque()
         self._last_time: Optional[float] = None
         self._next_component1: Optional[float] = None
         self._next_component2: Optional[float] = None
@@ -139,12 +145,77 @@ class Orchestrator:
         """Process a stream; returns the retained updates."""
         return [u for u in updates if self.process(u)]
 
+    # -- concurrent (pipeline-backed) mode -----------------------------------
+
+    def run_pipeline_epoch(self, streams: "Mapping[str, Iterable[BGPUpdate]]",
+                           pipeline_config: "Optional[PipelineConfig]" = None,
+                           archive: "Optional[RollingArchiveWriter]" = None,
+                           timeout: Optional[float] = None
+                           ) -> "PipelineResult":
+        """Collect one epoch concurrently on :mod:`repro.pipeline`.
+
+        The concurrent runtime replaces the single-threaded
+        :meth:`process` loop for the *data plane*: per-session
+        ingestion, validation, operator forwarding and filtering run
+        sharded, with the orchestrator's current filter table held
+        fixed for the whole epoch.  The control plane stays here — the
+        writer stage mirrors every non-flagged update back (in global
+        time order) so the training mirror and the refresh deadlines
+        advance exactly as in sequential mode, and a due refresh fires
+        at the epoch boundary instead of mid-stream.
+        """
+        from ..pipeline.runtime import CollectionPipeline
+
+        def mirror(update: BGPUpdate, retained: bool) -> None:
+            # Called by the writer thread in nondecreasing time order;
+            # the orchestrator's state is only touched from there while
+            # the epoch runs.
+            if self._last_time is not None and update.time < self._last_time:
+                raise ValueError(
+                    f"updates must be time-ordered: {update.time} after "
+                    f"{self._last_time}"
+                )
+            self._last_time = update.time
+            if self._next_component1 is None:
+                self._next_component1 = (update.time
+                                         + self.config.mirror_window_s)
+                self._next_component2 = (update.time
+                                         + self.config.mirror_window_s)
+            self._mirror.append(update)
+            self._trim_mirror(update.time)
+            self.stats.received += 1
+            if retained:
+                self.stats.retained += 1
+            else:
+                self.stats.discarded += 1
+
+        pipeline = CollectionPipeline(
+            pipeline_config,
+            filters=self.filters,
+            validator=self.validator,
+            forwarding=self.forwarding,
+            archive=archive,
+            mirror=mirror,
+        )
+        result = pipeline.run(streams, timeout=timeout)
+        self.flagged_updates.extend(result.flagged)
+        self.stats.received += result.metrics.flagged
+        self.stats.discarded += result.metrics.flagged
+        if (self._last_time is not None
+                and self._next_component1 is not None
+                and self._last_time >= self._next_component1):
+            self._refresh(self._last_time)
+        return result
+
     # -- refresh machinery -------------------------------------------------------
 
     def _trim_mirror(self, now: float) -> None:
+        # The mirror is time-ordered, so expiring updates sit at the
+        # left end; popleft keeps trimming O(expired) per call instead
+        # of rebuilding the whole window.
         horizon = now - self.config.mirror_window_s
-        if self._mirror and self._mirror[0].time < horizon:
-            self._mirror = [u for u in self._mirror if u.time >= horizon]
+        while self._mirror and self._mirror[0].time < horizon:
+            self._mirror.popleft()
 
     def _refresh(self, now: float) -> None:
         """Re-run sampling on the mirror and reload the daemons' filters."""
@@ -156,7 +227,7 @@ class Orchestrator:
             granularity=self.config.granularity,
             seed=self.config.seed,
         )
-        result = sampler.run(self._mirror, topology=self.topology,
+        result = sampler.run(list(self._mirror), topology=self.topology,
                              categories=self.categories)
         self.stats.component1_runs += 1
         if run_component2 or not self.anchor_vps:

@@ -1,0 +1,45 @@
+"""repro.pipeline — the concurrent collection runtime (§8, Table 1).
+
+Turns the analytic daemon capacity model of :mod:`repro.bgp.daemon`
+into an executable system: sharded peer ingestion through bounded
+queues, a worker pool running validate → forward → filter, a
+watermark-ordered batching archive writer, explicit drop accounting,
+backpressure, graceful drain, and live metrics.
+"""
+
+from .metrics import (
+    LatencyHistogram,
+    PipelineMetrics,
+    PipelineMetricsSnapshot,
+    SessionSnapshot,
+    StageSnapshot,
+    render_metrics,
+)
+from .queues import BoundedQueue, QueueEmpty
+from .runtime import CollectionPipeline, PipelineConfig, PipelineResult
+from .stages import (
+    PeerSession,
+    ServiceCostModel,
+    ShardWorker,
+    WriterStage,
+    shard_for,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "CollectionPipeline",
+    "LatencyHistogram",
+    "PeerSession",
+    "PipelineConfig",
+    "PipelineMetrics",
+    "PipelineMetricsSnapshot",
+    "PipelineResult",
+    "QueueEmpty",
+    "ServiceCostModel",
+    "SessionSnapshot",
+    "ShardWorker",
+    "StageSnapshot",
+    "WriterStage",
+    "render_metrics",
+    "shard_for",
+]

@@ -1,0 +1,319 @@
+"""Live metrics for the concurrent collection runtime.
+
+Every stage of :mod:`repro.pipeline` reports into one
+:class:`PipelineMetrics` object: per-session ingest counters (enqueued
+vs dropped — the empirical Table-1 loss signal), per-shard processing
+counters, writer throughput, queue-depth high-water marks and a
+latency histogram per stage.  Counters are lock-protected so any
+thread may report; :meth:`PipelineMetrics.snapshot` produces an
+immutable view for the status page and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds in seconds (log-spaced 1µs .. ~67s,
+#: one bucket per factor of 4), plus a catch-all overflow bucket.
+_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    1e-6 * 4 ** i for i in range(14)
+) + (math.inf,)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * len(_BUCKET_BOUNDS)
+        self._sum = 0.0
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        index = 0
+        while seconds > _BUCKET_BOUNDS[index]:
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("percentile must be in [0, 1]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            target = p * self._count
+            seen = 0
+            for bound, count in zip(_BUCKET_BOUNDS, self._counts):
+                seen += count
+                if seen >= target:
+                    return bound
+        return _BUCKET_BOUNDS[-1]
+
+
+class Gauge:
+    """Tracks a current value and its high-water mark (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.high_water:
+                self.high_water = value
+
+
+class StageMetrics:
+    """Counters for one pipeline stage (thread-safe increments)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.processed = 0
+        self.dropped = 0
+        self.latency = LatencyHistogram()
+        self.queue_depth = Gauge()
+
+    def add(self, processed: int = 0, dropped: int = 0) -> None:
+        with self._lock:
+            self.processed += processed
+            self.dropped += dropped
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Ingest accounting for one peering session."""
+
+    session: str
+    enqueued: int
+    dropped: int
+
+    @property
+    def offered(self) -> int:
+        return self.enqueued + self.dropped
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class StageSnapshot:
+    """Immutable view of one stage's counters."""
+
+    name: str
+    processed: int
+    dropped: int
+    queue_depth: int
+    queue_high_water: int
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+
+
+@dataclass(frozen=True)
+class PipelineMetricsSnapshot:
+    """One immutable observation of the whole pipeline."""
+
+    received: int            # offered by all sessions (pre-queue)
+    ingest_dropped: int      # lost to full ingest queues (Table-1 loss)
+    processed: int           # parse+validate+filter completed
+    flagged: int             # quarantined by the route validator
+    retained: int            # passed the filters
+    discarded: int           # dropped by the filters
+    forwarded: int           # operator deliveries (§14)
+    written: int             # handed to the archive writer
+    segments: int            # archive segments flushed
+    wall_time_s: float
+    stages: Tuple[StageSnapshot, ...] = ()
+    sessions: Tuple[SessionSnapshot, ...] = ()
+
+    @property
+    def loss_fraction(self) -> float:
+        """Empirical ingest loss — the measured Table-1 quantity."""
+        return self.ingest_dropped / self.received if self.received else 0.0
+
+    @property
+    def throughput_ups(self) -> float:
+        """Sustained processed updates per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.processed / self.wall_time_s
+
+
+class PipelineMetrics:
+    """The shared metrics hub every pipeline stage reports into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, List[int]] = {}   # name -> [enq, drop]
+        self.ingest = StageMetrics("ingest")
+        self.process = StageMetrics("process")
+        self.write = StageMetrics("write")
+        self.flagged = 0
+        self.retained = 0
+        self.discarded = 0
+        self.forwarded = 0
+        self.segments = 0
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # -- session accounting -------------------------------------------------
+
+    def register_session(self, name: str) -> None:
+        with self._lock:
+            self._sessions.setdefault(name, [0, 0])
+
+    def session_enqueued(self, name: str, count: int = 1) -> None:
+        with self._lock:
+            self._sessions[name][0] += count
+        self.ingest.add(processed=count)
+
+    def session_dropped(self, name: str, count: int = 1) -> None:
+        with self._lock:
+            self._sessions[name][1] += count
+        self.ingest.add(dropped=count)
+
+    # -- worker / writer accounting ----------------------------------------
+
+    def update_processed(self, retained: bool, flagged: bool = False,
+                         forwarded_to: int = 0) -> None:
+        with self._lock:
+            if flagged:
+                self.flagged += 1
+            elif retained:
+                self.retained += 1
+            else:
+                self.discarded += 1
+            self.forwarded += forwarded_to
+        self.process.add(processed=1)
+
+    def segment_flushed(self, count: int = 1) -> None:
+        with self._lock:
+            self.segments += count
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def mark_started(self) -> None:
+        self._started_at = time.perf_counter()
+
+    def mark_stopped(self) -> None:
+        self._stopped_at = time.perf_counter()
+
+    @property
+    def wall_time_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at or time.perf_counter()
+        return end - self._started_at
+
+    # -- snapshots ----------------------------------------------------------
+
+    def _stage_snapshot(self, stage: StageMetrics) -> StageSnapshot:
+        return StageSnapshot(
+            name=stage.name,
+            processed=stage.processed,
+            dropped=stage.dropped,
+            queue_depth=stage.queue_depth.value,
+            queue_high_water=stage.queue_depth.high_water,
+            latency_p50_s=stage.latency.percentile(0.5),
+            latency_p99_s=stage.latency.percentile(0.99),
+            latency_mean_s=stage.latency.mean,
+        )
+
+    def snapshot(self) -> PipelineMetricsSnapshot:
+        with self._lock:
+            sessions = tuple(
+                SessionSnapshot(name, enq, drop)
+                for name, (enq, drop) in sorted(self._sessions.items())
+            )
+            flagged = self.flagged
+            retained = self.retained
+            discarded = self.discarded
+            forwarded = self.forwarded
+            segments = self.segments
+        received = sum(s.offered for s in sessions)
+        dropped = sum(s.dropped for s in sessions)
+        return PipelineMetricsSnapshot(
+            received=received,
+            ingest_dropped=dropped,
+            processed=self.process.processed,
+            flagged=flagged,
+            retained=retained,
+            discarded=discarded,
+            forwarded=forwarded,
+            written=self.write.processed,
+            segments=segments,
+            wall_time_s=self.wall_time_s,
+            stages=(
+                self._stage_snapshot(self.ingest),
+                self._stage_snapshot(self.process),
+                self._stage_snapshot(self.write),
+            ),
+            sessions=sessions,
+        )
+
+
+def _format_latency(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_metrics(snapshot: PipelineMetricsSnapshot,
+                   per_session: bool = False) -> str:
+    """Render a metrics snapshot as the status page's pipeline block."""
+    lines = [
+        "== pipeline metrics ==",
+        f"received {snapshot.received}  "
+        f"ingest-dropped {snapshot.ingest_dropped} "
+        f"({snapshot.loss_fraction:.1%})  "
+        f"processed {snapshot.processed}",
+        f"retained {snapshot.retained}  discarded {snapshot.discarded}  "
+        f"flagged {snapshot.flagged}  forwarded {snapshot.forwarded}",
+        f"written {snapshot.written}  segments {snapshot.segments}  "
+        f"throughput {snapshot.throughput_ups:,.0f} upd/s "
+        f"over {snapshot.wall_time_s:.2f}s",
+    ]
+    if snapshot.stages:
+        lines.append(
+            f"{'stage':>8s} {'done':>9s} {'drop':>7s} {'q':>5s} "
+            f"{'q-max':>5s} {'p50':>8s} {'p99':>8s}"
+        )
+        for stage in snapshot.stages:
+            lines.append(
+                f"{stage.name:>8s} {stage.processed:9d} "
+                f"{stage.dropped:7d} {stage.queue_depth:5d} "
+                f"{stage.queue_high_water:5d} "
+                f"{_format_latency(stage.latency_p50_s):>8s} "
+                f"{_format_latency(stage.latency_p99_s):>8s}"
+            )
+    if per_session and snapshot.sessions:
+        lines.append(f"{'session':>12s} {'enq':>8s} {'drop':>7s} {'loss':>6s}")
+        for row in snapshot.sessions:
+            lines.append(
+                f"{row.session:>12s} {row.enqueued:8d} {row.dropped:7d} "
+                f"{row.drop_rate:6.1%}"
+            )
+    return "\n".join(lines) + "\n"

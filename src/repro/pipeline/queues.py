@@ -1,0 +1,74 @@
+"""Bounded queues with depth tracking for the collection runtime.
+
+:class:`BoundedQueue` is a small condition-variable queue that exposes
+what the pipeline needs and :mod:`queue` does not: a non-blocking
+``try_put`` whose refusal the caller turns into an explicit drop (the
+daemon-loss signal of Table 1), and a depth gauge sampled on every
+transition so queue high-water marks appear in the metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .metrics import Gauge
+
+
+class QueueEmpty(Exception):
+    """Raised by :meth:`BoundedQueue.get` on timeout."""
+
+
+class BoundedQueue:
+    """A FIFO queue with a hard capacity bound.
+
+    ``try_put`` never blocks and reports refusal; ``put`` blocks until
+    space frees up — the backpressure edge between two stages.  Control
+    markers use ``put`` even on drop-policy paths so watermarks and
+    end-of-stream signals are never lost.
+    """
+
+    def __init__(self, capacity: int, gauge: Optional[Gauge] = None):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.gauge = gauge or Gauge()
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue without blocking; False when the queue is full."""
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            self.gauge.set(len(self._items))
+            self._not_empty.notify()
+            return True
+
+    def put(self, item: Any) -> None:
+        """Enqueue, blocking while the queue is full (backpressure)."""
+        with self._not_full:
+            while len(self._items) >= self.capacity:
+                self._not_full.wait()
+            self._items.append(item)
+            self.gauge.set(len(self._items))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Dequeue the oldest item; raises :class:`QueueEmpty` on timeout."""
+        with self._not_empty:
+            while not self._items:
+                if not self._not_empty.wait(timeout):
+                    raise QueueEmpty()
+            item = self._items.popleft()
+            self.gauge.set(len(self._items))
+            self._not_full.notify()
+            return item

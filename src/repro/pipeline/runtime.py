@@ -1,0 +1,238 @@
+"""The concurrent collection runtime: wiring, lifecycle, results.
+
+:class:`CollectionPipeline` turns the §8 daemon *model* into a daemon
+*implementation*: per-peer :class:`~repro.pipeline.stages.PeerSession`
+producers feed a sharded worker pool through bounded queues, workers
+run validate → forward → filter, and a single writer stage restores
+global time order and batches retained updates into a
+:class:`~repro.bgp.archive.RollingArchiveWriter`.
+
+Guarantees:
+
+* **loss accounting** — every offered update is either enqueued or
+  counted as an ingest drop; enqueued updates are never lost, so after
+  :meth:`CollectionPipeline.wait` the identity
+  ``received == ingest_dropped + flagged + retained + discarded``
+  holds exactly (the acceptance invariant for graceful drain);
+* **ordering** — the archive and the mirror callback observe updates
+  in nondecreasing time order even with many shards, via the
+  watermark reorder buffer in the writer stage;
+* **backpressure** — with the ``block`` overflow policy a full queue
+  stalls its producer instead of losing data, all the way back to the
+  peer sessions.
+
+Each session's update iterator must be time-nondecreasing (the
+per-VP order that :func:`repro.workload.split_by_vp` produces).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
+    Sequence, Tuple
+
+from ..bgp.archive import ArchiveSegment, RollingArchiveWriter
+from ..bgp.filtering import FilterTable
+from ..bgp.message import BGPUpdate
+from ..bgp.validation import RouteValidator
+from ..core.forwarding import ForwardingService
+from .metrics import PipelineMetrics, PipelineMetricsSnapshot
+from .queues import BoundedQueue
+from .stages import PeerSession, ServiceCostModel, ShardWorker, WriterStage
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the concurrent runtime."""
+
+    n_shards: int = 4
+    #: 'vp' keeps each peering session on one shard (per-session order
+    #: is then trivially preserved); 'prefix' spreads hot sessions.
+    shard_by: str = "vp"
+    ingest_queue_capacity: int = 1024
+    writer_queue_capacity: int = 4096
+    #: 'drop' loses updates at full ingest queues (daemon-style,
+    #: Table 1); 'block' applies lossless backpressure instead.
+    overflow_policy: str = "drop"
+    #: Updates between watermark heartbeats; smaller = lower write
+    #: latency, larger = fewer control messages.
+    heartbeat_every: int = 64
+    #: Writer batch: how many queue items are drained per wake-up.
+    batch_size: int = 256
+    #: Stream seconds replayed per wall-clock second (None = flood,
+    #: i.e. as fast as the hardware allows).
+    time_scale: Optional[float] = None
+    #: Optional CPU capacity model; makes saturation empirical.
+    cost_model: Optional[ServiceCostModel] = None
+    #: Keep at most this many quarantined updates for inspection.
+    max_flagged_kept: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ValueError("need at least one shard")
+        if self.shard_by not in ("vp", "prefix"):
+            raise ValueError("shard_by must be 'vp' or 'prefix'")
+        if self.overflow_policy not in ("drop", "block"):
+            raise ValueError("overflow_policy must be 'drop' or 'block'")
+        if self.time_scale is not None and self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything a finished run reports."""
+
+    metrics: PipelineMetricsSnapshot
+    segments: Tuple[ArchiveSegment, ...]
+    flagged: Tuple[BGPUpdate, ...]
+
+    @property
+    def accounted(self) -> bool:
+        """True when no enqueued update went missing (drain check)."""
+        m = self.metrics
+        return m.received == (m.ingest_dropped + m.flagged
+                              + m.retained + m.discarded)
+
+
+class CollectionPipeline:
+    """Sharded, queue-connected concurrent collection runtime."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 filters: Optional[FilterTable] = None,
+                 validator: Optional[RouteValidator] = None,
+                 forwarding: Optional[ForwardingService] = None,
+                 archive: Optional[RollingArchiveWriter] = None,
+                 mirror: Optional[Callable[[BGPUpdate, bool], None]] = None):
+        self.config = config or PipelineConfig()
+        self.filters = filters if filters is not None else FilterTable()
+        self.validator = validator
+        self.forwarding = forwarding
+        self.archive = archive
+        self.mirror = mirror
+        self.metrics = PipelineMetrics()
+        self._stop_event = threading.Event()
+        self._sessions: List[PeerSession] = []
+        self._workers: List[ShardWorker] = []
+        self._writer: Optional[WriterStage] = None
+        self._flagged: List[BGPUpdate] = []
+        self._flagged_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _keep_flagged(self, update: BGPUpdate) -> None:
+        with self._flagged_lock:
+            if len(self._flagged) < self.config.max_flagged_kept:
+                self._flagged.append(update)
+
+    def start(self, streams: Mapping[str, Iterable[BGPUpdate]]) -> None:
+        """Spawn all stage threads over per-session update iterators.
+
+        ``streams`` maps a session name (typically the VP) to its
+        time-nondecreasing update iterable.
+        """
+        if self._started:
+            raise RuntimeError("pipeline already started")
+        if not streams:
+            raise ValueError("need at least one session stream")
+        self._started = True
+        cfg = self.config
+
+        ingest_queues = [
+            BoundedQueue(cfg.ingest_queue_capacity,
+                         gauge=self.metrics.ingest.queue_depth)
+            for _ in range(cfg.n_shards)
+        ]
+        writer_queue = BoundedQueue(cfg.writer_queue_capacity,
+                                    gauge=self.metrics.write.queue_depth)
+
+        validator_lock = threading.Lock()
+        forwarding_lock = threading.Lock()
+        self._workers = [
+            ShardWorker(
+                shard, ingest_queues[shard], writer_queue,
+                filters=self.filters, metrics=self.metrics,
+                validator=self.validator, validator_lock=validator_lock,
+                forwarding=self.forwarding,
+                forwarding_lock=forwarding_lock,
+                cost_model=cfg.cost_model,
+                flagged_sink=self._keep_flagged,
+            )
+            for shard in range(cfg.n_shards)
+        ]
+        self._writer = WriterStage(
+            writer_queue, cfg.n_shards, list(streams),
+            metrics=self.metrics, archive=self.archive,
+            mirror=self.mirror, batch_size=cfg.batch_size,
+        )
+        self._sessions = [
+            PeerSession(
+                name, updates, ingest_queues, cfg.shard_by,
+                metrics=self.metrics,
+                overflow_policy=cfg.overflow_policy,
+                heartbeat_every=cfg.heartbeat_every,
+                time_scale=cfg.time_scale,
+                stop_event=self._stop_event,
+            )
+            for name, updates in streams.items()
+        ]
+
+        self.metrics.mark_started()
+        self._writer.start()
+        for worker in self._workers:
+            worker.start()
+        for session in self._sessions:
+            session.start()
+
+    def wait(self, timeout: Optional[float] = None) -> PipelineResult:
+        """Block until every stage drained; return the run's result.
+
+        Draining is lossless by construction: sessions finish (or are
+        stopped), workers consume every queued update, and the writer
+        flushes its reorder buffer completely once all end-of-stream
+        watermarks arrive.
+        """
+        if not self._started or self._writer is None:
+            raise RuntimeError("pipeline not started")
+        for session in self._sessions:
+            session.join(timeout)
+            if session.is_alive():
+                raise TimeoutError(f"session {session.session} "
+                                   f"did not finish")
+        # All session end-markers are enqueued; now close the shards.
+        for worker in self._workers:
+            worker.stop()
+        for worker in self._workers:
+            worker.join(timeout)
+            if worker.is_alive():
+                raise TimeoutError(f"shard {worker.shard} did not finish")
+        self._writer.join(timeout)
+        if self._writer.is_alive():
+            raise TimeoutError("writer did not finish")
+        self.metrics.mark_stopped()
+        if self._writer.error is not None:
+            raise self._writer.error
+        return self.result()
+
+    def stop(self) -> None:
+        """Ask the sessions to stop; queued updates still drain."""
+        self._stop_event.set()
+
+    def run(self, streams: Mapping[str, Iterable[BGPUpdate]],
+            timeout: Optional[float] = None) -> PipelineResult:
+        """Convenience: start, then wait for the full drain."""
+        self.start(streams)
+        return self.wait(timeout)
+
+    # -- results -------------------------------------------------------------
+
+    def snapshot(self) -> PipelineMetricsSnapshot:
+        """A live metrics observation (any time, any thread)."""
+        return self.metrics.snapshot()
+
+    def result(self) -> PipelineResult:
+        segments = tuple(self.archive.segments) if self.archive else ()
+        with self._flagged_lock:
+            flagged = tuple(self._flagged)
+        return PipelineResult(self.metrics.snapshot(), segments, flagged)

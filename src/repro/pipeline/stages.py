@@ -1,0 +1,386 @@
+"""The three stage types of the concurrent collection runtime.
+
+Data flows ``PeerSession -> ShardWorker -> WriterStage`` through
+bounded queues:
+
+* :class:`PeerSession` replays one peering session's time-ordered
+  update iterator into its shard's ingest queue.  When the queue is
+  full it either *drops* the update (daemon-style loss, Table 1) or
+  *blocks* (lossless backpressure), per the configured policy.
+* :class:`ShardWorker` owns one ingest queue and runs the per-update
+  stages — parse-cost accounting, route validation, operator
+  forwarding, filter evaluation — then hands the disposition to the
+  writer queue.
+* :class:`WriterStage` restores global time order across shards with a
+  watermark reorder buffer and feeds retained updates to a
+  :class:`~repro.bgp.archive.RollingArchiveWriter` in amortized
+  batches.
+
+Ordering across concurrent shards uses heartbeat markers: every
+session periodically broadcasts its current stream time through *all*
+ingest queues, so the marker reaches the writer only after every
+earlier update from that session on that shard.  The writer's safe
+watermark is the minimum over all (shard, session) marker times, and
+updates leave the reorder heap only once they fall below it — this is
+what lets many unsynchronized workers feed an archive format that
+demands nondecreasing timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
+
+from ..bgp.archive import RollingArchiveWriter
+from ..bgp.daemon import FILTER_COST, PARSE_COST, WRITE_COST
+from ..bgp.filtering import FilterTable
+from ..bgp.message import BGPUpdate
+from ..bgp.validation import RouteValidator
+from ..core.forwarding import ForwardingService
+from .metrics import PipelineMetrics
+from .queues import BoundedQueue, QueueEmpty
+
+#: Marker time meaning "this session will send nothing further".
+END_OF_STREAM = float("inf")
+
+
+# -- queue payloads ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Envelope:
+    """One update in flight, stamped for latency accounting."""
+
+    update: BGPUpdate
+    session: str
+    enqueued_at: float     # perf_counter at ingest
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """A session's progress marker, broadcast through every shard."""
+
+    session: str
+    time: float            # stream time; END_OF_STREAM when finished
+
+
+@dataclass(frozen=True)
+class Disposition:
+    """A worker's verdict on one update, bound for the writer."""
+
+    update: BGPUpdate
+    retained: bool
+    session: str
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class WatermarkAdvance:
+    """A heartbeat after passing through shard ``shard``."""
+
+    shard: int
+    session: str
+    time: float
+
+
+class ShardDone:
+    """Sentinel a worker sends the writer when it exits."""
+
+
+#: Sentinel closing a shard's ingest queue.
+_STOP = object()
+
+
+def shard_for(update: BGPUpdate, n_shards: int, key: str) -> int:
+    """Stable shard assignment by VP or by prefix."""
+    if key == "vp":
+        token = update.vp
+    elif key == "prefix":
+        token = str(update.prefix)
+    else:
+        raise ValueError(f"unknown shard key: {key!r}")
+    return zlib.crc32(token.encode()) % n_shards
+
+
+# -- CPU capacity model ------------------------------------------------------
+
+class ServiceCostModel:
+    """Charges daemon work units against a real-time budget.
+
+    Reuses the calibrated Table-1 costs from :mod:`repro.bgp.daemon`:
+    each update costs parse + filter units, plus the dominant write
+    cost when retained.  ``units_per_s`` is the modelled CPU capacity;
+    consuming faster than it accrues puts the worker to sleep, so the
+    pipeline *empirically* saturates exactly where the analytic
+    ``steady_state_loss`` predicts.  Sleeps are amortized: the worker
+    only yields once it falls a few milliseconds behind, keeping the
+    aggregate rate accurate despite coarse timer granularity.
+    """
+
+    def __init__(self, units_per_s: float,
+                 parse_cost: float = PARSE_COST,
+                 filter_cost: float = FILTER_COST,
+                 write_cost: float = WRITE_COST,
+                 min_sleep_s: float = 0.002):
+        if units_per_s <= 0:
+            raise ValueError("capacity must be positive")
+        self.units_per_s = units_per_s
+        self.parse_cost = parse_cost
+        self.filter_cost = filter_cost
+        self.write_cost = write_cost
+        self.min_sleep_s = min_sleep_s
+        self._lock = threading.Lock()
+        self._credit_s = 0.0
+        self._last = time.perf_counter()
+
+    def cost(self, retained: bool) -> float:
+        base = self.parse_cost + self.filter_cost
+        return base + self.write_cost if retained else base
+
+    def charge(self, retained: bool) -> None:
+        """Consume one update's work; sleep off any accumulated debt."""
+        with self._lock:
+            now = time.perf_counter()
+            self._credit_s += now - self._last
+            self._last = now
+            # Cap banked idle time so bursts cannot borrow the future.
+            if self._credit_s > 0.05:
+                self._credit_s = 0.05
+            self._credit_s -= self.cost(retained) / self.units_per_s
+            debt = -self._credit_s
+        if debt > self.min_sleep_s:
+            time.sleep(debt)
+
+
+# -- stage threads -----------------------------------------------------------
+
+class PeerSession(threading.Thread):
+    """Replays one peering session into the sharded ingest queues."""
+
+    def __init__(self, name: str, updates: Iterable[BGPUpdate],
+                 ingest_queues: Sequence[BoundedQueue],
+                 shard_key: str,
+                 metrics: PipelineMetrics,
+                 overflow_policy: str = "drop",
+                 heartbeat_every: int = 64,
+                 time_scale: Optional[float] = None,
+                 stop_event: Optional[threading.Event] = None):
+        super().__init__(name=f"session-{name}", daemon=True)
+        self.session = name
+        self.updates = updates
+        self.queues = ingest_queues
+        self.shard_key = shard_key
+        self.metrics = metrics
+        if overflow_policy not in ("drop", "block"):
+            raise ValueError("overflow_policy must be 'drop' or 'block'")
+        self.overflow_policy = overflow_policy
+        self.heartbeat_every = max(1, heartbeat_every)
+        #: Stream seconds replayed per wall-clock second; None = flood.
+        self.time_scale = time_scale
+        self.stop_event = stop_event or threading.Event()
+        metrics.register_session(name)
+
+    def _broadcast(self, marker: Heartbeat) -> None:
+        # Markers always use the blocking put: losing one would stall
+        # or corrupt the writer's watermark.
+        for queue in self.queues:
+            queue.put(marker)
+
+    def _pace(self, stream_time: float, stream_t0: float,
+              wall_t0: float) -> None:
+        target = wall_t0 + (stream_time - stream_t0) / self.time_scale
+        ahead = target - time.perf_counter()
+        if ahead > 0.002:
+            # Amortized pacing: only sleep once meaningfully ahead, so
+            # timer granularity does not distort the aggregate rate.
+            time.sleep(ahead)
+
+    def run(self) -> None:
+        stream_t0: Optional[float] = None
+        wall_t0 = time.perf_counter()
+        since_heartbeat = 0
+        try:
+            for update in self.updates:
+                if self.stop_event.is_set():
+                    break
+                if self.time_scale is not None:
+                    if stream_t0 is None:
+                        stream_t0 = update.time
+                    self._pace(update.time, stream_t0, wall_t0)
+                queue = self.queues[
+                    shard_for(update, len(self.queues), self.shard_key)]
+                envelope = Envelope(update, self.session,
+                                    time.perf_counter())
+                if self.overflow_policy == "block":
+                    queue.put(envelope)
+                    self.metrics.session_enqueued(self.session)
+                elif queue.try_put(envelope):
+                    self.metrics.session_enqueued(self.session)
+                else:
+                    # Daemon-style loss: a full queue means the update
+                    # is gone, exactly like Table 1's overloaded CPU.
+                    self.metrics.session_dropped(self.session)
+                since_heartbeat += 1
+                if since_heartbeat >= self.heartbeat_every:
+                    since_heartbeat = 0
+                    self._broadcast(Heartbeat(self.session, update.time))
+        finally:
+            self._broadcast(Heartbeat(self.session, END_OF_STREAM))
+
+
+class ShardWorker(threading.Thread):
+    """Runs validate -> forward -> filter for one shard's queue."""
+
+    def __init__(self, shard: int, ingest: BoundedQueue,
+                 writer_queue: BoundedQueue,
+                 filters: FilterTable,
+                 metrics: PipelineMetrics,
+                 validator: Optional[RouteValidator] = None,
+                 validator_lock: Optional[threading.Lock] = None,
+                 forwarding: Optional[ForwardingService] = None,
+                 forwarding_lock: Optional[threading.Lock] = None,
+                 cost_model: Optional[ServiceCostModel] = None,
+                 flagged_sink: Optional[Callable[[BGPUpdate], None]] = None):
+        super().__init__(name=f"shard-{shard}", daemon=True)
+        self.shard = shard
+        self.ingest = ingest
+        self.writer_queue = writer_queue
+        self.filters = filters
+        self.metrics = metrics
+        self.validator = validator
+        self.validator_lock = validator_lock or threading.Lock()
+        self.forwarding = forwarding
+        self.forwarding_lock = forwarding_lock or threading.Lock()
+        self.cost_model = cost_model
+        self.flagged_sink = flagged_sink
+
+    def stop(self) -> None:
+        """Close this shard's ingest queue after the sessions finish."""
+        self.ingest.put(_STOP)
+
+    def _handle(self, envelope: Envelope) -> None:
+        update = envelope.update
+        if self.validator is not None:
+            with self.validator_lock:
+                verdict = self.validator.validate(update)
+            if verdict.flagged:
+                # Quarantined: never archived, never mirrored (§14).
+                self.metrics.update_processed(False, flagged=True)
+                if self.flagged_sink is not None:
+                    self.flagged_sink(update)
+                self.metrics.process.latency.record(
+                    time.perf_counter() - envelope.enqueued_at)
+                return
+        reached = 0
+        if self.forwarding is not None:
+            # Operators see the raw stream before any discard (§14).
+            with self.forwarding_lock:
+                reached = len(self.forwarding.process(update))
+        retained = self.filters.accept(update)
+        if self.cost_model is not None:
+            self.cost_model.charge(retained)
+        self.metrics.update_processed(retained, forwarded_to=reached)
+        self.metrics.process.latency.record(
+            time.perf_counter() - envelope.enqueued_at)
+        self.writer_queue.put(Disposition(update, retained,
+                                          envelope.session,
+                                          envelope.enqueued_at))
+
+    def run(self) -> None:
+        while True:
+            item = self.ingest.get()
+            if item is _STOP:
+                break
+            if isinstance(item, Heartbeat):
+                self.writer_queue.put(
+                    WatermarkAdvance(self.shard, item.session, item.time))
+                continue
+            self._handle(item)
+        self.writer_queue.put(ShardDone())
+
+
+class WriterStage(threading.Thread):
+    """Reorders dispositions by watermark and batches archive writes."""
+
+    def __init__(self, writer_queue: BoundedQueue,
+                 n_shards: int,
+                 sessions: Sequence[str],
+                 metrics: PipelineMetrics,
+                 archive: Optional[RollingArchiveWriter] = None,
+                 mirror: Optional[Callable[[BGPUpdate, bool], None]] = None,
+                 batch_size: int = 256):
+        super().__init__(name="writer", daemon=True)
+        self.queue = writer_queue
+        self.metrics = metrics
+        self.archive = archive
+        self.mirror = mirror
+        self.batch_size = max(1, batch_size)
+        # Safe watermark state: minimum over every (shard, session)
+        # pair of the last heartbeat time seen on that path.
+        self._watermarks: Dict[Tuple[int, str], float] = {
+            (shard, session): -END_OF_STREAM
+            for shard in range(n_shards)
+            for session in sessions
+        }
+        self._pending_shards = n_shards
+        self._heap: List[Tuple[float, int, Disposition]] = []
+        self._sequence = 0
+        self.reorder_high_water = 0
+        self.error: Optional[BaseException] = None
+
+    def _safe_watermark(self) -> float:
+        if not self._watermarks:
+            return END_OF_STREAM
+        return min(self._watermarks.values())
+
+    def _emit_ready(self) -> None:
+        """Flush every heap entry at or below the safe watermark."""
+        watermark = self._safe_watermark()
+        batch: List[Disposition] = []
+        while self._heap and self._heap[0][0] <= watermark:
+            batch.append(heapq.heappop(self._heap)[2])
+        for disposition in batch:
+            if self.mirror is not None:
+                self.mirror(disposition.update, disposition.retained)
+            if disposition.retained and self.archive is not None:
+                segment = self.archive.write(disposition.update)
+                if segment is not None:
+                    self.metrics.segment_flushed()
+            self.metrics.write.add(processed=1)
+            self.metrics.write.latency.record(
+                time.perf_counter() - disposition.enqueued_at)
+
+    def _ingest_one(self, item: object) -> None:
+        if isinstance(item, Disposition):
+            heapq.heappush(self._heap,
+                           (item.update.time, self._sequence, item))
+            self._sequence += 1
+            if len(self._heap) > self.reorder_high_water:
+                self.reorder_high_water = len(self._heap)
+        elif isinstance(item, WatermarkAdvance):
+            key = (item.shard, item.session)
+            if item.time > self._watermarks.get(key, -END_OF_STREAM):
+                self._watermarks[key] = item.time
+        elif isinstance(item, ShardDone):
+            self._pending_shards -= 1
+
+    def run(self) -> None:
+        try:
+            while self._pending_shards > 0 or self._heap:
+                drained = 0
+                try:
+                    while drained < self.batch_size:
+                        self._ingest_one(self.queue.get(timeout=0.05))
+                        drained += 1
+                except QueueEmpty:
+                    pass
+                self._emit_ready()
+            if self.archive is not None:
+                if self.archive.close() is not None:
+                    self.metrics.segment_flushed()
+        except BaseException as exc:   # surfaced by the pipeline
+            self.error = exc

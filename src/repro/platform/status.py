@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 from ..bgp.message import BGPUpdate
 from ..bgp.session import SessionManager, SessionState
 from ..core.orchestrator import Orchestrator
+from ..pipeline.metrics import PipelineMetricsSnapshot, render_metrics
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,8 @@ class PlatformStatus:
     component2_runs: int
     pending_sessions: int = 0
     rejected_sessions: int = 0
+    #: Live metrics when collection runs on the concurrent runtime.
+    pipeline: Optional[PipelineMetricsSnapshot] = None
 
     @property
     def retention(self) -> float:
@@ -57,7 +60,8 @@ class PlatformStatus:
 def collect_status(orchestrator: Orchestrator,
                    processed: Sequence[BGPUpdate],
                    retained: Sequence[BGPUpdate],
-                   sessions: Optional[SessionManager] = None
+                   sessions: Optional[SessionManager] = None,
+                   pipeline: Optional[PipelineMetricsSnapshot] = None
                    ) -> PlatformStatus:
     """Assemble the status snapshot after (or during) a collection run.
 
@@ -105,6 +109,7 @@ def collect_status(orchestrator: Orchestrator,
         component2_runs=stats.component2_runs,
         pending_sessions=pending,
         rejected_sessions=rejected,
+        pipeline=pipeline,
     )
 
 
@@ -134,4 +139,7 @@ def render_status(status: PlatformStatus) -> str:
             f"{row.retention:6.1%} {'yes' if row.is_anchor else '-':>6s} "
             f"{row.honesty:7.2f}"
         )
-    return "\n".join(lines) + "\n"
+    rendered = "\n".join(lines) + "\n"
+    if status.pipeline is not None:
+        rendered += "\n" + render_metrics(status.pipeline)
+    return rendered

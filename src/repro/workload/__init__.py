@@ -1,6 +1,12 @@
 """Workload substrate: growth models and synthetic RIS/RV-like streams."""
 
 from .generator import StreamConfig, SyntheticStreamGenerator
+from .streams import (
+    generated_session_streams,
+    poisson_session_streams,
+    split_by_vp,
+    vp_streams,
+)
 from .growth import (
     GrowthPoint,
     active_ases,
@@ -20,7 +26,11 @@ __all__ = [
     "SyntheticStreamGenerator",
     "active_ases",
     "coverage_fraction",
+    "generated_session_streams",
     "growth_series",
+    "poisson_session_streams",
+    "split_by_vp",
+    "vp_streams",
     "quadratic_growth_factor",
     "ris_vp_ases",
     "rv_vp_ases",

@@ -1,0 +1,90 @@
+"""Stream adapters: turning workloads into per-session update feeds.
+
+The concurrent runtime (:mod:`repro.pipeline`) consumes one
+time-ordered iterator per peering session.  This module adapts the
+repo's update sources to that shape: splitting a flat archive replay
+by VP, wrapping the synthetic generator, and minting daemon-style
+Poisson session streams for capacity experiments against the Table-1
+analytic model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..bgp.message import BGPUpdate
+from ..bgp.prefix import Prefix
+from .generator import StreamConfig, SyntheticStreamGenerator
+
+
+def split_by_vp(updates: Sequence[BGPUpdate]
+                ) -> Dict[str, List[BGPUpdate]]:
+    """Split a flat update stream into per-VP time-ordered lists.
+
+    The relative order of each VP's updates is preserved, so a
+    time-sorted input yields time-sorted per-session streams — the
+    contract :class:`repro.pipeline.CollectionPipeline` requires.
+    """
+    streams: Dict[str, List[BGPUpdate]] = {}
+    for update in updates:
+        streams.setdefault(update.vp, []).append(update)
+    for stream in streams.values():
+        stream.sort(key=lambda u: u.time)
+    return streams
+
+
+def vp_streams(updates: Sequence[BGPUpdate]
+               ) -> Dict[str, Iterator[BGPUpdate]]:
+    """Per-VP iterators over a flat stream (see :func:`split_by_vp`)."""
+    return {vp: iter(stream)
+            for vp, stream in split_by_vp(updates).items()}
+
+
+def generated_session_streams(config: Optional[StreamConfig] = None,
+                              include_warmup: bool = False
+                              ) -> Dict[str, List[BGPUpdate]]:
+    """Per-session streams straight from the synthetic generator."""
+    generator = SyntheticStreamGenerator(config)
+    warmup, stream = generator.generate()
+    return split_by_vp(warmup + stream if include_warmup else stream)
+
+
+def poisson_session_streams(n_sessions: int,
+                            rate_per_hour: float,
+                            duration_s: float,
+                            n_prefixes: int = 64,
+                            seed: Optional[int] = 0
+                            ) -> Dict[str, List[BGPUpdate]]:
+    """Homogeneous Poisson per-session streams for capacity studies.
+
+    Mints ``n_sessions`` independent sessions whose arrivals follow
+    the §8 daemon workload: exponential inter-arrival times at
+    ``rate_per_hour`` per session over ``duration_s`` of stream time.
+    This is the empirical twin of the arrival process that
+    :func:`repro.bgp.daemon.steady_state_loss` assumes, so pipeline
+    drop rates can be compared against the analytic Table-1 cells.
+    """
+    if n_sessions <= 0:
+        raise ValueError("need at least one session")
+    if rate_per_hour < 0 or duration_s <= 0:
+        raise ValueError("rate must be nonnegative, duration positive")
+    rng = random.Random(seed)
+    rate_per_s = rate_per_hour / 3600.0
+    prefixes = [Prefix.from_index(i) for i in range(n_prefixes)]
+    streams: Dict[str, List[BGPUpdate]] = {}
+    for index in range(n_sessions):
+        vp = f"peer{index}"
+        peer_asn = 20_000 + index
+        stream: List[BGPUpdate] = []
+        time = 0.0
+        while rate_per_s > 0:
+            time += rng.expovariate(rate_per_s)
+            if time >= duration_s:
+                break
+            prefix = prefixes[rng.randrange(n_prefixes)]
+            origin = 1_000 + rng.randrange(256)
+            stream.append(BGPUpdate(vp, time, prefix,
+                                    (peer_asn, 30_000, origin)))
+        streams[vp] = stream
+    return streams

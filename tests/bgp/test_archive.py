@@ -103,6 +103,58 @@ class TestConsumerSide:
         assert writer.interval_s == RIS_INTERVAL_S
 
 
+class TestSparseAndEdgeCases:
+    """Archive behaviour around empty slots and boundaries."""
+
+    @pytest.fixture
+    def sparse(self, tmp_path):
+        # Updates skip entire interval slots: slots 0, 7 and 31 are
+        # published, everything between stays empty.
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        writer.write_stream([upd(10.0), upd(50.0),
+                             upd(750.0), upd(3150.0)])
+        writer.close()
+        return writer
+
+    def test_skipped_slots_produce_no_segments(self, sparse):
+        assert [s.start for s in sparse.segments] == [0.0, 700.0, 3100.0]
+
+    def test_segment_for_inside_gap(self, sparse):
+        assert sparse.segment_for(350.0) is None
+        assert sparse.segment_for(2999.0) is None
+
+    def test_segment_for_boundaries(self, sparse):
+        assert sparse.segment_for(700.0).start == 700.0
+        assert sparse.segment_for(799.9).start == 700.0
+        assert sparse.segment_for(800.0) is None
+        assert sparse.segment_for(-5.0) is None
+
+    def test_read_range_over_gap(self, sparse):
+        assert [u.time for u in sparse.read_range(0.0, 3200.0)] == \
+            [10.0, 50.0, 750.0, 3150.0]
+        assert sparse.read_range(100.0, 700.0) == []
+
+    def test_close_on_empty_writer(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        assert writer.close() is None
+        assert writer.segments == []
+        assert writer.read_range(0.0, 1e9) == []
+        assert writer.segment_for(0.0) is None
+
+    def test_compressed_roundtrip_across_boundary(self, tmp_path):
+        """read_range spanning a segment boundary, bz2 on."""
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=True)
+        times = [80.0, 95.0, 105.0, 120.0]
+        writer.write_stream([upd(t) for t in times])
+        writer.close()
+        assert len(writer.segments) == 2
+        assert all(s.path.endswith(".mrt.bz2") for s in writer.segments)
+        spanning = writer.read_range(90.0, 110.0)
+        assert [u.time for u in spanning] == [95.0, 105.0]
+        assert [u.time for u in writer.read_range(0.0, 200.0)] == times
+
+
 class TestRIBDumps:
     def test_rib_dump_roundtrip(self, tmp_path):
         from repro.bgp.rib import Route

@@ -90,3 +90,38 @@ class TestSimulatedLoss:
 
     def test_zero_rate(self):
         assert simulate_loss(10, 0.0, True, seed=1) == 0.0
+
+    def test_arrival_past_horizon_not_counted(self):
+        """Regression: the arrival landing past ``duration_s`` used to
+        inflate the arrival total, biasing short-duration runs."""
+        import random
+
+        peers, rate_per_hour, duration_s, seed = 1, 3600.0, 8.0, 5
+        # Replay the generator to count the arrivals that genuinely
+        # land inside the window.
+        rng = random.Random(seed)
+        arrivals_in_window = 0
+        now = 0.0
+        while True:
+            now += rng.expovariate(peers * rate_per_hour / 3600.0)
+            if now >= duration_s:
+                break
+            arrivals_in_window += 1
+        assert arrivals_in_window >= 2
+
+        # With a near-zero CPU and no queue, the first arrival grabs
+        # the server forever and every later in-window arrival is lost,
+        # so the loss fraction exposes the denominator exactly.
+        loss = simulate_loss(peers, rate_per_hour, True,
+                             duration_s=duration_s, capacity=1e-9,
+                             queue_capacity=1, seed=seed)
+        # One served + one queued; the rest of the window is lost.
+        expected = (arrivals_in_window - 2) / arrivals_in_window
+        assert loss == pytest.approx(expected)
+
+    def test_empty_window_loses_nothing(self):
+        """A window shorter than the first inter-arrival gap sees no
+        arrivals at all and must report zero loss, not divide by the
+        phantom past-horizon arrival."""
+        assert simulate_loss(1, 3600.0, True, duration_s=1e-9,
+                             seed=0) == 0.0

@@ -1,0 +1,148 @@
+"""Tests for the pipeline metrics hub."""
+
+import threading
+
+import pytest
+
+from repro.pipeline.metrics import (
+    LatencyHistogram,
+    PipelineMetrics,
+    render_metrics,
+)
+from repro.pipeline.queues import BoundedQueue, QueueEmpty
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.99) == 0.0
+
+    def test_percentile_brackets_samples(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(1e-5)
+        hist.record(1.0)
+        assert hist.percentile(0.5) < 1e-3
+        assert hist.percentile(0.999) >= 1.0
+
+    def test_mean(self):
+        hist = LatencyHistogram()
+        hist.record(1.0)
+        hist.record(3.0)
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_thread_safe_counts(self):
+        hist = LatencyHistogram()
+
+        def record():
+            for _ in range(1000):
+                hist.record(1e-4)
+
+        threads = [threading.Thread(target=record) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 8000
+
+
+class TestBoundedQueue:
+    def test_capacity_enforced(self):
+        queue = BoundedQueue(2)
+        assert queue.try_put(1) and queue.try_put(2)
+        assert not queue.try_put(3)
+        assert queue.get() == 1
+        assert queue.try_put(3)
+
+    def test_fifo(self):
+        queue = BoundedQueue(10)
+        for i in range(5):
+            queue.put(i)
+        assert [queue.get() for _ in range(5)] == list(range(5))
+
+    def test_get_timeout(self):
+        queue = BoundedQueue(1)
+        with pytest.raises(QueueEmpty):
+            queue.get(timeout=0.01)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+    def test_gauge_high_water(self):
+        queue = BoundedQueue(8)
+        for i in range(6):
+            queue.put(i)
+        for _ in range(6):
+            queue.get()
+        assert queue.gauge.high_water == 6
+        assert queue.gauge.value == 0
+
+    def test_put_blocks_until_space(self):
+        queue = BoundedQueue(1)
+        queue.put("a")
+        done = []
+
+        def producer():
+            queue.put("b")
+            done.append(True)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        thread.join(0.05)
+        assert not done                 # still blocked on the full queue
+        assert queue.get(timeout=1.0) == "a"
+        thread.join(1.0)
+        assert done
+
+
+class TestPipelineMetrics:
+    def test_session_accounting(self):
+        metrics = PipelineMetrics()
+        metrics.register_session("vp1")
+        metrics.register_session("vp2")
+        for _ in range(3):
+            metrics.session_enqueued("vp1")
+        metrics.session_dropped("vp1")
+        metrics.session_enqueued("vp2")
+        snap = metrics.snapshot()
+        assert snap.received == 5
+        assert snap.ingest_dropped == 1
+        assert snap.loss_fraction == pytest.approx(0.2)
+        by_name = {s.session: s for s in snap.sessions}
+        assert by_name["vp1"].drop_rate == pytest.approx(0.25)
+        assert by_name["vp2"].drop_rate == 0.0
+
+    def test_disposition_counters(self):
+        metrics = PipelineMetrics()
+        metrics.update_processed(True)
+        metrics.update_processed(False)
+        metrics.update_processed(False, flagged=True)
+        metrics.update_processed(True, forwarded_to=2)
+        snap = metrics.snapshot()
+        assert snap.retained == 2
+        assert snap.discarded == 1
+        assert snap.flagged == 1
+        assert snap.forwarded == 2
+        assert snap.processed == 4
+
+    def test_render_contains_stages(self):
+        metrics = PipelineMetrics()
+        metrics.register_session("vp1")
+        metrics.session_enqueued("vp1")
+        metrics.update_processed(True)
+        text = render_metrics(metrics.snapshot(), per_session=True)
+        assert "pipeline metrics" in text
+        assert "ingest" in text and "process" in text and "write" in text
+        assert "vp1" in text
+
+    def test_throughput_zero_before_start(self):
+        snap = PipelineMetrics().snapshot()
+        assert snap.throughput_ups == 0.0
+        assert snap.wall_time_s == 0.0

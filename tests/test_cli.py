@@ -87,6 +87,36 @@ class TestOrchestrate:
         assert "component #1 runs:" in out
 
 
+class TestPipeline:
+    def test_flood_run(self, archive, capsys):
+        code = main(["pipeline", archive, "--shards", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline metrics" in out
+        assert "ingest-dropped 0" in out
+
+    def test_with_filters_validation_and_archive(self, archive, tmp_path,
+                                                 capsys):
+        out_dir = str(tmp_path / "segments")
+        code = main(["pipeline", archive,
+                     "--train-filters", "--validate",
+                     "--shard-by", "prefix",
+                     "--archive-dir", out_dir,
+                     "--per-session"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained" in out
+        assert "wrote" in out and "segments" in out
+        assert "session" in out
+
+    def test_empty_archive(self, tmp_path, capsys):
+        from repro.bgp.mrt import write_archive
+        path = str(tmp_path / "empty.mrt.bz2")
+        write_archive([], path)
+        assert main(["pipeline", path]) == 0
+        assert "no updates" in capsys.readouterr().out
+
+
 class TestInfoCommands:
     def test_growth(self, capsys):
         assert main(["growth", "--start", "2020", "--end", "2023"]) == 0
