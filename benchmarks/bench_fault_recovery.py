@@ -1,0 +1,235 @@
+"""Loss and recovery-time under injected faults vs. the no-fault run.
+
+The robustness claim of the supervised runtime (docs/FAULTS.md) is
+that a seeded chaos plan — session flaps, a stuck shard, archive I/O
+failures, a writer crash — costs bounded, *accounted* loss and bounded
+extra wall time, never a hung pipeline or a corrupt archive.  This
+benchmark measures exactly that:
+
+* baseline — the epoch with no faults: wall time, archive contents;
+* chaos — the same epoch under a seeded :class:`FaultPlan` with
+  flaps, a stuck shard and an archive I/O error: the loss-accounting
+  identity must hold, the watchdog must have released the stuck
+  shard, and the slowdown is reported;
+* crash + resume — the writer is killed mid-epoch, the archive is
+  recovered from its checkpoint, and a fresh run resumes from the
+  durable watermark: the final archive must equal the baseline's
+  exactly, and the recovery overhead is reported.
+
+``REPRO_BENCH_QUICK=1`` shrinks the workload for CI smoke runs; the
+module also runs standalone: ``python bench_fault_recovery.py``.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+try:
+    from conftest import print_series
+except ImportError:                      # standalone invocation
+    def print_series(title, rows):
+        print(f"\n=== {title} ===")
+        for row in rows:
+            print("  " + row)
+
+from repro.bgp.archive import RollingArchiveWriter
+from repro.pipeline import (
+    CollectionPipeline,
+    FaultPlan,
+    InjectedCrash,
+    PipelineConfig,
+    SupervisorConfig,
+)
+from repro.workload import StreamConfig, SyntheticStreamGenerator, \
+    split_by_vp
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SEED = 1848
+N_VPS = 8 if QUICK else 16
+DURATION_S = 1200.0 if QUICK else 3600.0
+INTERVAL_S = 120.0
+TIMEOUT = 120.0
+
+#: Test-scale supervision: fast backoff and watchdog so the injected
+#: flaps and the infinite stall resolve in milliseconds, not seconds.
+SUPERVISION = dict(backoff_initial_s=0.01, backoff_max_s=0.05,
+                   watchdog_interval_s=0.02, stall_timeout_s=0.1,
+                   seed=SEED)
+
+
+def make_stream():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=N_VPS, n_prefix_groups=12, duration_s=DURATION_S,
+        seed=SEED,
+    ))
+    _, stream = generator.generate()
+    return stream
+
+
+def chaos_plan(streams):
+    """The acceptance-criteria plan: >=1 flap, >=1 stuck shard, one
+    archive I/O error — all at fixed, seed-independent positions."""
+    sessions = sorted(streams)
+    return FaultPlan.parse(
+        f"disconnect={sessions[0]}@10x2,"
+        f"disconnect={sessions[1]}@25,"
+        "stall=shard0@15~inf,"
+        "io-error=writer@30")
+
+
+def run_epoch(stream, archive_dir, fault_plan=None, timeout=TIMEOUT):
+    archive = RollingArchiveWriter(archive_dir, interval_s=INTERVAL_S,
+                                   compress=False, checkpoint=True)
+    pipeline = CollectionPipeline(
+        PipelineConfig(
+            n_shards=4, overflow_policy="block",
+            fault_plan=fault_plan,
+            supervision=SupervisorConfig(**SUPERVISION),
+        ),
+        archive=archive,
+    )
+    start = time.perf_counter()
+    result = pipeline.run(split_by_vp(stream), timeout=timeout)
+    return result, archive, time.perf_counter() - start
+
+
+def run_crash_resume(stream, archive_dir, crash_at):
+    """Crash the writer mid-epoch, then resume from the checkpoint.
+
+    Returns (resumed result, recovered archive, recovery report,
+    total wall seconds including both attempts).
+    """
+    start = time.perf_counter()
+    archive = RollingArchiveWriter(archive_dir, interval_s=INTERVAL_S,
+                                   compress=False, checkpoint=True)
+    pipeline = CollectionPipeline(
+        PipelineConfig(
+            n_shards=4, overflow_policy="block",
+            fault_plan=FaultPlan.parse(f"crash=writer@{crash_at}"),
+            supervision=SupervisorConfig(**SUPERVISION),
+        ),
+        archive=archive,
+    )
+    try:
+        pipeline.run(split_by_vp(stream), timeout=TIMEOUT)
+        raise AssertionError("injected crash did not fire")
+    except InjectedCrash:
+        pass
+
+    recovered = RollingArchiveWriter(archive_dir, interval_s=INTERVAL_S,
+                                     compress=False, checkpoint=True)
+    report = recovered.recover()
+    watermark = report.watermark or 0.0
+    resume_stream = [u for u in stream if u.time >= watermark]
+    resumed = CollectionPipeline(
+        PipelineConfig(n_shards=4, overflow_policy="block",
+                       supervision=SupervisorConfig(**SUPERVISION)),
+        archive=recovered,
+    )
+    result = resumed.run(split_by_vp(resume_stream), timeout=TIMEOUT)
+    return result, recovered, report, time.perf_counter() - start
+
+
+def archive_contents(archive):
+    return [(u.time, u.vp, str(u.prefix))
+            for u in archive.read_range(0.0, 1e15)]
+
+
+def check_chaos(result):
+    assert result.accounted, "loss identity violated under chaos"
+    sup = result.metrics.supervision
+    assert sup.session_restarts >= 3      # both flapped sessions
+    assert sup.worker_restarts >= 1       # watchdog released shard0
+    assert sup.archive_recoveries >= 1    # io-error recovered
+    assert result.metrics.supervision.order_violations == 0
+
+
+def check_crash_resume(result, baseline_archive, recovered_archive):
+    assert result.accounted, "loss identity violated after resume"
+    assert archive_contents(recovered_archive) \
+        == archive_contents(baseline_archive), \
+        "recovered archive differs from the uninterrupted epoch"
+
+
+def run_all(workdir):
+    stream = make_stream()
+
+    baseline_dir = os.path.join(workdir, "baseline")
+    base_result, base_archive, base_s = run_epoch(stream, baseline_dir)
+    assert base_result.accounted
+
+    chaos_dir = os.path.join(workdir, "chaos")
+    plan = chaos_plan(split_by_vp(stream))
+    chaos_result, chaos_archive, chaos_s = run_epoch(
+        stream, chaos_dir, fault_plan=plan)
+    check_chaos(chaos_result)
+    lost_to_faults = (base_result.metrics.received
+                      - chaos_result.metrics.received)
+
+    resume_dir = os.path.join(workdir, "resume")
+    # Crash deep enough into the epoch that segments are already
+    # durable — the interesting case for checkpoint recovery.
+    crash_at = max(40, base_result.metrics.retained // 2)
+    resume_result, recovered, report, resume_s = run_crash_resume(
+        stream, resume_dir, crash_at=crash_at)
+    check_crash_resume(resume_result, base_archive, recovered)
+
+    return {
+        "offered": len(stream),
+        "baseline_s": base_s,
+        "chaos_s": chaos_s,
+        "chaos_supervision": chaos_result.metrics.supervision,
+        "chaos_dropped": chaos_result.metrics.ingest_dropped,
+        "lost_to_faults": lost_to_faults,
+        "fault_log": chaos_result.fault_log,
+        "resume_s": resume_s,
+        "resume_watermark": report.watermark,
+        "resume_torn": len(report.torn_removed),
+    }
+
+
+def report_rows(stats):
+    sup = stats["chaos_supervision"]
+    overhead = stats["chaos_s"] / stats["baseline_s"] - 1.0
+    recovery = stats["resume_s"] / stats["baseline_s"] - 1.0
+    return [
+        f"offered {stats['offered']} updates; baseline epoch "
+        f"{stats['baseline_s']:.2f}s",
+        f"chaos epoch {stats['chaos_s']:.2f}s ({overhead:+.0%} wall), "
+        f"restarts {sup.session_restarts}, "
+        f"worker-restarts {sup.worker_restarts}, "
+        f"archive-recoveries {sup.archive_recoveries}",
+        f"chaos loss: {stats['lost_to_faults']} unoffered + "
+        f"{stats['chaos_dropped']} dropped + "
+        f"{sup.archive_lost} archive-lost (all accounted)",
+        f"crash+resume {stats['resume_s']:.2f}s ({recovery:+.0%} vs "
+        f"one clean epoch), watermark "
+        + ("none" if stats["resume_watermark"] is None
+           else f"{stats['resume_watermark']:.0f}")
+        + f", torn segments deleted: {stats['resume_torn']}, "
+        f"archive identical to baseline",
+    ]
+
+
+def test_fault_recovery_round_trip(benchmark, tmp_path):
+    stats = benchmark.pedantic(run_all, args=(str(tmp_path),),
+                               rounds=1, iterations=1)
+    print_series("Fault injection — loss and recovery time",
+                 report_rows(stats))
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="bench-faults-")
+    try:
+        stats = run_all(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    for row in report_rows(stats):
+        print(row)
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

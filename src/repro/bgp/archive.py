@@ -10,21 +10,36 @@ directory, and an index lets consumers locate the file for any time.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import bz2
 
 from .message import BGPUpdate
-from .mrt import RIBRecord, encode_rib_entry, read_archive, write_archive
+from .mrt import MRTError, RIBRecord, encode_rib_entry, read_archive, \
+    write_archive
 from .rib import Route
 
 #: RIS publishes 5-minute update files; RV publishes 15-minute files.
 RIS_INTERVAL_S = 300.0
 RV_INTERVAL_S = 900.0
+
+#: Manifest file of a checkpointed archive directory.
+CHECKPOINT_NAME = "CHECKPOINT.json"
+
+
+def _fsync_path(path: str) -> None:
+    """fsync a file or directory by path (directory fsync makes the
+    rename of the checkpoint durable, not just the file contents)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -37,22 +52,47 @@ class ArchiveSegment:
     count: int
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`RollingArchiveWriter.recover` found and fixed."""
+
+    #: Time up to which the archive is durable (exclusive); None when
+    #: no segment survived.  Resume feeds updates at or after this.
+    watermark: Optional[float]
+    #: Segments that survived recovery.
+    segments: int
+    #: Torn segment files that were deleted (on disk, not in manifest).
+    torn_removed: Tuple[str, ...]
+    #: Buffered updates of the open interval discarded by recovery.
+    lost_pending: int
+
+
 class RollingArchiveWriter:
     """Write retained updates into per-interval MRT files.
 
     Updates must arrive in nondecreasing time order (the platform's
     natural ordering).  An interval's file is written when the first
     update of a *later* interval arrives, or on :meth:`close`.
+
+    With ``checkpoint=True`` every flushed segment is fsync'd and the
+    directory's ``CHECKPOINT.json`` manifest is atomically rewritten
+    (tmp file + fsync + rename), making the archive crash-consistent:
+    after any crash, :meth:`recover` deletes torn segment files (on
+    disk but not in the manifest), drops a corrupt trailing segment,
+    and rewinds the writer to the last durable watermark so an
+    interrupted collection epoch can resume exactly there.
     """
 
     def __init__(self, directory: str,
                  interval_s: float = RIS_INTERVAL_S,
-                 compress: bool = True):
+                 compress: bool = True,
+                 checkpoint: bool = False):
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.directory = directory
         self.interval_s = interval_s
         self.compress = compress
+        self.checkpoint_enabled = checkpoint
         self.segments: List[ArchiveSegment] = []
         # Segment start times, for bisection: segments are flushed in
         # time order, so ``_starts`` is strictly increasing.
@@ -61,6 +101,15 @@ class RollingArchiveWriter:
         self._current_slot: Optional[int] = None
         self._last_time: Optional[float] = None
         os.makedirs(directory, exist_ok=True)
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, CHECKPOINT_NAME)
+
+    @property
+    def durable_watermark(self) -> Optional[float]:
+        """End of the last checkpointed segment (exclusive), if any."""
+        return self.segments[-1].end if self.segments else None
 
     def _slot(self, time: float) -> int:
         return int(math.floor(time / self.interval_s))
@@ -99,6 +148,8 @@ class RollingArchiveWriter:
             return None
         path = self._segment_path(self._current_slot)
         count = write_archive(self._pending, path, self.compress)
+        if self.checkpoint_enabled:
+            _fsync_path(path)
         segment = ArchiveSegment(
             self._current_slot * self.interval_s,
             (self._current_slot + 1) * self.interval_s,
@@ -107,6 +158,11 @@ class RollingArchiveWriter:
         self.segments.append(segment)
         self._starts.append(segment.start)
         self._pending = []
+        if self.checkpoint_enabled:
+            # The manifest is updated only after the segment is
+            # durable, so a crash between the two leaves a torn file
+            # that recovery identifies and deletes.
+            self._write_checkpoint()
         return segment
 
     def close(self) -> Optional[ArchiveSegment]:
@@ -114,6 +170,89 @@ class RollingArchiveWriter:
         segment = self._flush()
         self._current_slot = None
         return segment
+
+    # -- crash consistency --------------------------------------------------
+
+    def _write_checkpoint(self) -> None:
+        """Atomically persist the segment manifest + durable watermark."""
+        state = {
+            "interval_s": self.interval_s,
+            "compress": self.compress,
+            "watermark": self.durable_watermark,
+            "segments": [
+                {"start": s.start, "end": s.end, "count": s.count,
+                 "file": os.path.basename(s.path)}
+                for s in self.segments
+            ],
+        }
+        tmp = self.checkpoint_path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(state, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.checkpoint_path)
+        _fsync_path(self.directory)
+
+    def _load_checkpoint(self) -> List[ArchiveSegment]:
+        if not os.path.exists(self.checkpoint_path):
+            return []
+        with open(self.checkpoint_path) as handle:
+            state = json.load(handle)
+        return [
+            ArchiveSegment(entry["start"], entry["end"],
+                           os.path.join(self.directory, entry["file"]),
+                           entry["count"])
+            for entry in state.get("segments", [])
+        ]
+
+    def recover(self) -> RecoveryReport:
+        """Restore the crash-consistent on-disk state and rewind.
+
+        The manifest is the source of truth: any ``updates.*`` file on
+        disk that it does not list is a torn write and is deleted; a
+        manifest entry whose file is missing or unparseable truncates
+        the manifest there.  Buffered updates of the open interval are
+        discarded (they were never durable) and counted in the report.
+        The writer itself is rewound to the durable watermark, so the
+        next ``write`` may carry any time at or after it.
+        """
+        if not self.checkpoint_enabled:
+            raise RuntimeError(
+                "recover() requires a checkpointed archive "
+                "(checkpoint=True); refusing to delete segments of an "
+                "unmanaged directory")
+        manifest = self._load_checkpoint()
+        # Truncate at the first missing or corrupt segment.  Only the
+        # last entry can legitimately be damaged (earlier ones were
+        # durable before it was manifested), but verify pessimistically.
+        durable: List[ArchiveSegment] = []
+        for segment in manifest:
+            if not os.path.exists(segment.path) \
+                    or not self._parses(segment.path):
+                break
+            durable.append(segment)
+        listed = {os.path.basename(s.path) for s in durable}
+        torn: List[str] = []
+        for name in sorted(os.listdir(self.directory)):
+            if name.startswith("updates.") and name not in listed:
+                os.remove(os.path.join(self.directory, name))
+                torn.append(name)
+        lost = len(self._pending)
+        self.segments = durable
+        self._starts = [s.start for s in durable]
+        self._pending = []
+        self._current_slot = None
+        self._last_time = self.durable_watermark
+        self._write_checkpoint()
+        return RecoveryReport(self.durable_watermark, len(durable),
+                              tuple(torn), lost)
+
+    def _parses(self, path: str) -> bool:
+        try:
+            read_archive(path, self.compress)
+            return True
+        except (OSError, EOFError, ValueError, MRTError):
+            return False
 
     # -- consumer side ----------------------------------------------------
 

@@ -85,6 +85,9 @@ class SessionManager:
         self.filters = filters or FilterTable()
         self.sessions: Dict[str, PeeringSession] = {}
         self._requests: Dict[str, PeeringRequest] = {}
+        #: Updates dropped by :meth:`receive_stream` because their
+        #: session was unknown or not active.
+        self.skipped_count = 0
 
     # -- onboarding -------------------------------------------------------
 
@@ -139,8 +142,32 @@ class SessionManager:
         return False
 
     def receive_stream(self, updates: Iterable[BGPUpdate]) -> int:
-        """Process a stream; returns how many updates were retained."""
-        return sum(1 for update in updates if self.receive(update))
+        """Process a stream; returns how many updates were retained.
+
+        Updates from unknown or non-active sessions are skipped and
+        counted (``skipped_count``) instead of aborting the stream —
+        one misbehaving feeder must not cost every other peer's data.
+        """
+        retained = 0
+        for update in updates:
+            try:
+                if self.receive(update):
+                    retained += 1
+            except PeeringError:
+                self.skipped_count += 1
+        return retained
+
+    def redump_rib(self, vp: str) -> List[Route]:
+        """Snapshot a session's RIB out of schedule.
+
+        §8: when a session (re-)establishes, the peer re-announces its
+        table, so the platform dumps the RIB state at that moment
+        rather than waiting for the eight-hour timer.
+        """
+        session = self._get(vp)
+        snapshot = session.rib.snapshot()
+        session.rib_dumps.append(snapshot)
+        return snapshot
 
     def _maybe_dump_rib(self, session: PeeringSession, now: float) -> None:
         if session._last_dump_time is None:

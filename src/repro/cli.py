@@ -8,7 +8,10 @@ Gives operators the platform's everyday verbs without writing Python:
                     archive plus the public filters/anchors documents
 * ``orchestrate`` — replay an archive through the orchestrator control loop
 * ``pipeline``    — replay an archive through the concurrent collection
-                    runtime (sharded sessions, bounded queues, live metrics)
+                    runtime (sharded sessions, bounded queues, live
+                    metrics, optional fault injection)
+* ``recover``     — recover a checkpointed archive directory after a
+                    crash (delete torn segments, report the watermark)
 * ``growth``      — print the Figs. 2-3 historical series
 * ``survey``      — print the §16 survey (Table 4)
 """
@@ -145,8 +148,10 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     from .bgp.validation import RouteValidator
     from .pipeline import (
         CollectionPipeline,
+        FaultPlan,
         PipelineConfig,
         ServiceCostModel,
+        SupervisorConfig,
         render_metrics,
     )
     from .workload.streams import split_by_vp
@@ -168,10 +173,26 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.archive_dir:
         archive = RollingArchiveWriter(args.archive_dir,
                                        interval_s=args.interval,
-                                       compress=not args.no_compress)
+                                       compress=not args.no_compress,
+                                       checkpoint=args.checkpoint)
+    elif args.checkpoint:
+        print("--checkpoint requires --archive-dir", file=sys.stderr)
+        return 2
     cost_model = None
     if args.model_cpu:
         cost_model = ServiceCostModel(args.capacity or CPU_CAPACITY)
+
+    streams = split_by_vp(updates)
+    fault_plan = None
+    if args.faults:
+        fault_plan = FaultPlan.parse(args.faults)
+    elif args.chaos:
+        fault_plan = FaultPlan.seeded(
+            args.chaos_seed, sorted(streams), args.shards,
+            horizon=max(2, len(updates) // max(1, len(streams))))
+    if fault_plan:
+        print(f"fault plan: {fault_plan.describe()}")
+
     pipeline = CollectionPipeline(
         PipelineConfig(
             n_shards=args.shards,
@@ -180,20 +201,41 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             overflow_policy=args.policy,
             time_scale=args.time_scale,
             cost_model=cost_model,
+            fault_plan=fault_plan,
+            supervision=SupervisorConfig(seed=args.seed),
         ),
         filters=filters,
         validator=RouteValidator() if args.validate else None,
         archive=archive,
     )
-    result = pipeline.run(split_by_vp(updates))
+    result = pipeline.run(streams)
     print(render_metrics(result.metrics, per_session=args.per_session),
           end="")
+    for event in result.fault_log:
+        print(f"fault fired: {event}")
     if archive is not None:
         print(f"wrote {len(result.segments)} segments to "
               f"{args.archive_dir}")
     if not result.accounted:
         print("WARNING: pipeline lost queued updates", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from .bgp.archive import RollingArchiveWriter
+
+    archive = RollingArchiveWriter(args.directory,
+                                   interval_s=args.interval,
+                                   compress=not args.no_compress,
+                                   checkpoint=True)
+    report = archive.recover()
+    for name in report.torn_removed:
+        print(f"deleted torn segment {name}")
+    watermark = "none" if report.watermark is None \
+        else f"{report.watermark:.0f}"
+    print(f"recovered: {report.segments} durable segments, "
+          f"watermark {watermark}")
     return 0
 
 
@@ -284,9 +326,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="archive segment interval in seconds")
     p.add_argument("--per-session", action="store_true",
                    help="print per-session ingest/drop rows")
+    p.add_argument("--faults",
+                   help="inject faults: kind=target@at[xN][~dur], "
+                        "comma-separated (e.g. disconnect=vp-1@50x2,"
+                        "stall=shard0@40~inf,io-error=writer@2)")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a seeded random fault plan")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for the --chaos fault plan")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="crash-consistent archive checkpointing "
+                        "(requires --archive-dir)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("recover",
+                       help="recover a checkpointed archive directory")
+    p.add_argument("directory")
+    p.add_argument("--interval", type=float, default=300.0,
+                   help="archive segment interval in seconds")
+    p.add_argument("--no-compress", action="store_true")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("growth", help="print the Figs. 2-3 series")
     p.add_argument("--start", type=int, default=2003)

@@ -63,6 +63,10 @@ class OrchestratorStats:
     discarded: int = 0
     component1_runs: int = 0
     component2_runs: int = 0
+    #: Epochs restarted from an archive checkpoint after a crash.
+    epoch_resumes: int = 0
+    #: Out-of-schedule RIB dumps triggered by session (re)establishment.
+    rib_redumps: int = 0
 
     @property
     def retention(self) -> float:
@@ -150,7 +154,9 @@ class Orchestrator:
     def run_pipeline_epoch(self, streams: "Mapping[str, Iterable[BGPUpdate]]",
                            pipeline_config: "Optional[PipelineConfig]" = None,
                            archive: "Optional[RollingArchiveWriter]" = None,
-                           timeout: Optional[float] = None
+                           timeout: Optional[float] = None,
+                           sessions: Optional["object"] = None,
+                           resume: bool = False
                            ) -> "PipelineResult":
         """Collect one epoch concurrently on :mod:`repro.pipeline`.
 
@@ -163,8 +169,51 @@ class Orchestrator:
         time order) so the training mirror and the refresh deadlines
         advance exactly as in sequential mode, and a due refresh fires
         at the epoch boundary instead of mid-stream.
+
+        ``resume=True`` restarts an epoch interrupted by a crash: the
+        (checkpointed) ``archive`` is recovered first — torn segments
+        deleted, writer rewound — and each session replays only the
+        updates at or after the durable watermark, so the archive ends
+        up exactly as if the crash had never happened.  A fresh
+        orchestrator is required (the mirror of the crashed process is
+        gone with it).
+
+        ``sessions`` may carry the :class:`~repro.bgp.session.
+        SessionManager` owning these peers; each flap re-establishment
+        and each resumed session then re-dumps its RIB, as §8
+        prescribes for (re)established sessions.
         """
         from ..pipeline.runtime import CollectionPipeline
+
+        on_reestablish = None
+        if sessions is not None:
+            def on_reestablish(name: str) -> None:
+                if name in sessions.sessions:
+                    sessions.redump_rib(name)
+                    self.stats.rib_redumps += 1
+
+        if resume:
+            if archive is None or not getattr(archive, "checkpoint_enabled",
+                                              False):
+                raise ValueError(
+                    "resume requires a checkpointed archive")
+            if self._last_time is not None:
+                raise RuntimeError(
+                    "resume needs a fresh orchestrator: the interrupted "
+                    "process's mirror state died with it")
+            report = archive.recover()
+            self.stats.epoch_resumes += 1
+            watermark = report.watermark
+            if watermark is not None:
+                def resumed(updates: "Iterable[BGPUpdate]"
+                            ) -> "Iterable[BGPUpdate]":
+                    return (u for u in updates if u.time >= watermark)
+                streams = {name: resumed(updates)
+                           for name, updates in streams.items()}
+            if on_reestablish is not None:
+                # §8: a resumed epoch re-establishes every session.
+                for name in streams:
+                    on_reestablish(name)
 
         def mirror(update: BGPUpdate, retained: bool) -> None:
             # Called by the writer thread in nondecreasing time order;
@@ -196,6 +245,7 @@ class Orchestrator:
             forwarding=self.forwarding,
             archive=archive,
             mirror=mirror,
+            on_reestablish=on_reestablish,
         )
         result = pipeline.run(streams, timeout=timeout)
         self.flagged_updates.extend(result.flagged)

@@ -106,6 +106,13 @@ class SessionSnapshot:
     session: str
     enqueued: int
     dropped: int
+    #: Supervision state: restarts after faults, malformed updates
+    #: skipped at the session boundary, and quarantine membership.
+    restarts: int = 0
+    malformed: int = 0
+    quarantined: bool = False
+    #: Current restart backoff in seconds (0 while established).
+    backoff_s: float = 0.0
 
     @property
     def offered(self) -> int:
@@ -114,6 +121,30 @@ class SessionSnapshot:
     @property
     def drop_rate(self) -> float:
         return self.dropped / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class SupervisionSnapshot:
+    """Fault-recovery accounting for one run (all zeros when healthy)."""
+
+    session_restarts: int = 0
+    quarantined: Tuple[str, ...] = ()
+    malformed: int = 0
+    degraded_episodes: int = 0
+    worker_restarts: int = 0
+    writer_io_errors: int = 0
+    archive_recoveries: int = 0
+    archive_lost: int = 0
+    rib_redumps: int = 0
+    order_violations: int = 0
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.session_restarts or self.quarantined
+                    or self.malformed or self.degraded_episodes
+                    or self.worker_restarts or self.writer_io_errors
+                    or self.archive_recoveries or self.archive_lost
+                    or self.rib_redumps or self.order_violations)
 
 
 @dataclass(frozen=True)
@@ -146,6 +177,8 @@ class PipelineMetricsSnapshot:
     wall_time_s: float
     stages: Tuple[StageSnapshot, ...] = ()
     sessions: Tuple[SessionSnapshot, ...] = ()
+    #: Fault-recovery counters (always present from ``snapshot()``).
+    supervision: Optional[SupervisionSnapshot] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -174,6 +207,18 @@ class PipelineMetrics:
         self.discarded = 0
         self.forwarded = 0
         self.segments = 0
+        # Supervision / fault-recovery accounting.
+        self._restarts: Dict[str, int] = {}
+        self._malformed: Dict[str, int] = {}
+        self._backoff: Dict[str, float] = {}
+        self._quarantined: List[str] = []
+        self.degraded_episodes = 0
+        self.worker_restarts = 0
+        self.writer_io_errors = 0
+        self.archive_recoveries = 0
+        self.archive_lost = 0
+        self.rib_redumps = 0
+        self.order_violations = 0
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -192,6 +237,51 @@ class PipelineMetrics:
         with self._lock:
             self._sessions[name][1] += count
         self.ingest.add(dropped=count)
+
+    # -- supervision accounting --------------------------------------------
+
+    def session_restarted(self, name: str) -> None:
+        with self._lock:
+            self._restarts[name] = self._restarts.get(name, 0) + 1
+
+    def session_quarantined(self, name: str) -> None:
+        with self._lock:
+            if name not in self._quarantined:
+                self._quarantined.append(name)
+
+    def session_malformed(self, name: str, count: int = 1) -> None:
+        with self._lock:
+            self._malformed[name] = self._malformed.get(name, 0) + count
+
+    def session_backoff(self, name: str, seconds: float) -> None:
+        """Record a session's current restart backoff (0 = established)."""
+        with self._lock:
+            self._backoff[name] = seconds
+
+    def session_degraded(self, name: str) -> None:
+        with self._lock:
+            self.degraded_episodes += 1
+
+    def worker_restarted(self, shard: int) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+
+    def writer_io_error(self) -> None:
+        with self._lock:
+            self.writer_io_errors += 1
+
+    def archive_recovered(self, lost: int = 0) -> None:
+        with self._lock:
+            self.archive_recoveries += 1
+            self.archive_lost += lost
+
+    def rib_redumped(self, name: str) -> None:
+        with self._lock:
+            self.rib_redumps += 1
+
+    def order_violation(self) -> None:
+        with self._lock:
+            self.order_violations += 1
 
     # -- worker / writer accounting ----------------------------------------
 
@@ -242,9 +332,28 @@ class PipelineMetrics:
 
     def snapshot(self) -> PipelineMetricsSnapshot:
         with self._lock:
+            quarantined = tuple(self._quarantined)
             sessions = tuple(
-                SessionSnapshot(name, enq, drop)
+                SessionSnapshot(
+                    name, enq, drop,
+                    restarts=self._restarts.get(name, 0),
+                    malformed=self._malformed.get(name, 0),
+                    quarantined=name in self._quarantined,
+                    backoff_s=self._backoff.get(name, 0.0),
+                )
                 for name, (enq, drop) in sorted(self._sessions.items())
+            )
+            supervision = SupervisionSnapshot(
+                session_restarts=sum(self._restarts.values()),
+                quarantined=quarantined,
+                malformed=sum(self._malformed.values()),
+                degraded_episodes=self.degraded_episodes,
+                worker_restarts=self.worker_restarts,
+                writer_io_errors=self.writer_io_errors,
+                archive_recoveries=self.archive_recoveries,
+                archive_lost=self.archive_lost,
+                rib_redumps=self.rib_redumps,
+                order_violations=self.order_violations,
             )
             flagged = self.flagged
             retained = self.retained
@@ -270,6 +379,7 @@ class PipelineMetrics:
                 self._stage_snapshot(self.write),
             ),
             sessions=sessions,
+            supervision=supervision,
         )
 
 
@@ -296,6 +406,24 @@ def render_metrics(snapshot: PipelineMetricsSnapshot,
         f"throughput {snapshot.throughput_ups:,.0f} upd/s "
         f"over {snapshot.wall_time_s:.2f}s",
     ]
+    supervision = snapshot.supervision
+    if supervision is not None:
+        lines.append(
+            f"supervision: restarts {supervision.session_restarts}  "
+            f"quarantined {len(supervision.quarantined)}  "
+            f"malformed {supervision.malformed}  "
+            f"degraded {supervision.degraded_episodes}  "
+            f"worker-restarts {supervision.worker_restarts}"
+        )
+        if (supervision.writer_io_errors or supervision.archive_recoveries
+                or supervision.rib_redumps or supervision.order_violations):
+            lines.append(
+                f"recovery: io-errors {supervision.writer_io_errors}  "
+                f"archive-recoveries {supervision.archive_recoveries}  "
+                f"archive-lost {supervision.archive_lost}  "
+                f"rib-redumps {supervision.rib_redumps}  "
+                f"order-violations {supervision.order_violations}"
+            )
     if snapshot.stages:
         lines.append(
             f"{'stage':>8s} {'done':>9s} {'drop':>7s} {'q':>5s} "
@@ -310,10 +438,13 @@ def render_metrics(snapshot: PipelineMetricsSnapshot,
                 f"{_format_latency(stage.latency_p99_s):>8s}"
             )
     if per_session and snapshot.sessions:
-        lines.append(f"{'session':>12s} {'enq':>8s} {'drop':>7s} {'loss':>6s}")
+        lines.append(f"{'session':>12s} {'enq':>8s} {'drop':>7s} "
+                     f"{'loss':>6s} {'rst':>4s} {'bad':>4s} {'state':>6s}")
         for row in snapshot.sessions:
+            state = "quar" if row.quarantined else "ok"
             lines.append(
                 f"{row.session:>12s} {row.enqueued:8d} {row.dropped:7d} "
-                f"{row.drop_rate:6.1%}"
+                f"{row.drop_rate:6.1%} {row.restarts:4d} "
+                f"{row.malformed:4d} {state:>6s}"
             )
     return "\n".join(lines) + "\n"

@@ -19,7 +19,12 @@ Guarantees:
   watermark reorder buffer in the writer stage;
 * **backpressure** — with the ``block`` overflow policy a full queue
   stalls its producer instead of losing data, all the way back to the
-  peer sessions.
+  peer sessions;
+* **supervision** — with a :class:`~repro.pipeline.faults.FaultPlan`
+  (or real misbehaving iterators) sessions restart with backoff and
+  quarantine after repeated flaps, a watchdog replaces stalled shard
+  workers and releases their watermark, and a dead writer poisons the
+  queues so no producer blocks forever behind it (docs/FAULTS.md).
 
 Each session's update iterator must be time-nondecreasing (the
 per-VP order that :func:`repro.workload.split_by_vp` produces).
@@ -28,6 +33,7 @@ per-VP order that :func:`repro.workload.split_by_vp` produces).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
     Sequence, Tuple
@@ -37,8 +43,9 @@ from ..bgp.filtering import FilterTable
 from ..bgp.message import BGPUpdate
 from ..bgp.validation import RouteValidator
 from ..core.forwarding import ForwardingService
+from .faults import FaultInjector, FaultPlan, SupervisorConfig
 from .metrics import PipelineMetrics, PipelineMetricsSnapshot
-from .queues import BoundedQueue
+from .queues import BoundedQueue, QueueClosed
 from .stages import PeerSession, ServiceCostModel, ShardWorker, WriterStage
 
 
@@ -67,6 +74,11 @@ class PipelineConfig:
     cost_model: Optional[ServiceCostModel] = None
     #: Keep at most this many quarantined updates for inspection.
     max_flagged_kept: int = 10_000
+    #: Deterministic chaos schedule; None runs fault-free.
+    fault_plan: Optional[FaultPlan] = None
+    #: Restart/backoff/watchdog policy (always in force — real
+    #: iterators can misbehave without an injected plan).
+    supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -86,6 +98,8 @@ class PipelineResult:
     metrics: PipelineMetricsSnapshot
     segments: Tuple[ArchiveSegment, ...]
     flagged: Tuple[BGPUpdate, ...]
+    #: Faults that actually fired, in firing order (chaos runs only).
+    fault_log: Tuple[str, ...] = ()
 
     @property
     def accounted(self) -> bool:
@@ -103,20 +117,33 @@ class CollectionPipeline:
                  validator: Optional[RouteValidator] = None,
                  forwarding: Optional[ForwardingService] = None,
                  archive: Optional[RollingArchiveWriter] = None,
-                 mirror: Optional[Callable[[BGPUpdate, bool], None]] = None):
+                 mirror: Optional[Callable[[BGPUpdate, bool], None]] = None,
+                 on_reestablish: Optional[Callable[[str], None]] = None):
         self.config = config or PipelineConfig()
         self.filters = filters if filters is not None else FilterTable()
         self.validator = validator
         self.forwarding = forwarding
         self.archive = archive
         self.mirror = mirror
+        #: Called with the session name each time a flapped session
+        #: re-establishes — the §8 hook for re-dumping its RIB.
+        self.on_reestablish = on_reestablish
         self.metrics = PipelineMetrics()
+        self.injector: Optional[FaultInjector] = None
         self._stop_event = threading.Event()
         self._sessions: List[PeerSession] = []
         self._workers: List[ShardWorker] = []
+        self._replaced: List[ShardWorker] = []
+        self._workers_lock = threading.Lock()
         self._writer: Optional[WriterStage] = None
+        self._ingest_queues: List[BoundedQueue] = []
+        self._writer_queue: Optional[BoundedQueue] = None
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
         self._flagged: List[BGPUpdate] = []
         self._flagged_lock = threading.Lock()
+        self._validator_lock = threading.Lock()
+        self._forwarding_lock = threading.Lock()
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -125,6 +152,28 @@ class CollectionPipeline:
         with self._flagged_lock:
             if len(self._flagged) < self.config.max_flagged_kept:
                 self._flagged.append(update)
+
+    def _session_reestablished(self, name: str) -> None:
+        self.metrics.rib_redumped(name)
+        if self.on_reestablish is not None:
+            self.on_reestablish(name)
+
+    def _make_worker(self, shard: int, handoff=None,
+                     start_count: int = 0) -> ShardWorker:
+        assert self._writer_queue is not None
+        return ShardWorker(
+            shard, self._ingest_queues[shard], self._writer_queue,
+            filters=self.filters, metrics=self.metrics,
+            validator=self.validator,
+            validator_lock=self._validator_lock,
+            forwarding=self.forwarding,
+            forwarding_lock=self._forwarding_lock,
+            cost_model=self.config.cost_model,
+            flagged_sink=self._keep_flagged,
+            injector=self.injector,
+            handoff=handoff,
+            start_count=start_count,
+        )
 
     def start(self, streams: Mapping[str, Iterable[BGPUpdate]]) -> None:
         """Spawn all stage threads over per-session update iterators.
@@ -139,41 +188,43 @@ class CollectionPipeline:
         self._started = True
         cfg = self.config
 
-        ingest_queues = [
+        archive = self.archive
+        if cfg.fault_plan:
+            self.injector = FaultInjector(cfg.fault_plan)
+            archive = self.injector.wrap_archive(archive)
+            streams = {
+                name: self.injector.wrap_stream(name, updates)
+                for name, updates in streams.items()
+            }
+
+        self._ingest_queues = [
             BoundedQueue(cfg.ingest_queue_capacity,
                          gauge=self.metrics.ingest.queue_depth)
             for _ in range(cfg.n_shards)
         ]
-        writer_queue = BoundedQueue(cfg.writer_queue_capacity,
-                                    gauge=self.metrics.write.queue_depth)
+        self._writer_queue = BoundedQueue(
+            cfg.writer_queue_capacity,
+            gauge=self.metrics.write.queue_depth)
 
-        validator_lock = threading.Lock()
-        forwarding_lock = threading.Lock()
-        self._workers = [
-            ShardWorker(
-                shard, ingest_queues[shard], writer_queue,
-                filters=self.filters, metrics=self.metrics,
-                validator=self.validator, validator_lock=validator_lock,
-                forwarding=self.forwarding,
-                forwarding_lock=forwarding_lock,
-                cost_model=cfg.cost_model,
-                flagged_sink=self._keep_flagged,
-            )
-            for shard in range(cfg.n_shards)
-        ]
+        self._workers = [self._make_worker(shard)
+                         for shard in range(cfg.n_shards)]
         self._writer = WriterStage(
-            writer_queue, cfg.n_shards, list(streams),
-            metrics=self.metrics, archive=self.archive,
+            self._writer_queue, cfg.n_shards, list(streams),
+            metrics=self.metrics, archive=archive,
             mirror=self.mirror, batch_size=cfg.batch_size,
+            max_archive_recoveries=cfg.supervision.max_archive_recoveries,
+            on_fatal=self._on_writer_fatal,
         )
         self._sessions = [
             PeerSession(
-                name, updates, ingest_queues, cfg.shard_by,
+                name, updates, self._ingest_queues, cfg.shard_by,
                 metrics=self.metrics,
                 overflow_policy=cfg.overflow_policy,
                 heartbeat_every=cfg.heartbeat_every,
                 time_scale=cfg.time_scale,
                 stop_event=self._stop_event,
+                supervisor=cfg.supervision,
+                on_reestablish=self._session_reestablished,
             )
             for name, updates in streams.items()
         ]
@@ -184,14 +235,91 @@ class CollectionPipeline:
             worker.start()
         for session in self._sessions:
             session.start()
+        if self.injector is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="watchdog", daemon=True)
+            self._watchdog.start()
+
+    # -- supervision --------------------------------------------------------
+
+    def _on_writer_fatal(self, exc: BaseException) -> None:
+        """The writer died: poison every queue so no producer or
+        worker stays blocked behind it, then let ``wait`` re-raise."""
+        self._stop_event.set()
+        for queue in self._ingest_queues:
+            queue.close()
+        if self._writer_queue is not None:
+            self._writer_queue.close()
+
+    def _watchdog_loop(self) -> None:
+        """Replace workers wedged inside an injected stall.
+
+        A shard counts as stalled when its in-flight envelope has made
+        no progress for ``stall_timeout_s`` *and* the injector confirms
+        the worker is inside a scheduled stall — the deterministic case
+        where abandonment is provably safe.  The handoff protocol
+        (surrender-under-lock, see :class:`ShardWorker`) moves the
+        in-flight envelope to the replacement exactly once; queued
+        heartbeats drain through the replacement, so the writer's
+        watermark is released instead of wedging forever.
+        """
+        cfg = self.config.supervision
+        injector = self.injector
+        assert injector is not None
+        while not self._watchdog_stop.wait(cfg.watchdog_interval_s):
+            with self._workers_lock:
+                workers = list(enumerate(self._workers))
+            for index, worker in workers:
+                if worker.inflight is None:
+                    continue
+                stalled_for = time.monotonic() - worker.inflight_since
+                if stalled_for < cfg.stall_timeout_s:
+                    continue
+                if not injector.holding(worker.shard):
+                    continue
+                with worker.claim_lock:
+                    if worker.claimed or worker.inflight is None:
+                        continue
+                    worker.surrendered = True
+                    handoff = worker.inflight
+                # Wake the stalled sleep; the worker sees
+                # ``surrendered`` and exits without touching the
+                # envelope or the queue again.
+                worker.abandoned.set()
+                replacement = self._make_worker(
+                    worker.shard, handoff=handoff,
+                    start_count=worker.processed_count)
+                with self._workers_lock:
+                    self._replaced.append(worker)
+                    self._workers[index] = replacement
+                self.metrics.worker_restarted(worker.shard)
+                injector.record(
+                    f"watchdog restarted shard{worker.shard} "
+                    f"after {stalled_for:.2f}s stall")
+                replacement.start()
+
+    def _join_workers(self, timeout: Optional[float]) -> None:
+        """Join workers while the watchdog may still replace them."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            with self._workers_lock:
+                alive = [w for w in self._workers + self._replaced
+                         if w.is_alive()]
+            if not alive:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                shards = sorted({w.shard for w in alive})
+                raise TimeoutError(f"shards {shards} did not finish")
+            alive[0].join(0.05)
 
     def wait(self, timeout: Optional[float] = None) -> PipelineResult:
         """Block until every stage drained; return the run's result.
 
         Draining is lossless by construction: sessions finish (or are
-        stopped), workers consume every queued update, and the writer
-        flushes its reorder buffer completely once all end-of-stream
-        watermarks arrive.
+        stopped, or quarantined), workers consume every queued update,
+        and the writer flushes its reorder buffer completely once all
+        end-of-stream watermarks arrive.
         """
         if not self._started or self._writer is None:
             raise RuntimeError("pipeline not started")
@@ -201,12 +329,19 @@ class CollectionPipeline:
                 raise TimeoutError(f"session {session.session} "
                                    f"did not finish")
         # All session end-markers are enqueued; now close the shards.
-        for worker in self._workers:
-            worker.stop()
-        for worker in self._workers:
-            worker.join(timeout)
-            if worker.is_alive():
-                raise TimeoutError(f"shard {worker.shard} did not finish")
+        # The watchdog stays up until the workers drain — a shard can
+        # still be wedged in an injected stall at this point.
+        with self._workers_lock:
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                worker.stop()
+            except QueueClosed:
+                pass            # writer died; workers are exiting anyway
+        self._join_workers(timeout)
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout)
         self._writer.join(timeout)
         if self._writer.is_alive():
             raise TimeoutError("writer did not finish")
@@ -235,4 +370,6 @@ class CollectionPipeline:
         segments = tuple(self.archive.segments) if self.archive else ()
         with self._flagged_lock:
             flagged = tuple(self._flagged)
-        return PipelineResult(self.metrics.snapshot(), segments, flagged)
+        fault_log = tuple(self.injector.log) if self.injector else ()
+        return PipelineResult(self.metrics.snapshot(), segments,
+                              flagged, fault_log)

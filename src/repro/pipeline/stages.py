@@ -24,11 +24,31 @@ watermark is the minimum over all (shard, session) marker times, and
 updates leave the reorder heap only once they fall below it — this is
 what lets many unsynchronized workers feed an archive format that
 demands nondecreasing timestamps.
+
+Fault tolerance (docs/FAULTS.md): each stage now *supervises* its own
+failure modes instead of dying silently.
+
+* A session whose iterator raises is restarted with exponential
+  backoff and seeded jitter; too many restarts trip the flap
+  circuit breaker and quarantine the session (its end-of-stream
+  marker still releases the writer's watermark).  Malformed and
+  out-of-time-order updates are skipped and counted, never enqueued.
+  Under sustained downstream stall a ``block``-policy session degrades
+  to ``drop`` so it cannot wedge behind a dead consumer forever.
+* A worker exposes its in-flight envelope and a progress timestamp so
+  the runtime's watchdog can detect a stalled shard, abandon the
+  stuck thread, and hand the envelope to a replacement exactly once.
+* The writer survives archive I/O errors by recovering the archive
+  from its crash-consistent checkpoint and retrying; unrecoverable
+  errors propagate to the runtime, which poisons the queues so no
+  producer stays blocked behind the corpse.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+import random
 import threading
 import time
 import zlib
@@ -42,8 +62,9 @@ from ..bgp.filtering import FilterTable
 from ..bgp.message import BGPUpdate
 from ..bgp.validation import RouteValidator
 from ..core.forwarding import ForwardingService
+from .faults import FaultInjector, SupervisorConfig
 from .metrics import PipelineMetrics
-from .queues import BoundedQueue, QueueEmpty
+from .queues import BoundedQueue, QueueClosed, QueueEmpty, QueueFull
 
 #: Marker time meaning "this session will send nothing further".
 END_OF_STREAM = float("inf")
@@ -159,7 +180,18 @@ class ServiceCostModel:
 # -- stage threads -----------------------------------------------------------
 
 class PeerSession(threading.Thread):
-    """Replays one peering session into the sharded ingest queues."""
+    """Replays one peering session into the sharded ingest queues.
+
+    The thread is its own supervisor: exceptions from the update
+    iterator (a disconnect, a flap, feeder garbage mid-``next``) do
+    not kill it.  Each failure backs off exponentially (with seeded
+    jitter) and resumes the *same* iterator — the replay analogue of a
+    BGP session re-establishing and continuing from the peer's live
+    state.  After ``quarantine_after`` consecutive failures the flap
+    circuit breaker opens and the session is quarantined: its
+    remaining stream is abandoned but its end-of-stream marker is
+    still broadcast, so the writer's watermark never wedges on it.
+    """
 
     def __init__(self, name: str, updates: Iterable[BGPUpdate],
                  ingest_queues: Sequence[BoundedQueue],
@@ -168,7 +200,9 @@ class PeerSession(threading.Thread):
                  overflow_policy: str = "drop",
                  heartbeat_every: int = 64,
                  time_scale: Optional[float] = None,
-                 stop_event: Optional[threading.Event] = None):
+                 stop_event: Optional[threading.Event] = None,
+                 supervisor: Optional[SupervisorConfig] = None,
+                 on_reestablish: Optional[Callable[[str], None]] = None):
         super().__init__(name=f"session-{name}", daemon=True)
         self.session = name
         self.updates = updates
@@ -182,6 +216,18 @@ class PeerSession(threading.Thread):
         #: Stream seconds replayed per wall-clock second; None = flood.
         self.time_scale = time_scale
         self.stop_event = stop_event or threading.Event()
+        self.supervisor = supervisor or SupervisorConfig()
+        self.on_reestablish = on_reestablish
+        self.restarts = 0
+        self.quarantined = False
+        # Per-session replay state survives restarts: the resumed
+        # iterator continues mid-stream, so pacing origin, heartbeat
+        # phase and the monotonic-time guard must too.
+        self._stream_t0: Optional[float] = None
+        self._wall_t0: Optional[float] = None
+        self._since_heartbeat = 0
+        self._last_time: Optional[float] = None
+        self._degraded = False
         metrics.register_session(name)
 
     def _broadcast(self, marker: Heartbeat) -> None:
@@ -190,50 +236,116 @@ class PeerSession(threading.Thread):
         for queue in self.queues:
             queue.put(marker)
 
-    def _pace(self, stream_time: float, stream_t0: float,
-              wall_t0: float) -> None:
-        target = wall_t0 + (stream_time - stream_t0) / self.time_scale
+    def _pace(self, stream_time: float) -> None:
+        if self._stream_t0 is None or self._wall_t0 is None:
+            self._stream_t0 = stream_time
+            self._wall_t0 = time.perf_counter()
+            return
+        target = self._wall_t0 \
+            + (stream_time - self._stream_t0) / self.time_scale
         ahead = target - time.perf_counter()
         if ahead > 0.002:
             # Amortized pacing: only sleep once meaningfully ahead, so
             # timer granularity does not distort the aggregate rate.
             time.sleep(ahead)
 
+    def _is_malformed(self, update: BGPUpdate) -> bool:
+        """Feeder garbage the session must not let into the pipeline:
+        non-finite or negative timestamps, and time regressions that
+        would poison the writer's per-session watermark."""
+        t = update.time
+        if t != t or t < 0 or math.isinf(t):
+            return True
+        return self._last_time is not None and t < self._last_time
+
+    def _offer(self, queue: BoundedQueue, envelope: Envelope) -> None:
+        if self.overflow_policy == "block" and not self._degraded:
+            try:
+                queue.put(envelope,
+                          timeout=self.supervisor.degrade_after_s)
+                self.metrics.session_enqueued(self.session)
+                return
+            except QueueFull:
+                # Sustained downstream stall: degrade to drop mode so
+                # this producer cannot hang forever behind a wedged
+                # consumer.  First successful try_put restores block.
+                self._degraded = True
+                self.metrics.session_degraded(self.session)
+        if queue.try_put(envelope):
+            self.metrics.session_enqueued(self.session)
+            self._degraded = False
+        else:
+            # Daemon-style loss: a full queue means the update is
+            # gone, exactly like Table 1's overloaded CPU.
+            self.metrics.session_dropped(self.session)
+
     def run(self) -> None:
-        stream_t0: Optional[float] = None
-        wall_t0 = time.perf_counter()
-        since_heartbeat = 0
+        cfg = self.supervisor
+        rng = random.Random(f"{cfg.seed}:{self.session}")
+        source = iter(self.updates)
+        failures = 0
         try:
-            for update in self.updates:
-                if self.stop_event.is_set():
-                    break
-                if self.time_scale is not None:
-                    if stream_t0 is None:
-                        stream_t0 = update.time
-                    self._pace(update.time, stream_t0, wall_t0)
-                queue = self.queues[
-                    shard_for(update, len(self.queues), self.shard_key)]
-                envelope = Envelope(update, self.session,
-                                    time.perf_counter())
-                if self.overflow_policy == "block":
-                    queue.put(envelope)
-                    self.metrics.session_enqueued(self.session)
-                elif queue.try_put(envelope):
-                    self.metrics.session_enqueued(self.session)
-                else:
-                    # Daemon-style loss: a full queue means the update
-                    # is gone, exactly like Table 1's overloaded CPU.
-                    self.metrics.session_dropped(self.session)
-                since_heartbeat += 1
-                if since_heartbeat >= self.heartbeat_every:
-                    since_heartbeat = 0
-                    self._broadcast(Heartbeat(self.session, update.time))
+            while not self.stop_event.is_set():
+                try:
+                    self._replay(source)
+                    return                    # stream exhausted
+                except QueueClosed:
+                    return                    # downstream died
+                except Exception:
+                    failures += 1
+                    if failures >= cfg.quarantine_after:
+                        # Flap circuit breaker: abandon the stream.
+                        self.quarantined = True
+                        self.metrics.session_quarantined(self.session)
+                        return
+                    delay = cfg.backoff_s(failures, rng)
+                    self.restarts += 1
+                    self.metrics.session_restarted(self.session)
+                    self.metrics.session_backoff(self.session, delay)
+                    interrupted = self.stop_event.wait(delay)
+                    self.metrics.session_backoff(self.session, 0.0)
+                    if interrupted:
+                        return
+                    # Re-established: §8 — the peer re-dumps its RIB.
+                    if self.on_reestablish is not None:
+                        self.on_reestablish(self.session)
         finally:
-            self._broadcast(Heartbeat(self.session, END_OF_STREAM))
+            try:
+                self._broadcast(Heartbeat(self.session, END_OF_STREAM))
+            except QueueClosed:
+                pass
+
+    def _replay(self, source) -> None:
+        for update in source:
+            if self.stop_event.is_set():
+                return
+            if self._is_malformed(update):
+                self.metrics.session_malformed(self.session)
+                continue
+            self._last_time = update.time
+            if self.time_scale is not None:
+                self._pace(update.time)
+            queue = self.queues[
+                shard_for(update, len(self.queues), self.shard_key)]
+            self._offer(queue, Envelope(update, self.session,
+                                        time.perf_counter()))
+            self._since_heartbeat += 1
+            if self._since_heartbeat >= self.heartbeat_every:
+                self._since_heartbeat = 0
+                self._broadcast(Heartbeat(self.session, update.time))
 
 
 class ShardWorker(threading.Thread):
-    """Runs validate -> forward -> filter for one shard's queue."""
+    """Runs validate -> forward -> filter for one shard's queue.
+
+    For the watchdog the worker exposes ``inflight`` (the envelope it
+    is working on) and ``inflight_since``; an abandonment protocol
+    (``abandoned`` event + claim lock) lets the watchdog take the
+    in-flight envelope from a worker stuck in an injected stall and
+    hand it to a replacement *exactly once*: either the watchdog
+    surrenders it to the replacement before the worker claims it, or
+    the worker finishes it itself — never both, never neither.
+    """
 
     def __init__(self, shard: int, ingest: BoundedQueue,
                  writer_queue: BoundedQueue,
@@ -244,7 +356,10 @@ class ShardWorker(threading.Thread):
                  forwarding: Optional[ForwardingService] = None,
                  forwarding_lock: Optional[threading.Lock] = None,
                  cost_model: Optional[ServiceCostModel] = None,
-                 flagged_sink: Optional[Callable[[BGPUpdate], None]] = None):
+                 flagged_sink: Optional[Callable[[BGPUpdate], None]] = None,
+                 injector: Optional[FaultInjector] = None,
+                 handoff: Optional[Envelope] = None,
+                 start_count: int = 0):
         super().__init__(name=f"shard-{shard}", daemon=True)
         self.shard = shard
         self.ingest = ingest
@@ -257,6 +372,16 @@ class ShardWorker(threading.Thread):
         self.forwarding_lock = forwarding_lock or threading.Lock()
         self.cost_model = cost_model
         self.flagged_sink = flagged_sink
+        self.injector = injector
+        self.handoff = handoff
+        self.processed_count = start_count
+        # Watchdog protocol state.
+        self.abandoned = threading.Event()
+        self.claim_lock = threading.Lock()
+        self.claimed = False
+        self.surrendered = False
+        self.inflight: Optional[Envelope] = None
+        self.inflight_since = 0.0
 
     def stop(self) -> None:
         """Close this shard's ingest queue after the sessions finish."""
@@ -290,21 +415,67 @@ class ShardWorker(threading.Thread):
                                           envelope.session,
                                           envelope.enqueued_at))
 
+    def _process_envelope(self, envelope: Envelope) -> None:
+        with self.claim_lock:
+            self.claimed = False
+            self.surrendered = False
+            self.inflight = envelope
+            self.inflight_since = time.monotonic()
+        self.processed_count += 1
+        if self.injector is not None:
+            self.injector.maybe_stall(self.shard, self.processed_count,
+                                      self.abandoned)
+        # Claim the envelope: from here on the watchdog cannot hand it
+        # to a replacement, so we either finish it or it was already
+        # surrendered — exactly-once either way.
+        with self.claim_lock:
+            if self.surrendered:
+                return
+            self.claimed = True
+        self._handle(envelope)
+        self.inflight = None
+
     def run(self) -> None:
-        while True:
-            item = self.ingest.get()
-            if item is _STOP:
-                break
-            if isinstance(item, Heartbeat):
-                self.writer_queue.put(
-                    WatermarkAdvance(self.shard, item.session, item.time))
-                continue
-            self._handle(item)
-        self.writer_queue.put(ShardDone())
+        try:
+            if self.handoff is not None:
+                # Envelope inherited from an abandoned predecessor;
+                # FIFO is preserved because the predecessor took it
+                # from the queue head and forwarded nothing after it.
+                self._process_envelope(self.handoff)
+                self.handoff = None
+            while True:
+                if self.abandoned.is_set():
+                    return          # replaced; the successor owns the queue
+                try:
+                    item = self.ingest.get(timeout=0.1)
+                except QueueEmpty:
+                    continue
+                if item is _STOP:
+                    break
+                if isinstance(item, Heartbeat):
+                    self.writer_queue.put(
+                        WatermarkAdvance(self.shard, item.session,
+                                         item.time))
+                    continue
+                self._process_envelope(item)
+            self.writer_queue.put(ShardDone())
+        except QueueClosed:
+            # The runtime poisoned the queues (writer death); exit
+            # without a ShardDone — nobody is listening.
+            return
 
 
 class WriterStage(threading.Thread):
-    """Reorders dispositions by watermark and batches archive writes."""
+    """Reorders dispositions by watermark and batches archive writes.
+
+    Archive ``OSError`` failures are absorbed up to
+    ``max_archive_recoveries`` times: the writer recovers the archive
+    from its crash-consistent checkpoint (torn segment truncated,
+    in-memory pending discarded and counted) and retries the write.
+    Anything else — or an exhausted recovery budget — is fatal: the
+    error is surfaced and ``on_fatal`` lets the runtime poison the
+    queues so upstream stages never deadlock against a dead writer.
+    """
 
     def __init__(self, writer_queue: BoundedQueue,
                  n_shards: int,
@@ -312,13 +483,17 @@ class WriterStage(threading.Thread):
                  metrics: PipelineMetrics,
                  archive: Optional[RollingArchiveWriter] = None,
                  mirror: Optional[Callable[[BGPUpdate, bool], None]] = None,
-                 batch_size: int = 256):
+                 batch_size: int = 256,
+                 max_archive_recoveries: int = 3,
+                 on_fatal: Optional[Callable[[BaseException], None]] = None):
         super().__init__(name="writer", daemon=True)
         self.queue = writer_queue
         self.metrics = metrics
         self.archive = archive
         self.mirror = mirror
         self.batch_size = max(1, batch_size)
+        self.max_archive_recoveries = max_archive_recoveries
+        self.on_fatal = on_fatal
         # Safe watermark state: minimum over every (shard, session)
         # pair of the last heartbeat time seen on that path.
         self._watermarks: Dict[Tuple[int, str], float] = {
@@ -329,6 +504,8 @@ class WriterStage(threading.Thread):
         self._pending_shards = n_shards
         self._heap: List[Tuple[float, int, Disposition]] = []
         self._sequence = 0
+        self._last_emitted = -END_OF_STREAM
+        self._recoveries = 0
         self.reorder_high_water = 0
         self.error: Optional[BaseException] = None
 
@@ -337,6 +514,25 @@ class WriterStage(threading.Thread):
             return END_OF_STREAM
         return min(self._watermarks.values())
 
+    def _write_archived(self, update: BGPUpdate):
+        try:
+            return self.archive.write(update)
+        except OSError:
+            self.metrics.writer_io_error()
+            if self._recoveries >= self.max_archive_recoveries:
+                raise
+            recover = getattr(self.archive, "recover", None)
+            if recover is None:
+                raise
+            self._recoveries += 1
+            report = recover()
+            self.metrics.archive_recovered(
+                lost=getattr(report, "lost_pending", 0))
+            # The checkpoint rewound the archive to its last durable
+            # segment; the current update is at or past the watermark,
+            # so the retry is order-safe.
+            return self.archive.write(update)
+
     def _emit_ready(self) -> None:
         """Flush every heap entry at or below the safe watermark."""
         watermark = self._safe_watermark()
@@ -344,10 +540,18 @@ class WriterStage(threading.Thread):
         while self._heap and self._heap[0][0] <= watermark:
             batch.append(heapq.heappop(self._heap)[2])
         for disposition in batch:
+            if disposition.update.time < self._last_emitted:
+                # Defensive: FIFO loss (e.g. a genuinely stuck worker
+                # whose item surfaced late).  Emitting would corrupt
+                # the order-strict archive and mirror; count and skip.
+                self.metrics.order_violation()
+                self.metrics.write.add(processed=1)
+                continue
+            self._last_emitted = disposition.update.time
             if self.mirror is not None:
                 self.mirror(disposition.update, disposition.retained)
             if disposition.retained and self.archive is not None:
-                segment = self.archive.write(disposition.update)
+                segment = self._write_archived(disposition.update)
                 if segment is not None:
                     self.metrics.segment_flushed()
             self.metrics.write.add(processed=1)
@@ -363,6 +567,8 @@ class WriterStage(threading.Thread):
                 self.reorder_high_water = len(self._heap)
         elif isinstance(item, WatermarkAdvance):
             key = (item.shard, item.session)
+            # Late or duplicate heartbeats must never rewind a
+            # watermark — only strictly newer times advance it.
             if item.time > self._watermarks.get(key, -END_OF_STREAM):
                 self._watermarks[key] = item.time
         elif isinstance(item, ShardDone):
@@ -370,7 +576,7 @@ class WriterStage(threading.Thread):
 
     def run(self) -> None:
         try:
-            while self._pending_shards > 0 or self._heap:
+            while self._pending_shards > 0:
                 drained = 0
                 try:
                     while drained < self.batch_size:
@@ -379,8 +585,17 @@ class WriterStage(threading.Thread):
                 except QueueEmpty:
                     pass
                 self._emit_ready()
+            # Every worker has exited (the queue is FIFO, so nothing of
+            # theirs is still buffered) and no further watermark can
+            # arrive: flush the heap unconditionally.  END_OF_STREAM
+            # markers normally make this a no-op; it also terminates
+            # runs whose sessions died before broadcasting them.
+            self._watermarks.clear()
+            self._emit_ready()
             if self.archive is not None:
                 if self.archive.close() is not None:
                     self.metrics.segment_flushed()
         except BaseException as exc:   # surfaced by the pipeline
             self.error = exc
+            if self.on_fatal is not None:
+                self.on_fatal(exc)

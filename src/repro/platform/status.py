@@ -49,6 +49,16 @@ class PlatformStatus:
     rejected_sessions: int = 0
     #: Live metrics when collection runs on the concurrent runtime.
     pipeline: Optional[PipelineMetricsSnapshot] = None
+    #: Crash-recovery bookkeeping from the orchestrator (§8).
+    epoch_resumes: int = 0
+    rib_redumps: int = 0
+
+    @property
+    def quarantined_sessions(self) -> int:
+        """Sessions currently flap-quarantined by the runtime."""
+        if self.pipeline is None or self.pipeline.supervision is None:
+            return 0
+        return len(self.pipeline.supervision.quarantined)
 
     @property
     def retention(self) -> float:
@@ -110,6 +120,8 @@ def collect_status(orchestrator: Orchestrator,
         pending_sessions=pending,
         rejected_sessions=rejected,
         pipeline=pipeline,
+        epoch_resumes=stats.epoch_resumes,
+        rib_redumps=stats.rib_redumps,
     )
 
 
@@ -121,7 +133,9 @@ def render_status(status: PlatformStatus) -> str:
         + (f", {status.pending_sessions} pending" if
            status.pending_sessions else "")
         + (f", {status.rejected_sessions} rejected" if
-           status.rejected_sessions else ""),
+           status.rejected_sessions else "")
+        + (f", {status.quarantined_sessions} quarantined" if
+           status.quarantined_sessions else ""),
         f"updates: {status.total_received} received, "
         f"{status.total_retained} retained "
         f"({status.retention:.1%})",
@@ -129,6 +143,12 @@ def render_status(status: PlatformStatus) -> str:
         f"anchors: {status.anchor_count}",
         f"sampling runs: component #1 x{status.component1_runs}, "
         f"component #2 x{status.component2_runs}",
+    ]
+    if status.epoch_resumes or status.rib_redumps:
+        lines.append(
+            f"recovery: {status.epoch_resumes} epoch resumes, "
+            f"{status.rib_redumps} RIB re-dumps")
+    lines += [
         "",
         f"{'peer':>12s} {'recv':>7s} {'kept':>7s} {'ret%':>6s} "
         f"{'anchor':>6s} {'honesty':>7s}",

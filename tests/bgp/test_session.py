@@ -109,3 +109,38 @@ class TestDataPlane:
         session = manager.activate_directly("vp-ris-1", 3356)
         assert session.state is SessionState.ACTIVE
         assert manager.receive(BGPUpdate("vp-ris-1", 0.0, P1, (3356,)))
+
+
+class TestReceiveStream:
+    def test_skips_and_counts_non_established(self, manager):
+        """One misbehaving feeder must not abort everyone's stream."""
+        manager.activate_directly("vp-good", 65001)
+        pending = manager.submit_form(
+            PeeringRequest(65001, "noc@example.net", "r1"))
+        stream = [
+            BGPUpdate("vp-good", 0.0, P1, (65001,)),
+            BGPUpdate(pending, 1.0, P1, (65001,)),      # not active
+            BGPUpdate("vp-unknown", 2.0, P1, (65001,)),  # never onboarded
+            BGPUpdate("vp-good", 3.0, P1, (65001, 2)),
+        ]
+        retained = manager.receive_stream(stream)
+        assert retained == 2
+        assert manager.skipped_count == 2
+        assert len(manager.sessions["vp-good"].retained) == 2
+
+    def test_skipped_count_accumulates(self, manager):
+        manager.activate_directly("vp-good", 65001)
+        bad = [BGPUpdate("vp-unknown", float(t), P1, (65001,))
+               for t in range(3)]
+        manager.receive_stream(bad)
+        manager.receive_stream(bad)
+        assert manager.skipped_count == 6
+
+    def test_redump_rib_snapshots_out_of_schedule(self, manager):
+        manager.activate_directly("vp-1", 65001)
+        manager.receive(BGPUpdate("vp-1", 0.0, P1, (65001,)))
+        snapshot = manager.redump_rib("vp-1")
+        assert len(snapshot) == 1
+        assert len(manager.sessions["vp-1"].rib_dumps) == 1
+        with pytest.raises(PeeringError):
+            manager.redump_rib("vp-unknown")

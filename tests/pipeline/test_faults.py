@@ -1,0 +1,451 @@
+"""Chaos tests: injected faults, supervision, and crash recovery."""
+
+import math
+
+import pytest
+
+from repro.bgp.archive import RollingArchiveWriter
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bgp.session import SessionManager
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.pipeline import (
+    BoundedQueue,
+    CollectionPipeline,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    PipelineConfig,
+    PipelineMetrics,
+    SessionFault,
+    SupervisorConfig,
+    WriterStage,
+)
+from repro.pipeline.faults import REORDER_SKEW_S, FaultyStream
+from repro.pipeline.stages import Disposition, ShardDone, WatermarkAdvance
+from repro.workload import StreamConfig, SyntheticStreamGenerator, \
+    split_by_vp
+
+TIMEOUT = 30.0
+
+P1 = Prefix.parse("10.0.0.0/24")
+
+
+def upd(t, vp="vp1"):
+    return BGPUpdate(vp, t, P1, (1, 2))
+
+
+def fast_supervision(**overrides):
+    """Supervision tuned for test wall-clock: quick backoff/watchdog."""
+    defaults = dict(backoff_initial_s=0.005, backoff_max_s=0.02,
+                    watchdog_interval_s=0.02, stall_timeout_s=0.1)
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+def assert_accounted(result):
+    m = result.metrics
+    assert result.accounted, (
+        f"lost updates: received={m.received} dropped={m.ingest_dropped} "
+        f"flagged={m.flagged} retained={m.retained} "
+        f"discarded={m.discarded}"
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic_stream():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=8, n_prefix_groups=8, duration_s=1200.0, seed=11,
+    ))
+    _, stream = generator.generate()
+    return stream
+
+
+class TestFaultSpec:
+    def test_parse_roundtrip(self):
+        plan = FaultPlan.parse(
+            "disconnect=vp1@120x3, stall=shard1@50~inf;"
+            "io-error=writer@2,malformed=vp2@7")
+        assert len(plan.specs) == 4
+        assert plan.describe() == ("disconnect=vp1@120x3,"
+                                   "stall=shard1@50~inf,"
+                                   "io-error=writer@2,malformed=vp2@7")
+        assert plan.specs[1].duration_s == math.inf
+        assert plan.specs[0].positions() == (120, 240, 360)
+
+    @pytest.mark.parametrize("text", [
+        "explode=vp1@5",              # unknown kind
+        "disconnect=vp1@0",           # position must be positive
+        "stall=vp1@5",                # stalls target shards
+        "io-error=vp1@5",             # io-errors target the writer
+        "disconnect=vp1",             # missing position
+    ])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_seeded_plan_is_deterministic(self):
+        kwargs = dict(sessions=["a", "b", "c"], n_shards=4, horizon=200)
+        assert FaultPlan.seeded(42, **kwargs) \
+            == FaultPlan.seeded(42, **kwargs)
+        assert FaultPlan.seeded(42, **kwargs) \
+            != FaultPlan.seeded(43, **kwargs)
+
+    def test_selectors(self):
+        plan = FaultPlan.parse(
+            "disconnect=a@1,malformed=a@2,stall=shard0@3~1,"
+            "io-error=writer@4,crash=writer@5")
+        assert {s.kind for s in plan.for_session("a")} \
+            == {"disconnect", "malformed"}
+        assert len(plan.for_shard(0)) == 1
+        assert plan.for_shard(1) == ()
+        assert {s.kind for s in plan.for_writer()} \
+            == {"io-error", "crash"}
+
+
+class TestFaultyStream:
+    def test_resumes_after_disconnect(self):
+        updates = [upd(float(t)) for t in range(10)]
+        stream = FaultyStream(
+            "vp1", updates, [FaultSpec("disconnect", "vp1", at=3, count=2)])
+        seen = []
+        faults = 0
+        while True:
+            try:
+                seen.append(next(stream))
+            except SessionFault:
+                faults += 1
+            except StopIteration:
+                break
+        assert faults == 2
+        # Every update survives the flaps: the iterator resumed.
+        assert [u.time for u in seen] == [float(t) for t in range(10)]
+
+    def test_malformed_and_reorder_stamping(self):
+        updates = [upd(1000.0 + t) for t in range(5)]
+        stream = FaultyStream("vp1", updates, [
+            FaultSpec("malformed", "vp1", at=2),
+            FaultSpec("reorder", "vp1", at=4),
+        ])
+        out = list(stream)
+        assert math.isnan(out[1].time)
+        assert out[3].time == pytest.approx(1002.0 - REORDER_SKEW_S)
+        assert out[4].time == 1004.0         # stream continues clean
+
+
+class TestSessionSupervision:
+    def test_flap_mid_stream_loses_nothing(self, synthetic_stream):
+        streams = split_by_vp(synthetic_stream)
+        victim = sorted(streams)[0]
+        pipeline = CollectionPipeline(PipelineConfig(
+            n_shards=2, overflow_policy="block",
+            fault_plan=FaultPlan.parse(f"disconnect={victim}@5x3"),
+            supervision=fast_supervision(),
+        ))
+        result = pipeline.run(streams, timeout=TIMEOUT)
+        assert_accounted(result)
+        assert result.metrics.received == len(synthetic_stream)
+        sup = result.metrics.supervision
+        assert sup.session_restarts == 3
+        assert sup.quarantined == ()
+        per_session = {s.session: s for s in result.metrics.sessions}
+        assert per_session[victim].restarts == 3
+
+    def test_flap_circuit_breaker_quarantines(self, synthetic_stream):
+        streams = split_by_vp(synthetic_stream)
+        victim = sorted(streams)[0]
+        others = sum(len(list(s)) for name, s in
+                     split_by_vp(synthetic_stream).items()
+                     if name != victim)
+        pipeline = CollectionPipeline(PipelineConfig(
+            n_shards=2, overflow_policy="block",
+            fault_plan=FaultPlan.parse(f"disconnect={victim}@5x100"),
+            supervision=fast_supervision(quarantine_after=3),
+        ))
+        result = pipeline.run(streams, timeout=TIMEOUT)
+        assert_accounted(result)
+        sup = result.metrics.supervision
+        assert sup.quarantined == (victim,)
+        # The quarantined session delivered a prefix of its stream;
+        # every other session delivered everything.
+        assert result.metrics.received >= others
+        assert result.metrics.received < len(synthetic_stream)
+
+    def test_malformed_updates_skipped_and_counted(self, synthetic_stream):
+        streams = split_by_vp(synthetic_stream)
+        victim = sorted(streams)[0]
+        pipeline = CollectionPipeline(PipelineConfig(
+            n_shards=2, overflow_policy="block",
+            fault_plan=FaultPlan.parse(
+                f"malformed={victim}@3,reorder={victim}@8"),
+            supervision=fast_supervision(),
+        ))
+        mirrored = []
+        pipeline.mirror = lambda u, retained: mirrored.append(u)
+        result = pipeline.run(streams, timeout=TIMEOUT)
+        assert_accounted(result)
+        assert result.metrics.supervision.malformed == 2
+        assert result.metrics.received == len(synthetic_stream) - 2
+        # The corrupt stamps never reached the writer.
+        assert all(a.time <= b.time
+                   for a, b in zip(mirrored, mirrored[1:]))
+
+    def test_degrades_to_drop_under_sustained_stall(self):
+        updates = [upd(float(t), "vp1") for t in range(200)]
+        pipeline = CollectionPipeline(PipelineConfig(
+            n_shards=1, overflow_policy="block",
+            ingest_queue_capacity=2, heartbeat_every=1000,
+            fault_plan=FaultPlan.parse("stall=shard0@2~0.4"),
+            supervision=fast_supervision(
+                degrade_after_s=0.05, stall_timeout_s=10.0),
+        ))
+        result = pipeline.run({"vp1": updates}, timeout=TIMEOUT)
+        assert_accounted(result)
+        sup = result.metrics.supervision
+        assert sup.degraded_episodes >= 1
+        assert result.metrics.ingest_dropped > 0   # drop-mode losses
+
+
+class TestShardWatchdog:
+    def test_stuck_shard_released_by_watchdog(self, synthetic_stream):
+        streams = split_by_vp(synthetic_stream)
+        pipeline = CollectionPipeline(PipelineConfig(
+            n_shards=2, overflow_policy="block",
+            fault_plan=FaultPlan.parse("stall=shard0@10~inf"),
+            supervision=fast_supervision(),
+        ))
+        mirrored = []
+        pipeline.mirror = lambda u, retained: mirrored.append(u)
+        result = pipeline.run(streams, timeout=TIMEOUT)
+        assert_accounted(result)
+        sup = result.metrics.supervision
+        assert sup.worker_restarts == 1
+        assert sup.order_violations == 0
+        # Nothing lost, nothing duplicated, order preserved: the
+        # in-flight envelope moved to the replacement exactly once.
+        assert result.metrics.received == len(synthetic_stream)
+        assert len(mirrored) == len(synthetic_stream)
+        assert all(a.time <= b.time
+                   for a, b in zip(mirrored, mirrored[1:]))
+
+    def test_transient_stall_needs_no_restart(self, synthetic_stream):
+        streams = split_by_vp(synthetic_stream)
+        pipeline = CollectionPipeline(PipelineConfig(
+            n_shards=2, overflow_policy="block",
+            fault_plan=FaultPlan.parse("stall=shard1@10~0.05"),
+            supervision=fast_supervision(stall_timeout_s=5.0),
+        ))
+        result = pipeline.run(streams, timeout=TIMEOUT)
+        assert_accounted(result)
+        assert result.metrics.supervision.worker_restarts == 0
+        assert result.metrics.received == len(synthetic_stream)
+
+
+class TestWriterRecovery:
+    def test_io_error_recovers_from_checkpoint(self, synthetic_stream,
+                                               tmp_path):
+        archive = RollingArchiveWriter(str(tmp_path), interval_s=120.0,
+                                       compress=False, checkpoint=True)
+        pipeline = CollectionPipeline(
+            PipelineConfig(
+                n_shards=2, overflow_policy="block",
+                fault_plan=FaultPlan.parse("io-error=writer@40"),
+                supervision=fast_supervision(),
+            ),
+            archive=archive,
+        )
+        result = pipeline.run(split_by_vp(synthetic_stream),
+                              timeout=TIMEOUT)
+        assert_accounted(result)
+        sup = result.metrics.supervision
+        assert sup.writer_io_errors == 1
+        assert sup.archive_recoveries == 1
+        # The archive stayed internally consistent: a fresh recovery
+        # pass finds no torn segments, and every surviving segment
+        # replays in time order.
+        check = RollingArchiveWriter(str(tmp_path), interval_s=120.0,
+                                     compress=False, checkpoint=True)
+        report = check.recover()
+        assert report.torn_removed == ()
+        replayed = check.read_range(0.0, 1e12)
+        assert all(a.time <= b.time
+                   for a, b in zip(replayed, replayed[1:]))
+        assert len(replayed) == result.metrics.retained \
+            - sup.archive_lost
+
+    def test_recovery_budget_exhaustion_is_fatal(self, synthetic_stream,
+                                                 tmp_path):
+        archive = RollingArchiveWriter(str(tmp_path), interval_s=120.0,
+                                       compress=False, checkpoint=True)
+        pipeline = CollectionPipeline(
+            PipelineConfig(
+                n_shards=2, overflow_policy="block",
+                fault_plan=FaultPlan.parse("io-error=writer@10x20"),
+                supervision=fast_supervision(max_archive_recoveries=2),
+            ),
+            archive=archive,
+        )
+        with pytest.raises(OSError):
+            pipeline.run(split_by_vp(synthetic_stream), timeout=TIMEOUT)
+
+    def test_writer_crash_does_not_deadlock_producers(
+            self, synthetic_stream, tmp_path):
+        """The queues are poisoned on writer death, so blocked
+        sessions raise instead of hanging (the satellite deadlock)."""
+        archive = RollingArchiveWriter(str(tmp_path), interval_s=120.0,
+                                       compress=False, checkpoint=True)
+        pipeline = CollectionPipeline(
+            PipelineConfig(
+                n_shards=2, overflow_policy="block",
+                ingest_queue_capacity=8,
+                fault_plan=FaultPlan.parse("crash=writer@30"),
+                supervision=fast_supervision(),
+            ),
+            archive=archive,
+        )
+        with pytest.raises(InjectedCrash):
+            pipeline.run(split_by_vp(synthetic_stream), timeout=TIMEOUT)
+
+
+class TestCrashResumeRoundTrip:
+    def config(self):
+        return OrchestratorConfig(
+            component1_interval_s=600.0,
+            component2_interval_s=2400.0,
+            mirror_window_s=600.0,
+            events_per_cell=5,
+        )
+
+    def sessions_for(self, streams):
+        manager = SessionManager()
+        for index, vp in enumerate(sorted(streams)):
+            manager.activate_directly(vp, 65000 + index)
+        return manager
+
+    def test_crash_then_resume_completes_epoch(self, synthetic_stream,
+                                               tmp_path):
+        streams = split_by_vp(synthetic_stream)
+
+        # Baseline: the same epoch with no faults.
+        baseline_dir = tmp_path / "baseline"
+        baseline = RollingArchiveWriter(str(baseline_dir),
+                                        interval_s=120.0,
+                                        compress=False, checkpoint=True)
+        Orchestrator(self.config()).run_pipeline_epoch(
+            streams, PipelineConfig(n_shards=2, overflow_policy="block"),
+            archive=baseline, timeout=TIMEOUT)
+
+        # Crash run: the writer dies mid-epoch.
+        crash_dir = tmp_path / "crash"
+        archive = RollingArchiveWriter(str(crash_dir), interval_s=120.0,
+                                       compress=False, checkpoint=True)
+        crashed = Orchestrator(self.config())
+        with pytest.raises(InjectedCrash):
+            crashed.run_pipeline_epoch(
+                streams,
+                PipelineConfig(
+                    n_shards=2, overflow_policy="block",
+                    fault_plan=FaultPlan.parse("crash=writer@60"),
+                    supervision=fast_supervision(),
+                ),
+                archive=archive, timeout=TIMEOUT)
+
+        # A dirty orchestrator must not resume (its mirror is stale).
+        recovered_archive = RollingArchiveWriter(
+            str(crash_dir), interval_s=120.0,
+            compress=False, checkpoint=True)
+        with pytest.raises(RuntimeError):
+            crashed.run_pipeline_epoch(
+                streams, archive=recovered_archive, resume=True)
+
+        # Resume on a fresh orchestrator from the checkpoint.
+        sessions = self.sessions_for(streams)
+        resumed = Orchestrator(self.config())
+        result = resumed.run_pipeline_epoch(
+            streams,
+            PipelineConfig(n_shards=2, overflow_policy="block",
+                           supervision=fast_supervision()),
+            archive=recovered_archive, timeout=TIMEOUT,
+            sessions=sessions, resume=True)
+        assert_accounted(result)
+        assert resumed.stats.epoch_resumes == 1
+        # §8: every resumed session re-dumped its RIB.
+        assert resumed.stats.rib_redumps == len(streams)
+        assert all(len(s.rib_dumps) >= 1
+                   for s in sessions.sessions.values())
+
+        # The recovered archive holds exactly what the uninterrupted
+        # epoch would have published: no torn segments, no gaps.
+        want = baseline.read_range(0.0, 1e12)
+        got = recovered_archive.read_range(0.0, 1e12)
+        assert [(u.time, u.vp, u.prefix) for u in got] \
+            == [(u.time, u.vp, u.prefix) for u in want]
+
+    def test_resume_requires_checkpointed_archive(self, synthetic_stream,
+                                                  tmp_path):
+        archive = RollingArchiveWriter(str(tmp_path), interval_s=120.0,
+                                       compress=False)   # no checkpoint
+        with pytest.raises(ValueError):
+            Orchestrator(self.config()).run_pipeline_epoch(
+                split_by_vp(synthetic_stream), archive=archive,
+                resume=True)
+
+
+class TestWriterReorderRegressions:
+    """Satellite: duplicate timestamps and late heartbeats must not
+    produce out-of-order emissions or wedge the reorder buffer."""
+
+    def drive(self, items, n_shards=2, sessions=("s1", "s2")):
+        queue = BoundedQueue(1024)
+        metrics = PipelineMetrics()
+        for session in sessions:
+            metrics.register_session(session)
+        mirrored = []
+        writer = WriterStage(queue, n_shards, list(sessions),
+                             metrics=metrics,
+                             mirror=lambda u, r: mirrored.append(u))
+        writer.start()
+        for item in items:
+            queue.put(item)
+        writer.join(timeout=10.0)
+        assert not writer.is_alive()
+        assert writer.error is None
+        return mirrored, metrics.snapshot()
+
+    def disp(self, t, vp="s1"):
+        return Disposition(upd(t, vp), True, vp, 0.0)
+
+    def test_duplicate_timestamps_all_emitted(self):
+        items = [self.disp(100.0, "s1"), self.disp(100.0, "s2"),
+                 self.disp(100.0, "s1")]
+        for shard in range(2):
+            for session in ("s1", "s2"):
+                items.append(WatermarkAdvance(shard, session, 100.0))
+        items += [ShardDone(), ShardDone()]
+        mirrored, snapshot = self.drive(items)
+        assert len(mirrored) == 3
+        assert [u.time for u in mirrored] == [100.0] * 3
+        assert snapshot.supervision.order_violations == 0
+
+    def test_late_heartbeat_does_not_rewind_watermark(self):
+        items = []
+        for shard in range(2):
+            for session in ("s1", "s2"):
+                items.append(WatermarkAdvance(shard, session, 200.0))
+        items.append(self.disp(150.0, "s1"))
+        # A duplicate delivery of an OLD heartbeat arrives late: the
+        # watermark must stay at 200 so the t=150 update still emits.
+        items.append(WatermarkAdvance(0, "s1", 50.0))
+        items.append(self.disp(180.0, "s2"))
+        items += [ShardDone(), ShardDone()]
+        mirrored, snapshot = self.drive(items)
+        assert [u.time for u in mirrored] == [150.0, 180.0]
+        assert snapshot.supervision.order_violations == 0
+
+    def test_heap_flushes_once_all_shards_done(self):
+        # No END_OF_STREAM markers at all: once both ShardDones are
+        # in, the buffered updates must still come out, in order.
+        items = [self.disp(300.0, "s1"), self.disp(250.0, "s2"),
+                 ShardDone(), ShardDone()]
+        mirrored, _ = self.drive(items)
+        assert [u.time for u in mirrored] == [250.0, 300.0]
