@@ -1,0 +1,238 @@
+"""Query-engine load: closed-loop QPS and latency, indexed vs naive.
+
+The claim under test is the one that justifies the read-side subsystem
+(§8's "easy to get at" data): answering a *selective* query — one
+prefix out of many — from the per-segment indexes must beat the naive
+alternative (decode every segment in range and filter in Python) by at
+least :data:`SPEEDUP_FLOOR` on a multi-segment archive, while
+returning byte-identical results.
+
+Two measurements:
+
+* single-shot latency — the same randomized single-prefix query set
+  is answered by the indexed engine (cache disabled) and by the naive
+  ``read_range`` scan-and-filter; per-query p50/p99 and the aggregate
+  speedup are reported;
+* closed-loop service — N worker threads issue queries back-to-back
+  against one engine (cache enabled, zipf-ish repetition so the cache
+  earns its keep) for a fixed number of requests; sustained QPS and
+  latency quantiles are reported.
+
+``REPRO_BENCH_QUICK=1`` shrinks the archive for CI smoke runs; the
+module also runs standalone: ``python bench_query_load.py``.
+"""
+
+import math
+import os
+import random
+import threading
+import time
+
+try:
+    from conftest import print_series
+except ImportError:                      # standalone invocation
+    def print_series(title, rows):
+        print(f"\n=== {title} ===")
+        for row in rows:
+            print("  " + row)
+
+from repro.bgp.archive import RollingArchiveWriter
+from repro.query import QueryEngine, QuerySpec
+from repro.workload import StreamConfig, SyntheticStreamGenerator
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Acceptance floor: indexed single-prefix queries must be at least
+#: this much faster than the naive full-decode scan.  The quick CI
+#: smoke keeps a lower floor — its archive is a quarter the size, so
+#: fixed per-query costs (planning, file opens) weigh more against
+#: the decode work the indexes avoid.
+SPEEDUP_FLOOR = 3.0 if QUICK else 10.0
+
+N_VPS = 16
+N_GROUPS = 24
+DURATION_S = 1800.0 if QUICK else 7200.0
+INTERVAL_S = 120.0
+N_QUERIES = 20 if QUICK else 60
+N_WORKERS = 4
+LOOP_REQUESTS = 100 if QUICK else 400
+
+
+def build_archive(directory):
+    """A sealed-with-indexes multi-segment archive of synthetic BGP."""
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=N_VPS, n_prefix_groups=N_GROUPS, duration_s=DURATION_S,
+        seed=5,
+    ))
+    _, stream = generator.generate()
+    writer = RollingArchiveWriter(directory, interval_s=INTERVAL_S,
+                                  compress=False, index=True)
+    writer.write_stream(sorted(stream, key=lambda u: u.time))
+    writer.close()
+    return writer
+
+
+def query_set(writer, rng):
+    """Randomized single-prefix specs over prefixes that exist."""
+    prefixes = sorted({u.prefix for u in writer.read_range(0.0, 1e12)},
+                      key=str)
+    specs = []
+    for _ in range(N_QUERIES):
+        start = rng.uniform(0.0, DURATION_S * 0.5)
+        specs.append(QuerySpec(prefix=rng.choice(prefixes), start=start,
+                               end=start + rng.uniform(
+                                   DURATION_S * 0.25, DURATION_S)))
+    return specs
+
+
+def naive_answer(writer, spec):
+    """The baseline: full decode of the time range, filter in Python."""
+    end = min(spec.end, 1e12)
+    hits = [u for u in writer.read_range(spec.start, end)
+            if spec.matches(u)]
+    return hits if spec.limit is None else hits[:spec.limit]
+
+
+def quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return (sorted_values[lower] * (1 - weight)
+            + sorted_values[upper] * weight)
+
+
+def timed(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - started, result
+
+
+def run_single_shot(writer, specs):
+    """Per-query indexed vs naive latency; verifies identical answers.
+
+    The engine's cache is size-0 so every query pays full execution —
+    the comparison is planner + index + selective decode against the
+    naive scan, not cache against disk.
+    """
+    indexed_lat, naive_lat = [], []
+    with QueryEngine(writer, cache_size=0) as engine:
+        for spec in specs:
+            dt_naive, want = timed(naive_answer, writer, spec)
+            dt_indexed, got = timed(engine.query, spec)
+            assert got == want, f"differential mismatch for {spec}"
+            indexed_lat.append(dt_indexed)
+            naive_lat.append(dt_naive)
+        snap = engine.stats_snapshot()
+    return sorted(indexed_lat), sorted(naive_lat), snap
+
+
+def run_closed_loop(writer, specs, n_workers=N_WORKERS,
+                    total_requests=LOOP_REQUESTS):
+    """N threads issue queries back-to-back; returns (qps, latencies)."""
+    rng = random.Random(99)
+    # Repetition-heavy workload: a few hot specs dominate, as real
+    # dashboards do, so the watermark cache sees realistic traffic.
+    workload = [specs[min(int(rng.expovariate(0.5)), len(specs) - 1)]
+                for _ in range(total_requests)]
+    shards = [workload[i::n_workers] for i in range(n_workers)]
+    latencies = []
+    lock = threading.Lock()
+
+    def worker(engine, shard):
+        local = []
+        for spec in shard:
+            started = time.perf_counter()
+            engine.query(spec)
+            local.append(time.perf_counter() - started)
+        with lock:
+            latencies.extend(local)
+
+    with QueryEngine(writer) as engine:
+        threads = [threading.Thread(target=worker,
+                                    args=(engine, shard))
+                   for shard in shards]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_started
+        snap = engine.stats_snapshot()
+    return total_requests / wall, sorted(latencies), snap
+
+
+def check_speedup(indexed_lat, naive_lat):
+    speedup = sum(naive_lat) / max(sum(indexed_lat), 1e-9)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"indexed queries only {speedup:.1f}x faster than naive "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)")
+    return speedup
+
+
+def ms(seconds):
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def test_query_indexed_vs_naive(benchmark, tmp_path):
+    writer = build_archive(str(tmp_path))
+    specs = query_set(writer, random.Random(17))
+    indexed_lat, naive_lat, snap = benchmark.pedantic(
+        run_single_shot, args=(writer, specs), rounds=1, iterations=1)
+    speedup = check_speedup(indexed_lat, naive_lat)
+    assert snap.segments_pruned > 0
+    print_series("Query — indexed vs naive single-prefix", [
+        f"{len(specs)} queries over {len(writer.segments)} segments, "
+        f"speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
+        f"indexed p50 {ms(quantile(indexed_lat, 0.5))}  "
+        f"p99 {ms(quantile(indexed_lat, 0.99))}",
+        f"naive   p50 {ms(quantile(naive_lat, 0.5))}  "
+        f"p99 {ms(quantile(naive_lat, 0.99))}",
+        f"pruned {snap.segments_pruned} segments, "
+        f"decoded {snap.segments_decoded}",
+    ])
+
+
+def test_query_closed_loop_service(benchmark, tmp_path):
+    writer = build_archive(str(tmp_path))
+    specs = query_set(writer, random.Random(17))
+    qps, latencies, snap = benchmark.pedantic(
+        run_closed_loop, args=(writer, specs), rounds=1, iterations=1)
+    assert snap.queries == LOOP_REQUESTS
+    assert snap.cache_hits > 0        # repetition must hit the cache
+    print_series("Query — closed-loop service "
+                 f"({N_WORKERS} workers)", [
+        f"{qps:,.0f} queries/s sustained over {LOOP_REQUESTS} requests",
+        f"p50 {ms(quantile(latencies, 0.5))}  "
+        f"p99 {ms(quantile(latencies, 0.99))}",
+        f"cache hit rate {snap.cache_hit_rate:.1%}",
+    ])
+
+
+def main():
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as directory:
+        writer = build_archive(directory)
+        specs = query_set(writer, random.Random(17))
+        print(f"archive: {len(writer.segments)} segments, "
+              f"{sum(s.count for s in writer.segments)} updates")
+
+        indexed_lat, naive_lat, _ = run_single_shot(writer, specs)
+        speedup = check_speedup(indexed_lat, naive_lat)
+        print(f"single-prefix: {speedup:.1f}x over naive "
+              f"(indexed p50 {ms(quantile(indexed_lat, 0.5))}, "
+              f"naive p50 {ms(quantile(naive_lat, 0.5))})")
+
+        qps, latencies, snap = run_closed_loop(writer, specs)
+        print(f"closed-loop: {qps:,.0f} qps, "
+              f"p50 {ms(quantile(latencies, 0.5))}, "
+              f"p99 {ms(quantile(latencies, 0.99))}, "
+              f"cache hit rate {snap.cache_hit_rate:.1%}")
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,15 +13,18 @@ from __future__ import annotations
 import json
 import math
 import os
+import time as time_mod
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple
 
 import bz2
 
 from .message import BGPUpdate
-from .mrt import MRTError, RIBRecord, encode_rib_entry, read_archive, \
-    write_archive
+from .mrt import MRTError, RIBRecord, encode_rib_entry, iter_archive, \
+    read_archive, write_archive
+from .prefix import Prefix
 from .rib import Route
 
 #: RIS publishes 5-minute update files; RV publishes 15-minute files.
@@ -30,6 +33,14 @@ RV_INTERVAL_S = 900.0
 
 #: Manifest file of a checkpointed archive directory.
 CHECKPOINT_NAME = "CHECKPOINT.json"
+
+#: Suffix of the per-segment query index persisted next to a segment
+#: (see :mod:`repro.query.index` for the format).
+INDEX_SUFFIX = ".idx"
+
+#: Called after a segment seals: ``(segment, index_build_seconds)``.
+#: The second argument is None when indexing is disabled.
+SealHook = Callable[["ArchiveSegment", Optional[float]], None]
 
 
 def _fsync_path(path: str) -> None:
@@ -65,6 +76,9 @@ class RecoveryReport:
     torn_removed: Tuple[str, ...]
     #: Buffered updates of the open interval discarded by recovery.
     lost_pending: int
+    #: Orphaned per-segment index files deleted (their segment is gone
+    #: or was never manifested; the query engine rebuilds lazily).
+    index_orphans: Tuple[str, ...] = ()
 
 
 class RollingArchiveWriter:
@@ -86,13 +100,22 @@ class RollingArchiveWriter:
     def __init__(self, directory: str,
                  interval_s: float = RIS_INTERVAL_S,
                  compress: bool = True,
-                 checkpoint: bool = False):
+                 checkpoint: bool = False,
+                 index: bool = False,
+                 on_seal: Optional[SealHook] = None):
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.directory = directory
         self.interval_s = interval_s
         self.compress = compress
         self.checkpoint_enabled = checkpoint
+        #: Build the query index for every segment at seal time, so
+        #: the archive is servable with no lazy-indexing first-query
+        #: cost (:mod:`repro.query`).
+        self.index_enabled = index
+        self.on_seal = on_seal
+        #: Build time of the most recently sealed segment's index.
+        self.last_index_build_s: Optional[float] = None
         self.segments: List[ArchiveSegment] = []
         # Segment start times, for bisection: segments are flushed in
         # time order, so ``_starts`` is strictly increasing.
@@ -155,6 +178,9 @@ class RollingArchiveWriter:
             (self._current_slot + 1) * self.interval_s,
             path, count,
         )
+        build_s = None
+        if self.index_enabled:
+            build_s = self._build_index(segment)
         self.segments.append(segment)
         self._starts.append(segment.start)
         self._pending = []
@@ -163,7 +189,21 @@ class RollingArchiveWriter:
             # durable, so a crash between the two leaves a torn file
             # that recovery identifies and deletes.
             self._write_checkpoint()
+        if self.on_seal is not None:
+            self.on_seal(segment, build_s)
         return segment
+
+    def _build_index(self, segment: ArchiveSegment) -> float:
+        """Build and persist the segment's query index; returns the
+        build time in seconds."""
+        # Imported lazily: repro.query depends on this module, and the
+        # index is only needed when indexing was requested.
+        from ..query.index import build_index
+
+        started = time_mod.perf_counter()
+        build_index(segment.path, self.compress, persist=True)
+        self.last_index_build_s = time_mod.perf_counter() - started
+        return self.last_index_build_s
 
     def close(self) -> Optional[ArchiveSegment]:
         """Flush the open interval (end of collection)."""
@@ -233,8 +273,18 @@ class RollingArchiveWriter:
             durable.append(segment)
         listed = {os.path.basename(s.path) for s in durable}
         torn: List[str] = []
+        orphans: List[str] = []
         for name in sorted(os.listdir(self.directory)):
-            if name.startswith("updates.") and name not in listed:
+            if not name.startswith("updates."):
+                continue
+            if name.endswith(INDEX_SUFFIX):
+                # A query index is an orphan when its segment did not
+                # survive recovery — serving it would answer queries
+                # from deleted (torn or truncated) data.
+                if name[:-len(INDEX_SUFFIX)] not in listed:
+                    os.remove(os.path.join(self.directory, name))
+                    orphans.append(name)
+            elif name not in listed:
                 os.remove(os.path.join(self.directory, name))
                 torn.append(name)
         lost = len(self._pending)
@@ -245,7 +295,7 @@ class RollingArchiveWriter:
         self._last_time = self.durable_watermark
         self._write_checkpoint()
         return RecoveryReport(self.durable_watermark, len(durable),
-                              tuple(torn), lost)
+                              tuple(torn), lost, tuple(orphans))
 
     def _parses(self, path: str) -> bool:
         try:
@@ -286,16 +336,35 @@ class RollingArchiveWriter:
             handle.write(payload)
         return path
 
+    def iter_rib_dump(self, path: str) -> Iterator[RIBRecord]:
+        """Stream a published RIB snapshot entry by entry.
+
+        Unlike :meth:`read_rib_dump` this never materializes the whole
+        snapshot: decompression and decoding are incremental, so a
+        multi-gigabyte dump costs one record of memory at a time.
+        """
+        for record in iter_archive(path, self.compress):
+            if isinstance(record, RIBRecord):
+                yield record
+
     def read_rib_dump(self, path: str) -> Dict[str, List[Route]]:
         """Read back a published RIB snapshot."""
         ribs: Dict[str, List[Route]] = {}
-        for record in read_archive(path, self.compress):
-            if isinstance(record, RIBRecord):
-                ribs.setdefault(record.vp, []).append(record.route)
+        for record in self.iter_rib_dump(path):
+            ribs.setdefault(record.vp, []).append(record.route)
         return ribs
 
-    def read_range(self, start: float, end: float) -> List[BGPUpdate]:
-        """Replay all published updates with time in [start, end)."""
+    def read_range(self, start: float, end: float,
+                   prefix: Optional[Prefix] = None,
+                   vp: Optional[str] = None) -> List[BGPUpdate]:
+        """Replay published updates with time in [start, end).
+
+        ``prefix`` and ``vp`` push the filter predicate into the
+        decode loop: non-matching records are discarded as they stream
+        off disk instead of being accumulated and filtered by the
+        caller.  With no filter the behaviour (and result order) is
+        exactly the historical full scan.
+        """
         updates: List[BGPUpdate] = []
         # Bisect to the first segment that can overlap [start, end);
         # segments are start-ordered, so stop at the first past ``end``.
@@ -305,9 +374,11 @@ class RollingArchiveWriter:
                 break
             if segment.end <= start:
                 continue
-            for record in read_archive(segment.path, self.compress):
+            for record in iter_archive(segment.path, self.compress):
                 if isinstance(record, BGPUpdate) \
-                        and start <= record.time < end:
+                        and start <= record.time < end \
+                        and (prefix is None or record.prefix == prefix) \
+                        and (vp is None or record.vp == vp):
                     updates.append(record)
         updates.sort(key=lambda u: (u.time, u.vp, u.prefix))
         return updates

@@ -19,7 +19,7 @@ from __future__ import annotations
 import bz2
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, List, Union
+from typing import BinaryIO, Iterable, Iterator, List, Tuple, Union
 
 from .message import BGPUpdate
 from .prefix import Prefix
@@ -143,9 +143,30 @@ class RIBRecord:
         return f"RIBRecord(vp={self.vp!r}, route={self.route!r})"
 
 
-def decode_records(data: bytes) -> Iterator[Record]:
-    """Decode a concatenation of MRT records."""
-    buf = io.BytesIO(data)
+def _decode_body(time: float, rtype: int, subtype: int,
+                 body: BinaryIO) -> Record:
+    """Decode one record body given its already-parsed header."""
+    if rtype == MRT_TYPE_UPDATE:
+        vp = _decode_str(body)
+        prefix = _decode_prefix(body)
+        if subtype == SUBTYPE_WITHDRAW:
+            return BGPUpdate(vp, time, prefix, is_withdrawal=True)
+        if subtype == SUBTYPE_ANNOUNCE:
+            path = _decode_path(body)
+            comms = _decode_communities(body)
+            return BGPUpdate(vp, time, prefix, path, comms)
+        raise MRTError(f"unknown update subtype {subtype}")
+    if rtype == MRT_TYPE_RIB and subtype == SUBTYPE_RIB_ENTRY:
+        vp = _decode_str(body)
+        prefix = _decode_prefix(body)
+        path = _decode_path(body)
+        comms = _decode_communities(body)
+        return RIBRecord(vp, Route(prefix, path, comms, time))
+    raise MRTError(f"unknown record type {rtype}/{subtype}")
+
+
+def _decode_from(buf: BinaryIO) -> Iterator[Record]:
+    """Decode records from any binary stream until EOF."""
     while True:
         header = buf.read(_HEADER.size)
         if not header:
@@ -154,25 +175,44 @@ def decode_records(data: bytes) -> Iterator[Record]:
             raise MRTError("truncated MRT header")
         time, rtype, subtype, length = _HEADER.unpack(header)
         body = io.BytesIO(_read_exact(buf, length))
-        if rtype == MRT_TYPE_UPDATE:
-            vp = _decode_str(body)
-            prefix = _decode_prefix(body)
-            if subtype == SUBTYPE_WITHDRAW:
-                yield BGPUpdate(vp, time, prefix, is_withdrawal=True)
-            elif subtype == SUBTYPE_ANNOUNCE:
-                path = _decode_path(body)
-                comms = _decode_communities(body)
-                yield BGPUpdate(vp, time, prefix, path, comms)
-            else:
-                raise MRTError(f"unknown update subtype {subtype}")
-        elif rtype == MRT_TYPE_RIB and subtype == SUBTYPE_RIB_ENTRY:
-            vp = _decode_str(body)
-            prefix = _decode_prefix(body)
-            path = _decode_path(body)
-            comms = _decode_communities(body)
-            yield RIBRecord(vp, Route(prefix, path, comms, time))
-        else:
-            raise MRTError(f"unknown record type {rtype}/{subtype}")
+        yield _decode_body(time, rtype, subtype, body)
+
+
+def decode_records(data: bytes) -> Iterator[Record]:
+    """Decode a concatenation of MRT records."""
+    yield from _decode_from(io.BytesIO(data))
+
+
+def iter_decoded(data: bytes) -> Iterator[Tuple[int, Record]]:
+    """Decode records, yielding each with its starting byte offset.
+
+    The offsets are positions into the (decompressed) payload, suitable
+    for :func:`decode_record_at` — the contract the per-segment query
+    indexes rely on to decode only matching records.
+    """
+    buf = io.BytesIO(data)
+    while True:
+        offset = buf.tell()
+        header = buf.read(_HEADER.size)
+        if not header:
+            return
+        if len(header) != _HEADER.size:
+            raise MRTError("truncated MRT header")
+        time, rtype, subtype, length = _HEADER.unpack(header)
+        body = io.BytesIO(_read_exact(buf, length))
+        yield offset, _decode_body(time, rtype, subtype, body)
+
+
+def decode_record_at(data: bytes, offset: int) -> Record:
+    """Decode the single record starting at ``offset`` in ``data``."""
+    if not 0 <= offset <= len(data) - _HEADER.size:
+        raise MRTError(f"record offset {offset} out of range")
+    time, rtype, subtype, length = _HEADER.unpack_from(data, offset)
+    start = offset + _HEADER.size
+    if start + length > len(data):
+        raise MRTError("truncated record body")
+    return _decode_body(time, rtype, subtype,
+                        io.BytesIO(data[start:start + length]))
 
 
 def write_archive(updates: Iterable[BGPUpdate], path: str,
@@ -201,3 +241,16 @@ def read_archive(path: str, compressed: bool = True) -> List[Record]:
     if compressed:
         payload = bz2.decompress(payload)
     return list(decode_records(payload))
+
+
+def iter_archive(path: str, compressed: bool = True) -> Iterator[Record]:
+    """Stream records from an archive without loading it whole.
+
+    Decompression (when enabled) happens incrementally through
+    :func:`bz2.open`, so peak memory stays bounded by one record —
+    the contract :meth:`RollingArchiveWriter.iter_rib_dump` relies on
+    for multi-gigabyte RIB snapshots.
+    """
+    opener = bz2.open if compressed else open
+    with opener(path, "rb") as handle:
+        yield from _decode_from(handle)

@@ -12,6 +12,9 @@ Gives operators the platform's everyday verbs without writing Python:
                     metrics, optional fault injection)
 * ``recover``     — recover a checkpointed archive directory after a
                     crash (delete torn segments, report the watermark)
+* ``serve``       — serve an archive directory over the JSON query
+                    API (indexed per-prefix/VP/origin lookups, RIB
+                    snapshots, MOAS and hijack analyses)
 * ``growth``      — print the Figs. 2-3 historical series
 * ``survey``      — print the §16 survey (Table 4)
 """
@@ -174,7 +177,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         archive = RollingArchiveWriter(args.archive_dir,
                                        interval_s=args.interval,
                                        compress=not args.no_compress,
-                                       checkpoint=args.checkpoint)
+                                       checkpoint=args.checkpoint,
+                                       index=args.index)
     elif args.checkpoint:
         print("--checkpoint requires --archive-dir", file=sys.stderr)
         return 2
@@ -236,6 +240,73 @@ def cmd_recover(args: argparse.Namespace) -> int:
         else f"{report.watermark:.0f}"
     print(f"recovered: {report.segments} durable segments, "
           f"watermark {watermark}")
+    return 0
+
+
+#: Endpoints the ``serve --smoke`` self-test exercises, with the
+#: statuses each may legitimately answer (``/rib`` 404s when the
+#: archive holds no RIB dump).
+_SMOKE_ENDPOINTS = (
+    ("/updates?limit=5", (200,)),
+    ("/vps", (200,)),
+    ("/rib", (200, 404)),
+    ("/moas", (200,)),
+    ("/hijacks", (200,)),
+    ("/status", (200,)),
+)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .query import QueryAPIServer, QueryEngine
+
+    engine = QueryEngine(
+        args.directory,
+        compressed=False if args.no_compress else None,
+        max_workers=args.workers,
+        cache_size=args.cache_size,
+        persist_indexes=not args.no_persist_indexes,
+    )
+    segments = engine.catalog.segments()
+    if not segments:
+        print(f"no archive segments under {args.directory}",
+              file=sys.stderr)
+        return 2
+    server = QueryAPIServer(engine, host=args.host, port=args.port,
+                            quiet=not args.verbose)
+    watermark = engine.watermark()
+    print(f"serving {len(segments)} segments "
+          f"(watermark {watermark:.0f}) from {args.directory} "
+          f"on {server.url}")
+    if args.smoke:
+        # Self-test mode for CI: hit every endpoint once, report, exit.
+        import urllib.error
+        import urllib.request
+
+        server.start()
+        failures = 0
+        try:
+            for endpoint, accepted in _SMOKE_ENDPOINTS:
+                try:
+                    with urllib.request.urlopen(
+                            server.url + endpoint, timeout=30) as reply:
+                        status = reply.status
+                        body = reply.read()
+                except urllib.error.HTTPError as exc:
+                    status, body = exc.code, exc.read()
+                verdict = "ok" if status in accepted else "FAIL"
+                failures += verdict == "FAIL"
+                print(f"  {verdict} {status} {endpoint} "
+                      f"({len(body)} bytes)")
+        finally:
+            server.stop()
+            engine.close()
+        return 1 if failures else 0
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        engine.close()
     return 0
 
 
@@ -337,6 +408,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", action="store_true",
                    help="crash-consistent archive checkpointing "
                         "(requires --archive-dir)")
+    p.add_argument("--index", action="store_true",
+                   help="build query indexes at segment seal time "
+                        "(the repro-bgp serve fast path)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_pipeline)
@@ -348,6 +422,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="archive segment interval in seconds")
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser("serve",
+                       help="serve an archive over the JSON query API")
+    p.add_argument("directory",
+                   help="archive directory (rolling MRT segments)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8480,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="segment-decode thread pool size")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="LRU result-cache entries (0 disables)")
+    p.add_argument("--no-persist-indexes", action="store_true",
+                   help="keep lazily built indexes in memory only")
+    p.add_argument("--smoke", action="store_true",
+                   help="hit every endpoint once and exit (CI mode)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request")
+    p.add_argument("--no-compress", action="store_true",
+                   help="archive segments are uncompressed MRT")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("growth", help="print the Figs. 2-3 series")
     p.add_argument("--start", type=int, default=2003)

@@ -17,6 +17,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..query.stats import QueryStats, QueryStatsSnapshot, \
+    render_query_stats
+
 #: Histogram bucket upper bounds in seconds (log-spaced 1µs .. ~67s,
 #: one bucket per factor of 4), plus a catch-all overflow bucket.
 _BUCKET_BOUNDS: Tuple[float, ...] = tuple(
@@ -179,6 +182,10 @@ class PipelineMetricsSnapshot:
     sessions: Tuple[SessionSnapshot, ...] = ()
     #: Fault-recovery counters (always present from ``snapshot()``).
     supervision: Optional[SupervisionSnapshot] = None
+    #: Read-side counters: seal-time index builds plus, when a
+    #: :class:`repro.query.QueryEngine` shares this hub's
+    #: :class:`~repro.query.stats.QueryStats`, the live query traffic.
+    query: Optional[QueryStatsSnapshot] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -219,6 +226,11 @@ class PipelineMetrics:
         self.archive_lost = 0
         self.rib_redumps = 0
         self.order_violations = 0
+        # Read-side counters: the archive's seal hook reports index
+        # builds here, and a QueryEngine constructed with
+        # ``stats=metrics.query`` serves into the same object, so the
+        # status page shows collection and serving side by side.
+        self.query = QueryStats()
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -282,6 +294,10 @@ class PipelineMetrics:
     def order_violation(self) -> None:
         with self._lock:
             self.order_violations += 1
+
+    def index_built(self, seconds: float) -> None:
+        """A segment's query index was built at seal time."""
+        self.query.index_built(seconds)
 
     # -- worker / writer accounting ----------------------------------------
 
@@ -380,6 +396,7 @@ class PipelineMetrics:
             ),
             sessions=sessions,
             supervision=supervision,
+            query=self.query.snapshot(),
         )
 
 
@@ -437,6 +454,8 @@ def render_metrics(snapshot: PipelineMetricsSnapshot,
                 f"{_format_latency(stage.latency_p50_s):>8s} "
                 f"{_format_latency(stage.latency_p99_s):>8s}"
             )
+    if snapshot.query is not None and snapshot.query.any_activity:
+        lines.append(render_query_stats(snapshot.query))
     if per_session and snapshot.sessions:
         lines.append(f"{'session':>12s} {'enq':>8s} {'drop':>7s} "
                      f"{'loss':>6s} {'rst':>4s} {'bad':>4s} {'state':>6s}")

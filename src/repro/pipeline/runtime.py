@@ -189,6 +189,19 @@ class CollectionPipeline:
         cfg = self.config
 
         archive = self.archive
+        if archive is not None and hasattr(archive, "on_seal"):
+            # Chain onto the archive's seal hook so index builds (when
+            # the archive was opened with ``index=True``) land in the
+            # live metrics the status page renders.
+            previous_hook = archive.on_seal
+
+            def _seal_hook(segment, build_s, _prev=previous_hook):
+                if build_s is not None:
+                    self.metrics.index_built(build_s)
+                if _prev is not None:
+                    _prev(segment, build_s)
+
+            archive.on_seal = _seal_hook
         if cfg.fault_plan:
             self.injector = FaultInjector(cfg.fault_plan)
             archive = self.injector.wrap_archive(archive)
@@ -359,6 +372,20 @@ class CollectionPipeline:
         """Convenience: start, then wait for the full drain."""
         self.start(streams)
         return self.wait(timeout)
+
+    # -- serving -------------------------------------------------------------
+
+    def query_engine(self, **kwargs) -> "object":
+        """A :class:`repro.query.QueryEngine` over this pipeline's
+        archive, sharing the pipeline's query counters — the archive
+        watermark keys the engine's cache, so answers served while
+        collection is still running are never stale."""
+        if self.archive is None:
+            raise RuntimeError("pipeline has no archive to query")
+        from ..query.engine import QueryEngine
+
+        kwargs.setdefault("stats", self.metrics.query)
+        return QueryEngine(self.archive, **kwargs)
 
     # -- results -------------------------------------------------------------
 

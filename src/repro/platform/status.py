@@ -17,6 +17,7 @@ from ..bgp.message import BGPUpdate
 from ..bgp.session import SessionManager, SessionState
 from ..core.orchestrator import Orchestrator
 from ..pipeline.metrics import PipelineMetricsSnapshot, render_metrics
+from ..query.stats import QueryStatsSnapshot, render_query_stats
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,9 @@ class PlatformStatus:
     #: Crash-recovery bookkeeping from the orchestrator (§8).
     epoch_resumes: int = 0
     rib_redumps: int = 0
+    #: Read-side counters of a standalone query engine (when serving
+    #: runs inside the pipeline, they arrive via ``pipeline.query``).
+    query: Optional[QueryStatsSnapshot] = None
 
     @property
     def quarantined_sessions(self) -> int:
@@ -71,7 +75,8 @@ def collect_status(orchestrator: Orchestrator,
                    processed: Sequence[BGPUpdate],
                    retained: Sequence[BGPUpdate],
                    sessions: Optional[SessionManager] = None,
-                   pipeline: Optional[PipelineMetricsSnapshot] = None
+                   pipeline: Optional[PipelineMetricsSnapshot] = None,
+                   query: Optional[QueryStatsSnapshot] = None
                    ) -> PlatformStatus:
     """Assemble the status snapshot after (or during) a collection run.
 
@@ -122,6 +127,7 @@ def collect_status(orchestrator: Orchestrator,
         pipeline=pipeline,
         epoch_resumes=stats.epoch_resumes,
         rib_redumps=stats.rib_redumps,
+        query=query,
     )
 
 
@@ -162,4 +168,6 @@ def render_status(status: PlatformStatus) -> str:
     rendered = "\n".join(lines) + "\n"
     if status.pipeline is not None:
         rendered += "\n" + render_metrics(status.pipeline)
+    if status.query is not None and status.query.any_activity:
+        rendered += "\n" + render_query_stats(status.query) + "\n"
     return rendered

@@ -1,0 +1,51 @@
+"""repro.query — the read side of the platform (§8's data service).
+
+Turns sealed archive segments into a queryable, cacheable service:
+per-segment indexes (prefix/VP/origin postings + bloom fingerprints)
+built at seal time or lazily, a planner/executor that decodes only
+matching segments — and within them only matching record offsets — on
+a thread pool, an LRU result cache invalidated by the archive
+watermark, and a stdlib HTTP JSON API (``repro-bgp serve``).
+"""
+
+from .cache import WatermarkLRUCache
+from .engine import (
+    DirectoryCatalog,
+    QueryEngine,
+    WriterCatalog,
+    open_catalog,
+)
+from .index import (
+    BloomFilter,
+    SegmentIndex,
+    build_index,
+    ensure_index,
+    index_path,
+    load_index,
+)
+from .planner import PlannedSegment, QueryPlan, QuerySpec, plan_query
+from .server import QueryAPIServer, update_to_json
+from .stats import QueryStats, QueryStatsSnapshot, render_query_stats
+
+__all__ = [
+    "BloomFilter",
+    "DirectoryCatalog",
+    "PlannedSegment",
+    "QueryAPIServer",
+    "QueryEngine",
+    "QueryPlan",
+    "QuerySpec",
+    "QueryStats",
+    "QueryStatsSnapshot",
+    "SegmentIndex",
+    "WatermarkLRUCache",
+    "WriterCatalog",
+    "build_index",
+    "ensure_index",
+    "index_path",
+    "load_index",
+    "open_catalog",
+    "plan_query",
+    "render_query_stats",
+    "update_to_json",
+]

@@ -1,0 +1,64 @@
+"""The engine's result cache: LRU, invalidated by the archive watermark.
+
+Correctness rule (docs/QUERY.md): a cached answer is valid only for
+the exact archive state it was computed against.  The archive state is
+summarized by a *watermark token* — ``(durable watermark, segment
+count)`` — which changes whenever the writer seals a new segment or
+recovery truncates the archive.  A lookup whose stored token differs
+from the current one is treated as a miss and the stale entry is
+evicted, so a live pipeline can keep appending while the serving side
+never returns a stale answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class WatermarkLRUCache:
+    """A thread-safe LRU cache whose entries are pinned to a token."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("capacity must be nonnegative")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any]]" = \
+            OrderedDict()
+        #: Stale entries discarded on lookup (watermark moved).
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable, token: Hashable) -> Optional[Any]:
+        """The cached value, or None on miss or watermark mismatch."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            stored_token, value = entry
+            if stored_token != token:
+                # The archive advanced (or was recovered) since this
+                # answer was computed; serving it would be stale.
+                del self._entries[key]
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, token: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (token, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

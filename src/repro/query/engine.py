@@ -1,0 +1,333 @@
+"""The query engine: planner + executor + result cache over an archive.
+
+:class:`QueryEngine` answers :class:`~repro.query.planner.QuerySpec`
+lookups against either a live :class:`~repro.bgp.archive.
+RollingArchiveWriter` (the pipeline's archive, still being appended
+to) or a bare archive directory (a published dataset).  Execution:
+
+1. **prune** — the planner drops segments outside the time range,
+   then consults each surviving segment's index (built lazily and
+   persisted for pre-index archives): the bloom fingerprint and the
+   postings rule segments out without decoding them;
+2. **decode** — surviving segments decompress on a thread pool
+   (bz2 releases the GIL) and only the postings-selected record
+   offsets are decoded;
+3. **merge** — per-segment hits merge in watermark order — the exact
+   ``(time, vp, prefix)`` order ``read_range`` uses — then the limit
+   applies;
+4. **cache** — results enter an LRU keyed by the spec and pinned to
+   the archive's watermark token, so a live pipeline sealing a new
+   segment invalidates every cached answer instead of serving stale
+   data.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time as time_mod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..bgp.archive import ArchiveSegment, CHECKPOINT_NAME, \
+    RollingArchiveWriter
+from ..bgp.message import BGPUpdate
+from ..bgp.mrt import MRTError, RIBRecord, decode_record_at, iter_archive, \
+    iter_decoded
+from .cache import WatermarkLRUCache
+from .index import SegmentIndex, ensure_index, read_payload
+from .planner import PlannedSegment, QueryPlan, QuerySpec, plan_query
+from .stats import QueryStats, QueryStatsSnapshot
+
+_SEGMENT_RE = re.compile(r"^updates\.(\d+)-(\d+)\.mrt(\.bz2)?$")
+_RIB_RE = re.compile(r"^rib\.(\d+)\.mrt(\.bz2)?$")
+
+#: The cache token for an archive state: (watermark, segment count).
+WatermarkToken = Tuple[Optional[float], int]
+
+
+class WriterCatalog:
+    """Catalog over a live (or closed) RollingArchiveWriter."""
+
+    def __init__(self, writer: RollingArchiveWriter):
+        self._writer = writer
+        self.directory = writer.directory
+        self.compressed = writer.compress
+
+    def segments(self) -> List[ArchiveSegment]:
+        # list() snapshots under the GIL; the writer only appends.
+        return list(self._writer.segments)
+
+    def rib_dumps(self) -> List[Tuple[float, str]]:
+        return _scan_rib_dumps(self.directory)
+
+
+class DirectoryCatalog:
+    """Catalog over a bare archive directory (no writer object).
+
+    The checkpoint manifest is preferred when present (it is the
+    source of truth for a crash-consistent archive); otherwise the
+    directory listing is parsed.  Compression is inferred from the
+    segment file names unless given.
+    """
+
+    def __init__(self, directory: str,
+                 compressed: Optional[bool] = None):
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(f"no archive directory: {directory}")
+        self.directory = directory
+        self._compressed = compressed
+
+    @property
+    def compressed(self) -> bool:
+        if self._compressed is None:
+            segments = self.segments()
+            if not segments:
+                return True     # nothing to infer from yet; don't cache
+            self._compressed = segments[0].path.endswith(".bz2")
+        return self._compressed
+
+    def segments(self) -> List[ArchiveSegment]:
+        manifest = self._manifest_segments()
+        if manifest is not None:
+            return manifest
+        found: List[ArchiveSegment] = []
+        for name in sorted(os.listdir(self.directory)):
+            match = _SEGMENT_RE.match(name)
+            if match is None:
+                continue
+            start, end = float(match.group(1)), float(match.group(2))
+            found.append(ArchiveSegment(
+                start, end, os.path.join(self.directory, name), 0))
+        found.sort(key=lambda s: s.start)
+        return found
+
+    def _manifest_segments(self) -> Optional[List[ArchiveSegment]]:
+        path = os.path.join(self.directory, CHECKPOINT_NAME)
+        if not os.path.exists(path):
+            return None
+        import json
+        try:
+            with open(path) as handle:
+                state = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if self._compressed is None:
+            self._compressed = bool(state.get("compress", True))
+        return [
+            ArchiveSegment(entry["start"], entry["end"],
+                           os.path.join(self.directory, entry["file"]),
+                           entry["count"])
+            for entry in state.get("segments", [])
+        ]
+
+    def rib_dumps(self) -> List[Tuple[float, str]]:
+        return _scan_rib_dumps(self.directory)
+
+
+def _scan_rib_dumps(directory: str) -> List[Tuple[float, str]]:
+    dumps: List[Tuple[float, str]] = []
+    for name in sorted(os.listdir(directory)):
+        match = _RIB_RE.match(name)
+        if match is not None:
+            dumps.append((float(match.group(1)),
+                          os.path.join(directory, name)))
+    dumps.sort()
+    return dumps
+
+
+Catalog = Union[WriterCatalog, DirectoryCatalog]
+
+
+def open_catalog(source: Union[str, RollingArchiveWriter, Catalog],
+                 compressed: Optional[bool] = None) -> Catalog:
+    """Resolve an engine source: directory path, writer, or catalog."""
+    if isinstance(source, (WriterCatalog, DirectoryCatalog)):
+        return source
+    if isinstance(source, RollingArchiveWriter):
+        return WriterCatalog(source)
+    if isinstance(source, str):
+        return DirectoryCatalog(source, compressed)
+    raise TypeError(f"cannot open a catalog over {type(source)!r}")
+
+
+class QueryEngine:
+    """Indexed, cached, concurrent lookups over an update archive."""
+
+    def __init__(self, source: Union[str, RollingArchiveWriter, Catalog],
+                 compressed: Optional[bool] = None,
+                 max_workers: int = 4,
+                 cache_size: int = 128,
+                 persist_indexes: bool = True,
+                 stats: Optional[QueryStats] = None):
+        self.catalog = open_catalog(source, compressed)
+        self.stats = stats if stats is not None else QueryStats()
+        self.cache = WatermarkLRUCache(cache_size)
+        self.persist_indexes = persist_indexes
+        self._indexes: Dict[Tuple[str, int], SegmentIndex] = {}
+        self._index_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, max_workers),
+            thread_name_prefix="query")
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- archive state -------------------------------------------------------
+
+    @staticmethod
+    def _token(segments: Sequence[ArchiveSegment]) -> WatermarkToken:
+        """The cache-invalidation token for one observed archive state."""
+        watermark = segments[-1].end if segments else None
+        return (watermark, len(segments))
+
+    def watermark(self) -> Optional[float]:
+        """End of the last sealed segment (exclusive), if any."""
+        return self._token(self.catalog.segments())[0]
+
+    # -- indexes -------------------------------------------------------------
+
+    def _index_for(self, segment: ArchiveSegment
+                   ) -> Optional[SegmentIndex]:
+        """The segment's index, loading or lazily building it.
+
+        Returns None when the segment cannot be indexed (the planner
+        then degrades it to a full decode).  In-memory indexes are
+        keyed by (path, file size) so a recovered-and-rewritten
+        segment never reuses a stale one.
+        """
+        try:
+            key = (segment.path, os.path.getsize(segment.path))
+        except OSError:
+            return None
+        with self._index_lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                return index
+            try:
+                started = time_mod.perf_counter()
+                index, built = ensure_index(
+                    segment.path, self.catalog.compressed,
+                    persist=self.persist_indexes)
+            except MRTError:
+                return None
+            if built:
+                self.stats.index_built(
+                    time_mod.perf_counter() - started)
+            else:
+                self.stats.index_loaded()
+            self._indexes[key] = index
+            return index
+
+    # -- execution -----------------------------------------------------------
+
+    def _scan_segment(self, planned: PlannedSegment, spec: QuerySpec
+                      ) -> List[BGPUpdate]:
+        payload = read_payload(planned.segment.path,
+                               self.catalog.compressed)
+        hits: List[BGPUpdate] = []
+        decoded = 0
+        if planned.offsets is None:
+            for _, record in iter_decoded(payload):
+                decoded += 1
+                if isinstance(record, BGPUpdate) and spec.matches(record):
+                    hits.append(record)
+        else:
+            for offset in planned.offsets:
+                record = decode_record_at(payload, offset)
+                decoded += 1
+                if isinstance(record, BGPUpdate) and spec.matches(record):
+                    hits.append(record)
+        self.stats.records_scanned(decoded)
+        return hits
+
+    def plan(self, spec: QuerySpec) -> QueryPlan:
+        """The pruning decision for ``spec`` (exposed for inspection)."""
+        return plan_query(self.catalog.segments(), spec, self._index_for)
+
+    def query(self, spec: QuerySpec) -> List[BGPUpdate]:
+        """Answer one spec; equal to a naive scan-and-filter of the
+        whole archive, in ``(time, vp, prefix)`` order."""
+        segments = self.catalog.segments()
+        token = self._token(segments)
+        key = spec.key()
+        stale_before = self.cache.invalidations
+        cached = self.cache.get(key, token)
+        if cached is not None:
+            self.stats.query_served(cache_hit=True, returned=len(cached))
+            return list(cached)
+        if self.cache.invalidations > stale_before:
+            self.stats.cache_invalidated()
+        plan = plan_query(segments, spec, self._index_for)
+        if len(plan.scan) <= 1:
+            hit_lists = [self._scan_segment(planned, spec)
+                         for planned in plan.scan]
+        else:
+            hit_lists = list(self._pool.map(
+                lambda planned: self._scan_segment(planned, spec),
+                plan.scan))
+        results: List[BGPUpdate] = [u for hits in hit_lists for u in hits]
+        results.sort(key=lambda u: (u.time, u.vp, u.prefix))
+        if spec.limit is not None:
+            results = results[:spec.limit]
+        self.cache.put(key, token, tuple(results))
+        self.stats.plan_executed(
+            considered=plan.considered,
+            pruned_time=plan.pruned_time,
+            pruned_index=plan.pruned_index,
+            decoded=len(plan.scan))
+        self.stats.query_served(cache_hit=False, returned=len(results))
+        return results
+
+    # -- aggregate views (the /vps endpoint) ---------------------------------
+
+    def vp_counts(self) -> Dict[str, int]:
+        """Per-VP stored-update counts, aggregated from the indexes
+        (no segment is decoded when its index is available)."""
+        counts: Dict[str, int] = {}
+        for segment in self.catalog.segments():
+            index = self._index_for(segment)
+            if index is not None:
+                for vp, offsets in index.vps.items():
+                    counts[vp] = counts.get(vp, 0) + len(offsets)
+                continue
+            # Unindexable segment: fall back to decoding it.
+            for _, record in iter_decoded(
+                    read_payload(segment.path, self.catalog.compressed)):
+                if isinstance(record, BGPUpdate):
+                    counts[record.vp] = counts.get(record.vp, 0) + 1
+        return counts
+
+    # -- RIB dumps (the /rib endpoint) ---------------------------------------
+
+    def rib_dump_at(self, time: Optional[float] = None
+                    ) -> Optional[Tuple[float, str]]:
+        """The newest published RIB dump at or before ``time``
+        (the newest overall when ``time`` is None)."""
+        dumps = self.catalog.rib_dumps()
+        if time is not None:
+            dumps = [d for d in dumps if d[0] <= time]
+        return dumps[-1] if dumps else None
+
+    def iter_rib_dump(self, path: str) -> Iterator[RIBRecord]:
+        """Stream one RIB dump's entries without materializing it."""
+        for record in iter_archive(path, self.catalog.compressed):
+            if isinstance(record, RIBRecord):
+                yield record
+
+    # -- observability -------------------------------------------------------
+
+    def stats_snapshot(self) -> QueryStatsSnapshot:
+        return self.stats.snapshot()

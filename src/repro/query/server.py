@@ -1,0 +1,300 @@
+"""The data-serving front end: a JSON HTTP API over the query engine.
+
+bgproutes.io's pitch (§8) is that collected data is *easy to get at* —
+per-prefix, per-VP lookups rather than "download the MRT files and
+grep".  This module serves that API from the Python standard library
+(``ThreadingHTTPServer``; one OS thread per request, which matches the
+engine's thread-pool executor and GIL-releasing bz2 decode):
+
+* ``GET /updates``   — archived updates; params ``prefix``, ``vp``,
+  ``origin``, ``start``, ``end``, ``limit``;
+* ``GET /rib``       — a published RIB snapshot, streamed; params
+  ``time`` (newest dump at or before it) and ``vp``;
+* ``GET /vps``       — per-VP stored-update counts from the indexes;
+* ``GET /moas``      — MOAS conflicts in a time range
+  (:func:`repro.usecases.detect_moas`);
+* ``GET /hijacks``   — DFOH-style suspicious new links in a time
+  range (:class:`repro.usecases.DFOHDetector`);
+* ``GET /status``    — watermark, segment count and engine counters.
+
+Responses are JSON; errors map to ``{"error": ...}`` with 400
+(malformed parameters), 404 (unknown path / no data) or 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..bgp.message import BGPUpdate
+from ..usecases import DFOHDetector, detect_moas
+from .engine import QueryEngine
+from .planner import QuerySpec
+
+
+def update_to_json(update: BGPUpdate) -> dict:
+    return {
+        "vp": update.vp,
+        "time": update.time,
+        "prefix": str(update.prefix),
+        "as_path": list(update.as_path),
+        "communities": sorted(list(c) for c in update.communities),
+        "withdrawal": update.is_withdrawal,
+    }
+
+
+def _parse_params(query: str) -> Dict[str, str]:
+    return dict(parse_qsl(query, keep_blank_values=True))
+
+
+class _QueryAPIHandler(BaseHTTPRequestHandler):
+    """Routes one request; the engine is attached by the server."""
+
+    engine: QueryEngine          # set on the subclass by QueryAPIServer
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json_stream(self, chunks: Iterator[bytes]) -> None:
+        """Stream a response of unknown length (chunked transfer).
+
+        Used by ``/rib`` so a snapshot is never materialized in
+        memory: each chunk is encoded as it leaves the decoder.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for chunk in chunks:
+            if chunk:
+                self.wfile.write(b"%x\r\n%s\r\n" % (len(chunk), chunk))
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status)
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:    # noqa: N802 (http.server naming)
+        url = urlsplit(self.path)
+        try:
+            params = _parse_params(url.query)
+            route = {
+                "/updates": self._get_updates,
+                "/rib": self._get_rib,
+                "/vps": self._get_vps,
+                "/moas": self._get_moas,
+                "/hijacks": self._get_hijacks,
+                "/status": self._get_status,
+            }.get(url.path)
+            if route is None:
+                self._error(404, f"unknown endpoint {url.path}")
+                return
+            route(params)
+        except ValueError as exc:
+            self._error(400, str(exc))
+        except BrokenPipeError:
+            pass                 # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _get_updates(self, params: Dict[str, str]) -> None:
+        spec = QuerySpec.from_params(params)
+        updates = self.engine.query(spec)
+        self._send_json({
+            "watermark": self.engine.watermark(),
+            "count": len(updates),
+            "updates": [update_to_json(u) for u in updates],
+        })
+
+    def _get_vps(self, params: Dict[str, str]) -> None:
+        if params:
+            raise ValueError("/vps takes no parameters")
+        counts = self.engine.vp_counts()
+        self._send_json({
+            "count": len(counts),
+            "vps": [{"vp": vp, "updates": counts[vp]}
+                    for vp in sorted(counts)],
+        })
+
+    def _get_rib(self, params: Dict[str, str]) -> None:
+        unknown = set(params) - {"time", "vp"}
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        at = float(params["time"]) if "time" in params else None
+        dump = self.engine.rib_dump_at(at)
+        if dump is None:
+            self._error(404, "no RIB dump published"
+                             + (f" at or before {at:.0f}" if at is not None
+                                else ""))
+            return
+        dump_time, path = dump
+        vp_filter = params.get("vp")
+
+        def chunks() -> Iterator[bytes]:
+            head = json.dumps({"time": dump_time, "vp": vp_filter})
+            yield (head[:-1] + ', "routes": [').encode("utf-8")
+            first = True
+            count = 0
+            for record in self.engine.iter_rib_dump(path):
+                if vp_filter is not None and record.vp != vp_filter:
+                    continue
+                route = record.route
+                entry = json.dumps({
+                    "vp": record.vp,
+                    "prefix": str(route.prefix),
+                    "as_path": list(route.as_path),
+                    "communities": sorted(
+                        list(c) for c in route.communities),
+                    "time": route.time,
+                })
+                yield (entry if first else "," + entry).encode("utf-8")
+                first = False
+                count += 1
+            yield b'], "count": %d}' % count
+
+        self._send_json_stream(chunks())
+
+    def _get_moas(self, params: Dict[str, str]) -> None:
+        unknown = set(params) - {"start", "end"}
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        spec = QuerySpec.from_params(params)
+        updates = self.engine.query(spec)
+        conflicts = detect_moas(updates)
+        self._send_json({
+            "count": len(conflicts),
+            "conflicts": [
+                {"prefix": str(c.prefix), "origins": sorted(c.origins)}
+                for c in conflicts
+            ],
+        })
+
+    def _get_hijacks(self, params: Dict[str, str]) -> None:
+        unknown = set(params) - {"start", "end", "threshold"}
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        threshold = float(params.pop("threshold", 0.6))
+        spec = QuerySpec.from_params(params)
+        updates = self.engine.query(spec)
+        # DFOH needs a trained AS graph; with only the archive to go
+        # on, train on the older half of the window and scan the newer
+        # half for implausible new links.
+        train, scan = _split_for_training(updates)
+        detector = DFOHDetector(suspicion_threshold=threshold)
+        detector.train_on_updates(train)
+        cases = detector.infer(scan)
+        self._send_json({
+            "threshold": threshold,
+            "trained_on": len(train),
+            "scanned": len(scan),
+            "count": len(cases),
+            "cases": [
+                {"link": sorted(case.link), "prefix": str(case.prefix),
+                 "score": round(case.score, 4), "origin": case.origin}
+                for case in cases
+            ],
+        })
+
+    def _get_status(self, params: Dict[str, str]) -> None:
+        if params:
+            raise ValueError("/status takes no parameters")
+        stats = self.engine.stats_snapshot()
+        segments = self.engine.catalog.segments()
+        self._send_json({
+            "watermark": self.engine.watermark(),
+            "segments": len(segments),
+            "records": sum(s.count for s in segments),
+            "queries": stats.queries,
+            "cache_hit_rate": round(stats.cache_hit_rate, 4),
+            "segments_pruned": stats.segments_pruned,
+            "segments_decoded": stats.segments_decoded,
+            "index_builds": stats.index_builds,
+            "index_build_time_s": round(stats.index_build_time_s, 6),
+        })
+
+
+def _split_for_training(updates: List[BGPUpdate]
+                        ) -> Tuple[List[BGPUpdate], List[BGPUpdate]]:
+    """Older half trains the detector, newer half is scanned.
+
+    The split is at the time midpoint of the window actually covered,
+    so it is deterministic for a fixed archive.
+    """
+    if not updates:
+        return [], []
+    lo, hi = updates[0].time, updates[-1].time
+    midpoint = lo + (hi - lo) / 2.0
+    train = [u for u in updates if u.time <= midpoint]
+    scan = [u for u in updates if u.time > midpoint]
+    return train, scan
+
+
+class QueryAPIServer:
+    """Owns the HTTP server and its serving thread."""
+
+    def __init__(self, engine: QueryEngine, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True):
+        handler = type("BoundQueryAPIHandler", (_QueryAPIHandler,),
+                       {"engine": engine, "quiet": quiet})
+        self.engine = engine
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "QueryAPIServer":
+        """Serve on a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="query-api",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's foreground mode)."""
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "QueryAPIServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

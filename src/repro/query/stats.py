@@ -1,0 +1,150 @@
+"""Query-engine counters, shared with the pipeline status page.
+
+The engine reports everything an operator of a serving platform wants
+on one screen: query volume, cache efficiency, how hard the indexes
+are working (segments pruned without decoding vs segments actually
+decoded) and how much time goes into building indexes.  The mutable
+:class:`QueryStats` is thread-safe (server handler threads and the
+archive writer both report into it); :meth:`QueryStats.snapshot`
+produces the immutable view embedded in
+:class:`repro.pipeline.metrics.PipelineMetricsSnapshot` and rendered
+by :mod:`repro.platform.status`.
+
+This module intentionally has no repro-internal imports so both the
+read side (:mod:`repro.query`) and the write side
+(:mod:`repro.pipeline.metrics`) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryStatsSnapshot:
+    """One immutable observation of the query engine's counters."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    #: Segments the planner looked at (after time-range bisection).
+    segments_considered: int = 0
+    #: Skipped by the time range without touching any file.
+    segments_pruned_time: int = 0
+    #: Skipped by the bloom fingerprint / postings without decoding.
+    segments_pruned_index: int = 0
+    segments_decoded: int = 0
+    records_decoded: int = 0
+    records_returned: int = 0
+    index_builds: int = 0
+    index_build_time_s: float = 0.0
+    index_loads: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    @property
+    def segments_pruned(self) -> int:
+        return self.segments_pruned_time + self.segments_pruned_index
+
+    @property
+    def any_activity(self) -> bool:
+        return bool(self.queries or self.index_builds or self.index_loads)
+
+
+class QueryStats:
+    """Thread-safe counters every query-engine component reports into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.segments_considered = 0
+        self.segments_pruned_time = 0
+        self.segments_pruned_index = 0
+        self.segments_decoded = 0
+        self.records_decoded = 0
+        self.records_returned = 0
+        self.index_builds = 0
+        self.index_build_time_s = 0.0
+        self.index_loads = 0
+
+    def query_served(self, cache_hit: bool, returned: int) -> None:
+        with self._lock:
+            self.queries += 1
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.records_returned += returned
+
+    def cache_invalidated(self, count: int = 1) -> None:
+        with self._lock:
+            self.cache_invalidations += count
+
+    def plan_executed(self, considered: int, pruned_time: int,
+                      pruned_index: int, decoded: int) -> None:
+        with self._lock:
+            self.segments_considered += considered
+            self.segments_pruned_time += pruned_time
+            self.segments_pruned_index += pruned_index
+            self.segments_decoded += decoded
+
+    def records_scanned(self, count: int) -> None:
+        with self._lock:
+            self.records_decoded += count
+
+    def index_built(self, seconds: float) -> None:
+        with self._lock:
+            self.index_builds += 1
+            self.index_build_time_s += seconds
+
+    def index_loaded(self) -> None:
+        with self._lock:
+            self.index_loads += 1
+
+    def snapshot(self) -> QueryStatsSnapshot:
+        with self._lock:
+            return QueryStatsSnapshot(
+                queries=self.queries,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_invalidations=self.cache_invalidations,
+                segments_considered=self.segments_considered,
+                segments_pruned_time=self.segments_pruned_time,
+                segments_pruned_index=self.segments_pruned_index,
+                segments_decoded=self.segments_decoded,
+                records_decoded=self.records_decoded,
+                records_returned=self.records_returned,
+                index_builds=self.index_builds,
+                index_build_time_s=self.index_build_time_s,
+                index_loads=self.index_loads,
+            )
+
+
+def render_query_stats(snapshot: QueryStatsSnapshot) -> str:
+    """One status-page block for the query engine (no trailing \\n)."""
+    lines = [
+        "== query engine ==",
+        f"queries {snapshot.queries}  "
+        f"cache {snapshot.cache_hits} hit / {snapshot.cache_misses} miss "
+        f"({snapshot.cache_hit_rate:.1%})  "
+        f"invalidations {snapshot.cache_invalidations}",
+        f"segments: {snapshot.segments_considered} considered, "
+        f"{snapshot.segments_pruned} pruned "
+        f"({snapshot.segments_pruned_time} time, "
+        f"{snapshot.segments_pruned_index} index), "
+        f"{snapshot.segments_decoded} decoded",
+        f"records: {snapshot.records_decoded} decoded, "
+        f"{snapshot.records_returned} returned",
+        f"indexes: {snapshot.index_builds} built "
+        f"({snapshot.index_build_time_s:.3f}s), "
+        f"{snapshot.index_loads} loaded",
+    ]
+    return "\n".join(lines)

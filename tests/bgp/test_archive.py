@@ -273,3 +273,93 @@ class TestCheckpointRecovery:
         resumed.close()
         assert [u.time for u in resumed.read_range(0.0, 1e9)] \
             == [u.time for u in clean.read_range(0.0, 1e9)]
+
+
+class TestReadRangePushdown:
+    """The prefix=/vp= filters must be exactly a post-hoc filter of
+    the historical unfiltered scan."""
+
+    def multi_vp_writer(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False)
+        prefixes = [P1, Prefix.parse("10.0.1.0/24"),
+                    Prefix.parse("10.0.2.0/24")]
+        for t in range(0, 500, 7):
+            writer.write(BGPUpdate(f"vp{t % 3}", float(t),
+                                   prefixes[t % len(prefixes)], (1, 2)))
+        writer.close()
+        return writer, prefixes
+
+    def test_prefix_pushdown_equals_post_filter(self, tmp_path):
+        writer, prefixes = self.multi_vp_writer(tmp_path)
+        everything = writer.read_range(0.0, 1e9)
+        for prefix in prefixes:
+            assert writer.read_range(0.0, 1e9, prefix=prefix) \
+                == [u for u in everything if u.prefix == prefix]
+
+    def test_vp_pushdown_equals_post_filter(self, tmp_path):
+        writer, _ = self.multi_vp_writer(tmp_path)
+        everything = writer.read_range(0.0, 1e9)
+        for vp in ("vp0", "vp1", "vp2", "vp-none"):
+            assert writer.read_range(0.0, 1e9, vp=vp) \
+                == [u for u in everything if u.vp == vp]
+
+    def test_combined_pushdown_with_time_window(self, tmp_path):
+        writer, prefixes = self.multi_vp_writer(tmp_path)
+        window = writer.read_range(100.0, 400.0)
+        assert writer.read_range(100.0, 400.0, prefix=prefixes[1],
+                                 vp="vp1") \
+            == [u for u in window
+                if u.prefix == prefixes[1] and u.vp == "vp1"]
+
+    def test_no_filter_unchanged(self, tmp_path):
+        writer, _ = self.multi_vp_writer(tmp_path)
+        assert writer.read_range(0.0, 1e9) \
+            == writer.read_range(0.0, 1e9, prefix=None, vp=None)
+
+
+class TestStreamingRIB:
+    def test_iter_equals_read(self, tmp_path):
+        from repro.bgp.rib import Route
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0)
+        ribs = {
+            f"vp{i}": [Route(P1, (i, 2), frozenset(), float(t))
+                       for t in range(5)]
+            for i in range(4)
+        }
+        path = writer.write_rib_dump(100.0, ribs)
+        streamed = {}
+        for record in writer.iter_rib_dump(path):
+            streamed.setdefault(record.vp, []).append(record.route)
+        assert streamed == writer.read_rib_dump(path) == ribs
+
+
+class TestIndexRecovery:
+    def test_recover_deletes_orphaned_indexes(self, tmp_path):
+        from repro.bgp.archive import INDEX_SUFFIX
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False, checkpoint=True,
+                                      index=True)
+        writer.write_stream([upd(10.0), upd(150.0), upd(250.0)])
+        # Two segments are durable and indexed; the open interval is
+        # not.  Simulate a torn seal: segment file + index on disk but
+        # absent from the manifest.
+        torn = os.path.join(str(tmp_path),
+                            "updates.000000000300-000000000400.mrt")
+        with open(torn, "wb"):
+            pass
+        with open(torn + INDEX_SUFFIX, "w") as handle:
+            handle.write("{}")
+
+        recovered = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                         compress=False, checkpoint=True,
+                                         index=True)
+        report = recovered.recover()
+        assert report.segments == 2
+        assert os.path.basename(torn) in report.torn_removed
+        assert os.path.basename(torn) + INDEX_SUFFIX \
+            in report.index_orphans
+        assert not os.path.exists(torn + INDEX_SUFFIX)
+        # Indexes of surviving segments are untouched.
+        for segment in recovered.segments:
+            assert os.path.exists(segment.path + INDEX_SUFFIX)

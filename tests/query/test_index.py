@@ -1,0 +1,186 @@
+"""Tests for per-segment query indexes (repro.query.index)."""
+
+import os
+
+import pytest
+
+from repro.bgp.archive import RollingArchiveWriter
+from repro.bgp.message import BGPUpdate
+from repro.bgp.mrt import decode_record_at, iter_decoded, write_archive
+from repro.bgp.prefix import Prefix
+from repro.query.index import (
+    BloomFilter,
+    SegmentIndex,
+    build_index,
+    ensure_index,
+    index_path,
+    load_index,
+    read_payload,
+)
+
+P1 = Prefix.parse("10.0.0.0/24")
+P2 = Prefix.parse("10.0.1.0/24")
+P3 = Prefix.parse("192.168.0.0/16")
+
+
+def updates_fixture():
+    return [
+        BGPUpdate("vp1", 10.0, P1, (65001, 65002)),
+        BGPUpdate("vp2", 20.0, P2, (65001, 65003)),
+        BGPUpdate("vp1", 30.0, P2, (65001, 65002)),
+        BGPUpdate("vp1", 40.0, P1, is_withdrawal=True),
+        BGPUpdate("vp3", 50.0, P1, (65004, 65005)),
+    ]
+
+
+@pytest.fixture(params=[True, False], ids=["bz2", "raw"])
+def segment(request, tmp_path):
+    compressed = request.param
+    suffix = ".mrt.bz2" if compressed else ".mrt"
+    path = str(tmp_path / f"updates.000000000000-000000000100{suffix}")
+    write_archive(updates_fixture(), path, compress=compressed)
+    return path, compressed
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter(n_bits=256, n_hashes=3)
+        bloom.add("p:10.0.0.0/24")
+        assert "p:10.0.0.0/24" in bloom
+        assert "p:10.99.0.0/24" not in bloom
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter()
+        keys = [f"v:vp{i}" for i in range(200)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_hex_round_trip(self):
+        bloom = BloomFilter(n_bits=512, n_hashes=4)
+        bloom.add("o:65001")
+        again = BloomFilter.from_hex(512, 4, bloom.to_hex())
+        assert "o:65001" in again and "o:1" not in again
+
+    def test_invalid_sizing(self):
+        with pytest.raises(ValueError):
+            BloomFilter(n_bits=0)
+
+
+class TestBuildIndex:
+    def test_counts_and_postings(self, segment):
+        path, compressed = segment
+        index = build_index(path, compressed)
+        assert index.count == 5
+        assert sorted(index.prefixes) == sorted({str(P1), str(P2)})
+        assert len(index.prefixes[str(P1)]) == 3    # incl. withdrawal
+        assert len(index.vps["vp1"]) == 3
+        # Withdrawals carry no origin.
+        assert len(index.origins["65002"]) == 2
+        assert "65005" in index.origins
+
+    def test_offsets_decode_the_right_records(self, segment):
+        path, compressed = segment
+        index = build_index(path, compressed)
+        payload = read_payload(path, compressed)
+        for prefix_str, offsets in index.prefixes.items():
+            for offset in offsets:
+                record = decode_record_at(payload, offset)
+                assert str(record.prefix) == prefix_str
+
+    def test_offsets_match_sequential_walk(self, segment):
+        path, compressed = segment
+        payload = read_payload(path, compressed)
+        walked = {offset for offset, _ in iter_decoded(payload)}
+        index = build_index(path, compressed)
+        indexed = {o for lst in index.prefixes.values() for o in lst}
+        assert indexed == walked
+
+    def test_may_match_and_candidates(self, segment):
+        path, compressed = segment
+        index = build_index(path, compressed)
+        assert index.may_match(prefix=P1)
+        assert not index.may_match(prefix=P3)
+        assert index.may_match(vp="vp2", origin=65003)
+        assert not index.may_match(vp="vp2", origin=999999)
+        # The most selective postings list is chosen.
+        offsets = index.candidate_offsets(prefix=P1, vp="vp3")
+        assert len(offsets) == 1
+        assert index.candidate_offsets() is None
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, segment):
+        path, compressed = segment
+        index = build_index(path, compressed, persist=True)
+        assert os.path.exists(index_path(path))
+        loaded = load_index(path)
+        assert loaded is not None
+        assert loaded.count == index.count
+        assert loaded.prefixes == index.prefixes
+        assert loaded.vps == index.vps
+        assert loaded.origins == index.origins
+        assert loaded.bloom.bits == index.bloom.bits
+
+    def test_stale_index_rejected(self, segment):
+        path, compressed = segment
+        build_index(path, compressed, persist=True)
+        # Rewrite the segment with different content: the recorded
+        # size no longer matches, so the index must not load.
+        write_archive(updates_fixture()[:2] * 7, path,
+                      compress=compressed)
+        assert load_index(path) is None
+
+    def test_corrupt_index_rejected(self, segment):
+        path, compressed = segment
+        build_index(path, compressed, persist=True)
+        with open(index_path(path), "w") as handle:
+            handle.write("{not json")
+        assert load_index(path) is None
+
+    def test_missing_index(self, segment):
+        path, _ = segment
+        assert load_index(path) is None
+
+    def test_ensure_builds_then_loads(self, segment):
+        path, compressed = segment
+        index, built = ensure_index(path, compressed)
+        assert built and index.count == 5
+        again, built_again = ensure_index(path, compressed)
+        assert not built_again
+        assert again.count == index.count
+
+
+class TestSealTimeIndexing:
+    def test_writer_persists_index_at_seal(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      index=True)
+        for t in (10.0, 150.0, 250.0):
+            writer.write(BGPUpdate("vp1", t, P1, (1, 2)))
+        writer.close()
+        assert len(writer.segments) == 3
+        for segment in writer.segments:
+            assert os.path.exists(index_path(segment.path))
+            loaded = load_index(segment.path)
+            assert loaded is not None and loaded.count == segment.count
+        assert writer.last_index_build_s is not None
+
+    def test_on_seal_hook_reports_build_time(self, tmp_path):
+        events = []
+        writer = RollingArchiveWriter(
+            str(tmp_path), interval_s=100.0, index=True,
+            on_seal=lambda seg, dt: events.append((seg.start, dt)))
+        writer.write(BGPUpdate("vp1", 10.0, P1, (1, 2)))
+        writer.write(BGPUpdate("vp1", 150.0, P1, (1, 2)))
+        writer.close()
+        assert [start for start, _ in events] == [0.0, 100.0]
+        assert all(dt is not None and dt >= 0.0 for _, dt in events)
+
+    def test_on_seal_without_indexing_passes_none(self, tmp_path):
+        events = []
+        writer = RollingArchiveWriter(
+            str(tmp_path), interval_s=100.0,
+            on_seal=lambda seg, dt: events.append(dt))
+        writer.write(BGPUpdate("vp1", 10.0, P1, (1, 2)))
+        writer.close()
+        assert events == [None]

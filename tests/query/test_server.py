@@ -1,0 +1,245 @@
+"""End-to-end tests for the JSON query API (repro.query.server).
+
+The archives under test are produced the way the platform produces
+them — by ``run_pipeline_epoch`` on the concurrent runtime — including
+one interrupted by an injected writer crash and recovered with
+``resume=True``.
+"""
+
+import json
+import math
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bgp.archive import INDEX_SUFFIX, RollingArchiveWriter
+from repro.bgp.rib import Route
+from repro.core.orchestrator import Orchestrator, OrchestratorConfig
+from repro.pipeline import FaultPlan, InjectedCrash, PipelineConfig, \
+    SupervisorConfig
+from repro.query import QueryAPIServer, QueryEngine, index_path
+from repro.workload import StreamConfig, SyntheticStreamGenerator, \
+    split_by_vp
+
+TIMEOUT = 30.0
+
+
+def orch_config():
+    return OrchestratorConfig(
+        component1_interval_s=600.0,
+        component2_interval_s=2400.0,
+        mirror_window_s=600.0,
+        events_per_cell=5,
+    )
+
+
+def get_json(url):
+    """GET a URL; returns (status, decoded JSON body)."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture(scope="module")
+def stream():
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=6, n_prefix_groups=6, duration_s=1200.0, seed=23,
+    ))
+    _, updates = generator.generate()
+    return updates
+
+
+@pytest.fixture(scope="module")
+def epoch_archive(stream, tmp_path_factory):
+    """An archive published by one pipeline epoch, with a RIB dump."""
+    directory = tmp_path_factory.mktemp("epoch")
+    archive = RollingArchiveWriter(str(directory), interval_s=120.0,
+                                   compress=False, checkpoint=True,
+                                   index=True)
+    result = Orchestrator(orch_config()).run_pipeline_epoch(
+        split_by_vp(stream),
+        PipelineConfig(n_shards=2, overflow_policy="block"),
+        archive=archive, timeout=TIMEOUT)
+    assert result.metrics.retained > 0
+    # Publish a RIB snapshot built from the archived updates.
+    ribs = {}
+    for update in archive.read_range(0.0, math.inf):
+        if not update.is_withdrawal:
+            ribs.setdefault(update.vp, []).append(Route(
+                update.prefix, update.as_path, update.communities,
+                update.time))
+    rib_time = archive.segments[-1].end
+    archive.write_rib_dump(rib_time, ribs)
+    return archive, ribs, rib_time
+
+
+@pytest.fixture(scope="module")
+def server(epoch_archive):
+    archive, _, _ = epoch_archive
+    engine = QueryEngine(archive)
+    with QueryAPIServer(engine) as api:
+        yield api
+    engine.close()
+
+
+class TestEndpoints:
+    def test_updates_full_scan(self, server, epoch_archive):
+        archive, _, _ = epoch_archive
+        status, body = get_json(server.url + "/updates")
+        assert status == 200
+        want = archive.read_range(0.0, math.inf)
+        assert body["count"] == len(want)
+        assert body["watermark"] == archive.segments[-1].end
+        head = body["updates"][0]
+        assert head["vp"] == want[0].vp
+        assert head["prefix"] == str(want[0].prefix)
+        assert head["as_path"] == list(want[0].as_path)
+
+    def test_updates_filtered(self, server, epoch_archive):
+        archive, _, _ = epoch_archive
+        sample = archive.read_range(0.0, math.inf)[0]
+        status, body = get_json(
+            server.url + f"/updates?prefix={sample.prefix}"
+            f"&vp={sample.vp}&limit=10")
+        assert status == 200
+        want = archive.read_range(0.0, math.inf, prefix=sample.prefix,
+                                  vp=sample.vp)[:10]
+        assert body["count"] == len(want)
+        assert [u["time"] for u in body["updates"]] \
+            == [u.time for u in want]
+
+    def test_updates_bad_param(self, server):
+        status, body = get_json(server.url + "/updates?bogus=1")
+        assert status == 400 and "error" in body
+        status, body = get_json(server.url + "/updates?prefix=nonsense")
+        assert status == 400 and "error" in body
+
+    def test_vps(self, server, epoch_archive):
+        archive, _, _ = epoch_archive
+        status, body = get_json(server.url + "/vps")
+        assert status == 200
+        counts = {row["vp"]: row["updates"] for row in body["vps"]}
+        want = {}
+        for update in archive.read_range(0.0, math.inf):
+            want[update.vp] = want.get(update.vp, 0) + 1
+        assert counts == want
+
+    def test_rib_streams_the_snapshot(self, server, epoch_archive):
+        _, ribs, rib_time = epoch_archive
+        status, body = get_json(server.url + "/rib")
+        assert status == 200
+        assert body["time"] == rib_time
+        assert body["count"] == sum(len(r) for r in ribs.values())
+        vp = sorted(ribs)[0]
+        status, body = get_json(server.url + f"/rib?vp={vp}")
+        assert status == 200
+        assert body["count"] == len(ribs[vp])
+        assert all(route["vp"] == vp for route in body["routes"])
+
+    def test_rib_before_first_dump_is_404(self, server):
+        status, body = get_json(server.url + "/rib?time=0")
+        assert status == 404 and "error" in body
+
+    def test_moas(self, server):
+        status, body = get_json(server.url + "/moas")
+        assert status == 200
+        assert body["count"] == len(body["conflicts"])
+        for conflict in body["conflicts"]:
+            assert len(conflict["origins"]) >= 2
+
+    def test_hijacks(self, server):
+        status, body = get_json(server.url + "/hijacks?threshold=0.5")
+        assert status == 200
+        assert body["threshold"] == 0.5
+        assert body["trained_on"] > 0 and body["scanned"] > 0
+        assert body["count"] == len(body["cases"])
+
+    def test_status(self, server, epoch_archive):
+        archive, _, _ = epoch_archive
+        status, body = get_json(server.url + "/status")
+        assert status == 200
+        assert body["segments"] == len(archive.segments)
+        assert body["watermark"] == archive.segments[-1].end
+        assert body["queries"] >= 1
+
+    def test_unknown_endpoint(self, server):
+        status, body = get_json(server.url + "/nope")
+        assert status == 404 and "error" in body
+
+
+class TestRecoveredArchiveServing:
+    """A crash-interrupted epoch, recovered and resumed, must serve
+    the same answers as an uninterrupted one — and recovery must not
+    leave orphaned index files behind."""
+
+    def test_resume_then_serve(self, stream, tmp_path):
+        streams = split_by_vp(stream)
+
+        # Baseline epoch, no faults.
+        baseline = RollingArchiveWriter(str(tmp_path / "baseline"),
+                                        interval_s=120.0, compress=False,
+                                        checkpoint=True, index=True)
+        Orchestrator(orch_config()).run_pipeline_epoch(
+            streams, PipelineConfig(n_shards=2, overflow_policy="block"),
+            archive=baseline, timeout=TIMEOUT)
+
+        # Crash run: the writer dies mid-epoch.
+        crash_dir = tmp_path / "crash"
+        archive = RollingArchiveWriter(str(crash_dir), interval_s=120.0,
+                                       compress=False, checkpoint=True,
+                                       index=True)
+        with pytest.raises(InjectedCrash):
+            Orchestrator(orch_config()).run_pipeline_epoch(
+                streams,
+                PipelineConfig(
+                    n_shards=2, overflow_policy="block",
+                    fault_plan=FaultPlan.parse("crash=writer@60"),
+                    supervision=SupervisorConfig(
+                        backoff_initial_s=0.005, backoff_max_s=0.02,
+                        watchdog_interval_s=0.02, stall_timeout_s=0.1)),
+                archive=archive, timeout=TIMEOUT)
+
+        # Plant an orphan: an index whose segment is gone.  (A torn
+        # segment sealed just before the crash leaves exactly this.)
+        orphan = str(crash_dir / ("updates.999999999000-999999999120"
+                                  ".mrt" + INDEX_SUFFIX))
+        with open(orphan, "w") as handle:
+            handle.write("{}")
+
+        recovered = RollingArchiveWriter(str(crash_dir), interval_s=120.0,
+                                         compress=False, checkpoint=True,
+                                         index=True)
+        report = recovered.recover()
+        assert os.path.basename(orphan) in report.index_orphans
+        assert not os.path.exists(orphan)
+        # Every index left on disk belongs to a surviving segment.
+        on_disk = {name for name in os.listdir(crash_dir)
+                   if name.endswith(INDEX_SUFFIX)}
+        valid = {os.path.basename(index_path(s.path))
+                 for s in recovered.segments}
+        assert on_disk <= valid
+
+        result = Orchestrator(orch_config()).run_pipeline_epoch(
+            streams,
+            PipelineConfig(n_shards=2, overflow_policy="block"),
+            archive=recovered, timeout=TIMEOUT, resume=True)
+        assert result.metrics.retained > 0
+
+        # The API over the recovered archive answers exactly like the
+        # baseline's.
+        with QueryEngine(recovered) as engine, \
+                QueryAPIServer(engine) as api:
+            status, body = get_json(api.url + "/updates")
+            assert status == 200
+            want = baseline.read_range(0.0, math.inf)
+            assert body["count"] == len(want)
+            assert [(u["time"], u["vp"], u["prefix"])
+                    for u in body["updates"]] \
+                == [(u.time, u.vp, str(u.prefix)) for u in want]
+            for path in ("/vps", "/moas", "/hijacks", "/status"):
+                status, _ = get_json(api.url + path)
+                assert status == 200

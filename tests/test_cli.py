@@ -153,3 +153,43 @@ class TestOrchestrateStatus:
                      "--output", out_path])
         assert code == 0
         assert read_archive(out_path)
+
+
+class TestServe:
+    def archive_dir(self, archive, tmp_path):
+        out_dir = str(tmp_path / "segments")
+        assert main(["pipeline", archive, "--archive-dir", out_dir,
+                     "--index"]) == 0
+        return out_dir
+
+    def test_smoke_passes_on_pipeline_archive(self, archive, tmp_path,
+                                              capsys):
+        out_dir = self.archive_dir(archive, tmp_path)
+        capsys.readouterr()
+        assert main(["serve", out_dir, "--port", "0", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "watermark" in out
+        assert "FAIL" not in out
+        for endpoint in ("/updates", "/vps", "/rib", "/moas",
+                         "/hijacks", "/status"):
+            assert endpoint in out
+
+    def test_empty_directory_refused(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["serve", str(empty), "--port", "0"]) == 2
+        assert "no archive segments" in capsys.readouterr().err
+
+    def test_pipeline_index_flag_builds_indexes(self, archive, tmp_path):
+        import os
+        out_dir = self.archive_dir(archive, tmp_path)
+        segments = [n for n in os.listdir(out_dir)
+                    if n.startswith("updates.")
+                    and not n.endswith(".idx")]
+        indexes = [n for n in os.listdir(out_dir) if n.endswith(".idx")]
+        assert segments and len(indexes) == len(segments)
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "somedir"])
+        assert args.port == 8480 and args.workers == 4
+        assert args.cache_size == 128 and not args.smoke
