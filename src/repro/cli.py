@@ -14,7 +14,10 @@ Gives operators the platform's everyday verbs without writing Python:
                     crash (delete torn segments, report the watermark)
 * ``serve``       — serve an archive directory over the JSON query
                     API (indexed per-prefix/VP/origin lookups, RIB
-                    snapshots, MOAS and hijack analyses)
+                    snapshots, MOAS and hijack analyses, plus a
+                    Prometheus ``/metrics`` endpoint)
+* ``top``         — live terminal dashboard polling a running
+                    ``serve`` instance's ``/metrics`` endpoint
 * ``growth``      — print the Figs. 2-3 historical series
 * ``survey``      — print the §16 survey (Table 4)
 """
@@ -182,6 +185,10 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     elif args.checkpoint:
         print("--checkpoint requires --archive-dir", file=sys.stderr)
         return 2
+    if args.metrics_jsonl and args.metrics_interval is None:
+        print("--metrics-jsonl requires --metrics-interval",
+              file=sys.stderr)
+        return 2
     cost_model = None
     if args.model_cpu:
         cost_model = ServiceCostModel(args.capacity or CPU_CAPACITY)
@@ -207,6 +214,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             cost_model=cost_model,
             fault_plan=fault_plan,
             supervision=SupervisorConfig(seed=args.seed),
+            trace_sample_rate=args.trace_sample,
+            metrics_interval_s=args.metrics_interval,
+            metrics_jsonl=args.metrics_jsonl,
         ),
         filters=filters,
         validator=RouteValidator() if args.validate else None,
@@ -220,6 +230,24 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if archive is not None:
         print(f"wrote {len(result.segments)} segments to "
               f"{args.archive_dir}")
+    if args.slow_traces:
+        from .telemetry import render_slow_traces
+        print(render_slow_traces(
+            pipeline.metrics.tracer.slow_traces(args.slow_traces)),
+            end="")
+    if args.metrics_jsonl:
+        points = len(pipeline.sampler.points()) if pipeline.sampler \
+            else 0
+        print(f"wrote {points} time-series points to "
+              f"{args.metrics_jsonl}")
+    if args.metrics_out:
+        text = pipeline.metrics.registry.prometheus()
+        if args.metrics_out == "-":
+            print(text, end="")
+        else:
+            with open(args.metrics_out, "w") as handle:
+                handle.write(text)
+            print(f"wrote metrics exposition to {args.metrics_out}")
     if not result.accounted:
         print("WARNING: pipeline lost queued updates", file=sys.stderr)
         return 1
@@ -253,18 +281,27 @@ _SMOKE_ENDPOINTS = (
     ("/moas", (200,)),
     ("/hijacks", (200,)),
     ("/status", (200,)),
+    ("/metrics", (200,)),
+    ("/metrics?format=json", (200,)),
 )
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from .pipeline import PipelineMetrics
     from .query import QueryAPIServer, QueryEngine
 
+    # A full PipelineMetrics hub (not just QueryStats) backs the
+    # engine's counters, so /metrics exposes the pipeline, fault
+    # supervision and trace families too — zeroed in a standalone
+    # server, live when a collection runtime shares the registry.
+    metrics = PipelineMetrics()
     engine = QueryEngine(
         args.directory,
         compressed=False if args.no_compress else None,
         max_workers=args.workers,
         cache_size=args.cache_size,
         persist_indexes=not args.no_persist_indexes,
+        stats=metrics.query,
     )
     segments = engine.catalog.segments()
     if not segments:
@@ -307,6 +344,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         engine.close()
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .telemetry import TopDashboard
+
+    dashboard = TopDashboard(args.target, interval_s=args.interval)
+    if args.once:
+        print(dashboard.render_once(), end="")
+        return 0
+    try:
+        dashboard.run(iterations=args.iterations,
+                      clear=not args.no_clear)
+    except KeyboardInterrupt:
+        print()
     return 0
 
 
@@ -411,6 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", action="store_true",
                    help="build query indexes at segment seal time "
                         "(the repro-bgp serve fast path)")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="fraction of updates carrying a telemetry "
+                        "trace span (0 disables tracing)")
+    p.add_argument("--slow-traces", type=int, default=0,
+                   help="print the N slowest sampled spans afterwards")
+    p.add_argument("--metrics", dest="metrics_out",
+                   help="dump the Prometheus exposition to a file "
+                        "('-' for stdout) after the run")
+    p.add_argument("--metrics-interval", type=float, default=None,
+                   help="sample the registry every N seconds while "
+                        "running (enables the time-series layer)")
+    p.add_argument("--metrics-jsonl",
+                   help="append each time-series sample to this JSONL "
+                        "file (requires --metrics-interval)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_pipeline)
@@ -443,6 +509,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-compress", action="store_true",
                    help="archive segments are uncompressed MRT")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("top",
+                       help="live dashboard over a /metrics endpoint")
+    p.add_argument("target",
+                   help="host:port or URL of a repro-bgp serve "
+                        "instance (the /metrics path is implied)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N frames (default: run forever)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of repainting")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("growth", help="print the Figs. 2-3 series")
     p.add_argument("--start", type=int, default=2003)

@@ -1,105 +1,78 @@
 """Live metrics for the concurrent collection runtime.
 
 Every stage of :mod:`repro.pipeline` reports into one
-:class:`PipelineMetrics` object: per-session ingest counters (enqueued
-vs dropped — the empirical Table-1 loss signal), per-shard processing
-counters, writer throughput, queue-depth high-water marks and a
-latency histogram per stage.  Counters are lock-protected so any
-thread may report; :meth:`PipelineMetrics.snapshot` produces an
-immutable view for the status page and the CLI.
+:class:`PipelineMetrics` object — now a thin facade over the shared
+:class:`repro.telemetry.MetricsRegistry`: per-session ingest counters
+(enqueued vs dropped — the empirical Table-1 loss signal), per-shard
+processing counters, writer throughput and watermark, queue-depth
+high-water marks, a latency histogram per stage, and the fault
+supervision counters all live in one exported namespace
+(``repro_pipeline_*``, ``repro_session_*``, ``repro_supervision_*``,
+``repro_writer_*`` families — see docs/TELEMETRY.md for the
+catalogue).  The same registry also carries the query-engine counters
+(:class:`~repro.query.stats.QueryStats`) and the trace-span
+histograms (:class:`~repro.telemetry.Tracer`), so one ``/metrics``
+scrape covers collection, supervision and serving.
+
+Counters are individually lock-protected so any thread may report;
+:meth:`PipelineMetrics.snapshot` produces an immutable view for the
+status page and the CLI, and ``PipelineMetrics.registry`` exposes the
+underlying registry for Prometheus/JSON exposition and the snapshot
+time-series sampler.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import Counter, Gauge, Histogram, MetricsRegistry, \
+    Tracer
+from ..telemetry.registry import DEFAULT_LATENCY_BOUNDS as \
+    _BUCKET_BOUNDS  # noqa: F401  (re-exported for compatibility)
 from ..query.stats import QueryStats, QueryStatsSnapshot, \
     render_query_stats
 
-#: Histogram bucket upper bounds in seconds (log-spaced 1µs .. ~67s,
-#: one bucket per factor of 4), plus a catch-all overflow bucket.
-_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
-    1e-6 * 4 ** i for i in range(14)
-) + (math.inf,)
-
-
-class LatencyHistogram:
-    """A fixed-bucket latency histogram (thread-safe)."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = [0] * len(_BUCKET_BOUNDS)
-        self._sum = 0.0
-        self._count = 0
-
-    def record(self, seconds: float) -> None:
-        index = 0
-        while seconds > _BUCKET_BOUNDS[index]:
-            index += 1
-        with self._lock:
-            self._counts[index] += 1
-            self._sum += seconds
-            self._count += 1
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Upper bound of the bucket holding the p-th percentile."""
-        if not 0.0 <= p <= 1.0:
-            raise ValueError("percentile must be in [0, 1]")
-        with self._lock:
-            if not self._count:
-                return 0.0
-            target = p * self._count
-            seen = 0
-            for bound, count in zip(_BUCKET_BOUNDS, self._counts):
-                seen += count
-                if seen >= target:
-                    return bound
-        return _BUCKET_BOUNDS[-1]
-
-
-class Gauge:
-    """Tracks a current value and its high-water mark (thread-safe)."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.value = 0
-        self.high_water = 0
-
-    def set(self, value: int) -> None:
-        with self._lock:
-            self.value = value
-            if value > self.high_water:
-                self.high_water = value
+#: The pipeline's stage latency histogram type — the registry
+#: histogram, whose (sum, count) reads are atomic under its lock.
+LatencyHistogram = Histogram
 
 
 class StageMetrics:
-    """Counters for one pipeline stage (thread-safe increments)."""
+    """Counters for one pipeline stage, bound into the registry."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, registry: MetricsRegistry) -> None:
         self.name = name
-        self._lock = threading.Lock()
-        self.processed = 0
-        self.dropped = 0
-        self.latency = LatencyHistogram()
-        self.queue_depth = Gauge()
+        updates = registry.counter(
+            "repro_pipeline_stage_updates_total",
+            "Updates handled per pipeline stage, by result.",
+            labels=("stage", "result"))
+        self._processed = updates.labels(name, "processed")
+        self._dropped = updates.labels(name, "dropped")
+        self.latency = registry.histogram(
+            "repro_pipeline_stage_latency_seconds",
+            "Latency from ingest enqueue to stage completion.",
+            labels=("stage",), unit="seconds").labels(name)
+        self.queue_depth = registry.gauge(
+            "repro_pipeline_queue_depth",
+            "Current depth of each stage's bounded queue.",
+            labels=("stage",), track_high_water=True).labels(name)
 
     def add(self, processed: int = 0, dropped: int = 0) -> None:
-        with self._lock:
-            self.processed += processed
-            self.dropped += dropped
+        if processed:
+            self._processed.inc(processed)
+        if dropped:
+            self._dropped.inc(dropped)
+
+    @property
+    def processed(self) -> int:
+        return int(self._processed.value)
+
+    @property
+    def dropped(self) -> int:
+        return int(self._dropped.value)
 
 
 @dataclass(frozen=True)
@@ -162,6 +135,8 @@ class StageSnapshot:
     latency_p50_s: float
     latency_p99_s: float
     latency_mean_s: float
+    #: Samples behind the latency quantiles (0 = no observations).
+    latency_count: int = 0
 
 
 @dataclass(frozen=True)
@@ -186,6 +161,10 @@ class PipelineMetricsSnapshot:
     #: :class:`repro.query.QueryEngine` shares this hub's
     #: :class:`~repro.query.stats.QueryStats`, the live query traffic.
     query: Optional[QueryStatsSnapshot] = None
+    #: Stream time of the last update the writer emitted, and the
+    #: wall-clock instant it advanced (None until the first emit).
+    writer_watermark: Optional[float] = None
+    writer_watermark_wall: Optional[float] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -199,38 +178,102 @@ class PipelineMetricsSnapshot:
             return 0.0
         return self.processed / self.wall_time_s
 
+    def watermark_age_s(self, now: Optional[float] = None
+                        ) -> Optional[float]:
+        """Seconds since the writer's watermark last advanced."""
+        if self.writer_watermark_wall is None:
+            return None
+        now = time.time() if now is None else now
+        return max(0.0, now - self.writer_watermark_wall)
+
 
 class PipelineMetrics:
     """The shared metrics hub every pipeline stage reports into."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None
+                 ) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        r = self.registry
+        # Per-session families; children are pre-bound at
+        # register_session time so the per-update path is one inc().
+        self._session_updates = r.counter(
+            "repro_session_updates_total",
+            "Updates offered by each peering session, by outcome.",
+            labels=("session", "result"))
+        self._session_restarts = r.counter(
+            "repro_session_restarts_total",
+            "Supervised restarts after session faults.",
+            labels=("session",))
+        self._session_malformed = r.counter(
+            "repro_session_malformed_total",
+            "Malformed updates skipped at the session boundary.",
+            labels=("session",))
+        self._session_backoff = r.gauge(
+            "repro_session_backoff_seconds",
+            "Current restart backoff (0 while established).",
+            labels=("session",), unit="seconds")
+        self._session_quarantined = r.gauge(
+            "repro_session_quarantined",
+            "1 while the flap circuit breaker holds the session open.",
+            labels=("session",))
+        # Worker dispositions.
+        dispositions = r.counter(
+            "repro_pipeline_dispositions_total",
+            "Processed updates by verdict (retained / discarded / "
+            "flagged).", labels=("disposition",))
+        self._retained = dispositions.labels("retained")
+        self._discarded = dispositions.labels("discarded")
+        self._flagged = dispositions.labels("flagged")
+        self._forwarded = r.counter(
+            "repro_pipeline_forwarded_total",
+            "Operator deliveries by the forwarding service.")
+        self._segments = r.counter(
+            "repro_archive_segments_total",
+            "Archive segments sealed and flushed.")
+        # Fault supervision (global events; per-session restarts and
+        # malformed counts live in the session families above).
+        self._supervision = r.counter(
+            "repro_supervision_events_total",
+            "Fault-supervision events, by kind.", labels=("event",))
+        self._degraded = self._supervision.labels("session_degraded")
+        self._worker_restarts = \
+            self._supervision.labels("worker_restart")
+        self._writer_io_errors = \
+            self._supervision.labels("writer_io_error")
+        self._archive_recoveries = \
+            self._supervision.labels("archive_recovery")
+        self._rib_redumps = self._supervision.labels("rib_redump")
+        self._order_violations = \
+            self._supervision.labels("order_violation")
+        self._archive_lost = r.counter(
+            "repro_archive_updates_lost_total",
+            "Buffered updates lost to archive crash recovery.")
+        # Writer watermark: stream time plus the wall-clock instant it
+        # advanced, so the status page can render its *age*.
+        self._watermark = r.gauge(
+            "repro_writer_watermark_seconds",
+            "Stream time of the last update the writer emitted.",
+            unit="seconds").labels()
+        self._watermark_wall = r.gauge(
+            "repro_writer_watermark_wall_seconds",
+            "Wall-clock time the writer watermark last advanced.",
+            unit="seconds").labels()
+        # Stage counters, the query facade and the (default-off)
+        # tracer all join the same registry.
+        self.ingest = StageMetrics("ingest", r)
+        self.process = StageMetrics("process", r)
+        self.write = StageMetrics("write", r)
+        self.query = QueryStats(registry=r)
+        self.tracer = Tracer(0.0, registry=r)
+        # Pre-bound per-session children and ordered bookkeeping.
         self._lock = threading.Lock()
-        self._sessions: Dict[str, List[int]] = {}   # name -> [enq, drop]
-        self.ingest = StageMetrics("ingest")
-        self.process = StageMetrics("process")
-        self.write = StageMetrics("write")
-        self.flagged = 0
-        self.retained = 0
-        self.discarded = 0
-        self.forwarded = 0
-        self.segments = 0
-        # Supervision / fault-recovery accounting.
-        self._restarts: Dict[str, int] = {}
-        self._malformed: Dict[str, int] = {}
-        self._backoff: Dict[str, float] = {}
+        self._sessions: Dict[str, Tuple[Counter, Counter]] = {}
+        self._restarts: Dict[str, Counter] = {}
+        self._malformed: Dict[str, Counter] = {}
+        self._backoff: Dict[str, Gauge] = {}
+        self._quarantine_flags: Dict[str, Gauge] = {}
         self._quarantined: List[str] = []
-        self.degraded_episodes = 0
-        self.worker_restarts = 0
-        self.writer_io_errors = 0
-        self.archive_recoveries = 0
-        self.archive_lost = 0
-        self.rib_redumps = 0
-        self.order_violations = 0
-        # Read-side counters: the archive's seal hook reports index
-        # builds here, and a QueryEngine constructed with
-        # ``stats=metrics.query`` serves into the same object, so the
-        # status page shows collection and serving side by side.
-        self.query = QueryStats()
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -238,62 +281,66 @@ class PipelineMetrics:
 
     def register_session(self, name: str) -> None:
         with self._lock:
-            self._sessions.setdefault(name, [0, 0])
+            if name in self._sessions:
+                return
+            self._sessions[name] = (
+                self._session_updates.labels(name, "enqueued"),
+                self._session_updates.labels(name, "dropped"),
+            )
+            self._restarts[name] = \
+                self._session_restarts.labels(name)
+            self._malformed[name] = \
+                self._session_malformed.labels(name)
+            self._backoff[name] = self._session_backoff.labels(name)
+            self._quarantine_flags[name] = \
+                self._session_quarantined.labels(name)
 
     def session_enqueued(self, name: str, count: int = 1) -> None:
-        with self._lock:
-            self._sessions[name][0] += count
+        self._sessions[name][0].inc(count)
         self.ingest.add(processed=count)
 
     def session_dropped(self, name: str, count: int = 1) -> None:
-        with self._lock:
-            self._sessions[name][1] += count
+        self._sessions[name][1].inc(count)
         self.ingest.add(dropped=count)
 
     # -- supervision accounting --------------------------------------------
 
     def session_restarted(self, name: str) -> None:
-        with self._lock:
-            self._restarts[name] = self._restarts.get(name, 0) + 1
+        self._restarts[name].inc()
 
     def session_quarantined(self, name: str) -> None:
         with self._lock:
-            if name not in self._quarantined:
-                self._quarantined.append(name)
+            if name in self._quarantined:
+                return
+            self._quarantined.append(name)
+        self._quarantine_flags[name].set(1)
 
     def session_malformed(self, name: str, count: int = 1) -> None:
-        with self._lock:
-            self._malformed[name] = self._malformed.get(name, 0) + count
+        self._malformed[name].inc(count)
 
     def session_backoff(self, name: str, seconds: float) -> None:
         """Record a session's current restart backoff (0 = established)."""
-        with self._lock:
-            self._backoff[name] = seconds
+        self._backoff[name].set(seconds)
 
     def session_degraded(self, name: str) -> None:
-        with self._lock:
-            self.degraded_episodes += 1
+        self._degraded.inc()
 
     def worker_restarted(self, shard: int) -> None:
-        with self._lock:
-            self.worker_restarts += 1
+        self._worker_restarts.inc()
 
     def writer_io_error(self) -> None:
-        with self._lock:
-            self.writer_io_errors += 1
+        self._writer_io_errors.inc()
 
     def archive_recovered(self, lost: int = 0) -> None:
-        with self._lock:
-            self.archive_recoveries += 1
-            self.archive_lost += lost
+        self._archive_recoveries.inc()
+        if lost:
+            self._archive_lost.inc(lost)
 
     def rib_redumped(self, name: str) -> None:
-        with self._lock:
-            self.rib_redumps += 1
+        self._rib_redumps.inc()
 
     def order_violation(self) -> None:
-        with self._lock:
-            self.order_violations += 1
+        self._order_violations.inc()
 
     def index_built(self, seconds: float) -> None:
         """A segment's query index was built at seal time."""
@@ -303,19 +350,23 @@ class PipelineMetrics:
 
     def update_processed(self, retained: bool, flagged: bool = False,
                          forwarded_to: int = 0) -> None:
-        with self._lock:
-            if flagged:
-                self.flagged += 1
-            elif retained:
-                self.retained += 1
-            else:
-                self.discarded += 1
-            self.forwarded += forwarded_to
+        if flagged:
+            self._flagged.inc()
+        elif retained:
+            self._retained.inc()
+        else:
+            self._discarded.inc()
+        if forwarded_to:
+            self._forwarded.inc(forwarded_to)
         self.process.add(processed=1)
 
     def segment_flushed(self, count: int = 1) -> None:
-        with self._lock:
-            self.segments += count
+        self._segments.inc(count)
+
+    def writer_advanced(self, stream_time: float) -> None:
+        """The writer emitted up to ``stream_time`` (watermark move)."""
+        self._watermark.set(stream_time)
+        self._watermark_wall.set(time.time())
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -335,59 +386,60 @@ class PipelineMetrics:
     # -- snapshots ----------------------------------------------------------
 
     def _stage_snapshot(self, stage: StageMetrics) -> StageSnapshot:
+        latency = stage.latency.snapshot()
         return StageSnapshot(
             name=stage.name,
             processed=stage.processed,
             dropped=stage.dropped,
-            queue_depth=stage.queue_depth.value,
-            queue_high_water=stage.queue_depth.high_water,
-            latency_p50_s=stage.latency.percentile(0.5),
-            latency_p99_s=stage.latency.percentile(0.99),
-            latency_mean_s=stage.latency.mean,
+            queue_depth=int(stage.queue_depth.value),
+            queue_high_water=int(stage.queue_depth.high_water),
+            latency_p50_s=latency.percentile(0.5),
+            latency_p99_s=latency.percentile(0.99),
+            latency_mean_s=latency.mean,
+            latency_count=latency.count,
         )
 
     def snapshot(self) -> PipelineMetricsSnapshot:
         with self._lock:
+            names = sorted(self._sessions)
             quarantined = tuple(self._quarantined)
-            sessions = tuple(
-                SessionSnapshot(
-                    name, enq, drop,
-                    restarts=self._restarts.get(name, 0),
-                    malformed=self._malformed.get(name, 0),
-                    quarantined=name in self._quarantined,
-                    backoff_s=self._backoff.get(name, 0.0),
-                )
-                for name, (enq, drop) in sorted(self._sessions.items())
+        sessions = tuple(
+            SessionSnapshot(
+                name,
+                int(self._sessions[name][0].value),
+                int(self._sessions[name][1].value),
+                restarts=int(self._restarts[name].value),
+                malformed=int(self._malformed[name].value),
+                quarantined=name in quarantined,
+                backoff_s=self._backoff[name].value,
             )
-            supervision = SupervisionSnapshot(
-                session_restarts=sum(self._restarts.values()),
-                quarantined=quarantined,
-                malformed=sum(self._malformed.values()),
-                degraded_episodes=self.degraded_episodes,
-                worker_restarts=self.worker_restarts,
-                writer_io_errors=self.writer_io_errors,
-                archive_recoveries=self.archive_recoveries,
-                archive_lost=self.archive_lost,
-                rib_redumps=self.rib_redumps,
-                order_violations=self.order_violations,
-            )
-            flagged = self.flagged
-            retained = self.retained
-            discarded = self.discarded
-            forwarded = self.forwarded
-            segments = self.segments
+            for name in names
+        )
+        supervision = SupervisionSnapshot(
+            session_restarts=sum(s.restarts for s in sessions),
+            quarantined=quarantined,
+            malformed=sum(s.malformed for s in sessions),
+            degraded_episodes=int(self._degraded.value),
+            worker_restarts=int(self._worker_restarts.value),
+            writer_io_errors=int(self._writer_io_errors.value),
+            archive_recoveries=int(self._archive_recoveries.value),
+            archive_lost=int(self._archive_lost.value),
+            rib_redumps=int(self._rib_redumps.value),
+            order_violations=int(self._order_violations.value),
+        )
         received = sum(s.offered for s in sessions)
         dropped = sum(s.dropped for s in sessions)
+        watermark_set = self._watermark_wall.touched
         return PipelineMetricsSnapshot(
             received=received,
             ingest_dropped=dropped,
             processed=self.process.processed,
-            flagged=flagged,
-            retained=retained,
-            discarded=discarded,
-            forwarded=forwarded,
+            flagged=int(self._flagged.value),
+            retained=int(self._retained.value),
+            discarded=int(self._discarded.value),
+            forwarded=int(self._forwarded.value),
             written=self.write.processed,
-            segments=segments,
+            segments=int(self._segments.value),
             wall_time_s=self.wall_time_s,
             stages=(
                 self._stage_snapshot(self.ingest),
@@ -397,6 +449,10 @@ class PipelineMetrics:
             sessions=sessions,
             supervision=supervision,
             query=self.query.snapshot(),
+            writer_watermark=self._watermark.value
+            if watermark_set else None,
+            writer_watermark_wall=self._watermark_wall.value
+            if watermark_set else None,
         )
 
 
@@ -408,9 +464,19 @@ def _format_latency(seconds: float) -> str:
     return f"{seconds * 1e6:.0f}us"
 
 
+def _latency_cell(seconds: float, count: int) -> str:
+    """A latency figure, or an em dash when nothing was observed."""
+    return "—" if not count else _format_latency(seconds)
+
+
 def render_metrics(snapshot: PipelineMetricsSnapshot,
-                   per_session: bool = False) -> str:
-    """Render a metrics snapshot as the status page's pipeline block."""
+                   per_session: bool = False,
+                   now: Optional[float] = None) -> str:
+    """Render a metrics snapshot as the status page's pipeline block.
+
+    ``now`` anchors the watermark-age line (defaults to wall clock;
+    tests pass a fixed instant).
+    """
     lines = [
         "== pipeline metrics ==",
         f"received {snapshot.received}  "
@@ -423,6 +489,11 @@ def render_metrics(snapshot: PipelineMetricsSnapshot,
         f"throughput {snapshot.throughput_ups:,.0f} upd/s "
         f"over {snapshot.wall_time_s:.2f}s",
     ]
+    if snapshot.writer_watermark is not None:
+        age = snapshot.watermark_age_s(now)
+        lines.append(
+            f"watermark {snapshot.writer_watermark:.0f} "
+            f"(advanced {age:.1f}s ago)")
     supervision = snapshot.supervision
     if supervision is not None:
         lines.append(
@@ -451,8 +522,8 @@ def render_metrics(snapshot: PipelineMetricsSnapshot,
                 f"{stage.name:>8s} {stage.processed:9d} "
                 f"{stage.dropped:7d} {stage.queue_depth:5d} "
                 f"{stage.queue_high_water:5d} "
-                f"{_format_latency(stage.latency_p50_s):>8s} "
-                f"{_format_latency(stage.latency_p99_s):>8s}"
+                f"{_latency_cell(stage.latency_p50_s, stage.latency_count):>8s} "
+                f"{_latency_cell(stage.latency_p99_s, stage.latency_count):>8s}"
             )
     if snapshot.query is not None and snapshot.query.any_activity:
         lines.append(render_query_stats(snapshot.query))

@@ -16,7 +16,7 @@ import time
 from collections import deque
 from typing import Any, Deque, Optional
 
-from .metrics import Gauge
+from ..telemetry import Gauge
 
 
 class QueueEmpty(Exception):

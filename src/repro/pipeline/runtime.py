@@ -43,6 +43,7 @@ from ..bgp.filtering import FilterTable
 from ..bgp.message import BGPUpdate
 from ..bgp.validation import RouteValidator
 from ..core.forwarding import ForwardingService
+from ..telemetry import TimeSeriesSampler, Tracer
 from .faults import FaultInjector, FaultPlan, SupervisorConfig
 from .metrics import PipelineMetrics, PipelineMetricsSnapshot
 from .queues import BoundedQueue, QueueClosed
@@ -79,6 +80,17 @@ class PipelineConfig:
     #: Restart/backoff/watchdog policy (always in force — real
     #: iterators can misbehave without an injected plan).
     supervision: SupervisorConfig = field(default_factory=SupervisorConfig)
+    #: Fraction of updates carrying a telemetry trace span (0 = off;
+    #: deterministic stride sampling, see repro.telemetry.trace).
+    trace_sample_rate: float = 0.0
+    #: How many recent sampled spans the tracer's ring buffer keeps.
+    trace_ring: int = 64
+    #: Only spans at least this slow enter the ring (0 keeps all).
+    trace_slow_threshold_s: float = 0.0
+    #: Period of the metrics time-series sampler (None = no sampler).
+    metrics_interval_s: Optional[float] = None
+    #: JSONL file the sampler appends each time point to.
+    metrics_jsonl: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -89,6 +101,11 @@ class PipelineConfig:
             raise ValueError("overflow_policy must be 'drop' or 'block'")
         if self.time_scale is not None and self.time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.metrics_interval_s is not None \
+                and self.metrics_interval_s <= 0:
+            raise ValueError("metrics_interval_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -129,6 +146,21 @@ class CollectionPipeline:
         #: re-establishes — the §8 hook for re-dumping its RIB.
         self.on_reestablish = on_reestablish
         self.metrics = PipelineMetrics()
+        if self.config.trace_sample_rate > 0.0:
+            # Replace the default (disabled) tracer with a sampling
+            # one bound to the same registry, so the trace families
+            # appear in the same exposition.
+            self.metrics.tracer = Tracer(
+                self.config.trace_sample_rate,
+                registry=self.metrics.registry,
+                ring_size=self.config.trace_ring,
+                slow_threshold_s=self.config.trace_slow_threshold_s)
+        self.sampler: Optional[TimeSeriesSampler] = None
+        if self.config.metrics_interval_s is not None:
+            self.sampler = TimeSeriesSampler(
+                self.metrics.registry,
+                interval_s=self.config.metrics_interval_s,
+                jsonl_path=self.config.metrics_jsonl)
         self.injector: Optional[FaultInjector] = None
         self._stop_event = threading.Event()
         self._sessions: List[PeerSession] = []
@@ -243,6 +275,8 @@ class CollectionPipeline:
         ]
 
         self.metrics.mark_started()
+        if self.sampler is not None:
+            self.sampler.start()
         self._writer.start()
         for worker in self._workers:
             worker.start()
@@ -359,6 +393,8 @@ class CollectionPipeline:
         if self._writer.is_alive():
             raise TimeoutError("writer did not finish")
         self.metrics.mark_stopped()
+        if self.sampler is not None:
+            self.sampler.stop()
         if self._writer.error is not None:
             raise self._writer.error
         return self.result()

@@ -57,6 +57,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Tuple
 
 from ..bgp.archive import RollingArchiveWriter
+from ..telemetry import NOOP_TRACE
 from ..bgp.daemon import FILTER_COST, PARSE_COST, WRITE_COST
 from ..bgp.filtering import FilterTable
 from ..bgp.message import BGPUpdate
@@ -79,6 +80,10 @@ class Envelope:
     update: BGPUpdate
     session: str
     enqueued_at: float     # perf_counter at ingest
+    #: Sampled telemetry span, or None for the (common) unsampled
+    #: case — stages guard on ``is not None`` so rate 0.0 costs one
+    #: attribute read per update.
+    trace: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -97,6 +102,8 @@ class Disposition:
     retained: bool
     session: str
     enqueued_at: float
+    #: The envelope's sampled span, carried through to the writer.
+    trace: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -264,6 +271,8 @@ class PeerSession(threading.Thread):
                 queue.put(envelope,
                           timeout=self.supervisor.degrade_after_s)
                 self.metrics.session_enqueued(self.session)
+                if envelope.trace is not None:
+                    envelope.trace.mark("ingest")
                 return
             except QueueFull:
                 # Sustained downstream stall: degrade to drop mode so
@@ -273,11 +282,15 @@ class PeerSession(threading.Thread):
                 self.metrics.session_degraded(self.session)
         if queue.try_put(envelope):
             self.metrics.session_enqueued(self.session)
+            if envelope.trace is not None:
+                envelope.trace.mark("ingest")
             self._degraded = False
         else:
             # Daemon-style loss: a full queue means the update is
             # gone, exactly like Table 1's overloaded CPU.
             self.metrics.session_dropped(self.session)
+            if envelope.trace is not None:
+                envelope.trace.abort()
 
     def run(self) -> None:
         cfg = self.supervisor
@@ -327,8 +340,10 @@ class PeerSession(threading.Thread):
                 self._pace(update.time)
             queue = self.queues[
                 shard_for(update, len(self.queues), self.shard_key)]
-            self._offer(queue, Envelope(update, self.session,
-                                        time.perf_counter()))
+            trace = self.metrics.tracer.start(self.session)
+            self._offer(queue, Envelope(
+                update, self.session, time.perf_counter(),
+                None if trace is NOOP_TRACE else trace))
             self._since_heartbeat += 1
             if self._since_heartbeat >= self.heartbeat_every:
                 self._since_heartbeat = 0
@@ -389,6 +404,9 @@ class ShardWorker(threading.Thread):
 
     def _handle(self, envelope: Envelope) -> None:
         update = envelope.update
+        trace = envelope.trace
+        if trace is not None:
+            trace.mark("queue")
         if self.validator is not None:
             with self.validator_lock:
                 verdict = self.validator.validate(update)
@@ -399,6 +417,11 @@ class ShardWorker(threading.Thread):
                     self.flagged_sink(update)
                 self.metrics.process.latency.record(
                     time.perf_counter() - envelope.enqueued_at)
+                if trace is not None:
+                    # The span ends here: flagged updates never reach
+                    # the writer.
+                    trace.mark("process")
+                    trace.finish()
                 return
         reached = 0
         if self.forwarding is not None:
@@ -411,9 +434,12 @@ class ShardWorker(threading.Thread):
         self.metrics.update_processed(retained, forwarded_to=reached)
         self.metrics.process.latency.record(
             time.perf_counter() - envelope.enqueued_at)
+        if trace is not None:
+            trace.mark("process")
         self.writer_queue.put(Disposition(update, retained,
                                           envelope.session,
-                                          envelope.enqueued_at))
+                                          envelope.enqueued_at,
+                                          trace))
 
     def _process_envelope(self, envelope: Envelope) -> None:
         with self.claim_lock:
@@ -539,6 +565,7 @@ class WriterStage(threading.Thread):
         batch: List[Disposition] = []
         while self._heap and self._heap[0][0] <= watermark:
             batch.append(heapq.heappop(self._heap)[2])
+        emitted = False
         for disposition in batch:
             if disposition.update.time < self._last_emitted:
                 # Defensive: FIFO loss (e.g. a genuinely stuck worker
@@ -546,8 +573,11 @@ class WriterStage(threading.Thread):
                 # the order-strict archive and mirror; count and skip.
                 self.metrics.order_violation()
                 self.metrics.write.add(processed=1)
+                if disposition.trace is not None:
+                    disposition.trace.abort()
                 continue
             self._last_emitted = disposition.update.time
+            emitted = True
             if self.mirror is not None:
                 self.mirror(disposition.update, disposition.retained)
             if disposition.retained and self.archive is not None:
@@ -557,6 +587,11 @@ class WriterStage(threading.Thread):
             self.metrics.write.add(processed=1)
             self.metrics.write.latency.record(
                 time.perf_counter() - disposition.enqueued_at)
+            if disposition.trace is not None:
+                disposition.trace.mark("write")
+                disposition.trace.finish()
+        if emitted:
+            self.metrics.writer_advanced(self._last_emitted)
 
     def _ingest_one(self, item: object) -> None:
         if isinstance(item, Disposition):

@@ -131,8 +131,14 @@ def collect_status(orchestrator: Orchestrator,
     )
 
 
-def render_status(status: PlatformStatus) -> str:
-    """Render the status page as plain text."""
+def render_status(status: PlatformStatus,
+                  now: Optional[float] = None) -> str:
+    """Render the status page as plain text.
+
+    ``now`` anchors relative ages (the writer-watermark line shows
+    how long ago the watermark advanced, not a raw timestamp);
+    defaults to the wall clock.
+    """
     lines = [
         "== platform status ==",
         f"peers: {len(status.vps)} active"
@@ -167,7 +173,7 @@ def render_status(status: PlatformStatus) -> str:
         )
     rendered = "\n".join(lines) + "\n"
     if status.pipeline is not None:
-        rendered += "\n" + render_metrics(status.pipeline)
+        rendered += "\n" + render_metrics(status.pipeline, now=now)
     if status.query is not None and status.query.any_activity:
         rendered += "\n" + render_query_stats(status.query) + "\n"
     return rendered

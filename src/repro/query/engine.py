@@ -331,3 +331,14 @@ class QueryEngine:
 
     def stats_snapshot(self) -> QueryStatsSnapshot:
         return self.stats.snapshot()
+
+    @property
+    def registry(self):
+        """The metrics registry behind this engine's counters.
+
+        When the engine shares a pipeline's :class:`~repro.query.
+        stats.QueryStats`, this is the pipeline's whole registry, so
+        ``/metrics`` on the API server covers collection and serving
+        in one scrape.
+        """
+        return self.stats.registry

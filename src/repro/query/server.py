@@ -15,7 +15,9 @@ engine's thread-pool executor and GIL-releasing bz2 decode):
   (:func:`repro.usecases.detect_moas`);
 * ``GET /hijacks``   — DFOH-style suspicious new links in a time
   range (:class:`repro.usecases.DFOHDetector`);
-* ``GET /status``    — watermark, segment count and engine counters.
+* ``GET /status``    — watermark, segment count and engine counters;
+* ``GET /metrics``   — the engine's metrics registry, Prometheus text
+  by default or JSON with ``?format=json`` (docs/TELEMETRY.md).
 
 Responses are JSON; errors map to ``{"error": ...}`` with 400
 (malformed parameters), 404 (unknown path / no data) or 500.
@@ -71,6 +73,15 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, body: str, status: int = 200) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _send_json_stream(self, chunks: Iterator[bytes]) -> None:
         """Stream a response of unknown length (chunked transfer).
 
@@ -102,6 +113,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
                 "/moas": self._get_moas,
                 "/hijacks": self._get_hijacks,
                 "/status": self._get_status,
+                "/metrics": self._get_metrics,
             }.get(url.path)
             if route is None:
                 self._error(404, f"unknown endpoint {url.path}")
@@ -213,6 +225,20 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
                 for case in cases
             ],
         })
+
+    def _get_metrics(self, params: Dict[str, str]) -> None:
+        unknown = set(params) - {"format"}
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        fmt = params.get("format", "prometheus")
+        registry = self.engine.registry
+        if fmt == "json":
+            self._send_json(registry.to_json())
+        elif fmt in ("prometheus", "text"):
+            self._send_text(registry.prometheus())
+        else:
+            raise ValueError(f"unknown format {fmt!r} "
+                             "(expected 'prometheus' or 'json')")
 
     def _get_status(self, params: Dict[str, str]) -> None:
         if params:

@@ -3,22 +3,32 @@
 The engine reports everything an operator of a serving platform wants
 on one screen: query volume, cache efficiency, how hard the indexes
 are working (segments pruned without decoding vs segments actually
-decoded) and how much time goes into building indexes.  The mutable
-:class:`QueryStats` is thread-safe (server handler threads and the
+decoded) and how much time goes into building indexes.
+
+:class:`QueryStats` is now a thin facade over a
+:class:`repro.telemetry.MetricsRegistry` — every counter lives in the
+shared registry namespace (``repro_query_*`` families) so the query
+engine's traffic appears in the same ``/metrics`` exposition as the
+pipeline's, whether the engine runs standalone (its own registry) or
+inside a pipeline (``PipelineMetrics`` passes its registry down).
+The mutable facade is thread-safe (server handler threads and the
 archive writer both report into it); :meth:`QueryStats.snapshot`
 produces the immutable view embedded in
 :class:`repro.pipeline.metrics.PipelineMetricsSnapshot` and rendered
 by :mod:`repro.platform.status`.
 
-This module intentionally has no repro-internal imports so both the
-read side (:mod:`repro.query`) and the write side
-(:mod:`repro.pipeline.metrics`) can depend on it without cycles.
+This module's only repro-internal import is :mod:`repro.telemetry`
+(itself import-free), so both the read side (:mod:`repro.query`) and
+the write side (:mod:`repro.pipeline.metrics`) can depend on it
+without cycles.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
+from typing import Optional
+
+from ..telemetry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -57,75 +67,121 @@ class QueryStatsSnapshot:
 
 
 class QueryStats:
-    """Thread-safe counters every query-engine component reports into."""
+    """Facade binding the query engine's counters into a registry."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.queries = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_invalidations = 0
-        self.segments_considered = 0
-        self.segments_pruned_time = 0
-        self.segments_pruned_index = 0
-        self.segments_decoded = 0
-        self.records_decoded = 0
-        self.records_returned = 0
-        self.index_builds = 0
-        self.index_build_time_s = 0.0
-        self.index_loads = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        r = self.registry
+        requests = r.counter(
+            "repro_query_requests_total",
+            "Queries served, by result-cache outcome.",
+            labels=("cache",))
+        self._hits = requests.labels("hit")
+        self._misses = requests.labels("miss")
+        self._invalidations = r.counter(
+            "repro_query_cache_invalidations_total",
+            "Cached answers evicted because the archive watermark "
+            "moved.")
+        segments = r.counter(
+            "repro_query_segments_total",
+            "Segments the query planner handled, by outcome.",
+            labels=("outcome",))
+        self._considered = segments.labels("considered")
+        self._pruned_time = segments.labels("pruned_time")
+        self._pruned_index = segments.labels("pruned_index")
+        self._decoded = segments.labels("decoded")
+        records = r.counter(
+            "repro_query_records_total",
+            "Archive records decoded while answering vs returned.",
+            labels=("kind",))
+        self._records_decoded = records.labels("decoded")
+        self._records_returned = records.labels("returned")
+        index_ops = r.counter(
+            "repro_query_index_ops_total",
+            "Per-segment index operations, by kind.",
+            labels=("op",))
+        self._index_builds = index_ops.labels("build")
+        self._index_loads = index_ops.labels("load")
+        self._index_build_s = r.counter(
+            "repro_query_index_build_seconds_total",
+            "Total wall time spent building segment indexes.",
+            unit="seconds")
+
+    # -- write side (unchanged call sites) -----------------------------------
 
     def query_served(self, cache_hit: bool, returned: int) -> None:
-        with self._lock:
-            self.queries += 1
-            if cache_hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-            self.records_returned += returned
+        (self._hits if cache_hit else self._misses).inc()
+        if returned:
+            self._records_returned.inc(returned)
 
     def cache_invalidated(self, count: int = 1) -> None:
-        with self._lock:
-            self.cache_invalidations += count
+        self._invalidations.inc(count)
 
     def plan_executed(self, considered: int, pruned_time: int,
                       pruned_index: int, decoded: int) -> None:
-        with self._lock:
-            self.segments_considered += considered
-            self.segments_pruned_time += pruned_time
-            self.segments_pruned_index += pruned_index
-            self.segments_decoded += decoded
+        if considered:
+            self._considered.inc(considered)
+        if pruned_time:
+            self._pruned_time.inc(pruned_time)
+        if pruned_index:
+            self._pruned_index.inc(pruned_index)
+        if decoded:
+            self._decoded.inc(decoded)
 
     def records_scanned(self, count: int) -> None:
-        with self._lock:
-            self.records_decoded += count
+        if count:
+            self._records_decoded.inc(count)
 
     def index_built(self, seconds: float) -> None:
-        with self._lock:
-            self.index_builds += 1
-            self.index_build_time_s += seconds
+        self._index_builds.inc()
+        self._index_build_s.inc(seconds)
 
     def index_loaded(self) -> None:
-        with self._lock:
-            self.index_loads += 1
+        self._index_loads.inc()
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def queries(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_invalidations(self) -> int:
+        return int(self._invalidations.value)
+
+    @property
+    def index_builds(self) -> int:
+        return int(self._index_builds.value)
+
+    @property
+    def index_loads(self) -> int:
+        return int(self._index_loads.value)
 
     def snapshot(self) -> QueryStatsSnapshot:
-        with self._lock:
-            return QueryStatsSnapshot(
-                queries=self.queries,
-                cache_hits=self.cache_hits,
-                cache_misses=self.cache_misses,
-                cache_invalidations=self.cache_invalidations,
-                segments_considered=self.segments_considered,
-                segments_pruned_time=self.segments_pruned_time,
-                segments_pruned_index=self.segments_pruned_index,
-                segments_decoded=self.segments_decoded,
-                records_decoded=self.records_decoded,
-                records_returned=self.records_returned,
-                index_builds=self.index_builds,
-                index_build_time_s=self.index_build_time_s,
-                index_loads=self.index_loads,
-            )
+        return QueryStatsSnapshot(
+            queries=self.queries,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_invalidations=self.cache_invalidations,
+            segments_considered=int(self._considered.value),
+            segments_pruned_time=int(self._pruned_time.value),
+            segments_pruned_index=int(self._pruned_index.value),
+            segments_decoded=int(self._decoded.value),
+            records_decoded=int(self._records_decoded.value),
+            records_returned=int(self._records_returned.value),
+            index_builds=self.index_builds,
+            index_build_time_s=self._index_build_s.value,
+            index_loads=self.index_loads,
+        )
 
 
 def render_query_stats(snapshot: QueryStatsSnapshot) -> str:

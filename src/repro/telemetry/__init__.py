@@ -1,0 +1,71 @@
+"""repro.telemetry — the platform's shared observability layer.
+
+One registry (:class:`MetricsRegistry`) absorbs every counter the
+platform keeps — pipeline stages, peer sessions, fault supervision,
+archive writer, query engine — and exposes them uniformly:
+
+* **exposition** — Prometheus text and JSON renderings
+  (:mod:`repro.telemetry.exposition`), served at ``GET /metrics`` by
+  ``repro-bgp serve`` and dumpable from ``repro-bgp pipeline``;
+* **trace spans** — sampled per-update latency spans through
+  ingest → shard → writer (:mod:`repro.telemetry.trace`), with a ring
+  buffer of recent slow spans;
+* **time series** — periodic registry snapshots with per-interval
+  rates, ring-buffered and optionally appended to a JSONL file
+  (:mod:`repro.telemetry.timeseries`);
+* **dashboard** — the ``repro-bgp top`` terminal view
+  (:mod:`repro.telemetry.top`).
+
+The module has no repro-internal imports, so every subsystem can
+depend on it without cycles.  See docs/TELEMETRY.md for the metric
+catalogue.
+"""
+
+from .exposition import flatten_scalars, to_json, to_prometheus
+from .registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+)
+from .timeseries import TimePoint, TimeSeriesSampler
+from .top import TopDashboard, fetch_exposition, normalize_metrics_url, \
+    render_top
+from .trace import (
+    NOOP_TRACE,
+    Trace,
+    TraceRecord,
+    Tracer,
+    render_slow_traces,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NOOP_TRACE",
+    "Sample",
+    "TimePoint",
+    "TimeSeriesSampler",
+    "TopDashboard",
+    "Trace",
+    "TraceRecord",
+    "Tracer",
+    "fetch_exposition",
+    "flatten_scalars",
+    "normalize_metrics_url",
+    "render_slow_traces",
+    "render_top",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,147 @@
+"""Exposition formats for the metrics registry.
+
+Two renderings of :meth:`repro.telemetry.MetricsRegistry.collect`:
+
+* :func:`to_prometheus` — the Prometheus text format (version 0.0.4):
+  ``# HELP`` / ``# TYPE`` headers, labelled sample lines, cumulative
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` triples for histograms.
+  This is what ``GET /metrics`` on ``repro-bgp serve`` returns and
+  what ``repro-bgp pipeline --metrics`` dumps.
+* :func:`to_json` — the same data as a JSON document, consumed by
+  ``GET /metrics?format=json``, ``repro-bgp top`` and the snapshot
+  time-series layer.
+
+Families with no samples still emit their HELP/TYPE headers, so a
+scrape always documents the full metric catalogue even on an idle
+platform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple, Union
+
+from .registry import FamilySnapshot, HistogramSnapshot, Sample
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus-style number: integral values without a dot."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_bound(bound: float) -> str:
+    return "+Inf" if bound == math.inf else f"{bound:.6g}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n")
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...],
+               extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def to_prometheus(families: List[FamilySnapshot]) -> str:
+    """Render collected families as Prometheus text exposition."""
+    lines: List[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            if isinstance(sample.value, HistogramSnapshot):
+                lines.extend(_histogram_lines(family.name, sample))
+            else:
+                lines.append(
+                    f"{family.name}{_label_str(sample.labels)} "
+                    f"{_fmt_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(name: str, sample: Sample) -> List[str]:
+    hist = sample.value
+    assert isinstance(hist, HistogramSnapshot)
+    lines: List[str] = []
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        le = (("le", _fmt_bound(bound)),)
+        lines.append(f"{name}_bucket{_label_str(sample.labels, le)} "
+                     f"{cumulative}")
+    lines.append(f"{name}_sum{_label_str(sample.labels)} "
+                 f"{_fmt_value(hist.sum)}")
+    lines.append(f"{name}_count{_label_str(sample.labels)} "
+                 f"{hist.count}")
+    return lines
+
+
+def to_json(families: List[FamilySnapshot]) -> dict:
+    """Render collected families as a JSON-serializable document."""
+    doc: List[dict] = []
+    for family in families:
+        samples: List[dict] = []
+        for sample in family.samples:
+            entry: dict = {"labels": dict(sample.labels)}
+            if isinstance(sample.value, HistogramSnapshot):
+                hist = sample.value
+                entry["count"] = hist.count
+                entry["sum"] = hist.sum
+                entry["buckets"] = [
+                    ["inf" if b == math.inf else b, c]
+                    for b, c in zip(hist.bounds, hist.counts)
+                ]
+            else:
+                entry["value"] = sample.value
+            samples.append(entry)
+        doc.append({
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "unit": family.unit,
+            "labels": list(family.label_names),
+            "samples": samples,
+        })
+    return {"families": doc}
+
+
+def _series_name(name: str,
+                 labels: Tuple[Tuple[str, str], ...]) -> str:
+    return name + _label_str(labels)
+
+
+def flatten_scalars(families: List[FamilySnapshot]
+                    ) -> Dict[str, Tuple[float, bool]]:
+    """Flatten families to ``{series: (value, monotonic)}``.
+
+    ``monotonic`` marks series whose first difference is a meaningful
+    rate (counters, histogram counts and sums); gauges are sampled
+    as-is.
+    """
+    out: Dict[str, Tuple[float, bool]] = {}
+    for family in families:
+        monotonic = family.kind in ("counter", "histogram")
+        for sample in family.samples:
+            if isinstance(sample.value, HistogramSnapshot):
+                base = _series_name(family.name, sample.labels)
+                hist = sample.value
+                out[base + "_count"] = (float(hist.count), True)
+                out[base + "_sum"] = (hist.sum, True)
+            else:
+                out[_series_name(family.name, sample.labels)] = \
+                    (float(sample.value), monotonic)
+    return out

@@ -1,0 +1,147 @@
+"""The time dimension: periodic registry snapshots, deltas and rates.
+
+Counters answer "how many so far"; operators ask "how fast right
+now".  :class:`TimeSeriesSampler` runs a daemon thread that samples a
+:class:`~repro.telemetry.MetricsRegistry` every ``interval_s``,
+computes per-series first differences over the sampling interval for
+every monotonic series (counters, histogram counts and sums), and
+keeps the resulting :class:`TimePoint` history in a bounded ring.
+With ``jsonl_path`` each point is also appended as one JSON line, so
+a collection run leaves a rate history next to its archive that
+``repro-bgp top`` or any notebook can replay.
+
+Rates (upd/s, drops/s, QPS, cache hit ratio over time) become
+first-class observations instead of quantities recomputed ad hoc from
+cumulative totals.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from .registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """One sampled observation of the registry."""
+
+    wall_time: float                 # time.time() at the sample
+    dt_s: float                      # seconds since the previous point
+    values: Dict[str, float]         # series -> cumulative value
+    rates: Dict[str, float]          # monotonic series -> delta / dt
+
+    def rate(self, series: str) -> float:
+        return self.rates.get(series, 0.0)
+
+
+class TimeSeriesSampler:
+    """Samples a registry on a period; ring buffer + optional JSONL."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 interval_s: float = 1.0,
+                 ring_size: int = 600,
+                 jsonl_path: Optional[str] = None,
+                 clock=time.time):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.registry = registry
+        self.interval_s = interval_s
+        self.jsonl_path = jsonl_path
+        self._clock = clock
+        self._ring: Deque[TimePoint] = deque(maxlen=max(1, ring_size))
+        self._ring_lock = threading.Lock()
+        self._prev: Optional[Dict[str, float]] = None
+        self._prev_wall: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._jsonl_handle = None
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_once(self) -> TimePoint:
+        """Take one sample now (also usable without the thread)."""
+        scalars = self.registry.scalar_values()
+        wall = self._clock()
+        values = {name: value for name, (value, _) in scalars.items()}
+        if self._prev is None or self._prev_wall is None:
+            dt = 0.0
+            rates: Dict[str, float] = {}
+        else:
+            dt = max(1e-9, wall - self._prev_wall)
+            rates = {
+                name: (value - self._prev.get(name, 0.0)) / dt
+                for name, (value, monotonic) in scalars.items()
+                if monotonic
+            }
+        self._prev = values
+        self._prev_wall = wall
+        point = TimePoint(wall, dt, values, rates)
+        with self._ring_lock:
+            self._ring.append(point)
+        self._append_jsonl(point)
+        return point
+
+    def _append_jsonl(self, point: TimePoint) -> None:
+        if self.jsonl_path is None:
+            return
+        if self._jsonl_handle is None:
+            self._jsonl_handle = open(self.jsonl_path, "a")
+        self._jsonl_handle.write(json.dumps({
+            "t": point.wall_time,
+            "dt": point.dt_s,
+            "values": point.values,
+            "rates": point.rates,
+        }) + "\n")
+        self._jsonl_handle.flush()
+
+    # -- the sampling thread -------------------------------------------------
+
+    def start(self) -> "TimeSeriesSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self.sample_once()           # baseline so the first delta works
+        self._thread = threading.Thread(
+            target=self._loop, name="telemetry-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def stop(self) -> None:
+        """Stop the thread; takes one final sample for the tail."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self.sample_once()
+        if self._jsonl_handle is not None:
+            self._jsonl_handle.close()
+            self._jsonl_handle = None
+
+    # -- inspection ----------------------------------------------------------
+
+    def points(self) -> List[TimePoint]:
+        """Sampled history, oldest first."""
+        with self._ring_lock:
+            return list(self._ring)
+
+    def latest(self) -> Optional[TimePoint]:
+        with self._ring_lock:
+            return self._ring[-1] if self._ring else None
+
+    def series(self, name: str) -> List[float]:
+        """One series' cumulative values across the sampled history."""
+        return [p.values.get(name, 0.0) for p in self.points()]
+
+    def rate(self, name: str) -> float:
+        """The latest observed rate for one monotonic series."""
+        point = self.latest()
+        return point.rate(name) if point is not None else 0.0

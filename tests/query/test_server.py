@@ -170,6 +170,60 @@ class TestEndpoints:
         status, body = get_json(server.url + "/nope")
         assert status == 404 and "error" in body
 
+    def test_metrics_prometheus_text(self, server):
+        # Serve some traffic first so the counters are nonzero.
+        get_json(server.url + "/updates?limit=1")
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=10) as reply:
+            assert reply.status == 200
+            assert reply.headers["Content-Type"].startswith(
+                "text/plain")
+            text = reply.read().decode()
+        assert "# TYPE repro_query_requests_total counter" in text
+        assert "repro_query_segments_total" in text
+        hits = misses = 0
+        for line in text.splitlines():
+            if line.startswith('repro_query_requests_total{cache="hit"}'):
+                hits = float(line.rsplit(" ", 1)[1])
+            if line.startswith('repro_query_requests_total{cache="miss"}'):
+                misses = float(line.rsplit(" ", 1)[1])
+        snapshot = server.engine.stats_snapshot()
+        assert hits + misses == snapshot.queries >= 1
+
+    def test_metrics_json(self, server):
+        status, body = get_json(server.url + "/metrics?format=json")
+        assert status == 200
+        names = {family["name"] for family in body["families"]}
+        assert "repro_query_requests_total" in names
+
+    def test_metrics_bad_params(self, server):
+        status, body = get_json(server.url + "/metrics?format=xml")
+        assert status == 400 and "error" in body
+        status, body = get_json(server.url + "/metrics?bogus=1")
+        assert status == 400 and "error" in body
+
+    def test_metrics_covers_pipeline_when_registry_shared(
+            self, epoch_archive):
+        """A pipeline-backed engine exposes collection, supervision
+        and query families from one scrape (the serve default)."""
+        from repro.pipeline import PipelineMetrics
+
+        archive, _, _ = epoch_archive
+        metrics = PipelineMetrics()
+        engine = QueryEngine(archive, stats=metrics.query)
+        with QueryAPIServer(engine) as api:
+            get_json(api.url + "/updates?limit=1")
+            with urllib.request.urlopen(api.url + "/metrics",
+                                        timeout=10) as reply:
+                text = reply.read().decode()
+        engine.close()
+        for family in ("repro_pipeline_stage_updates_total",
+                       "repro_session_updates_total",
+                       "repro_supervision_events_total",
+                       "repro_trace_span_seconds",
+                       "repro_query_requests_total"):
+            assert f"# TYPE {family}" in text, family
+
 
 class TestRecoveredArchiveServing:
     """A crash-interrupted epoch, recovered and resumed, must serve

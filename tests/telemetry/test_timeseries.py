@@ -1,0 +1,131 @@
+"""Tests for the snapshot time-series layer (deltas, rates, JSONL)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, TimeSeriesSampler
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestSampling:
+    def test_rates_are_first_differences(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        gauge = registry.gauge("repro_depth")
+        clock = FakeClock()
+        sampler = TimeSeriesSampler(registry, clock=clock)
+
+        counter.inc(10)
+        gauge.set(3)
+        first = sampler.sample_once()
+        assert first.dt_s == 0.0
+        assert first.rates == {}          # no previous point yet
+        assert first.values["repro_events_total"] == 10.0
+
+        counter.inc(40)
+        gauge.set(9)
+        clock.advance(2.0)
+        second = sampler.sample_once()
+        assert second.dt_s == pytest.approx(2.0)
+        assert second.rate("repro_events_total") == pytest.approx(20.0)
+        # Gauges are sampled, never rated.
+        assert "repro_depth" not in second.rates
+        assert second.values["repro_depth"] == 9.0
+
+    def test_histogram_series_rate(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds", bounds=(1.0,))
+        clock = FakeClock()
+        sampler = TimeSeriesSampler(registry, clock=clock)
+        sampler.sample_once()
+        for _ in range(6):
+            hist.record(0.5)
+        clock.advance(3.0)
+        point = sampler.sample_once()
+        assert point.rate("repro_lat_seconds_count") \
+            == pytest.approx(2.0)
+        assert point.rate("repro_lat_seconds_sum") \
+            == pytest.approx(1.0)
+
+    def test_ring_is_bounded(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        sampler = TimeSeriesSampler(registry, ring_size=3, clock=clock)
+        for _ in range(7):
+            clock.advance(1.0)
+            sampler.sample_once()
+        points = sampler.points()
+        assert len(points) == 3
+        assert points == sorted(points, key=lambda p: p.wall_time)
+        assert sampler.latest() is points[-1]
+
+    def test_series_accessor(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        clock = FakeClock()
+        sampler = TimeSeriesSampler(registry, clock=clock)
+        for value in (1, 2, 3):
+            counter.inc()
+            clock.advance(1.0)
+            sampler.sample_once()
+        assert sampler.series("repro_events_total") == [1.0, 2.0, 3.0]
+        assert sampler.rate("repro_events_total") == pytest.approx(1.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(MetricsRegistry(), interval_s=0.0)
+
+
+class TestJsonl:
+    def test_points_append_as_json_lines(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        clock = FakeClock()
+        path = tmp_path / "series.jsonl"
+        sampler = TimeSeriesSampler(registry, jsonl_path=str(path),
+                                    clock=clock)
+        counter.inc(5)
+        sampler.sample_once()
+        counter.inc(5)
+        clock.advance(2.0)
+        sampler.sample_once()
+        sampler.stop()        # no thread started; just closes the file
+
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["values"]["repro_events_total"] == 5.0
+        assert lines[1]["rates"]["repro_events_total"] \
+            == pytest.approx(2.5)
+        assert lines[1]["t"] - lines[0]["t"] == pytest.approx(2.0)
+
+
+class TestThread:
+    def test_start_stop_collects_points(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        sampler = TimeSeriesSampler(registry, interval_s=0.02)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+        counter.inc(3)
+        import time
+        time.sleep(0.1)
+        sampler.stop()
+        points = sampler.points()
+        # Baseline at start + periodic + final tail sample.
+        assert len(points) >= 3
+        assert points[-1].values["repro_events_total"] == 3.0
+        # Stopping again is harmless.
+        sampler.stop()
