@@ -113,7 +113,12 @@ class RollingArchiveWriter:
         #: the archive is servable with no lazy-indexing first-query
         #: cost (:mod:`repro.query`).
         self.index_enabled = index
-        self.on_seal = on_seal
+        #: Seal subscribers, called in registration order after a
+        #: segment (and its checkpoint, when enabled) is durable.  The
+        #: ``on_seal`` constructor arg registers the first one.
+        self._seal_listeners: List[SealHook] = []
+        if on_seal is not None:
+            self._seal_listeners.append(on_seal)
         #: Build time of the most recently sealed segment's index.
         self.last_index_build_s: Optional[float] = None
         self.segments: List[ArchiveSegment] = []
@@ -124,6 +129,39 @@ class RollingArchiveWriter:
         self._current_slot: Optional[int] = None
         self._last_time: Optional[float] = None
         os.makedirs(directory, exist_ok=True)
+
+    def add_seal_listener(self, hook: SealHook) -> None:
+        """Subscribe to segment seals (index metrics, event pipeline,
+        mirrors — any number of consumers coexist; no wrapper hacks)."""
+        self._seal_listeners.append(hook)
+
+    def remove_seal_listener(self, hook: SealHook) -> None:
+        """Unsubscribe a previously added seal hook (no-op if absent)."""
+        try:
+            self._seal_listeners.remove(hook)
+        except ValueError:
+            pass
+
+    @property
+    def seal_listeners(self) -> Tuple[SealHook, ...]:
+        return tuple(self._seal_listeners)
+
+    @property
+    def on_seal(self) -> Optional[SealHook]:
+        """Backward-compat view: the first registered seal hook."""
+        return self._seal_listeners[0] if self._seal_listeners else None
+
+    @on_seal.setter
+    def on_seal(self, hook: Optional[SealHook]) -> None:
+        """Backward-compat: replace the *first* listener (historical
+        single-hook slot) without disturbing later subscribers."""
+        if self._seal_listeners:
+            if hook is None:
+                del self._seal_listeners[0]
+            else:
+                self._seal_listeners[0] = hook
+        elif hook is not None:
+            self._seal_listeners.append(hook)
 
     @property
     def checkpoint_path(self) -> str:
@@ -189,8 +227,8 @@ class RollingArchiveWriter:
             # durable, so a crash between the two leaves a torn file
             # that recovery identifies and deletes.
             self._write_checkpoint()
-        if self.on_seal is not None:
-            self.on_seal(segment, build_s)
+        for hook in list(self._seal_listeners):
+            hook(segment, build_s)
         return segment
 
     def _build_index(self, segment: ArchiveSegment) -> float:

@@ -14,8 +14,11 @@ Gives operators the platform's everyday verbs without writing Python:
                     crash (delete torn segments, report the watermark)
 * ``serve``       — serve an archive directory over the JSON query
                     API (indexed per-prefix/VP/origin lookups, RIB
-                    snapshots, MOAS and hijack analyses, plus a
-                    Prometheus ``/metrics`` endpoint)
+                    snapshots, MOAS and hijack analyses, correlated
+                    ``/events`` incidents, plus a Prometheus
+                    ``/metrics`` endpoint)
+* ``events``      — query or tail an archive's event journal and
+                    render incident tables and reports (docs/EVENTS.md)
 * ``top``         — live terminal dashboard polling a running
                     ``serve`` instance's ``/metrics`` endpoint
 * ``growth``      — print the Figs. 2-3 historical series
@@ -46,6 +49,26 @@ def _read_updates(path: str, compressed: bool) -> List[BGPUpdate]:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.scenario == "monitoring":
+        from .simulation import monitoring_showcase
+
+        # The showcase picks its attackers structurally; seed 0 is the
+        # generate default, so map it to the scenario's own default.
+        scenario, truth = monitoring_showcase(seed=args.seed or 7)
+        count = write_archive(scenario.stream, args.output,
+                              compress=not args.no_compress)
+        print(f"wrote {count} updates (monitoring showcase) "
+              f"to {args.output}")
+        print(f"  forged-origin hijack: AS{truth.forged_attacker} "
+              f"on {truth.forged_prefix}")
+        print(f"  origin hijack (MOAS): AS{truth.moas_attacker} "
+              f"on {truth.moas_prefix}")
+        print(f"  sub-prefix hijack:    AS{truth.subprefix_attacker} "
+              f"on {truth.subprefix}")
+        print(f"  mass withdrawal:      "
+              f"{len(truth.withdrawn_prefixes)} prefixes")
+        print(f"  flap storm:           {truth.flap_prefix}")
+        return 0
     generator = SyntheticStreamGenerator(StreamConfig(
         n_vps=args.vps,
         n_prefix_groups=args.groups,
@@ -222,6 +245,22 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         validator=RouteValidator() if args.validate else None,
         archive=archive,
     )
+    event_store = None
+    if args.events:
+        if archive is None:
+            print("--events requires --archive-dir", file=sys.stderr)
+            return 2
+        from .events import EventPipeline, EventStore, journal_path_for
+
+        event_store = EventStore(journal_path_for(args.archive_dir))
+        event_pipeline = EventPipeline(
+            store=event_store, registry=pipeline.metrics.registry)
+        try:
+            event_pipeline.attach(archive)
+        except ValueError as exc:
+            print(f"cannot attach event pipeline: {exc}",
+                  file=sys.stderr)
+            return 2
     result = pipeline.run(streams)
     print(render_metrics(result.metrics, per_session=args.per_session),
           end="")
@@ -230,6 +269,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if archive is not None:
         print(f"wrote {len(result.segments)} segments to "
               f"{args.archive_dir}")
+    if event_store is not None:
+        from .events import render_store_summary
+        print(render_store_summary(event_store))
     if args.slow_traces:
         from .telemetry import render_slow_traces
         print(render_slow_traces(
@@ -280,6 +322,8 @@ _SMOKE_ENDPOINTS = (
     ("/rib", (200, 404)),
     ("/moas", (200,)),
     ("/hijacks", (200,)),
+    ("/events", (200, 404)),
+    ("/events?state=resolved&limit=5", (200, 404)),
     ("/status", (200,)),
     ("/metrics", (200,)),
     ("/metrics?format=json", (200,)),
@@ -308,12 +352,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"no archive segments under {args.directory}",
               file=sys.stderr)
         return 2
+    # Event store: auto-attach when the archive carries a journal,
+    # forced on/off with --events / --no-events.
+    events_store = None
+    if args.events is not False:
+        import os
+
+        from .events import EventStore, journal_path_for
+
+        journal = journal_path_for(args.directory)
+        if args.events or os.path.exists(journal):
+            events_store = EventStore(journal)
     server = QueryAPIServer(engine, host=args.host, port=args.port,
-                            quiet=not args.verbose)
+                            quiet=not args.verbose,
+                            events=events_store)
     watermark = engine.watermark()
     print(f"serving {len(segments)} segments "
           f"(watermark {watermark:.0f}) from {args.directory} "
           f"on {server.url}")
+    if events_store is not None:
+        print(f"event store: {len(events_store)} incidents "
+              f"from {events_store.path}")
     if args.smoke:
         # Self-test mode for CI: hit every endpoint once, report, exit.
         import urllib.error
@@ -344,6 +403,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         engine.close()
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from .events import (
+        EventStore,
+        journal_path_for,
+        render_event_report,
+        render_event_table,
+        render_store_summary,
+    )
+
+    path = journal_path_for(args.directory) \
+        if os.path.isdir(args.directory) else args.directory
+    if not os.path.exists(path):
+        print(f"no event journal at {path} "
+              "(collect with repro-bgp pipeline --events)",
+              file=sys.stderr)
+        return 2
+    store = EventStore(path)
+
+    if args.id:
+        event = store.get(args.id)
+        if event is None:
+            print(f"no event {args.id!r}", file=sys.stderr)
+            return 1
+        print(render_event_report(event))
+        return 0
+
+    def matching():
+        return store.query(
+            type=args.type, prefix=args.prefix, origin=args.origin,
+            start=args.start, end=args.end, state=args.state,
+            limit=args.limit)
+
+    try:
+        hits = matching()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.report:
+        for event in hits:
+            print(render_event_report(event))
+            print()
+    else:
+        print(render_event_table(hits))
+    print(render_store_summary(store))
+
+    if not args.follow:
+        return 0
+    # Tail mode: re-render whenever another process appends to the
+    # journal (a live pipeline sealing segments).
+    iterations = 0
+    try:
+        while args.iterations is None or iterations < args.iterations:
+            time.sleep(args.interval)
+            iterations += 1
+            changed = store.refresh()
+            if not changed:
+                continue
+            touched = [e for e in matching() if e.id in set(changed)]
+            if not touched:
+                continue
+            print()
+            if args.report:
+                for event in touched:
+                    print(render_event_report(event))
+            else:
+                print(render_event_table(touched))
+            print(render_store_summary(store))
+    except KeyboardInterrupt:
+        print()
     return 0
 
 
@@ -386,6 +520,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("generate", help="generate a synthetic archive")
     p.add_argument("output")
+    p.add_argument("--scenario", choices=("synthetic", "monitoring"),
+                   default="synthetic",
+                   help="'monitoring' seeds the five-incident event "
+                        "showcase (docs/EVENTS.md) instead of the "
+                        "plain synthetic stream")
     p.add_argument("--vps", type=int, default=30)
     p.add_argument("--groups", type=int, default=20)
     p.add_argument("--duration", type=float, default=3600.0)
@@ -463,6 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", action="store_true",
                    help="build query indexes at segment seal time "
                         "(the repro-bgp serve fast path)")
+    p.add_argument("--events", action="store_true",
+                   help="run the event-analysis pipeline on sealed "
+                        "segments, journaling incidents next to the "
+                        "archive (requires --archive-dir)")
     p.add_argument("--trace-sample", type=float, default=0.0,
                    help="fraction of updates carrying a telemetry "
                         "trace span (0 disables tracing)")
@@ -502,6 +645,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU result-cache entries (0 disables)")
     p.add_argument("--no-persist-indexes", action="store_true",
                    help="keep lazily built indexes in memory only")
+    p.add_argument("--events", dest="events", action="store_true",
+                   default=None,
+                   help="attach the event store even if the journal "
+                        "does not exist yet (default: auto-detect)")
+    p.add_argument("--no-events", dest="events", action="store_false",
+                   help="never attach the event store")
     p.add_argument("--smoke", action="store_true",
                    help="hit every endpoint once and exit (CI mode)")
     p.add_argument("--verbose", action="store_true",
@@ -509,6 +658,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-compress", action="store_true",
                    help="archive segments are uncompressed MRT")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("events",
+                       help="query or tail an archive's event journal")
+    p.add_argument("directory",
+                   help="archive directory (or an events.jsonl path)")
+    p.add_argument("--id", help="render one incident's full report")
+    p.add_argument("--type", help="filter by event type")
+    p.add_argument("--state", help="filter by state "
+                                   "(new/ongoing/resolved)")
+    p.add_argument("--prefix", help="filter by exact prefix")
+    p.add_argument("--origin", type=int,
+                   help="filter by implicated ASN")
+    p.add_argument("--start", type=float,
+                   help="events overlapping [start, end)")
+    p.add_argument("--end", type=float)
+    p.add_argument("--limit", type=int)
+    p.add_argument("--report", action="store_true",
+                   help="full incident reports instead of the table")
+    p.add_argument("--follow", action="store_true",
+                   help="keep tailing the journal for new incidents")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="poll interval for --follow")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop --follow after N polls")
+    p.set_defaults(func=cmd_events)
 
     p = sub.add_parser("top",
                        help="live dashboard over a /metrics endpoint")

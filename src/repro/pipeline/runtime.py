@@ -221,19 +221,16 @@ class CollectionPipeline:
         cfg = self.config
 
         archive = self.archive
-        if archive is not None and hasattr(archive, "on_seal"):
-            # Chain onto the archive's seal hook so index builds (when
-            # the archive was opened with ``index=True``) land in the
-            # live metrics the status page renders.
-            previous_hook = archive.on_seal
-
-            def _seal_hook(segment, build_s, _prev=previous_hook):
+        if archive is not None and hasattr(archive, "add_seal_listener"):
+            # Subscribe to segment seals so index builds (when the
+            # archive was opened with ``index=True``) land in the live
+            # metrics the status page renders.  Other subscribers (the
+            # event pipeline, tests) coexist on the same listener list.
+            def _seal_metrics(segment, build_s):
                 if build_s is not None:
                     self.metrics.index_built(build_s)
-                if _prev is not None:
-                    _prev(segment, build_s)
 
-            archive.on_seal = _seal_hook
+            archive.add_seal_listener(_seal_metrics)
         if cfg.fault_plan:
             self.injector = FaultInjector(cfg.fault_plan)
             archive = self.injector.wrap_archive(archive)

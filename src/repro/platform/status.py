@@ -56,6 +56,9 @@ class PlatformStatus:
     #: Read-side counters of a standalone query engine (when serving
     #: runs inside the pipeline, they arrive via ``pipeline.query``).
     query: Optional[QueryStatsSnapshot] = None
+    #: Open incident counts per event type when the event-analysis
+    #: pipeline runs (``EventStore.open_counts()``, docs/EVENTS.md).
+    events_open: Optional[Dict[str, int]] = None
 
     @property
     def quarantined_sessions(self) -> int:
@@ -76,7 +79,8 @@ def collect_status(orchestrator: Orchestrator,
                    retained: Sequence[BGPUpdate],
                    sessions: Optional[SessionManager] = None,
                    pipeline: Optional[PipelineMetricsSnapshot] = None,
-                   query: Optional[QueryStatsSnapshot] = None
+                   query: Optional[QueryStatsSnapshot] = None,
+                   events_open: Optional[Dict[str, int]] = None
                    ) -> PlatformStatus:
     """Assemble the status snapshot after (or during) a collection run.
 
@@ -128,6 +132,7 @@ def collect_status(orchestrator: Orchestrator,
         epoch_resumes=stats.epoch_resumes,
         rib_redumps=stats.rib_redumps,
         query=query,
+        events_open=events_open,
     )
 
 
@@ -160,6 +165,14 @@ def render_status(status: PlatformStatus,
         lines.append(
             f"recovery: {status.epoch_resumes} epoch resumes, "
             f"{status.rib_redumps} RIB re-dumps")
+    if status.events_open is not None:
+        total_open = sum(status.events_open.values())
+        detail = ", ".join(
+            f"{etype}={count}"
+            for etype, count in sorted(status.events_open.items())
+            if count)
+        lines.append(f"events: {total_open} open incident(s)"
+                     + (f" ({detail})" if detail else ""))
     lines += [
         "",
         f"{'peer':>12s} {'recv':>7s} {'kept':>7s} {'ret%':>6s} "

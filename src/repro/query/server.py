@@ -11,10 +11,16 @@ engine's thread-pool executor and GIL-releasing bz2 decode):
 * ``GET /rib``       — a published RIB snapshot, streamed; params
   ``time`` (newest dump at or before it) and ``vp``;
 * ``GET /vps``       — per-VP stored-update counts from the indexes;
-* ``GET /moas``      — MOAS conflicts in a time range
-  (:func:`repro.usecases.detect_moas`);
+* ``GET /moas``      — MOAS conflicts in a time range: answered from
+  the event store when one is attached, by on-demand scan
+  (:func:`repro.usecases.detect_moas`) otherwise;
 * ``GET /hijacks``   — DFOH-style suspicious new links in a time
-  range (:class:`repro.usecases.DFOHDetector`);
+  range: event store when attached, else an on-demand scan whose
+  trained model is cached keyed on the archive watermark;
+* ``GET /events``    — correlated incidents from the event store
+  (docs/EVENTS.md); filters ``type``, ``prefix``, ``origin``,
+  ``start``, ``end``, ``state``, ``limit`` push down into the store's
+  indexes; ``GET /events/<id>`` returns one incident with evidence;
 * ``GET /status``    — watermark, segment count and engine counters;
 * ``GET /metrics``   — the engine's metrics registry, Prometheus text
   by default or JSON with ``?format=json`` (docs/TELEMETRY.md).
@@ -27,11 +33,13 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from ..bgp.message import BGPUpdate
+from ..events.store import EventStore
 from ..usecases import DFOHDetector, detect_moas
 from .engine import QueryEngine
 from .planner import QuerySpec
@@ -52,10 +60,48 @@ def _parse_params(query: str) -> Dict[str, str]:
     return dict(parse_qsl(query, keep_blank_values=True))
 
 
+class _HijackModelCache:
+    """LRU of trained DFOH scans keyed on archive state + window.
+
+    Re-training the detector on every ``/hijacks`` request repeated
+    the whole train+scan pass per call; since the scan is a pure
+    function of (archive state, time window), caching the *unfiltered*
+    case list lets any threshold be answered from one training pass.
+    A new sealed segment (or recovery truncation) changes the
+    engine's state token and naturally invalidates entries.
+    """
+
+    def __init__(self, size: int = 4):
+        self.size = size
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[dict]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
+
+    def put(self, key: Tuple, entry: dict) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+
+
 class _QueryAPIHandler(BaseHTTPRequestHandler):
     """Routes one request; the engine is attached by the server."""
 
     engine: QueryEngine          # set on the subclass by QueryAPIServer
+    events: Optional[EventStore] = None
+    model_cache: _HijackModelCache
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -112,10 +158,14 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
                 "/vps": self._get_vps,
                 "/moas": self._get_moas,
                 "/hijacks": self._get_hijacks,
+                "/events": self._get_events,
                 "/status": self._get_status,
                 "/metrics": self._get_metrics,
             }.get(url.path)
             if route is None:
+                if url.path.startswith("/events/"):
+                    self._get_event(url.path[len("/events/"):], params)
+                    return
                 self._error(404, f"unknown endpoint {url.path}")
                 return
             route(params)
@@ -185,14 +235,31 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
 
         self._send_json_stream(chunks())
 
+    @staticmethod
+    def _time_range(params: Dict[str, str]
+                    ) -> Tuple[Optional[float], Optional[float]]:
+        start = float(params["start"]) if "start" in params else None
+        end = float(params["end"]) if "end" in params else None
+        return start, end
+
+    def _events_enabled(self, params: Dict[str, str]) -> bool:
+        """Route through the event store unless absent or bypassed
+        with ``source=scan`` (the historical on-demand path)."""
+        return self.events is not None and params.get("source") != "scan"
+
     def _get_moas(self, params: Dict[str, str]) -> None:
-        unknown = set(params) - {"start", "end"}
+        unknown = set(params) - {"start", "end", "source"}
         if unknown:
             raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        if self._events_enabled(params):
+            self._moas_from_events(params)
+            return
+        params.pop("source", None)
         spec = QuerySpec.from_params(params)
         updates = self.engine.query(spec)
         conflicts = detect_moas(updates)
         self._send_json({
+            "source": "scan",
             "count": len(conflicts),
             "conflicts": [
                 {"prefix": str(c.prefix), "origins": sorted(c.origins)}
@@ -200,24 +267,69 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             ],
         })
 
+    def _moas_from_events(self, params: Dict[str, str]) -> None:
+        assert self.events is not None
+        self.events.refresh()
+        start, end = self._time_range(params)
+        conflicts = []
+        for event in self.events.query(type="moas", start=start,
+                                       end=end):
+            origins = sorted({
+                origin
+                for detection in event.evidence
+                if detection.type == "moas"
+                for origin in detection.extra.get("origins", ())
+            } or event.asns)
+            conflicts.append({
+                "prefix": event.prefix,
+                "origins": origins,
+                "event": event.id,
+                "state": event.state,
+            })
+        self._send_json({
+            "source": "events",
+            "count": len(conflicts),
+            "conflicts": conflicts,
+        })
+
     def _get_hijacks(self, params: Dict[str, str]) -> None:
-        unknown = set(params) - {"start", "end", "threshold"}
+        unknown = set(params) - {"start", "end", "threshold", "source"}
         if unknown:
             raise ValueError(f"unknown parameters: {sorted(unknown)}")
         threshold = float(params.pop("threshold", 0.6))
-        spec = QuerySpec.from_params(params)
-        updates = self.engine.query(spec)
+        if self._events_enabled(params):
+            self._hijacks_from_events(params, threshold)
+            return
+        params.pop("source", None)
+        start, end = self._time_range(params)
         # DFOH needs a trained AS graph; with only the archive to go
         # on, train on the older half of the window and scan the newer
-        # half for implausible new links.
-        train, scan = _split_for_training(updates)
-        detector = DFOHDetector(suspicion_threshold=threshold)
-        detector.train_on_updates(train)
-        cases = detector.infer(scan)
+        # half for implausible new links.  The trained scan is a pure
+        # function of (archive state, window), so cache it under the
+        # engine's state token and filter by threshold per request.
+        cache_key = (self.engine.state_token(), start, end)
+        entry = self.model_cache.get(cache_key)
+        cached = entry is not None
+        if entry is None:
+            spec = QuerySpec.from_params(params)
+            updates = self.engine.query(spec)
+            train, scan = _split_for_training(updates)
+            detector = DFOHDetector()
+            detector.train_on_updates(train)
+            entry = {
+                "trained_on": len(train),
+                "scanned": len(scan),
+                "cases": detector.scan(scan),
+            }
+            self.model_cache.put(cache_key, entry)
+        cases = [case for case in entry["cases"]
+                 if case.score >= threshold]
         self._send_json({
+            "source": "scan",
+            "model_cache": "hit" if cached else "miss",
             "threshold": threshold,
-            "trained_on": len(train),
-            "scanned": len(scan),
+            "trained_on": entry["trained_on"],
+            "scanned": entry["scanned"],
             "count": len(cases),
             "cases": [
                 {"link": sorted(case.link), "prefix": str(case.prefix),
@@ -226,12 +338,100 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             ],
         })
 
+    def _hijacks_from_events(self, params: Dict[str, str],
+                             threshold: float) -> None:
+        assert self.events is not None
+        self.events.refresh()
+        start, end = self._time_range(params)
+        best: Dict[Tuple, dict] = {}
+        for event in self.events.query(type="origin_hijack",
+                                       start=start, end=end):
+            for detection in event.evidence:
+                if detection.type != "origin_hijack" \
+                        or detection.score < threshold:
+                    continue
+                link = detection.extra.get("link")
+                if link is None:
+                    continue
+                key = (tuple(link), detection.prefix)
+                case = best.get(key)
+                if case is None or detection.score > case["score"]:
+                    best[key] = {
+                        "link": sorted(link),
+                        "prefix": detection.prefix,
+                        "score": round(detection.score, 4),
+                        "origin": detection.extra.get("origin"),
+                        "event": event.id,
+                        "state": event.state,
+                    }
+        cases = sorted(best.values(),
+                       key=lambda c: (-c["score"], c["link"]))
+        self._send_json({
+            "source": "events",
+            "threshold": threshold,
+            "count": len(cases),
+            "cases": cases,
+        })
+
+    # -- event intelligence ---------------------------------------------------
+
+    _EVENT_PARAMS = {"type", "prefix", "origin", "start", "end",
+                     "state", "limit"}
+
+    def _get_events(self, params: Dict[str, str]) -> None:
+        if self.events is None:
+            self._error(404, "no event store attached "
+                             "(serve an archive collected with the "
+                             "event pipeline enabled)")
+            return
+        unknown = set(params) - self._EVENT_PARAMS
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        self.events.refresh()
+        start, end = self._time_range(params)
+        origin = int(params["origin"]) if "origin" in params else None
+        limit = int(params["limit"]) if "limit" in params else None
+        hits = self.events.query(
+            type=params.get("type"), prefix=params.get("prefix"),
+            origin=origin, start=start, end=end,
+            state=params.get("state"), limit=limit)
+        self._send_json({
+            "watermark": self.events.watermark,
+            "count": len(hits),
+            "open": self.events.open_counts(),
+            "events": [event.to_json(full=False) for event in hits],
+        })
+
+    def _get_event(self, event_id: str, params: Dict[str, str]) -> None:
+        if self.events is None:
+            self._error(404, "no event store attached")
+            return
+        if params:
+            raise ValueError("/events/<id> takes no parameters")
+        self.events.refresh()
+        event = self.events.get(event_id)
+        if event is None:
+            self._error(404, f"no event {event_id!r}")
+            return
+        self._send_json({"event": event.to_json(full=True)})
+
     def _get_metrics(self, params: Dict[str, str]) -> None:
         unknown = set(params) - {"format"}
         if unknown:
             raise ValueError(f"unknown parameters: {sorted(unknown)}")
         fmt = params.get("format", "prometheus")
         registry = self.engine.registry
+        if self.events is not None:
+            # A standalone server has no live event pipeline feeding
+            # the registry, so refresh the gauge from the journal at
+            # scrape time (repro-bgp top renders the events line).
+            self.events.refresh()
+            open_gauge = registry.gauge(
+                "repro_events_open",
+                "Currently unresolved events by primary type",
+                labels=["type"], track_high_water=True)
+            for etype, count in self.events.open_counts().items():
+                open_gauge.labels(etype).set(count)
         if fmt == "json":
             self._send_json(registry.to_json())
         elif fmt in ("prometheus", "text"):
@@ -245,7 +445,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             raise ValueError("/status takes no parameters")
         stats = self.engine.stats_snapshot()
         segments = self.engine.catalog.segments()
-        self._send_json({
+        payload = {
             "watermark": self.engine.watermark(),
             "segments": len(segments),
             "records": sum(s.count for s in segments),
@@ -255,7 +455,20 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             "segments_decoded": stats.segments_decoded,
             "index_builds": stats.index_builds,
             "index_build_time_s": round(stats.index_build_time_s, 6),
-        })
+            "hijack_model_cache": {
+                "hits": self.model_cache.hits,
+                "misses": self.model_cache.misses,
+            },
+        }
+        if self.events is not None:
+            self.events.refresh()
+            payload["events"] = {
+                "total": len(self.events),
+                "watermark": self.events.watermark,
+                "open": self.events.open_counts(),
+                "states": self.events.state_counts(),
+            }
+        self._send_json(payload)
 
 
 def _split_for_training(updates: List[BGPUpdate]
@@ -278,10 +491,14 @@ class QueryAPIServer:
     """Owns the HTTP server and its serving thread."""
 
     def __init__(self, engine: QueryEngine, host: str = "127.0.0.1",
-                 port: int = 0, quiet: bool = True):
+                 port: int = 0, quiet: bool = True,
+                 events: Optional[EventStore] = None):
         handler = type("BoundQueryAPIHandler", (_QueryAPIHandler,),
-                       {"engine": engine, "quiet": quiet})
+                       {"engine": engine, "quiet": quiet,
+                        "events": events,
+                        "model_cache": _HijackModelCache()})
         self.engine = engine
+        self.events = events
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None

@@ -56,6 +56,24 @@ class ForgedOriginHijack:
 
 
 @dataclass(frozen=True)
+class OriginHijack:
+    """The attacker originates the victim's exact prefix *itself* —
+    no forged path, just a competing origination.
+
+    Unlike :class:`ForgedOriginHijack` (which keeps the victim's
+    origin at the end of the forged path and is invisible to origin
+    checks), this is the classic misorigination: every VP whose
+    policy prefers the attacker's route reports a different origin
+    AS, so the conflict is visible as a MOAS.  Ended by
+    :class:`HijackEnd` with the same attacker.
+    """
+
+    attacker: int
+    prefix: Prefix
+    time: float
+
+
+@dataclass(frozen=True)
 class SubPrefixHijack:
     """The attacker announces a *more-specific* of the victim's prefix.
 

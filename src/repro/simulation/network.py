@@ -24,6 +24,7 @@ from .events import (
     LinkFailure,
     LinkRestoration,
     OriginChange,
+    OriginHijack,
     PathPrepend,
     PrefixAnnouncement,
     PrefixWithdrawal,
@@ -257,6 +258,8 @@ class SimulatedInternet:
             return self._apply_link_restoration(event)
         if isinstance(event, ForgedOriginHijack):
             return self._apply_hijack(event)
+        if isinstance(event, OriginHijack):
+            return self._apply_origin_hijack(event)
         if isinstance(event, HijackEnd):
             return self._apply_hijack_end(event)
         if isinstance(event, OriginChange):
@@ -357,6 +360,23 @@ class SimulatedInternet:
         )
         old = {key: dict(self._routes_for_key(key))}
         new_key = key + (forged,)
+        self._announcements[event.prefix] = new_key
+        new_routes = self._routes_for_key(new_key)
+        return self._updates_for_change(
+            event.prefix, old[key], new_routes, event.time,
+        )
+
+    def _apply_origin_hijack(self, event: OriginHijack) -> List[BGPUpdate]:
+        """A competing origination of the victim's exact prefix: ASes
+        in the attacker's catchment switch origin, creating a MOAS."""
+        key = self._announcements[event.prefix]
+        if any(a.sender == event.attacker for a in key):
+            raise ValueError(f"AS{event.attacker} already announces "
+                             f"{event.prefix}")
+        if event.attacker not in self.topo:
+            raise ValueError(f"AS{event.attacker} not in topology")
+        old = {key: dict(self._routes_for_key(key))}
+        new_key = key + (Announcement.origination(event.attacker),)
         self._announcements[event.prefix] = new_key
         new_routes = self._routes_for_key(new_key)
         return self._updates_for_change(

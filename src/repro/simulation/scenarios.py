@@ -14,7 +14,9 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..bgp.message import BGPUpdate
 from ..bgp.prefix import Prefix
-from .events import ForgedOriginHijack, LinkFailure, LinkRestoration
+from .events import CommunityRetag, ForgedOriginHijack, HijackEnd, \
+    LinkFailure, LinkRestoration, OriginHijack, PrefixAnnouncement, \
+    PrefixWithdrawal, SubPrefixHijack
 from .network import SimulatedInternet, assign_prefix_ownership
 from .topology import ASTopology, synthetic_known_topology
 from .vantage import random_vp_deployment
@@ -150,6 +152,156 @@ def hijack_campaign(net: SimulatedInternet, count: int, seed: int,
         t += spacing_s
     scenario.stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
     return scenario
+
+
+@dataclass
+class MonitoringGroundTruth:
+    """What :func:`monitoring_showcase` injected, for assertions."""
+
+    forged_prefix: Prefix
+    forged_attacker: int
+    moas_prefix: Prefix
+    moas_attacker: int
+    subprefix: Prefix
+    subprefix_attacker: int
+    withdrawn_prefixes: List[Prefix]
+    flap_prefix: Prefix
+
+
+def monitoring_showcase(seed: int = 7, n_ases: int = 40,
+                        coverage: float = 0.35,
+                        end_time: float = 3500.0
+                        ) -> Tuple[Scenario, MonitoringGroundTruth]:
+    """The event-intelligence demo workload (docs/EVENTS.md).
+
+    One world, five seeded incidents staggered across ~1h of stream
+    time, each shaped so the corresponding :mod:`repro.events`
+    detector fires through the live seal-hook pipeline:
+
+    * a **forged-origin hijack** (t≈700→1900) — implausible new link;
+    * an **origin hijack** / competing origination (t≈1000→2200) —
+      a genuine MOAS conflict that opens and closes;
+    * a **sub-prefix hijack** (t≈800→2000) — foreign more-specific;
+    * a **mass withdrawal** (t≈1310, restored t≈2510) — a withdrawal
+      burst well above the background baseline;
+    * a **flap storm** (t≈1500→2100) — one prefix re-announced every
+      60s until its RFD-style penalty crosses suppression.
+
+    Background community retags keep updates (and therefore sealed
+    segments) flowing to ``end_time``, long enough for every incident
+    to pass the correlator's quiet period and RESOLVE.  Attackers are
+    chosen among VP-hosting ASes so each attack is guaranteed visible
+    to the platform.
+    """
+    net = build_world(n_ases, coverage, seed)
+    scenario = Scenario(net.topo, net, list(net.initial_table_transfer(0.0)))
+    rng = random.Random(seed + 99)
+
+    prefixes = net.prefixes()
+    vp_set = list(net.vp_ases)
+
+    def pick_prefix(excluded_origins: set, used: set) -> Prefix:
+        for prefix in prefixes:
+            if prefix in used:
+                continue
+            if net.origin_of(prefix) not in excluded_origins:
+                return prefix
+        raise ValueError("world too small for the showcase")
+
+    used: set = set()
+
+    # The forged-origin hijack must create an *implausible* link: pick
+    # a stub attacker (hosting a VP, so the forged path is collected)
+    # and a stub victim with no shared neighbors — the DFOH signature.
+    stubs = set(net.topo.stubs())
+    forged_attacker = None
+    forged_prefix = None
+    for attacker in vp_set:
+        if attacker not in stubs:
+            continue
+        a_hood = net.topo.neighbors(attacker)
+        for prefix in prefixes:
+            victim = net.origin_of(prefix)
+            if victim == attacker or victim not in stubs:
+                continue
+            if victim in a_hood or (a_hood & net.topo.neighbors(victim)):
+                continue
+            forged_attacker, forged_prefix = attacker, prefix
+            break
+        if forged_attacker is not None:
+            break
+    if forged_attacker is None:
+        raise ValueError("no stub VP attacker/victim pair; grow the world")
+    used.add(forged_prefix)
+
+    others = [a for a in vp_set if a != forged_attacker]
+    if len(others) < 2:
+        others = (others or [forged_attacker]) * 2
+    moas_attacker, sub_attacker = others[0], others[1]
+    moas_prefix = pick_prefix({moas_attacker}, used)
+    used.add(moas_prefix)
+    covering = pick_prefix({sub_attacker}, used)
+    used.add(covering)
+    sub_prefix = next(covering.subprefixes(covering.length + 2))
+
+    # Mass withdrawal: enough prefixes that the per-VP fan-out clears
+    # the burst detector's floor of 20 withdrawals in one segment.
+    withdrawn: List[Prefix] = []
+    expected = 0
+    for prefix in prefixes:
+        if prefix in used:
+            continue
+        visible = sum(1 for asn in vp_set
+                      if net.routes_for(prefix).get(asn) is not None)
+        withdrawn.append(prefix)
+        used.add(prefix)
+        expected += visible
+        if expected >= 30:
+            break
+
+    flap_prefix = pick_prefix(set(), used)
+    used.add(flap_prefix)
+
+    events = [
+        ForgedOriginHijack(forged_attacker, forged_prefix, time=700.0),
+        SubPrefixHijack(sub_attacker, covering, sub_prefix, time=800.0),
+        OriginHijack(moas_attacker, moas_prefix, time=1000.0),
+        HijackEnd(forged_attacker, forged_prefix, time=1900.0),
+        PrefixWithdrawal(sub_prefix, time=2000.0),
+        HijackEnd(moas_attacker, moas_prefix, time=2200.0),
+    ]
+    for offset, prefix in enumerate(withdrawn):
+        events.append(PrefixWithdrawal(prefix, time=1310.0 + offset))
+        events.append(PrefixAnnouncement(
+            prefix, net.origin_of(prefix), time=2510.0 + offset))
+    # The flap storm: one prefix re-tagged every 60s so each VP's
+    # per-prefix penalty compounds past the suppress threshold.
+    for i, t in enumerate(range(1500, 2101, 60)):
+        events.append(CommunityRetag(flap_prefix, float(t), tag=i % 7))
+
+    # Background churn: rotating retags over untouched prefixes keep
+    # segments sealing until every incident's quiet period has passed.
+    background = [p for p in prefixes if p not in used]
+    if background:
+        t = 120.0
+        while t < end_time:
+            events.append(CommunityRetag(
+                background[rng.randrange(len(background))], t,
+                tag=int(t) % 300))
+            t += 120.0
+
+    # Ground truth of withdrawn origins must be read before the
+    # withdrawal events run, so apply in time order afterwards.
+    for event in sorted(events, key=lambda e: e.time):
+        scenario.stream += net.apply_event(event)
+    scenario.stream.sort(key=lambda u: (u.time, u.vp, u.prefix))
+    truth = MonitoringGroundTruth(
+        forged_prefix=forged_prefix, forged_attacker=forged_attacker,
+        moas_prefix=moas_prefix, moas_attacker=moas_attacker,
+        subprefix=sub_prefix, subprefix_attacker=sub_attacker,
+        withdrawn_prefixes=withdrawn, flap_prefix=flap_prefix,
+    )
+    return scenario, truth
 
 
 def merge_scenarios(*scenarios: Scenario) -> Scenario:

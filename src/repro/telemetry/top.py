@@ -194,6 +194,27 @@ def render_top(current: dict, previous: Optional[dict] = None,
             f"cache hit {hits / queries:.1%}  "
             f"segments {decoded:.0f} decoded / {pruned:.0f} pruned")
 
+    # Event intelligence (the BEAR-style detector pipeline).
+    open_by_type = cur.by_label("repro_events_open", "type")
+    ev_segments = cur.value("repro_events_segments_total")
+    if open_by_type or ev_segments:
+        open_total = sum(s.get("value", 0.0)
+                         for s in open_by_type.values())
+        opened = sum(s.get("value", 0.0) for s in
+                     cur.by_label("repro_events_opened_total",
+                                  "type").values())
+        resolved = sum(s.get("value", 0.0) for s in
+                       cur.by_label("repro_events_resolved_total",
+                                    "type").values())
+        detail = ", ".join(
+            f"{etype} {sample.get('value', 0.0):.0f}"
+            for etype, sample in sorted(open_by_type.items())
+            if sample.get("value", 0.0)) or "none"
+        lines.append(
+            f"events: {open_total:.0f} open ({detail})  "
+            f"{opened:.0f} opened / {resolved:.0f} resolved "
+            f"over {ev_segments:.0f} segments")
+
     # Trace spans.
     span_count, span_sum = cur.histogram("repro_trace_span_seconds")
     if span_count:

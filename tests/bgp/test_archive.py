@@ -363,3 +363,56 @@ class TestIndexRecovery:
         # Indexes of surviving segments are untouched.
         for segment in recovered.segments:
             assert os.path.exists(segment.path + INDEX_SUFFIX)
+
+
+class TestSealListeners:
+    def test_multiple_listeners_fire_in_order(self, tmp_path):
+        fired = []
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False)
+        writer.add_seal_listener(
+            lambda seg, build: fired.append(("a", seg.start)))
+        writer.add_seal_listener(
+            lambda seg, build: fired.append(("b", seg.start)))
+        writer.write_stream([upd(10.0), upd(150.0)])
+        writer.close()
+        assert fired == [("a", 0.0), ("b", 0.0), ("a", 100.0),
+                         ("b", 100.0)]
+
+    def test_ctor_hook_still_works(self, tmp_path):
+        fired = []
+        writer = RollingArchiveWriter(
+            str(tmp_path), interval_s=100.0, compress=False,
+            on_seal=lambda seg, build: fired.append(seg.count))
+        writer.write_stream([upd(10.0), upd(150.0)])
+        writer.close()
+        assert fired == [1, 1]
+
+    def test_on_seal_property_compat(self, tmp_path):
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False)
+        assert writer.on_seal is None
+        first = lambda seg, build: None       # noqa: E731
+        second = lambda seg, build: None      # noqa: E731
+        extra = lambda seg, build: None       # noqa: E731
+        writer.on_seal = first
+        writer.add_seal_listener(extra)
+        assert writer.on_seal is first
+        assert writer.seal_listeners == (first, extra)
+        # Replacing via the legacy property keeps later subscribers.
+        writer.on_seal = second
+        assert writer.seal_listeners == (second, extra)
+        writer.on_seal = None
+        assert writer.seal_listeners == (extra,)
+
+    def test_remove_seal_listener(self, tmp_path):
+        fired = []
+        writer = RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                      compress=False)
+        hook = lambda seg, build: fired.append(seg.start)  # noqa: E731
+        writer.add_seal_listener(hook)
+        writer.remove_seal_listener(hook)
+        writer.remove_seal_listener(hook)     # absent: no-op
+        writer.write_stream([upd(10.0), upd(150.0)])
+        writer.close()
+        assert fired == []

@@ -193,3 +193,67 @@ class TestServe:
         args = build_parser().parse_args(["serve", "somedir"])
         assert args.port == 8480 and args.workers == 4
         assert args.cache_size == 128 and not args.smoke
+
+
+class TestEventsCLI:
+    @pytest.fixture
+    def event_archive(self, tmp_path):
+        stream = str(tmp_path / "showcase.mrt.bz2")
+        assert main(["generate", stream, "--scenario", "monitoring"]) == 0
+        directory = str(tmp_path / "arch")
+        assert main(["pipeline", stream, "--archive-dir", directory,
+                     "--checkpoint", "--index", "--events"]) == 0
+        return directory
+
+    def test_generate_monitoring_scenario(self, tmp_path, capsys):
+        path = str(tmp_path / "mon.mrt.bz2")
+        assert main(["generate", path, "--scenario", "monitoring"]) == 0
+        out = capsys.readouterr().out
+        assert "monitoring showcase" in out
+        assert read_archive(path)
+
+    def test_pipeline_events_writes_journal(self, event_archive,
+                                            capsys):
+        import os
+        assert os.path.exists(os.path.join(event_archive,
+                                           "events.jsonl"))
+
+    def test_events_requires_archive_dir(self, tmp_path, capsys):
+        stream = str(tmp_path / "s.mrt.bz2")
+        main(["generate", stream, "--duration", "300"])
+        assert main(["pipeline", stream, "--events"]) == 2
+
+    def test_events_table_and_report(self, event_archive, capsys):
+        assert main(["events", event_archive]) == 0
+        out = capsys.readouterr().out
+        assert "origin_hijack" in out and "event(s)" in out
+        assert main(["events", event_archive, "--type", "moas",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "MOAS conflict" in out and "timeline:" in out
+
+    def test_events_single_id(self, event_archive, capsys):
+        assert main(["events", event_archive, "--id",
+                     "ev-000001"]) == 0
+        out = capsys.readouterr().out
+        assert "ev-000001" in out
+        assert main(["events", event_archive, "--id",
+                     "ev-999999"]) == 1
+
+    def test_events_bad_filters(self, event_archive, tmp_path, capsys):
+        assert main(["events", event_archive, "--type", "bogus"]) == 2
+        assert main(["events", str(tmp_path / "nope")]) == 2
+
+    def test_serve_smoke_with_events(self, event_archive, capsys):
+        assert main(["serve", event_archive, "--port", "0",
+                     "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "event store: " in out
+        assert "ok 200 /events " in out
+
+    def test_serve_no_events_flag(self, event_archive, capsys):
+        assert main(["serve", event_archive, "--port", "0", "--smoke",
+                     "--no-events"]) == 0
+        out = capsys.readouterr().out
+        assert "event store" not in out
+        assert "ok 404 /events " in out
