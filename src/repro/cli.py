@@ -69,6 +69,18 @@ def cmd_generate(args: argparse.Namespace) -> int:
               f"{len(truth.withdrawn_prefixes)} prefixes")
         print(f"  flap storm:           {truth.flap_prefix}")
         return 0
+    if args.scenario == "overshoot":
+        from .workload.generator import overshoot_config
+
+        generator = SyntheticStreamGenerator(overshoot_config(
+            seed=args.seed, n_vps=args.vps, duration_s=args.duration))
+        warmup, stream = generator.generate()
+        updates = warmup + stream if args.include_warmup else stream
+        count = write_archive(updates, args.output,
+                              compress=not args.no_compress)
+        print(f"wrote {count} updates ({len(generator.vps)} VPs, "
+              f"overshoot scenario) to {args.output}")
+        return 0
     generator = SyntheticStreamGenerator(StreamConfig(
         n_vps=args.vps,
         n_prefix_groups=args.groups,
@@ -208,6 +220,21 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     elif args.checkpoint:
         print("--checkpoint requires --archive-dir", file=sys.stderr)
         return 2
+    gill_config = None
+    if args.gill:
+        from .gill import GillConfig
+
+        if archive is None:
+            print("--gill requires --archive-dir", file=sys.stderr)
+            return 2
+        keep = tuple(v for v in (args.keep or "").split(",") if v)
+        gill_config = GillConfig(definition=args.filter_def,
+                                 keep=keep,
+                                 max_anchors=args.gill_max_anchors)
+    elif args.keep or args.gill_max_anchors is not None:
+        print("--keep/--gill-max-anchors require --gill",
+              file=sys.stderr)
+        return 2
     if args.metrics_jsonl and args.metrics_interval is None:
         print("--metrics-jsonl requires --metrics-interval",
               file=sys.stderr)
@@ -240,6 +267,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             trace_sample_rate=args.trace_sample,
             metrics_interval_s=args.metrics_interval,
             metrics_jsonl=args.metrics_jsonl,
+            gill=gill_config,
         ),
         filters=filters,
         validator=RouteValidator() if args.validate else None,
@@ -269,6 +297,14 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if archive is not None:
         print(f"wrote {len(result.segments)} segments to "
               f"{args.archive_dir}")
+    if pipeline.gill is not None:
+        info = pipeline.gill.summary()
+        print(f"gill (definition {info['definition']}): "
+              f"dropped {info['dropped']} of "
+              f"{info['kept'] + info['dropped']} updates "
+              f"({info['dropped_fraction']:.1%}), "
+              f"{info['rescores']} rescores, "
+              f"keep-list {len(info['keep_list'])} VPs")
     if event_store is not None:
         from .events import render_store_summary
         print(render_store_summary(event_store))
@@ -319,6 +355,8 @@ def cmd_recover(args: argparse.Namespace) -> int:
 _SMOKE_ENDPOINTS = (
     ("/updates?limit=5", (200,)),
     ("/vps", (200,)),
+    ("/vps?limit=5&sort=updates", (200,)),
+    ("/vps?sort=value", (200, 400)),
     ("/rib", (200, 404)),
     ("/moas", (200,)),
     ("/hijacks", (200,)),
@@ -363,9 +401,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal = journal_path_for(args.directory)
         if args.events or os.path.exists(journal):
             events_store = EventStore(journal)
+    # Gill drop journal: auto-attach when the archive was written with
+    # --gill, so /vps can rank VPs by filter value.
+    gill_journal = None
+    import os
+
+    from .gill import GillJournal, gill_journal_path_for
+
+    gill_path = gill_journal_path_for(args.directory)
+    if os.path.exists(gill_path):
+        gill_journal = GillJournal(gill_path)
+        gill_journal.load()
     server = QueryAPIServer(engine, host=args.host, port=args.port,
                             quiet=not args.verbose,
-                            events=events_store)
+                            events=events_store,
+                            gill=gill_journal)
     watermark = engine.watermark()
     print(f"serving {len(segments)} segments "
           f"(watermark {watermark:.0f}) from {args.directory} "
@@ -373,6 +423,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if events_store is not None:
         print(f"event store: {len(events_store)} incidents "
               f"from {events_store.path}")
+    if gill_journal is not None:
+        totals = gill_journal.totals()
+        print(f"gill journal: {len(gill_journal)} slot records "
+              f"({totals['dropped']} updates dropped) from {gill_path}")
     if args.smoke:
         # Self-test mode for CI: hit every endpoint once, report, exit.
         import urllib.error
@@ -520,11 +574,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("generate", help="generate a synthetic archive")
     p.add_argument("output")
-    p.add_argument("--scenario", choices=("synthetic", "monitoring"),
+    p.add_argument("--scenario",
+                   choices=("synthetic", "monitoring", "overshoot"),
                    default="synthetic",
                    help="'monitoring' seeds the five-incident event "
-                        "showcase (docs/EVENTS.md) instead of the "
-                        "plain synthetic stream")
+                        "showcase (docs/EVENTS.md); 'overshoot' seeds "
+                        "redundant VP clusters plus a few uniquely "
+                        "valuable VPs for gill filtering (docs/GILL.md)")
     p.add_argument("--vps", type=int, default=30)
     p.add_argument("--groups", type=int, default=20)
     p.add_argument("--duration", type=float, default=3600.0)
@@ -606,6 +662,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the event-analysis pipeline on sealed "
                         "segments, journaling incidents next to the "
                         "archive (requires --archive-dir)")
+    p.add_argument("--gill", action="store_true",
+                   help="filter redundant updates online ahead of the "
+                        "archive writer (requires --archive-dir; "
+                        "docs/GILL.md)")
+    p.add_argument("--filter-def", type=int, choices=(1, 2, 3),
+                   default=1,
+                   help="redundancy definition for --gill (1 = "
+                        "prefix+time, 2 = +AS path, 3 = +communities)")
+    p.add_argument("--keep",
+                   help="comma-separated VPs that always bypass the "
+                        "gill filter (on top of the auto anchors)")
+    p.add_argument("--gill-max-anchors", type=int, default=None,
+                   help="cap the auto-selected anchor set size")
     p.add_argument("--trace-sample", type=float, default=0.0,
                    help="fraction of updates carrying a telemetry "
                         "trace span (0 disables tracing)")

@@ -165,6 +165,9 @@ class PipelineMetricsSnapshot:
     #: wall-clock instant it advanced (None until the first emit).
     writer_watermark: Optional[float] = None
     writer_watermark_wall: Optional[float] = None
+    #: Online redundancy filter decisions (0/0 when no gill stage ran).
+    gill_kept: int = 0
+    gill_dropped: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -249,6 +252,15 @@ class PipelineMetrics:
         self._archive_lost = r.counter(
             "repro_archive_updates_lost_total",
             "Buffered updates lost to archive crash recovery.")
+        # Gill filter decisions: the same family the GillStage binds
+        # (get-or-create by name), so the snapshot reads the counts the
+        # filter increments without a direct reference to the stage.
+        gill = r.counter(
+            "repro_gill_decisions_total",
+            "Filter decisions on archive-bound updates",
+            labels=("decision",))
+        self._gill_kept = gill.labels(decision="kept")
+        self._gill_dropped = gill.labels(decision="dropped")
         # Writer watermark: stream time plus the wall-clock instant it
         # advanced, so the status page can render its *age*.
         self._watermark = r.gauge(
@@ -453,6 +465,8 @@ class PipelineMetrics:
             if watermark_set else None,
             writer_watermark_wall=self._watermark_wall.value
             if watermark_set else None,
+            gill_kept=int(self._gill_kept.value),
+            gill_dropped=int(self._gill_dropped.value),
         )
 
 
@@ -494,6 +508,12 @@ def render_metrics(snapshot: PipelineMetricsSnapshot,
         lines.append(
             f"watermark {snapshot.writer_watermark:.0f} "
             f"(advanced {age:.1f}s ago)")
+    gill_total = snapshot.gill_kept + snapshot.gill_dropped
+    if gill_total:
+        lines.append(
+            f"gill: dropped {snapshot.gill_dropped} of {gill_total} "
+            f"archive candidates "
+            f"({snapshot.gill_dropped / gill_total:.1%})")
     supervision = snapshot.supervision
     if supervision is not None:
         lines.append(

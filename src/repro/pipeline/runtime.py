@@ -43,6 +43,7 @@ from ..bgp.filtering import FilterTable
 from ..bgp.message import BGPUpdate
 from ..bgp.validation import RouteValidator
 from ..core.forwarding import ForwardingService
+from ..gill import GillConfig, GillStage
 from ..telemetry import TimeSeriesSampler, Tracer
 from .faults import FaultInjector, FaultPlan, SupervisorConfig
 from .metrics import PipelineMetrics, PipelineMetricsSnapshot
@@ -91,6 +92,9 @@ class PipelineConfig:
     metrics_interval_s: Optional[float] = None
     #: JSONL file the sampler appends each time point to.
     metrics_jsonl: Optional[str] = None
+    #: Online redundancy filtering in front of the archive writer
+    #: (None = write everything; requires an archive when set).
+    gill: Optional[GillConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -106,6 +110,8 @@ class PipelineConfig:
         if self.metrics_interval_s is not None \
                 and self.metrics_interval_s <= 0:
             raise ValueError("metrics_interval_s must be positive")
+        if self.gill is not None and not isinstance(self.gill, GillConfig):
+            raise ValueError("gill must be a GillConfig (or None)")
 
 
 @dataclass(frozen=True)
@@ -162,6 +168,9 @@ class CollectionPipeline:
                 interval_s=self.config.metrics_interval_s,
                 jsonl_path=self.config.metrics_jsonl)
         self.injector: Optional[FaultInjector] = None
+        #: The online redundancy filter (built in ``start`` when the
+        #: config carries a :class:`~repro.gill.GillConfig`).
+        self.gill: Optional[GillStage] = None
         self._stop_event = threading.Event()
         self._sessions: List[PeerSession] = []
         self._workers: List[ShardWorker] = []
@@ -231,6 +240,16 @@ class CollectionPipeline:
                     self.metrics.index_built(build_s)
 
             archive.add_seal_listener(_seal_metrics)
+        if cfg.gill is not None:
+            if self.archive is None:
+                raise ValueError("gill filtering requires an archive")
+            # Attach against the *raw* archive before any fault wrapper
+            # exists: replay reads the durable segment manifest and the
+            # journal truncates to the durable watermark, neither of
+            # which the injector wrapper intercepts.
+            self.gill = GillStage(cfg.gill, vps=sorted(streams),
+                                  registry=self.metrics.registry)
+            self.gill.attach(self.archive)
         if cfg.fault_plan:
             self.injector = FaultInjector(cfg.fault_plan)
             archive = self.injector.wrap_archive(archive)
@@ -256,6 +275,7 @@ class CollectionPipeline:
             mirror=self.mirror, batch_size=cfg.batch_size,
             max_archive_recoveries=cfg.supervision.max_archive_recoveries,
             on_fatal=self._on_writer_fatal,
+            gill=self.gill,
         )
         self._sessions = [
             PeerSession(

@@ -511,11 +511,13 @@ class WriterStage(threading.Thread):
                  mirror: Optional[Callable[[BGPUpdate, bool], None]] = None,
                  batch_size: int = 256,
                  max_archive_recoveries: int = 3,
-                 on_fatal: Optional[Callable[[BaseException], None]] = None):
+                 on_fatal: Optional[Callable[[BaseException], None]] = None,
+                 gill=None):
         super().__init__(name="writer", daemon=True)
         self.queue = writer_queue
         self.metrics = metrics
         self.archive = archive
+        self.gill = gill
         self.mirror = mirror
         self.batch_size = max(1, batch_size)
         self.max_archive_recoveries = max_archive_recoveries
@@ -581,9 +583,18 @@ class WriterStage(threading.Thread):
             if self.mirror is not None:
                 self.mirror(disposition.update, disposition.retained)
             if disposition.retained and self.archive is not None:
-                segment = self._write_archived(disposition.update)
-                if segment is not None:
-                    self.metrics.segment_flushed()
+                if self.gill is not None:
+                    # The gill filter buffers equal-time updates and
+                    # releases the kept ones of completed timestamps in
+                    # a canonical order, so the filtered archive is
+                    # deterministic regardless of heap arrival order.
+                    for ready in self.gill.offer(disposition.update):
+                        if self._write_archived(ready) is not None:
+                            self.metrics.segment_flushed()
+                else:
+                    segment = self._write_archived(disposition.update)
+                    if segment is not None:
+                        self.metrics.segment_flushed()
             self.metrics.write.add(processed=1)
             self.metrics.write.latency.record(
                 time.perf_counter() - disposition.enqueued_at)
@@ -627,6 +638,12 @@ class WriterStage(threading.Thread):
             # runs whose sessions died before broadcasting them.
             self._watermarks.clear()
             self._emit_ready()
+            if self.gill is not None and self.archive is not None:
+                # Decide the final equal-time batch and journal the
+                # last slot before the archive seals it.
+                for ready in self.gill.flush():
+                    if self._write_archived(ready) is not None:
+                        self.metrics.segment_flushed()
             if self.archive is not None:
                 if self.archive.close() is not None:
                     self.metrics.segment_flushed()

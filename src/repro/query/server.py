@@ -101,6 +101,11 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
 
     engine: QueryEngine          # set on the subclass by QueryAPIServer
     events: Optional[EventStore] = None
+    #: Live per-VP value/redundancy source: any object with a
+    #: ``vp_scores() -> {vp: {...}}`` method — a running
+    #: :class:`repro.gill.GillStage` or a loaded
+    #: :class:`repro.gill.GillJournal`.
+    gill: Optional[object] = None
     model_cache: _HijackModelCache
     quiet: bool = True
     protocol_version = "HTTP/1.1"
@@ -188,13 +193,40 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         })
 
     def _get_vps(self, params: Dict[str, str]) -> None:
-        if params:
-            raise ValueError("/vps takes no parameters")
+        unknown = set(params) - {"limit", "sort"}
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        limit: Optional[int] = None
+        if "limit" in params:
+            limit = int(params["limit"])
+            if limit <= 0:
+                raise ValueError("limit must be positive")
+        sort = params.get("sort", "vp")
+        if sort not in ("vp", "updates", "value"):
+            raise ValueError("sort must be 'updates' or 'value'")
         counts = self.engine.vp_counts()
+        scores = self.gill.vp_scores() if self.gill is not None else {}
+        if sort == "value" and not scores:
+            raise ValueError("sort=value needs an attached gill tracker "
+                             "with at least one completed rescore")
+        rows = []
+        for vp in sorted(counts):
+            row = {"vp": vp, "updates": counts[vp]}
+            score = scores.get(vp)
+            if score is not None:
+                row.update(score)
+            rows.append(row)
+        if sort == "updates":
+            rows.sort(key=lambda r: (-r["updates"], r["vp"]))
+        elif sort == "value":
+            rows.sort(key=lambda r: (-r.get("value", float("-inf")),
+                                     r["vp"]))
+        if limit is not None:
+            rows = rows[:limit]
         self._send_json({
             "count": len(counts),
-            "vps": [{"vp": vp, "updates": counts[vp]}
-                    for vp in sorted(counts)],
+            "returned": len(rows),
+            "vps": rows,
         })
 
     def _get_rib(self, params: Dict[str, str]) -> None:
@@ -492,13 +524,15 @@ class QueryAPIServer:
 
     def __init__(self, engine: QueryEngine, host: str = "127.0.0.1",
                  port: int = 0, quiet: bool = True,
-                 events: Optional[EventStore] = None):
+                 events: Optional[EventStore] = None,
+                 gill: Optional[object] = None):
         handler = type("BoundQueryAPIHandler", (_QueryAPIHandler,),
                        {"engine": engine, "quiet": quiet,
-                        "events": events,
+                        "events": events, "gill": gill,
                         "model_cache": _HijackModelCache()})
         self.engine = engine
         self.events = events
+        self.gill = gill
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None

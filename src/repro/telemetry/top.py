@@ -215,6 +215,25 @@ def render_top(current: dict, previous: Optional[dict] = None,
             f"{opened:.0f} opened / {resolved:.0f} resolved "
             f"over {ev_segments:.0f} segments")
 
+    # Gill redundancy filter (only when the stage is in the loop).
+    decisions = cur.by_label("repro_gill_decisions_total", "decision")
+    gill_kept = decisions.get("kept", {}).get("value", 0.0)
+    gill_dropped = decisions.get("dropped", {}).get("value", 0.0)
+    gill_total = gill_kept + gill_dropped
+    if gill_total:
+        anchors = cur.value("repro_gill_anchor_vps")
+        groups = cur.value("repro_gill_correlation_groups")
+        gill_events = cur.value("repro_gill_events")
+        rs_count, rs_sum = cur.histogram("repro_gill_rescore_seconds")
+        rescore = "—" if not rs_count \
+            else _fmt_latency(rs_sum / rs_count)
+        lines.append(
+            f"gill: dropped {gill_dropped:.0f}/{gill_total:.0f} "
+            f"({gill_dropped / gill_total:.1%}) "
+            f"{rate_of(gill_dropped, 'repro_gill_decisions_total', decision='dropped'):>s}  "
+            f"anchors {anchors:.0f}  groups {groups:.0f}  "
+            f"events {gill_events:.0f}  rescore mean {rescore}")
+
     # Trace spans.
     span_count, span_sum = cur.histogram("repro_trace_span_seconds")
     if span_count:

@@ -1,6 +1,6 @@
 """Workload substrate: growth models and synthetic RIS/RV-like streams."""
 
-from .generator import StreamConfig, SyntheticStreamGenerator
+from .generator import StreamConfig, SyntheticStreamGenerator, overshoot_config
 from .streams import (
     generated_session_streams,
     poisson_session_streams,
@@ -27,6 +27,7 @@ __all__ = [
     "active_ases",
     "coverage_fraction",
     "generated_session_streams",
+    "overshoot_config",
     "growth_series",
     "poisson_session_streams",
     "split_by_vp",

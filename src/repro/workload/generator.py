@@ -98,6 +98,38 @@ class StreamConfig:
             raise ValueError("divergence levels/weights length mismatch")
 
 
+def overshoot_config(seed: int = 0, n_vps: int = 24,
+                     duration_s: float = 1800.0) -> StreamConfig:
+    """Stream config for the ``overshoot`` scenario (docs/GILL.md).
+
+    Models the deployment the paper argues for: deliberately peer with
+    *more* VPs than the archive needs, then let the online filter shed
+    the redundant fraction.  Large low-divergence regions of chatty VPs
+    co-observe the same events (high Definition-1/2 redundancy), while
+    a few solo VPs with strongly divergent paths stay uniquely valuable
+    and must survive anchor selection.  Used by the gill parity tests
+    and ``benchmarks/bench_redundancy_filter.py``.
+    """
+    return StreamConfig(
+        n_vps=n_vps,
+        n_prefix_groups=20,
+        duration_s=duration_s,
+        events_per_hour=260.0,
+        region_size=6,
+        solo_fraction=0.12,
+        wide_event_prob=0.2,
+        divergence_levels=(0.0, 0.7),
+        divergence_weights=(0.85, 0.15),
+        event_divergence=0.0,
+        entry_scramble=0.25,
+        community_noise=0.03,
+        chattiness_levels=(1, 2, 3),
+        chattiness_weights=(0.45, 0.35, 0.2),
+        chain_revisit_prob=0.8,
+        seed=seed,
+    )
+
+
 class SyntheticStreamGenerator:
     """Generates warm-up plus in-window update streams per the config."""
 

@@ -449,3 +449,86 @@ class TestWriterReorderRegressions:
                  ShardDone(), ShardDone()]
         mirrored, _ = self.drive(items)
         assert [u.time for u in mirrored] == [250.0, 300.0]
+
+
+class TestGillFilteringChaos:
+    """Crash/resume with the online redundancy filter in the loop.
+
+    The gill design's central claim (docs/GILL.md): filtering commutes
+    with crash recovery.  A filtered run that crashes and resumes must
+    publish the *byte-identical* archive and drop journal as the same
+    run uninterrupted.
+    """
+
+    def gill_config(self):
+        from repro.gill import GillConfig
+        return GillConfig(definition=1)
+
+    def run_epoch(self, streams, archive, fault=None, resume=False):
+        config = OrchestratorConfig(
+            component1_interval_s=600.0, component2_interval_s=2400.0,
+            mirror_window_s=600.0, events_per_cell=5)
+        plan = FaultPlan.parse(fault) if fault else None
+        return Orchestrator(config).run_pipeline_epoch(
+            streams,
+            PipelineConfig(n_shards=2, overflow_policy="block",
+                           fault_plan=plan,
+                           supervision=fast_supervision(),
+                           gill=self.gill_config()),
+            archive=archive, timeout=TIMEOUT, resume=resume)
+
+    @staticmethod
+    def archive_bytes(directory):
+        out = {}
+        for path in sorted(directory.iterdir()):
+            if path.name.startswith("updates.") \
+                    or path.name == "gill.jsonl":
+                out[path.name] = path.read_bytes()
+        return out
+
+    def test_crash_resume_is_byte_identical(self, synthetic_stream,
+                                            tmp_path):
+        streams = split_by_vp(synthetic_stream)
+
+        baseline_dir = tmp_path / "baseline"
+        baseline = RollingArchiveWriter(str(baseline_dir),
+                                        interval_s=120.0,
+                                        compress=False, checkpoint=True)
+        result = self.run_epoch(streams, baseline)
+        assert_accounted(result)
+        want = self.archive_bytes(baseline_dir)
+        assert any(name == "gill.jsonl" for name in want)
+        assert sum(len(b) for b in want.values()) > 0
+
+        crash_dir = tmp_path / "crash"
+        archive = RollingArchiveWriter(str(crash_dir), interval_s=120.0,
+                                       compress=False, checkpoint=True)
+        with pytest.raises(InjectedCrash):
+            self.run_epoch(streams, archive, fault="crash=writer@60")
+
+        recovered = RollingArchiveWriter(str(crash_dir),
+                                         interval_s=120.0,
+                                         compress=False, checkpoint=True)
+        result = self.run_epoch(streams, recovered, resume=True)
+        assert_accounted(result)
+        assert self.archive_bytes(crash_dir) == want
+
+    def test_two_runs_are_byte_identical(self, synthetic_stream,
+                                         tmp_path):
+        streams = split_by_vp(synthetic_stream)
+        outputs = []
+        for name in ("one", "two"):
+            directory = tmp_path / name
+            archive = RollingArchiveWriter(str(directory),
+                                           interval_s=120.0,
+                                           compress=False,
+                                           checkpoint=True)
+            assert_accounted(self.run_epoch(streams, archive))
+            outputs.append(self.archive_bytes(directory))
+        assert outputs[0] == outputs[1]
+
+    def test_gill_requires_archive(self, synthetic_stream):
+        with pytest.raises(ValueError, match="archive"):
+            CollectionPipeline(
+                PipelineConfig(n_shards=2, gill=self.gill_config())
+            ).run(split_by_vp(synthetic_stream), timeout=TIMEOUT)

@@ -297,3 +297,71 @@ class TestRecoveredArchiveServing:
             for path in ("/vps", "/moas", "/hijacks", "/status"):
                 status, _ = get_json(api.url + path)
                 assert status == 200
+
+
+class TestVPsRanking:
+    """/vps with limit/sort and gill value scores (docs/QUERY.md)."""
+
+    @pytest.fixture(scope="class")
+    def gill_server(self, epoch_archive):
+        from repro.gill import GillJournal
+
+        archive, _, _ = epoch_archive
+        vps = sorted({u.vp for u in archive.read_range(0.0, math.inf)})
+        journal = GillJournal()
+        journal.append({
+            "watermark": 1200.0, "kept": 10, "dropped": 5,
+            "scores": {
+                vp: {"value": round(1.0 - i / 10.0, 3),
+                     "redundancy": round(i / 10.0, 3),
+                     "volume": 100 + i, "anchor": i == 0}
+                for i, vp in enumerate(vps)
+            },
+        })
+        engine = QueryEngine(archive)
+        with QueryAPIServer(engine, gill=journal) as api:
+            yield api, vps
+        engine.close()
+
+    def test_limit_and_sort_updates(self, server):
+        status, full = get_json(server.url + "/vps")
+        assert status == 200
+        status, body = get_json(server.url
+                                + "/vps?limit=3&sort=updates")
+        assert status == 200
+        assert body["count"] == full["count"]
+        assert body["returned"] == 3
+        counts = [row["updates"] for row in body["vps"]]
+        assert counts == sorted(counts, reverse=True)
+        want = sorted(full["vps"],
+                      key=lambda r: (-r["updates"], r["vp"]))[:3]
+        assert [r["vp"] for r in body["vps"]] \
+            == [r["vp"] for r in want]
+
+    def test_sort_value_without_gill_is_400(self, server):
+        status, body = get_json(server.url + "/vps?sort=value")
+        assert status == 400 and "gill" in body["error"]
+
+    def test_bad_params_are_400(self, server):
+        for query in ("?limit=0", "?limit=x", "?sort=bogus",
+                      "?bogus=1"):
+            status, body = get_json(server.url + "/vps" + query)
+            assert status == 400 and "error" in body, query
+
+    def test_gill_scores_merge_into_rows(self, gill_server):
+        api, vps = gill_server
+        status, body = get_json(api.url + "/vps")
+        assert status == 200
+        rows = {row["vp"]: row for row in body["vps"]}
+        assert rows[vps[0]]["value"] == 1.0
+        assert rows[vps[0]]["anchor"] is True
+        assert rows[vps[1]]["value"] == 0.9
+        assert "redundancy" in rows[vps[1]]
+
+    def test_sort_value_ranks_by_score(self, gill_server):
+        api, vps = gill_server
+        status, body = get_json(api.url + "/vps?sort=value&limit=2")
+        assert status == 200
+        assert [row["vp"] for row in body["vps"]] == vps[:2]
+        values = [row["value"] for row in body["vps"]]
+        assert values == sorted(values, reverse=True)

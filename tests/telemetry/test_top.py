@@ -129,3 +129,30 @@ class TestDashboard:
         dashboard = TopDashboard(
             "localhost:1", fetch=lambda url: metrics.registry.to_json())
         assert "watermark 1500" in dashboard.render_once()
+
+
+class TestGillPanel:
+    def gill_metrics(self):
+        """A registry with gill filter activity, as GillStage emits it."""
+        from repro.bgp.message import BGPUpdate
+        from repro.bgp.prefix import Prefix
+        from repro.gill import GillConfig, GillStage
+
+        stage = GillStage(GillConfig(definition=1, auto_anchors=False),
+                          ("vp1", "vp2"), interval_s=300.0)
+        prefix = Prefix.from_index(1)
+        stage.offer(BGPUpdate("vp1", 10.0, prefix, (1, 2)))
+        stage.offer(BGPUpdate("vp2", 20.0, prefix, (1, 2)))
+        stage.flush()
+        return stage.registry
+
+    def test_gill_line_renders(self):
+        frame = render_top(self.gill_metrics().to_json())
+        assert "gill: dropped 1/2 (50.0%)" in frame
+        assert "anchors 0" in frame
+        assert "rescore mean" in frame
+
+    def test_gill_line_absent_without_activity(self):
+        metrics = busy_metrics()
+        frame = render_top(metrics.registry.to_json())
+        assert "gill:" not in frame

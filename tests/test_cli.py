@@ -257,3 +257,71 @@ class TestEventsCLI:
         out = capsys.readouterr().out
         assert "event store" not in out
         assert "ok 404 /events " in out
+
+
+class TestGillCLI:
+    @pytest.fixture
+    def overshoot(self, tmp_path):
+        path = str(tmp_path / "overshoot.mrt")
+        code = main(["generate", path, "--scenario", "overshoot",
+                     "--vps", "12", "--duration", "600",
+                     "--seed", "3", "--no-compress"])
+        assert code == 0
+        return path
+
+    def test_generate_overshoot_is_deterministic(self, tmp_path,
+                                                 capsys):
+        a = str(tmp_path / "a.mrt")
+        b = str(tmp_path / "b.mrt")
+        for path in (a, b):
+            assert main(["generate", path, "--scenario", "overshoot",
+                         "--vps", "10", "--duration", "400",
+                         "--seed", "9", "--no-compress"]) == 0
+        assert read_archive(a, compressed=False) \
+            == read_archive(b, compressed=False)
+        assert "overshoot scenario" in capsys.readouterr().out
+
+    def test_pipeline_gill_filters_and_journals(self, overshoot,
+                                                tmp_path, capsys):
+        import json
+        import os
+
+        out_dir = str(tmp_path / "filtered")
+        code = main(["pipeline", overshoot, "--no-compress",
+                     "--archive-dir", out_dir, "--checkpoint",
+                     "--gill", "--filter-def", "1",
+                     "--keep", "vp10000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gill (definition 1): dropped" in out
+        journal = os.path.join(out_dir, "gill.jsonl")
+        with open(journal) as handle:
+            records = [json.loads(line) for line in handle]
+        assert records
+        assert all(r["definition"] == 1 for r in records)
+        assert all("vp10000" in r["anchors"] for r in records)
+        assert sum(r["dropped"] for r in records) > 0
+
+    def test_gill_requires_archive_dir(self, overshoot, capsys):
+        assert main(["pipeline", overshoot, "--no-compress",
+                     "--gill"]) == 2
+        assert "--gill requires --archive-dir" \
+            in capsys.readouterr().err
+
+    def test_keep_requires_gill(self, overshoot, capsys):
+        assert main(["pipeline", overshoot, "--no-compress",
+                     "--keep", "vp10000"]) == 2
+        assert "--keep" in capsys.readouterr().err
+
+    def test_serve_smoke_covers_gill_vps(self, overshoot, tmp_path,
+                                         capsys):
+        out_dir = str(tmp_path / "filtered")
+        assert main(["pipeline", overshoot, "--no-compress",
+                     "--archive-dir", out_dir, "--checkpoint",
+                     "--gill"]) == 0
+        capsys.readouterr()
+        assert main(["serve", out_dir, "--no-compress", "--port", "0",
+                     "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "gill journal:" in out
+        assert "ok 200 /vps?sort=value" in out
