@@ -16,7 +16,16 @@ Two measurements:
 * closed-loop service — N worker threads issue queries back-to-back
   against one engine (cache enabled, zipf-ish repetition so the cache
   earns its keep) for a fixed number of requests; sustained QPS and
-  latency quantiles are reported.
+  latency quantiles are reported;
+* overload shedding — a real :class:`~repro.query.server.
+  QueryAPIServer` with a deliberately tiny admission gate takes 4x
+  its concurrency in closed-loop HTTP clients: accepted requests must
+  stay near the unloaded latency, refused ones must get their 503
+  fast, and the server's thread count must stay bounded;
+* verification overhead — the same query set with digest verification
+  on vs off (interleaved rounds, min-of-rounds): the integrity CRC on
+  the indexed read path must cost at most
+  :data:`VERIFY_OVERHEAD_CEILING`.
 
 ``REPRO_BENCH_QUICK=1`` shrinks the archive for CI smoke runs; the
 module also runs standalone: ``python bench_query_load.py``.
@@ -57,16 +66,46 @@ N_QUERIES = 20 if QUICK else 60
 N_WORKERS = 4
 LOOP_REQUESTS = 100 if QUICK else 400
 
+#: Overload run: a server admitting OVERLOAD_MAX_CONCURRENT requests
+#: (queue disabled — instant shed) takes OVERLOAD_FACTOR times that
+#: in closed-loop clients.
+OVERLOAD_MAX_CONCURRENT = 2
+OVERLOAD_FACTOR = 4
+OVERLOAD_CLIENTS = OVERLOAD_MAX_CONCURRENT * OVERLOAD_FACTOR
+OVERLOAD_REQUESTS_PER_CLIENT = 25 if QUICK else 60
+UNLOADED_REQUESTS = 50 if QUICK else 150
+#: A refused request must get its 503 within this, p99.
+SHED_P99_CEILING_S = 0.050
+#: Accepted requests under overload vs the unloaded baseline.
+ACCEPTED_P99_FACTOR = 2.0
+#: Digest verification on the indexed read path, verified/plain.
+#: The real budget is 5%; the quick archive's rounds are so short
+#: (tens of ms) that scheduler noise alone swings the ratio by ±10%,
+#: so — like SPEEDUP_FLOOR above — CI smoke keeps a looser bound and
+#: the full run enforces the real one.
+VERIFY_OVERHEAD_CEILING = 1.15 if QUICK else 1.05
+VERIFY_ROUNDS = 8
+#: Query-set passes per timed round: the quick archive is tiny, so a
+#: single pass (~10ms) would drown the ~2% signal in scheduler noise.
+VERIFY_PASSES = 4 if QUICK else 1
+
 
 def build_archive(directory):
-    """A sealed-with-indexes multi-segment archive of synthetic BGP."""
+    """A sealed-with-indexes multi-segment archive of synthetic BGP.
+
+    Checkpointed, so the manifest carries per-segment digests and the
+    engine's read-path verification (repro.guard) is live in every
+    measurement below — the production configuration, not a stripped
+    one.
+    """
     generator = SyntheticStreamGenerator(StreamConfig(
         n_vps=N_VPS, n_prefix_groups=N_GROUPS, duration_s=DURATION_S,
         seed=5,
     ))
     _, stream = generator.generate()
     writer = RollingArchiveWriter(directory, interval_s=INTERVAL_S,
-                                  compress=False, index=True)
+                                  compress=False, index=True,
+                                  checkpoint=True)
     writer.write_stream(sorted(stream, key=lambda u: u.time))
     writer.close()
     return writer
@@ -164,6 +203,152 @@ def run_closed_loop(writer, specs, n_workers=N_WORKERS,
     return total_requests / wall, sorted(latencies), snap
 
 
+def _hot_paths(specs):
+    """HTTP request paths for a handful of single-prefix lookups."""
+    from urllib.parse import quote
+    return [
+        f"/updates?prefix={quote(str(spec.prefix), safe='')}"
+        f"&start={spec.start:g}&end={spec.end:g}&limit=5"
+        for spec in specs[:8]
+    ]
+
+
+def run_overload(directory, specs):
+    """Drive a real QueryAPIServer at 4x its admission capacity.
+
+    Returns ``(unloaded, accepted, shed, extra_threads)``: sorted
+    latency lists for the single-client baseline, the 200s and the
+    503s under overload, plus the peak thread count growth while the
+    client fleet was running.
+    """
+    from http.client import HTTPConnection
+
+    from repro.query import QueryAPIServer
+
+    paths = _hot_paths(specs)
+    engine = QueryEngine(directory, compressed=False)
+    server = QueryAPIServer(
+        engine, quiet=True,
+        max_concurrent=OVERLOAD_MAX_CONCURRENT,
+        queue_limit=0,              # refuse instantly: the fast 503
+        request_timeout_s=30.0).start()
+
+    def client(n_requests, accepted, shed):
+        conn = HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            for i in range(n_requests):
+                started = time.perf_counter()
+                conn.request("GET", paths[i % len(paths)])
+                reply = conn.getresponse()
+                reply.read()
+                elapsed = time.perf_counter() - started
+                (accepted if reply.status == 200 else shed).append(
+                    elapsed)
+        finally:
+            conn.close()
+
+    try:
+        # Unloaded baseline: one keep-alive client, no contention.
+        unloaded, unloaded_shed = [], []
+        client(UNLOADED_REQUESTS, unloaded, unloaded_shed)
+        assert not unloaded_shed, "single client was shed while unloaded"
+
+        accepted, shed = [], []
+        lock = threading.Lock()
+
+        def overload_client():
+            local_ok, local_shed = [], []
+            client(OVERLOAD_REQUESTS_PER_CLIENT, local_ok, local_shed)
+            with lock:
+                accepted.extend(local_ok)
+                shed.extend(local_shed)
+
+        threads = [threading.Thread(target=overload_client)
+                   for _ in range(OVERLOAD_CLIENTS)]
+        baseline_threads = threading.active_count()
+        peak_threads = baseline_threads
+        for thread in threads:
+            thread.start()
+        while any(t.is_alive() for t in threads):
+            peak_threads = max(peak_threads, threading.active_count())
+            time.sleep(0.002)
+        for thread in threads:
+            thread.join()
+    finally:
+        server.stop()
+        engine.close()
+    return (sorted(unloaded), sorted(accepted), sorted(shed),
+            peak_threads - baseline_threads)
+
+
+def check_overload(unloaded, accepted, shed, extra_threads):
+    """The overload acceptance bounds (also asserted in CI)."""
+    assert shed, "4x overload shed no requests — admission gate inert"
+    assert accepted, "overload starved every request"
+    unloaded_p99 = quantile(unloaded, 0.99)
+    accepted_p99 = quantile(accepted, 0.99)
+    shed_p99 = quantile(shed, 0.99)
+    assert shed_p99 < SHED_P99_CEILING_S, (
+        f"shed 503s took p99 {ms(shed_p99)} "
+        f"(ceiling {ms(SHED_P99_CEILING_S)}) — refusal is not fast")
+    # Accepted requests must not queue behind the overload.  The
+    # absolute floor keeps sub-ms baselines (where one GIL switch
+    # interval dwarfs the whole request) from failing a bound that is
+    # about not queueing, not about scheduler granularity.
+    bound = max(ACCEPTED_P99_FACTOR * unloaded_p99, 0.025)
+    assert accepted_p99 <= bound, (
+        f"accepted p99 {ms(accepted_p99)} vs unloaded "
+        f"{ms(unloaded_p99)} — overload leaked into accepted requests")
+    # One handler thread per keep-alive connection plus the client
+    # fleet itself; anything beyond that means unbounded spawning.
+    assert extra_threads <= 2 * OVERLOAD_CLIENTS + 4, (
+        f"thread count grew by {extra_threads} under overload")
+    return unloaded_p99, accepted_p99, shed_p99
+
+
+def run_verify_overhead(directory, specs):
+    """Total query-set time with digest verification on vs off.
+
+    Both engines are built and warmed (indexes loaded) before any
+    timing; rounds then interleave the two configurations and the
+    minimum per side is compared, so filesystem cache state and
+    scheduler noise hit both equally and only the per-read CRC work
+    differs.
+    """
+    engines = {
+        verify: QueryEngine(directory, compressed=False, cache_size=0,
+                            verify=verify)
+        for verify in (True, False)
+    }
+    totals = {True: [], False: []}
+    try:
+        for engine in engines.values():     # warm: indexes off-clock
+            for spec in specs:
+                engine.query(spec)
+        for round_index in range(VERIFY_ROUNDS):
+            # Alternate which side is timed first: slow CPU-frequency
+            # drift then biases both sides equally instead of one.
+            order = (True, False) if round_index % 2 else (False, True)
+            for verify in order:
+                started = time.perf_counter()
+                for _ in range(VERIFY_PASSES):
+                    for spec in specs:
+                        engines[verify].query(spec)
+                totals[verify].append(time.perf_counter() - started)
+    finally:
+        for engine in engines.values():
+            engine.close()
+    verified = min(totals[True])
+    plain = min(totals[False])
+    return verified / max(plain, 1e-9), verified, plain
+
+
+def check_verify_overhead(ratio):
+    assert ratio <= VERIFY_OVERHEAD_CEILING, (
+        f"digest verification costs {ratio - 1:.1%} on the indexed "
+        f"query path (budget {VERIFY_OVERHEAD_CEILING - 1:.0%})")
+
+
 def check_speedup(indexed_lat, naive_lat):
     speedup = sum(naive_lat) / max(sum(indexed_lat), 1e-9)
     assert speedup >= SPEEDUP_FLOOR, (
@@ -211,6 +396,40 @@ def test_query_closed_loop_service(benchmark, tmp_path):
     ])
 
 
+def test_query_overload_shedding(benchmark, tmp_path):
+    writer = build_archive(str(tmp_path))
+    specs = query_set(writer, random.Random(17))
+    unloaded, accepted, shed, extra_threads = benchmark.pedantic(
+        run_overload, args=(str(tmp_path), specs),
+        rounds=1, iterations=1)
+    unloaded_p99, accepted_p99, shed_p99 = check_overload(
+        unloaded, accepted, shed, extra_threads)
+    print_series("Query — overload shedding "
+                 f"({OVERLOAD_CLIENTS} clients vs "
+                 f"{OVERLOAD_MAX_CONCURRENT} slots)", [
+        f"accepted {len(accepted)} (p99 {ms(accepted_p99)}, "
+        f"unloaded p99 {ms(unloaded_p99)})",
+        f"shed {len(shed)} with 503 (p99 {ms(shed_p99)}, "
+        f"ceiling {ms(SHED_P99_CEILING_S)})",
+        f"thread growth under overload: {extra_threads}",
+    ])
+
+
+def test_query_verify_overhead(benchmark, tmp_path):
+    writer = build_archive(str(tmp_path))
+    specs = query_set(writer, random.Random(17))
+    ratio, verified, plain = benchmark.pedantic(
+        run_verify_overhead, args=(str(tmp_path), specs),
+        rounds=1, iterations=1)
+    check_verify_overhead(ratio)
+    print_series("Query — digest verification overhead", [
+        f"verified {verified * 1e3:.1f}ms vs plain "
+        f"{plain * 1e3:.1f}ms over {len(specs)} queries",
+        f"overhead {ratio - 1:+.1%} "
+        f"(budget {VERIFY_OVERHEAD_CEILING - 1:.0%})",
+    ])
+
+
 def main():
     import tempfile
 
@@ -231,6 +450,21 @@ def main():
               f"p50 {ms(quantile(latencies, 0.5))}, "
               f"p99 {ms(quantile(latencies, 0.99))}, "
               f"cache hit rate {snap.cache_hit_rate:.1%}")
+
+        unloaded, accepted, shed, extra_threads = run_overload(
+            directory, specs)
+        unloaded_p99, accepted_p99, shed_p99 = check_overload(
+            unloaded, accepted, shed, extra_threads)
+        print(f"overload: accepted {len(accepted)} "
+              f"(p99 {ms(accepted_p99)} vs unloaded "
+              f"{ms(unloaded_p99)}), shed {len(shed)} "
+              f"(503 p99 {ms(shed_p99)}), "
+              f"thread growth {extra_threads}")
+
+        ratio, verified, plain = run_verify_overhead(directory, specs)
+        check_verify_overhead(ratio)
+        print(f"verification overhead: {ratio - 1:+.1%} "
+              f"({verified * 1e3:.1f}ms vs {plain * 1e3:.1f}ms)")
     print("ok")
 
 

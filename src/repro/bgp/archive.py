@@ -55,12 +55,21 @@ def _fsync_path(path: str) -> None:
 
 @dataclass(frozen=True)
 class ArchiveSegment:
-    """One published update file."""
+    """One published update file.
+
+    ``size``/``crc32``/``sha256`` fingerprint the file's bytes as
+    sealed; readers verify against them and quarantine mismatches
+    (:mod:`repro.guard`).  They are None for segments from archives
+    written before checksumming existed — those verify vacuously.
+    """
 
     start: float
     end: float
     path: str
     count: int
+    size: Optional[int] = None
+    crc32: Optional[str] = None
+    sha256: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -211,10 +220,15 @@ class RollingArchiveWriter:
         count = write_archive(self._pending, path, self.compress)
         if self.checkpoint_enabled:
             _fsync_path(path)
+        # Fingerprint the sealed bytes so every future read can prove
+        # the file is still what we wrote (repro.guard).
+        from ..guard.integrity import file_digests
+        digests = file_digests(path)
         segment = ArchiveSegment(
             self._current_slot * self.interval_s,
             (self._current_slot + 1) * self.interval_s,
             path, count,
+            size=digests.size, crc32=digests.crc32, sha256=digests.sha256,
         )
         build_s = None
         if self.index_enabled:
@@ -259,7 +273,8 @@ class RollingArchiveWriter:
             "watermark": self.durable_watermark,
             "segments": [
                 {"start": s.start, "end": s.end, "count": s.count,
-                 "file": os.path.basename(s.path)}
+                 "file": os.path.basename(s.path),
+                 "size": s.size, "crc32": s.crc32, "sha256": s.sha256}
                 for s in self.segments
             ],
         }
@@ -279,7 +294,10 @@ class RollingArchiveWriter:
         return [
             ArchiveSegment(entry["start"], entry["end"],
                            os.path.join(self.directory, entry["file"]),
-                           entry["count"])
+                           entry["count"],
+                           size=entry.get("size"),
+                           crc32=entry.get("crc32"),
+                           sha256=entry.get("sha256"))
             for entry in state.get("segments", [])
         ]
 
@@ -306,7 +324,7 @@ class RollingArchiveWriter:
         durable: List[ArchiveSegment] = []
         for segment in manifest:
             if not os.path.exists(segment.path) \
-                    or not self._parses(segment.path):
+                    or not self._verifies(segment):
                 break
             durable.append(segment)
         listed = {os.path.basename(s.path) for s in durable}
@@ -334,6 +352,20 @@ class RollingArchiveWriter:
         self._write_checkpoint()
         return RecoveryReport(self.durable_watermark, len(durable),
                               tuple(torn), lost, tuple(orphans))
+
+    def _verifies(self, segment: ArchiveSegment) -> bool:
+        """Is a manifested segment's file still what was sealed?
+
+        With recorded digests this catches silent corruption a parse
+        cannot — a bit flip inside a record body leaves the framing
+        valid but changes the CRC.  Pre-checksum manifests fall back
+        to the parse check.
+        """
+        if segment.crc32 is not None or segment.size is not None:
+            from ..guard.integrity import verify_file
+            return verify_file(segment.path, size=segment.size,
+                               crc32=segment.crc32) is None
+        return self._parses(segment.path)
 
     def _parses(self, path: str) -> bool:
         try:

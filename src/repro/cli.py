@@ -12,6 +12,9 @@ Gives operators the platform's everyday verbs without writing Python:
                     metrics, optional fault injection)
 * ``recover``     — recover a checkpointed archive directory after a
                     crash (delete torn segments, report the watermark)
+* ``scrub``       — verify every segment against its manifest digests,
+                    quarantine mismatches, rebuild missing or torn
+                    sidecar indexes (docs/FAULTS.md)
 * ``serve``       — serve an archive directory over the JSON query
                     API (indexed per-prefix/VP/origin lookups, RIB
                     snapshots, MOAS and hijack analyses, correlated
@@ -349,10 +352,46 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scrub(args: argparse.Namespace) -> int:
+    import os
+
+    from .events import EventStore, journal_path_for
+    from .guard import IntegrityGuard, scrub_directory
+
+    events_store = None
+    journal = journal_path_for(args.directory)
+    if os.path.exists(journal):
+        # Quarantines journal integrity incidents next to hijacks.
+        events_store = EventStore(journal)
+    guard = IntegrityGuard(args.directory, events=events_store)
+    report = scrub_directory(
+        args.directory,
+        compressed=False if args.no_compress else None,
+        guard=guard,
+        rebuild_indexes=not args.no_rebuild_indexes)
+    for name, reason in report.quarantined:
+        print(f"quarantined {name} ({reason})")
+    already = f", {report.skipped} already quarantined" \
+        if report.skipped else ""
+    healed = f", {report.indexes_rebuilt} indexes rebuilt" \
+        if report.indexes_rebuilt else ""
+    print(f"scrubbed {report.checked} segments in "
+          f"{report.duration_s:.2f}s: {report.intact} intact, "
+          f"{len(report.quarantined)} quarantined{already}{healed}")
+    if not report.clean:
+        print(f"quarantine directory: "
+              f"{os.path.join(args.directory, 'quarantine')}")
+    if args.strict and not report.clean:
+        return 1
+    return 0
+
+
 #: Endpoints the ``serve --smoke`` self-test exercises, with the
 #: statuses each may legitimately answer (``/rib`` 404s when the
 #: archive holds no RIB dump).
 _SMOKE_ENDPOINTS = (
+    ("/healthz", (200,)),
+    ("/readyz", (200,)),
     ("/updates?limit=5", (200,)),
     ("/vps", (200,)),
     ("/vps?limit=5&sort=updates", (200,)),
@@ -369,6 +408,7 @@ _SMOKE_ENDPOINTS = (
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from .guard import IntegrityGuard
     from .pipeline import PipelineMetrics
     from .query import QueryAPIServer, QueryEngine
 
@@ -377,19 +417,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # supervision and trace families too — zeroed in a standalone
     # server, live when a collection runtime shares the registry.
     metrics = PipelineMetrics()
-    engine = QueryEngine(
-        args.directory,
-        compressed=False if args.no_compress else None,
-        max_workers=args.workers,
-        cache_size=args.cache_size,
-        persist_indexes=not args.no_persist_indexes,
-        stats=metrics.query,
-    )
-    segments = engine.catalog.segments()
-    if not segments:
-        print(f"no archive segments under {args.directory}",
-              file=sys.stderr)
-        return 2
     # Event store: auto-attach when the archive carries a journal,
     # forced on/off with --events / --no-events.
     events_store = None
@@ -401,6 +428,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal = journal_path_for(args.directory)
         if args.events or os.path.exists(journal):
             events_store = EventStore(journal)
+    # One guard instance is shared by the engine's read path, the
+    # background scrubber and /readyz, so every quarantine shows up
+    # everywhere at once (and as an /events integrity incident).
+    guard = IntegrityGuard(args.directory,
+                           registry=metrics.registry,
+                           events=events_store)
+    engine = QueryEngine(
+        args.directory,
+        compressed=False if args.no_compress else None,
+        max_workers=args.workers,
+        cache_size=args.cache_size,
+        persist_indexes=not args.no_persist_indexes,
+        stats=metrics.query,
+        guard=guard,
+    )
+    segments = engine.catalog.segments()
+    if not segments:
+        print(f"no archive segments under {args.directory}",
+              file=sys.stderr)
+        return 2
     # Gill drop journal: auto-attach when the archive was written with
     # --gill, so /vps can rank VPs by filter value.
     gill_journal = None
@@ -412,10 +459,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if os.path.exists(gill_path):
         gill_journal = GillJournal(gill_path)
         gill_journal.load()
+    scrub_interval = None if args.no_scrub else args.scrub_interval
     server = QueryAPIServer(engine, host=args.host, port=args.port,
                             quiet=not args.verbose,
                             events=events_store,
-                            gill=gill_journal)
+                            gill=gill_journal,
+                            guard=guard,
+                            max_concurrent=args.max_concurrent,
+                            queue_limit=args.queue_limit,
+                            request_timeout_s=args.request_timeout,
+                            scrub_interval_s=scrub_interval)
     watermark = engine.watermark()
     print(f"serving {len(segments)} segments "
           f"(watermark {watermark:.0f}) from {args.directory} "
@@ -451,8 +504,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             server.stop()
             engine.close()
         return 1 if failures else 0
+    import signal
+
+    # SIGTERM (the orchestrator's stop signal) drains gracefully:
+    # new requests get a fast 503 while in-flight ones finish, then
+    # the serve loop exits and we fall through to cleanup.
+    signal.signal(signal.SIGTERM,
+                  lambda signum, frame: server.request_shutdown())
     try:
         server.serve_forever()
+        print("\ndrained and stopped")
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
@@ -701,6 +762,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_recover)
 
+    p = sub.add_parser("scrub",
+                       help="verify archive segments, quarantine rot")
+    p.add_argument("directory",
+                   help="archive directory (rolling MRT segments)")
+    p.add_argument("--no-rebuild-indexes", action="store_true",
+                   help="verify only; do not heal sidecar indexes")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any segment was quarantined")
+    p.add_argument("--no-compress", action="store_true",
+                   help="archive segments are uncompressed MRT")
+    p.set_defaults(func=cmd_scrub)
+
     p = sub.add_parser("serve",
                        help="serve an archive over the JSON query API")
     p.add_argument("directory",
@@ -720,6 +793,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "does not exist yet (default: auto-detect)")
     p.add_argument("--no-events", dest="events", action="store_false",
                    help="never attach the event store")
+    p.add_argument("--max-concurrent", type=int, default=8,
+                   help="requests executing at once; more queue "
+                        "briefly, then shed with a fast 503")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="admission queue depth (0 sheds instantly)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds, propagated "
+                        "into the engine's decode loops")
+    p.add_argument("--scrub-interval", type=float, default=300.0,
+                   help="background scrubber verifies one segment "
+                        "every N seconds")
+    p.add_argument("--no-scrub", action="store_true",
+                   help="disable the background scrubber")
     p.add_argument("--smoke", action="store_true",
                    help="hit every endpoint once and exit (CI mode)")
     p.add_argument("--verbose", action="store_true",

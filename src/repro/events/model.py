@@ -28,6 +28,10 @@ EVENT_TYPES: Tuple[str, ...] = (
     "moas",
     "mass_withdrawal",
     "flap_storm",
+    # Emitted by repro.guard when a sealed segment fails checksum
+    # verification and is quarantined — an operator-facing incident,
+    # not a routing anomaly.
+    "integrity",
 )
 
 

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..bgp.archive import ArchiveSegment, RollingArchiveWriter
 from ..bgp.message import BGPUpdate
 from ..bgp.mrt import iter_archive
+from ..guard.integrity import verify_file
 from ..telemetry import MetricsRegistry
 from .detectors import StreamingDetector, default_detectors
 from .model import Detection, Event, EventState, sort_detections
@@ -163,7 +164,12 @@ class EventPipeline:
                  = default_detectors,
                  resolve_after_s: float = DEFAULT_RESOLVE_AFTER_S,
                  registry: Optional[MetricsRegistry] = None,
-                 compress: bool = True):
+                 compress: bool = True,
+                 guard=None):
+        #: Optional :class:`~repro.guard.manager.IntegrityGuard`: when
+        #: set, segments failing digest verification are quarantined
+        #: instead of replayed (and never contribute detections).
+        self.guard = guard
         self.store = store if store is not None else EventStore()
         self.detector_factory = detector_factory
         self.resolve_after_s = resolve_after_s
@@ -241,6 +247,29 @@ class EventPipeline:
                        build_s: Optional[float]) -> None:
         self.process_segment(segment)
 
+    def _segment_trusted(self, segment: ArchiveSegment) -> bool:
+        """Verify a segment's bytes before replaying it.
+
+        Quarantined segments are skipped outright; a digest mismatch
+        quarantines.  Segments without recorded digests pass here and
+        rely on the decode-error fallback in ``process_segment``.
+        """
+        if self.guard is not None \
+                and self.guard.is_quarantined(segment.path):
+            return False
+        if segment.crc32 is None and segment.size is None:
+            return True
+        reason = verify_file(segment.path, size=segment.size,
+                             crc32=segment.crc32)
+        if reason is None:
+            if self.guard is not None:
+                self.guard.verification_ok()
+            return True
+        if self.guard is not None:
+            self.guard.quarantine(segment.path, reason,
+                                  watermark=segment.end)
+        return False
+
     # -- per-segment work -----------------------------------------------------
 
     def process_segment(self, segment: ArchiveSegment,
@@ -254,10 +283,20 @@ class EventPipeline:
         """
         started = time_mod.perf_counter()
         if updates is None:
-            updates = [record
-                       for record in iter_archive(segment.path,
-                                                  self.compress)
-                       if isinstance(record, BGPUpdate)]
+            if not self._segment_trusted(segment):
+                return []
+            try:
+                updates = [record
+                           for record in iter_archive(segment.path,
+                                                      self.compress)
+                           if isinstance(record, BGPUpdate)]
+            except Exception:
+                # Structurally corrupt despite (or without) digests:
+                # condemn rather than feed garbage to the detectors.
+                if self.guard is not None:
+                    self.guard.quarantine(segment.path, "decode",
+                                          watermark=segment.end)
+                return []
         detections: List[Detection] = []
         for detector in self.detectors:
             t0 = time_mod.perf_counter()

@@ -34,6 +34,7 @@ import os
 import threading
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..guard.integrity import record_intact, seal_record
 from .model import Event, EventState, EVENT_TYPES
 
 #: Default journal file name inside an archive directory.
@@ -119,6 +120,8 @@ class EventStore:
                         record = json.loads(line)
                     except ValueError:
                         break       # corrupt tail: stop trusting the rest
+                    if not record_intact(record):
+                        break       # flipped bytes inside a sealed line
                     watermark = record.get("watermark")
                     if truncate_beyond is not None \
                             and watermark is not None \
@@ -165,6 +168,8 @@ class EventStore:
                         record = json.loads(line)
                     except ValueError:
                         break
+                    if not record_intact(record):
+                        break
                     event_id = self._apply_record(record)
                     if event_id is not None:
                         changed.append(event_id)
@@ -190,11 +195,14 @@ class EventStore:
             self._index(event)
             self.watermark = max(self.watermark or watermark, watermark)
             if journal and self.path is not None:
-                line = json.dumps({
+                # Sealed with its own CRC so a flipped byte on disk is
+                # caught at load time (sealing is deterministic, so
+                # journals stay byte-identical across replays).
+                line = json.dumps(seal_record({
                     "op": "upsert",
                     "watermark": watermark,
                     "event": event.to_json(full=True),
-                }, sort_keys=True) + "\n"
+                }), sort_keys=True) + "\n"
                 with open(self.path, "a") as handle:
                     handle.write(line)
                 self._offset += len(line.encode("utf-8"))

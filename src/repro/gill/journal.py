@@ -24,6 +24,8 @@ import os
 import threading
 from typing import Dict, List, Optional, Union
 
+from ..guard.integrity import record_intact, seal_record
+
 #: File name of the drop journal inside an archive directory.
 JOURNAL_NAME = "gill.jsonl"
 
@@ -50,6 +52,10 @@ class GillJournal:
 
     def append(self, record: dict) -> None:
         with self._lock:
+            # Sealed (CRC-carrying) both in memory and on disk, so a
+            # reloaded journal equals the in-memory one byte for byte
+            # and a flipped byte on disk is caught at load time.
+            record = seal_record(record)
             self._records.append(record)
             if self.path is not None:
                 line = json.dumps(record, sort_keys=True) + "\n"
@@ -82,6 +88,9 @@ class GillJournal:
                         record = json.loads(line)
                     except ValueError:
                         torn = True
+                        break
+                    if not record_intact(record):
+                        torn = True     # flipped bytes, not a torn tail
                         break
                     if truncate_beyond is not None and \
                             record.get("watermark", 0.0) > truncate_beyond:

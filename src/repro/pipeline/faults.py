@@ -30,14 +30,28 @@ The fault model (see docs/FAULTS.md):
     The archive raises :class:`InjectedCrash` on its N-th write; this
     is *not* recoverable in-flight and kills the epoch — the
     crash-consistent resume path is exercised instead.
+``bitflip`` / ``truncate`` / ``torn-index``
+    Disk corruption after the fact: the N-th *sealed* segment gets one
+    byte XOR-flipped in its middle, is truncated to 60% of its length,
+    or has its ``.idx`` sidecar torn mid-JSON.  Target ``archive``.
+    These model silent media rot — the write succeeded, the manifest
+    digests are recorded, and the bytes later stop matching them; the
+    ``repro.guard`` read path must detect, quarantine and never serve
+    them.
+``slow-read``
+    The N-th segment payload read sleeps ``duration_s`` first (target
+    ``reader``) — an aging disk or cold NFS path; request deadlines
+    must keep one slow read from wedging a serving slot forever.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
 import re
 import threading
+import time as time_mod
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
     Tuple
@@ -45,7 +59,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
 from ..bgp.message import BGPUpdate
 
 FAULT_KINDS = ("disconnect", "malformed", "reorder", "stall",
-               "io-error", "crash")
+               "io-error", "crash",
+               "bitflip", "truncate", "torn-index", "slow-read")
+
+#: The disk-corruption subset (applied to sealed segments, not writes).
+CORRUPTION_KINDS = ("bitflip", "truncate", "torn-index")
+
+#: Fraction of a segment kept by a ``truncate`` fault.
+TRUNCATE_KEEP_FRACTION = 0.6
 
 #: How far into the past a ``reorder`` fault re-stamps an update.
 REORDER_SKEW_S = 900.0
@@ -91,6 +112,10 @@ class FaultSpec:
             raise ValueError(f"{self.kind} faults target 'writer'")
         if self.kind == "stall" and self.shard_index() is None:
             raise ValueError("stall faults target 'shard<i>'")
+        if self.kind in CORRUPTION_KINDS and self.target != "archive":
+            raise ValueError(f"{self.kind} faults target 'archive'")
+        if self.kind == "slow-read" and self.target != "reader":
+            raise ValueError("slow-read faults target 'reader'")
 
     def shard_index(self) -> Optional[int]:
         match = re.fullmatch(r"shard(\d+)", self.target)
@@ -104,7 +129,7 @@ class FaultSpec:
         text = f"{self.kind}={self.target}@{self.at}"
         if self.count > 1:
             text += f"x{self.count}"
-        if self.kind == "stall":
+        if self.kind in ("stall", "slow-read"):
             text += f"~{self.duration_s:g}"
         return text
 
@@ -156,7 +181,8 @@ class FaultPlan:
     def seeded(cls, seed: int, sessions: Sequence[str], n_shards: int,
                horizon: int = 500, flaps: int = 1, malformed: int = 2,
                reorders: int = 1, stalls: int = 1, io_errors: int = 1,
-               crashes: int = 0) -> "FaultPlan":
+               crashes: int = 0, corruptions: int = 0,
+               slow_reads: int = 0) -> "FaultPlan":
         """A reproducible random plan over the given topology.
 
         ``horizon`` bounds the event counts at which faults fire; the
@@ -191,6 +217,15 @@ class FaultPlan:
         for _ in range(crashes):
             specs.append(FaultSpec(
                 "crash", "writer", at=rng.randrange(1, max(2, span // 4))))
+        for _ in range(corruptions):
+            specs.append(FaultSpec(
+                rng.choice(list(CORRUPTION_KINDS)), "archive",
+                at=rng.randrange(1, max(2, span // 16))))
+        for _ in range(slow_reads):
+            specs.append(FaultSpec(
+                "slow-read", "reader",
+                at=rng.randrange(1, max(2, span // 16)),
+                duration_s=rng.choice([0.05, 0.2, 0.5])))
         return cls(tuple(specs))
 
     # -- selection ----------------------------------------------------------
@@ -207,6 +242,13 @@ class FaultPlan:
     def for_writer(self) -> Tuple[FaultSpec, ...]:
         return tuple(s for s in self.specs
                      if s.kind in ("io-error", "crash"))
+
+    def for_archive(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs
+                     if s.kind in CORRUPTION_KINDS)
+
+    def for_reader(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind == "slow-read")
 
     def describe(self) -> str:
         return ",".join(s.describe() for s in self.specs) or "(no faults)"
@@ -308,6 +350,51 @@ class FaultyStream:
         return update
 
 
+def corrupt_bitflip(path: str) -> None:
+    """XOR-flip one byte in the middle of a file — silent media rot
+    that leaves length (and usually record framing) intact, so only a
+    checksum can catch it."""
+    size = os.path.getsize(path)
+    if size == 0:
+        return
+    offset = size // 2
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def corrupt_truncate(path: str,
+                     keep_fraction: float = TRUNCATE_KEEP_FRACTION
+                     ) -> None:
+    """Mid-file truncation — a lost tail after a partial sector write."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, int(size * keep_fraction)))
+
+
+def corrupt_torn_index(path: str) -> None:
+    """Tear the segment's ``.idx`` sidecar mid-JSON (creating a torn
+    stub when no sidecar exists).  The segment itself stays intact:
+    the reader must discard the sidecar and rebuild, never misdecode."""
+    sidecar = path + ".idx"
+    if os.path.exists(sidecar):
+        size = os.path.getsize(sidecar)
+        with open(sidecar, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    else:
+        with open(sidecar, "wb") as handle:
+            handle.write(b'{"torn":')
+
+
+_CORRUPTORS = {
+    "bitflip": corrupt_bitflip,
+    "truncate": corrupt_truncate,
+    "torn-index": corrupt_torn_index,
+}
+
+
 class FaultInjector:
     """Executes a :class:`FaultPlan` against the running pipeline.
 
@@ -323,6 +410,14 @@ class FaultInjector:
         self._write_count = 0
         self._writer_specs: List[Tuple[int, str]] = sorted(
             (pos, s.kind) for s in plan.for_writer()
+            for pos in s.positions())
+        self._seal_count = 0
+        self._corruptions: List[Tuple[int, str]] = sorted(
+            (pos, s.kind) for s in plan.for_archive()
+            for pos in s.positions())
+        self._read_count = 0
+        self._slow_reads: List[Tuple[int, float]] = sorted(
+            (pos, s.duration_s) for s in plan.for_reader()
             for pos in s.positions())
         self._stalls: Dict[int, List[Tuple[int, float]]] = {}
         for spec in plan.specs:
@@ -382,10 +477,73 @@ class FaultInjector:
     # -- writer faults ------------------------------------------------------
 
     def wrap_archive(self, archive):
-        """Proxy an archive writer, injecting scheduled write failures."""
-        if archive is None or not self._writer_specs:
+        """Proxy an archive writer, injecting scheduled write failures.
+
+        Also subscribes the corruption schedule (bitflip / truncate /
+        torn-index) to the archive's seal hook when one is planned, so
+        the N-th sealed segment rots on disk right after its digests
+        land in the manifest — the adversarial ordering the guard must
+        survive.
+        """
+        if archive is None:
+            return archive
+        if self._corruptions and hasattr(archive, "add_seal_listener"):
+            archive.add_seal_listener(self.on_segment_seal)
+        if not self._writer_specs:
             return archive
         return _FaultyArchive(archive, self)
+
+    # -- disk corruption ----------------------------------------------------
+
+    def on_segment_seal(self, segment, build_s=None) -> None:
+        """Seal-hook listener: corrupt the segment if one is scheduled."""
+        with self._lock:
+            self._seal_count += 1
+            if not self._corruptions \
+                    or self._corruptions[0][0] != self._seal_count:
+                return
+            position, kind = self._corruptions.pop(0)
+            self.log.append(f"{kind} archive segment {position} "
+                            f"({os.path.basename(segment.path)})")
+        _CORRUPTORS[kind](segment.path)
+
+    def apply_archive_corruption(self, segments) -> List[Tuple[str, str]]:
+        """Apply every remaining scheduled corruption to sealed segments.
+
+        Convenience for tests and offline chaos runs that build the
+        archive first and rot it afterwards: the k-th scheduled
+        corruption (by position) hits the (position mod len)-th
+        segment.  Returns the applied ``(kind, path)`` pairs.
+        """
+        segments = list(segments)
+        applied: List[Tuple[str, str]] = []
+        if not segments:
+            return applied
+        with self._lock:
+            schedule, self._corruptions = self._corruptions, []
+        for position, kind in schedule:
+            path = segments[(position - 1) % len(segments)].path
+            _CORRUPTORS[kind](path)
+            self.record(f"{kind} archive segment "
+                        f"({os.path.basename(path)})")
+            applied.append((kind, path))
+        return applied
+
+    # -- reader faults ------------------------------------------------------
+
+    def on_payload_read(self, path: str) -> None:
+        """Read hook for :class:`repro.query.QueryEngine`: sleeps when a
+        slow-read fault is scheduled at this read position."""
+        with self._lock:
+            self._read_count += 1
+            if not self._slow_reads \
+                    or self._slow_reads[0][0] != self._read_count:
+                return
+            position, duration = self._slow_reads.pop(0)
+            self.log.append(f"slow-read at read {position} "
+                            f"for {duration:g}s "
+                            f"({os.path.basename(path)})")
+        time_mod.sleep(duration)
 
     def on_archive_write(self) -> None:
         """Called by the proxy before each write; raises when scheduled."""

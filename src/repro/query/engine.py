@@ -23,22 +23,32 @@ to) or a bare archive directory (a published dataset).  Execution:
 
 from __future__ import annotations
 
+import bz2
 import os
 import re
 import threading
 import time as time_mod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple, Union
 
 from ..bgp.archive import ArchiveSegment, CHECKPOINT_NAME, \
     RollingArchiveWriter
 from ..bgp.message import BGPUpdate
 from ..bgp.mrt import MRTError, RIBRecord, decode_record_at, iter_archive, \
     iter_decoded
+from ..guard.integrity import mismatch_reason
+from ..guard.manager import IntegrityGuard
+from ..guard.serving import Deadline
 from .cache import WatermarkLRUCache
-from .index import SegmentIndex, ensure_index, read_payload
+from .index import SegmentIndex, ensure_index
 from .planner import PlannedSegment, QueryPlan, QuerySpec, plan_query
 from .stats import QueryStats, QueryStatsSnapshot
+
+#: Decode loops poll the request deadline every this many records, so
+#: an expired request abandons a segment within microseconds instead
+#: of finishing a multi-second scan it no longer has a client for.
+_DEADLINE_STRIDE = 256
 
 _SEGMENT_RE = re.compile(r"^updates\.(\d+)-(\d+)\.mrt(\.bz2)?$")
 _RIB_RE = re.compile(r"^rib\.(\d+)\.mrt(\.bz2)?$")
@@ -118,7 +128,10 @@ class DirectoryCatalog:
         return [
             ArchiveSegment(entry["start"], entry["end"],
                            os.path.join(self.directory, entry["file"]),
-                           entry["count"])
+                           entry["count"],
+                           size=entry.get("size"),
+                           crc32=entry.get("crc32"),
+                           sha256=entry.get("sha256"))
             for entry in state.get("segments", [])
         ]
 
@@ -160,11 +173,24 @@ class QueryEngine:
                  max_workers: int = 4,
                  cache_size: int = 128,
                  persist_indexes: bool = True,
-                 stats: Optional[QueryStats] = None):
+                 stats: Optional[QueryStats] = None,
+                 verify: bool = True,
+                 guard: Optional[IntegrityGuard] = None,
+                 read_hook: Optional[Callable[[str], None]] = None):
         self.catalog = open_catalog(source, compressed)
         self.stats = stats if stats is not None else QueryStats()
         self.cache = WatermarkLRUCache(cache_size)
         self.persist_indexes = persist_indexes
+        #: Verify manifest digests on every segment read (repro.guard).
+        #: ``verify=False`` exists for the benchmark's overhead A/B.
+        self.verify = verify
+        #: Quarantine bookkeeping shared with the scrubber and server;
+        #: without one, mismatching segments are still skipped (never
+        #: served) but stay on disk.
+        self.guard = guard
+        #: Test/chaos hook called with the path before each payload
+        #: read (slow-read fault injection).
+        self.read_hook = read_hook
         self._indexes: Dict[Tuple[str, int], SegmentIndex] = {}
         self._index_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
@@ -241,25 +267,90 @@ class QueryEngine:
             self._indexes[key] = index
             return index
 
+    # -- integrity (repro.guard) ---------------------------------------------
+
+    def _quarantine(self, segment: ArchiveSegment, reason: str) -> None:
+        """Condemn a mismatching segment: drop its in-memory index and
+        hand it to the guard (which moves the file + sidecar aside)."""
+        with self._index_lock:
+            for key in [k for k in self._indexes if k[0] == segment.path]:
+                del self._indexes[key]
+        if self.guard is not None:
+            self.guard.quarantine(segment.path, reason,
+                                  watermark=segment.end)
+
+    def _read_verified(self, segment: ArchiveSegment) -> Optional[bytes]:
+        """The segment's decompressed payload, or None when the file
+        is gone (quarantined/deleted) or fails verification.
+
+        Verification hashes the raw bytes that were just read anyway,
+        so its cost is one CRC32 pass — the ≤5% overhead budget the
+        query benchmark enforces.
+        """
+        if self.guard is not None \
+                and self.guard.is_quarantined(segment.path):
+            return None
+        if self.read_hook is not None:
+            self.read_hook(segment.path)
+        try:
+            with open(segment.path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        if self.verify:
+            reason = mismatch_reason(raw, size=segment.size,
+                                     crc32=segment.crc32)
+            if reason is not None:
+                self._quarantine(segment, reason)
+                return None
+            if self.guard is not None and segment.crc32 is not None:
+                self.guard.verification_ok()
+        if not self.catalog.compressed:
+            return raw
+        try:
+            return bz2.decompress(raw)
+        except (OSError, EOFError, ValueError):
+            self._quarantine(segment, "decompress")
+            return None
+
     # -- execution -----------------------------------------------------------
 
-    def _scan_segment(self, planned: PlannedSegment, spec: QuerySpec
+    def _scan_segment(self, planned: PlannedSegment, spec: QuerySpec,
+                      deadline: Optional[Deadline] = None
                       ) -> List[BGPUpdate]:
-        payload = read_payload(planned.segment.path,
-                               self.catalog.compressed)
+        if deadline is not None:
+            deadline.check("before segment decode")
+        payload = self._read_verified(planned.segment)
+        if payload is None:
+            return []
         hits: List[BGPUpdate] = []
         decoded = 0
-        if planned.offsets is None:
-            for _, record in iter_decoded(payload):
-                decoded += 1
-                if isinstance(record, BGPUpdate) and spec.matches(record):
-                    hits.append(record)
-        else:
-            for offset in planned.offsets:
-                record = decode_record_at(payload, offset)
-                decoded += 1
-                if isinstance(record, BGPUpdate) and spec.matches(record):
-                    hits.append(record)
+        try:
+            if planned.offsets is None:
+                for _, record in iter_decoded(payload):
+                    decoded += 1
+                    if deadline is not None \
+                            and decoded % _DEADLINE_STRIDE == 0:
+                        deadline.check("mid segment decode")
+                    if isinstance(record, BGPUpdate) \
+                            and spec.matches(record):
+                        hits.append(record)
+            else:
+                for offset in planned.offsets:
+                    record = decode_record_at(payload, offset)
+                    decoded += 1
+                    if deadline is not None \
+                            and decoded % _DEADLINE_STRIDE == 0:
+                        deadline.check("mid segment decode")
+                    if isinstance(record, BGPUpdate) \
+                            and spec.matches(record):
+                        hits.append(record)
+        except MRTError:
+            # Structurally corrupt despite matching digests (or a
+            # pre-checksum archive): condemn it, serve the rest.
+            self.stats.records_scanned(decoded)
+            self._quarantine(planned.segment, "decode")
+            return []
         self.stats.records_scanned(decoded)
         return hits
 
@@ -267,9 +358,15 @@ class QueryEngine:
         """The pruning decision for ``spec`` (exposed for inspection)."""
         return plan_query(self.catalog.segments(), spec, self._index_for)
 
-    def query(self, spec: QuerySpec) -> List[BGPUpdate]:
+    def query(self, spec: QuerySpec,
+              deadline: Optional[Deadline] = None) -> List[BGPUpdate]:
         """Answer one spec; equal to a naive scan-and-filter of the
-        whole archive, in ``(time, vp, prefix)`` order."""
+        whole archive, in ``(time, vp, prefix)`` order.
+
+        A ``deadline`` propagates into the decode loops: when it
+        expires mid-scan, :class:`~repro.guard.serving.
+        DeadlineExceeded` is raised and nothing is cached.
+        """
         segments = self.catalog.segments()
         token = self._token(segments)
         key = spec.key()
@@ -282,11 +379,12 @@ class QueryEngine:
             self.stats.cache_invalidated()
         plan = plan_query(segments, spec, self._index_for)
         if len(plan.scan) <= 1:
-            hit_lists = [self._scan_segment(planned, spec)
+            hit_lists = [self._scan_segment(planned, spec, deadline)
                          for planned in plan.scan]
         else:
             hit_lists = list(self._pool.map(
-                lambda planned: self._scan_segment(planned, spec),
+                lambda planned: self._scan_segment(planned, spec,
+                                                   deadline),
                 plan.scan))
         results: List[BGPUpdate] = [u for hits in hit_lists for u in hits]
         results.sort(key=lambda u: (u.time, u.vp, u.prefix))
@@ -308,14 +406,19 @@ class QueryEngine:
         (no segment is decoded when its index is available)."""
         counts: Dict[str, int] = {}
         for segment in self.catalog.segments():
+            if self.guard is not None \
+                    and self.guard.is_quarantined(segment.path):
+                continue
             index = self._index_for(segment)
             if index is not None:
                 for vp, offsets in index.vps.items():
                     counts[vp] = counts.get(vp, 0) + len(offsets)
                 continue
             # Unindexable segment: fall back to decoding it.
-            for _, record in iter_decoded(
-                    read_payload(segment.path, self.catalog.compressed)):
+            payload = self._read_verified(segment)
+            if payload is None:
+                continue
+            for _, record in iter_decoded(payload):
                 if isinstance(record, BGPUpdate):
                     counts[record.vp] = counts.get(record.vp, 0) + 1
         return counts

@@ -26,13 +26,27 @@ engine's thread-pool executor and GIL-releasing bz2 decode):
   by default or JSON with ``?format=json`` (docs/TELEMETRY.md).
 
 Responses are JSON; errors map to ``{"error": ...}`` with 400
-(malformed parameters), 404 (unknown path / no data) or 500.
+(malformed parameters), 404 (unknown path / no data), 500 (internal —
+the body carries an opaque request id, never the exception) or 503
+(overloaded / draining / circuit open, with ``Retry-After``).
+
+The server is overload-safe (:mod:`repro.guard.serving`): request
+concurrency is bounded by an admission gate with a short impatient
+queue, every admitted request carries a deadline that propagates into
+the engine's decode loops, repeated endpoint failures open a circuit
+breaker, and SIGTERM drains gracefully.  ``/healthz`` (liveness) and
+``/readyz`` (readiness; degraded under quarantine, 503 while
+draining) bypass admission so probes work under overload.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import math
 import threading
+import traceback
+import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -40,9 +54,15 @@ from urllib.parse import parse_qsl, urlsplit
 
 from ..bgp.message import BGPUpdate
 from ..events.store import EventStore
+from ..guard.manager import IntegrityGuard
+from ..guard.scrub import Scrubber
+from ..guard.serving import AdmissionController, CircuitBreaker, \
+    Deadline, DeadlineExceeded, Overloaded
 from ..usecases import DFOHDetector, detect_moas
 from .engine import QueryEngine
 from .planner import QuerySpec
+
+_log = logging.getLogger("repro.query.server")
 
 
 def update_to_json(update: BGPUpdate) -> dict:
@@ -108,7 +128,17 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
     gill: Optional[object] = None
     model_cache: _HijackModelCache
     quiet: bool = True
+    #: Overload protection, bound by QueryAPIServer.
+    admission: AdmissionController
+    breaker: Optional[CircuitBreaker] = None
+    guard: Optional[IntegrityGuard] = None
+    request_timeout_s: Optional[float] = None
+    aborts = None                # repro_query_client_aborts_total child
     protocol_version = "HTTP/1.1"
+    # Headers and body leave in separate writes; without TCP_NODELAY,
+    # Nagle + the client's delayed ACK turn every keep-alive response
+    # into a ~40ms stall — which would also make the "fast 503" slow.
+    disable_nagle_algorithm = True
 
     # -- plumbing ------------------------------------------------------------
 
@@ -116,11 +146,14 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(fmt, *args)
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(self, payload: dict, status: int = 200,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -151,41 +184,130 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status)
 
+    def _shed(self, reason: str, retry_after_s: float = 1.0) -> None:
+        """Fast 503: the request was refused, not failed."""
+        retry = max(1, int(math.ceil(retry_after_s)))
+        self._send_json(
+            {"error": "overloaded", "reason": reason,
+             "retry_after_s": retry},
+            503, headers={"Retry-After": str(retry)})
+
+    def _client_aborted(self) -> None:
+        """The client hung up mid-response: count it, never 500 it."""
+        if self.aborts is not None:
+            self.aborts.inc()
+
+    def _internal_error(self, endpoint: str, request_id: str) -> None:
+        """Satellite: the traceback stays server-side; the body carries
+        only an opaque request id an operator can grep the log for."""
+        _log.log(logging.DEBUG if self.quiet else logging.ERROR,
+                 "request %s (%s) failed:\n%s",
+                 request_id, endpoint, traceback.format_exc())
+        try:
+            self._error(500, f"internal error (request {request_id})")
+        except (BrokenPipeError, ConnectionResetError):
+            self._client_aborted()
+
     # -- routing -------------------------------------------------------------
 
     def do_GET(self) -> None:    # noqa: N802 (http.server naming)
         url = urlsplit(self.path)
+        request_id = uuid.uuid4().hex[:12]
+        self._deadline: Optional[Deadline] = None
+        endpoint = "/events/<id>" if url.path.startswith("/events/") \
+            else url.path
         try:
-            params = _parse_params(url.query)
-            route = {
-                "/updates": self._get_updates,
-                "/rib": self._get_rib,
-                "/vps": self._get_vps,
-                "/moas": self._get_moas,
-                "/hijacks": self._get_hijacks,
-                "/events": self._get_events,
-                "/status": self._get_status,
-                "/metrics": self._get_metrics,
-            }.get(url.path)
-            if route is None:
-                if url.path.startswith("/events/"):
-                    self._get_event(url.path[len("/events/"):], params)
+            try:
+                params = _parse_params(url.query)
+                # Probes and scrapes bypass admission: they must keep
+                # answering precisely when the server is overloaded.
+                if url.path == "/healthz":
+                    self._get_healthz(params)
                     return
-                self._error(404, f"unknown endpoint {url.path}")
-                return
-            route(params)
-        except ValueError as exc:
-            self._error(400, str(exc))
-        except BrokenPipeError:
-            pass                 # client went away mid-response
-        except Exception as exc:  # noqa: BLE001 - surfaced as a 500
-            self._error(500, f"{type(exc).__name__}: {exc}")
+                if url.path == "/readyz":
+                    self._get_readyz(params)
+                    return
+                if url.path == "/metrics":
+                    self._get_metrics(params)
+                    return
+                route = {
+                    "/updates": self._get_updates,
+                    "/rib": self._get_rib,
+                    "/vps": self._get_vps,
+                    "/moas": self._get_moas,
+                    "/hijacks": self._get_hijacks,
+                    "/events": self._get_events,
+                    "/status": self._get_status,
+                }.get(url.path)
+                if route is None and not url.path.startswith("/events/"):
+                    self._error(404, f"unknown endpoint {url.path}")
+                    return
+                if self.admission.draining:
+                    self.admission.shed("draining")
+                    self._shed("draining")
+                    return
+                if self.breaker is not None \
+                        and not self.breaker.allow(endpoint):
+                    self.admission.shed("breaker")
+                    self._shed("circuit_open",
+                               self.breaker.retry_after(endpoint))
+                    return
+                if self.request_timeout_s is not None:
+                    self._deadline = Deadline(self.request_timeout_s)
+                with self.admission.admit():
+                    if route is None:
+                        self._get_event(url.path[len("/events/"):],
+                                        params)
+                    else:
+                        route(params)
+                if self.breaker is not None:
+                    self.breaker.record_success(endpoint)
+            except Overloaded as exc:
+                self._shed(exc.reason, exc.retry_after_s)
+            except DeadlineExceeded:
+                self.admission.shed("deadline")
+                self._shed("deadline")
+            except ValueError as exc:
+                self._error(400, str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            self._client_aborted()
+        except Exception:  # noqa: BLE001 - sanitized 500
+            if self.breaker is not None:
+                self.breaker.record_failure(endpoint)
+            self._internal_error(endpoint, request_id)
 
     # -- endpoints -----------------------------------------------------------
 
+    def _get_healthz(self, params: Dict[str, str]) -> None:
+        """Liveness: the process answers; nothing about data quality."""
+        self._send_json({"status": "ok"})
+
+    def _get_readyz(self, params: Dict[str, str]) -> None:
+        """Readiness: 503 while draining; ``degraded`` (still 200 —
+        intact segments are being served) under quarantine or an open
+        circuit breaker."""
+        draining = self.admission.draining
+        quarantined = list(self.guard.quarantined) \
+            if self.guard is not None else []
+        breakers_open = self.breaker.open_endpoints() \
+            if self.breaker is not None else []
+        if draining:
+            status = "draining"
+        elif quarantined or breakers_open:
+            status = "degraded"
+        else:
+            status = "ok"
+        self._send_json({
+            "ready": not draining,
+            "status": status,
+            "quarantined": quarantined,
+            "breakers_open": breakers_open,
+            "watermark": self.engine.watermark(),
+        }, status=503 if draining else 200)
+
     def _get_updates(self, params: Dict[str, str]) -> None:
         spec = QuerySpec.from_params(params)
-        updates = self.engine.query(spec)
+        updates = self.engine.query(spec, deadline=self._deadline)
         self._send_json({
             "watermark": self.engine.watermark(),
             "count": len(updates),
@@ -288,7 +410,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             return
         params.pop("source", None)
         spec = QuerySpec.from_params(params)
-        updates = self.engine.query(spec)
+        updates = self.engine.query(spec, deadline=self._deadline)
         conflicts = detect_moas(updates)
         self._send_json({
             "source": "scan",
@@ -344,7 +466,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         cached = entry is not None
         if entry is None:
             spec = QuerySpec.from_params(params)
-            updates = self.engine.query(spec)
+            updates = self.engine.query(spec, deadline=self._deadline)
             train, scan = _split_for_training(updates)
             detector = DFOHDetector()
             detector.train_on_updates(train)
@@ -500,6 +622,8 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
                 "open": self.events.open_counts(),
                 "states": self.events.state_counts(),
             }
+        if self.guard is not None:
+            payload["guard"] = self.guard.status()
         self._send_json(payload)
 
 
@@ -520,19 +644,59 @@ def _split_for_training(updates: List[BGPUpdate]
 
 
 class QueryAPIServer:
-    """Owns the HTTP server and its serving thread."""
+    """Owns the HTTP server, its serving thread and its protections.
+
+    Overload knobs: at most ``max_concurrent`` requests execute at
+    once, up to ``queue_limit`` more wait ``queue_timeout_s`` for a
+    slot, everything else is shed with a fast 503 + ``Retry-After``.
+    Each admitted request gets a ``request_timeout_s`` deadline that
+    the engine's decode loops poll.  ``breaker_threshold`` straight
+    500s open an endpoint's circuit for ``breaker_reset_s``.  With a
+    ``guard`` attached, ``/readyz`` and ``/status`` report quarantine
+    state, and ``scrub_interval_s`` starts a background scrubber next
+    to the serving thread.
+    """
 
     def __init__(self, engine: QueryEngine, host: str = "127.0.0.1",
                  port: int = 0, quiet: bool = True,
                  events: Optional[EventStore] = None,
-                 gill: Optional[object] = None):
+                 gill: Optional[object] = None,
+                 guard: Optional[IntegrityGuard] = None,
+                 max_concurrent: int = 8,
+                 queue_limit: int = 16,
+                 queue_timeout_s: float = 0.02,
+                 request_timeout_s: Optional[float] = 30.0,
+                 breaker_threshold: int = 5,
+                 breaker_reset_s: float = 5.0,
+                 scrub_interval_s: Optional[float] = None):
+        registry = engine.registry
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent, max_queue=queue_limit,
+            queue_timeout_s=queue_timeout_s, registry=registry)
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_after_s=breaker_reset_s, registry=registry)
+        aborts = registry.counter(
+            "repro_query_client_aborts_total",
+            "Responses abandoned because the client disconnected.")
         handler = type("BoundQueryAPIHandler", (_QueryAPIHandler,),
                        {"engine": engine, "quiet": quiet,
                         "events": events, "gill": gill,
-                        "model_cache": _HijackModelCache()})
+                        "model_cache": _HijackModelCache(),
+                        "admission": self.admission,
+                        "breaker": self.breaker,
+                        "guard": guard,
+                        "request_timeout_s": request_timeout_s,
+                        "aborts": aborts})
         self.engine = engine
         self.events = events
         self.gill = gill
+        self.guard = guard
+        self._scrubber: Optional[Scrubber] = None
+        if scrub_interval_s is not None and guard is not None:
+            self._scrubber = Scrubber(
+                guard.directory, guard, interval_s=scrub_interval_s,
+                compressed=engine.catalog.compressed, registry=registry)
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
@@ -553,6 +717,8 @@ class QueryAPIServer:
         """Serve on a background thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
+        if self._scrubber is not None:
+            self._scrubber.start()
         self._thread = threading.Thread(
             target=self.httpd.serve_forever, name="query-api",
             daemon=True)
@@ -561,14 +727,49 @@ class QueryAPIServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI's foreground mode)."""
+        if self._scrubber is not None:
+            self._scrubber.start()
         self.httpd.serve_forever()
 
-    def stop(self) -> None:
+    def drain(self) -> None:
+        """Refuse new requests (503 draining); in-flight ones finish."""
+        self.admission.drain()
+
+    def request_shutdown(self) -> None:
+        """Initiate graceful drain + shutdown from any thread and
+        return immediately — safe to call from a SIGTERM handler.
+
+        ``httpd.shutdown()`` blocks until the serve loop exits, so
+        calling it directly from a signal handler running *on* the
+        serving thread would deadlock; it runs on a helper thread.
+        """
+        self.drain()
+        threading.Thread(target=self.httpd.shutdown,
+                         name="query-api-shutdown",
+                         daemon=True).start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Graceful stop: drain, close the listening socket, then join.
+
+        The socket closes *before* the join so no new connection can
+        keep the serve loop busy, and the join result is checked — a
+        thread that outlives the timeout raises instead of leaking
+        silently (satellite fix: the old code ignored both).
+        """
+        self.drain()
         self.httpd.shutdown()
         self.httpd.server_close()
+        self.admission.wait_idle(timeout_s)
+        if self._scrubber is not None:
+            self._scrubber.stop()
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            thread = self._thread
+            thread.join(timeout=timeout_s)
             self._thread = None
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"query-api thread failed to stop within "
+                    f"{timeout_s:.1f}s")
 
     def __enter__(self) -> "QueryAPIServer":
         return self.start()

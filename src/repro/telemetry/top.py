@@ -234,6 +234,33 @@ def render_top(current: dict, previous: Optional[dict] = None,
             f"anchors {anchors:.0f}  groups {groups:.0f}  "
             f"events {gill_events:.0f}  rescore mean {rescore}")
 
+    # Integrity guard + overload protection (only once active).
+    verifications = cur.by_label("repro_guard_verifications_total",
+                                 "outcome")
+    verified_ok = verifications.get("ok", {}).get("value", 0.0)
+    mismatches = verifications.get("mismatch", {}).get("value", 0.0)
+    quarantined_now = cur.value("repro_guard_quarantined_segments")
+    shed = cur.by_label("repro_guard_shed_total", "reason")
+    shed_total = sum(s.get("value", 0.0) for s in shed.values())
+    breakers = [endpoint for endpoint, sample in
+                cur.by_label("repro_guard_breaker_open",
+                             "endpoint").items()
+                if sample.get("value", 0.0)]
+    aborts = cur.value("repro_query_client_aborts_total")
+    if verified_ok or mismatches or quarantined_now or shed_total \
+            or breakers or aborts:
+        shed_detail = ", ".join(
+            f"{reason} {sample.get('value', 0.0):.0f}"
+            for reason, sample in sorted(shed.items())
+            if sample.get("value", 0.0)) or "none"
+        breaker_detail = " breakers OPEN: " + ",".join(sorted(breakers)) \
+            if breakers else ""
+        lines.append(
+            f"guard: verified {verified_ok:.0f} ok / "
+            f"{mismatches:.0f} bad  quarantined {quarantined_now:.0f}  "
+            f"shed {shed_total:.0f} ({shed_detail})  "
+            f"aborts {aborts:.0f}{breaker_detail}")
+
     # Trace spans.
     span_count, span_sum = cur.histogram("repro_trace_span_seconds")
     if span_count:

@@ -275,6 +275,67 @@ class TestCheckpointRecovery:
             == [u.time for u in clean.read_range(0.0, 1e9)]
 
 
+class TestManifestDigests:
+    """Seal-time fingerprints in CHECKPOINT.json (repro.guard)."""
+
+    def checkpointed(self, tmp_path):
+        return RollingArchiveWriter(str(tmp_path), interval_s=100.0,
+                                    compress=False, checkpoint=True)
+
+    def three_durable_segments(self, tmp_path):
+        writer = self.checkpointed(tmp_path)
+        writer.write_stream([upd(float(t)) for t in range(0, 300, 20)])
+        writer.write(upd(350.0))            # seals slot 2; slot 3 open
+        assert len(writer.segments) == 3
+        return writer
+
+    def test_digests_recorded_and_match_the_files(self, tmp_path):
+        import json
+        from repro.guard.integrity import file_digests
+
+        writer = self.three_durable_segments(tmp_path)
+        state = json.load(open(writer.checkpoint_path))
+        for entry, segment in zip(state["segments"], writer.segments):
+            digests = file_digests(segment.path)
+            assert entry["size"] == digests.size == segment.size
+            assert entry["crc32"] == digests.crc32 == segment.crc32
+            assert entry["sha256"] == digests.sha256 == segment.sha256
+
+    def test_recover_catches_bitflip_in_middle_segment(self, tmp_path):
+        """Silent rot in the MIDDLE of the manifest: the file length
+        and record framing survive a one-byte flip, so only the
+        recorded CRC can catch it — and recovery must rewind to before
+        the damage, not trust the (intact) later segments built on a
+        broken history."""
+        from repro.pipeline.faults import corrupt_bitflip
+
+        writer = self.three_durable_segments(tmp_path)
+        middle = writer.segments[1].path
+        size_before = os.path.getsize(middle)
+        corrupt_bitflip(middle)
+        assert os.path.getsize(middle) == size_before  # same length
+
+        fresh = self.checkpointed(tmp_path)
+        report = fresh.recover()
+        assert report.watermark == 100.0    # end of the intact prefix
+        assert report.segments == 1
+        # The corrupt file and everything after it are deleted: the
+        # manifest is the source of truth and it now ends at slot 0.
+        assert not os.path.exists(middle)
+        assert len(fresh.read_range(0.0, 1e9)) == 5
+        # The archive is writable again from the durable watermark.
+        fresh.write(upd(110.0))
+        segment = fresh.write(upd(250.0))
+        assert segment is not None and segment.start == 100.0
+
+    def test_recover_passes_intact_digested_archive(self, tmp_path):
+        writer = self.three_durable_segments(tmp_path)
+        report = self.checkpointed(tmp_path).recover()
+        assert report.watermark == 300.0
+        assert report.segments == len(writer.segments)
+        assert report.torn_removed == ()
+
+
 class TestReadRangePushdown:
     """The prefix=/vp= filters must be exactly a post-hoc filter of
     the historical unfiltered scan."""

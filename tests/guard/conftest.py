@@ -1,0 +1,43 @@
+"""Shared helpers: small checkpointed + indexed archives to corrupt."""
+
+import pytest
+
+from repro.bgp.archive import RollingArchiveWriter
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+
+PREFIXES = [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.1.0/24"),
+            Prefix.parse("10.0.2.0/24")]
+VPS = ["vp0", "vp1", "vp2", "vp3"]
+INTERVAL_S = 100.0
+N_SEGMENTS = 6
+
+
+def make_updates():
+    """A deterministic stream filling N_SEGMENTS interval slots."""
+    updates = []
+    for tick in range(0, int(N_SEGMENTS * INTERVAL_S), 10):
+        updates.append(BGPUpdate(
+            VPS[tick % len(VPS)], float(tick),
+            PREFIXES[tick % len(PREFIXES)],
+            (65000 + tick % 3, 65100, 65200 + tick % 2)))
+    return updates
+
+
+def build_archive(directory):
+    """Seal make_updates() into ``directory`` (checkpoint + indexes)."""
+    writer = RollingArchiveWriter(str(directory), interval_s=INTERVAL_S,
+                                  compress=False, checkpoint=True,
+                                  index=True)
+    writer.write_stream(make_updates())
+    writer.close()
+    assert len(writer.segments) == N_SEGMENTS
+    return writer
+
+
+@pytest.fixture
+def archive_dir(tmp_path):
+    directory = tmp_path / "archive"
+    directory.mkdir()
+    build_archive(directory)
+    return directory

@@ -1,0 +1,131 @@
+"""Unit tests for the integrity primitives (repro.guard.integrity)."""
+
+import hashlib
+import json
+import zlib
+
+from repro.guard.integrity import (
+    crc32_of,
+    file_digests,
+    mismatch_reason,
+    record_intact,
+    seal_record,
+    verify_file,
+)
+
+PAYLOAD = b"the bytes that were sealed" * 100
+
+
+def write_payload(tmp_path, data=PAYLOAD):
+    path = tmp_path / "segment.bin"
+    path.write_bytes(data)
+    return str(path)
+
+
+class TestFileDigests:
+    def test_matches_reference_implementations(self, tmp_path):
+        path = write_payload(tmp_path)
+        digests = file_digests(path)
+        assert digests.size == len(PAYLOAD)
+        assert digests.crc32 \
+            == f"{zlib.crc32(PAYLOAD) & 0xFFFFFFFF:08x}"
+        assert digests.sha256 == hashlib.sha256(PAYLOAD).hexdigest()
+
+    def test_empty_file(self, tmp_path):
+        path = write_payload(tmp_path, b"")
+        digests = file_digests(path)
+        assert digests.size == 0
+        assert digests.crc32 == "00000000"
+
+    def test_crc32_of_agrees_with_file_digests(self, tmp_path):
+        path = write_payload(tmp_path)
+        assert crc32_of(PAYLOAD) == file_digests(path).crc32
+
+
+class TestMismatchReason:
+    def digests(self):
+        return dict(size=len(PAYLOAD), crc32=crc32_of(PAYLOAD),
+                    sha256=hashlib.sha256(PAYLOAD).hexdigest())
+
+    def test_intact_bytes_pass(self):
+        assert mismatch_reason(PAYLOAD, **self.digests()) is None
+
+    def test_size_checked_first(self):
+        # A truncated payload fails on size before any hashing.
+        assert mismatch_reason(PAYLOAD[:-1], **self.digests()) == "size"
+
+    def test_flip_caught_by_crc(self):
+        flipped = bytearray(PAYLOAD)
+        flipped[len(flipped) // 2] ^= 0xFF
+        assert mismatch_reason(bytes(flipped), **self.digests()) \
+            == "crc32"
+
+    def test_sha_only_checked_when_given(self):
+        # Wrong sha but matching size+crc: the hot path (no sha asked)
+        # passes, the scrub path (sha asked) catches it.
+        assert mismatch_reason(PAYLOAD, size=len(PAYLOAD),
+                               crc32=crc32_of(PAYLOAD)) is None
+        assert mismatch_reason(PAYLOAD, sha256="0" * 64) == "sha256"
+
+    def test_absent_digests_verify_vacuously(self):
+        # Pre-checksum archives carry no digests at all.
+        assert mismatch_reason(PAYLOAD) is None
+
+
+class TestVerifyFile:
+    def test_intact_file_passes(self, tmp_path):
+        path = write_payload(tmp_path)
+        digests = file_digests(path)
+        assert verify_file(path, size=digests.size,
+                           crc32=digests.crc32,
+                           sha256=digests.sha256) is None
+
+    def test_missing_file(self, tmp_path):
+        assert verify_file(str(tmp_path / "gone"), size=1) == "missing"
+
+    def test_on_disk_flip_caught(self, tmp_path):
+        path = write_payload(tmp_path)
+        digests = file_digests(path)
+        data = bytearray(PAYLOAD)
+        data[0] ^= 0x01
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        assert verify_file(path, size=digests.size,
+                           crc32=digests.crc32) == "crc32"
+
+    def test_size_only_fast_path(self, tmp_path):
+        # With neither hash asked for, nothing is read back.
+        path = write_payload(tmp_path)
+        assert verify_file(path, size=len(PAYLOAD)) is None
+        assert verify_file(path, size=len(PAYLOAD) + 1) == "size"
+
+
+class TestSealedRecords:
+    def test_roundtrip(self):
+        record = {"watermark": 1200.0, "kept": 10, "dropped": 5}
+        sealed = seal_record(record)
+        assert record_intact(sealed)
+        assert {k: v for k, v in sealed.items() if k != "crc"} == record
+
+    def test_tampered_value_detected(self):
+        sealed = seal_record({"watermark": 1200.0, "kept": 10})
+        sealed["kept"] = 11
+        assert not record_intact(sealed)
+
+    def test_sealing_is_deterministic(self):
+        # Equal records seal to byte-identical lines regardless of
+        # insertion order — the property the byte-identical-journal
+        # chaos tests rely on.
+        a = seal_record({"a": 1, "b": [2, 3]})
+        b = seal_record({"b": [2, 3], "a": 1})
+        assert json.dumps(a, sort_keys=True) \
+            == json.dumps(b, sort_keys=True)
+
+    def test_unsealed_records_pass_vacuously(self):
+        # Journals written before sealing existed have no crc field.
+        assert record_intact({"watermark": 0.0})
+
+    def test_journal_line_flip_detected(self):
+        line = json.dumps(seal_record({"scores": {"vp1": 0.5}}))
+        flipped = line.replace("0.5", "0.7")
+        assert not record_intact(json.loads(flipped))

@@ -103,6 +103,122 @@ class TestFaultSpec:
             == {"io-error", "crash"}
 
 
+class TestCorruptionFaults:
+    """The disk-rot kinds: bitflip / truncate / torn-index / slow-read."""
+
+    def test_parse_corruption_kinds(self):
+        plan = FaultPlan.parse(
+            "bitflip=archive@2,truncate=archive@4,"
+            "torn-index=archive@1,slow-read=reader@3~0.2")
+        assert len(plan.specs) == 4
+        assert {s.kind for s in plan.for_archive()} \
+            == {"bitflip", "truncate", "torn-index"}
+        assert plan.for_reader()[0].duration_s == 0.2
+        # Corruption kinds never reach the session/writer selectors.
+        assert plan.for_writer() == ()
+        assert plan.for_session("archive") == ()
+
+    @pytest.mark.parametrize("text", [
+        "bitflip=writer@1",           # corruption targets the archive
+        "truncate=vp1@1",
+        "torn-index=reader@1",
+        "slow-read=archive@1~0.1",    # slow-read targets the reader
+        "slow-read=writer@1",
+    ])
+    def test_bad_targets_rejected(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_seeded_plan_can_include_corruptions(self):
+        kwargs = dict(sessions=["a", "b"], n_shards=2, horizon=200,
+                      corruptions=2, slow_reads=1)
+        plan = FaultPlan.seeded(7, **kwargs)
+        assert plan == FaultPlan.seeded(7, **kwargs)
+        assert len(plan.for_archive()) == 2
+        assert len(plan.for_reader()) == 1
+        assert all(s.target == "archive" for s in plan.for_archive())
+        assert all(s.duration_s > 0 for s in plan.for_reader())
+
+    def test_corrupt_bitflip_preserves_length(self, tmp_path):
+        from repro.pipeline.faults import corrupt_bitflip
+
+        path = tmp_path / "segment"
+        payload = bytes(range(256)) * 4
+        path.write_bytes(payload)
+        corrupt_bitflip(str(path))
+        after = path.read_bytes()
+        assert len(after) == len(payload)
+        flipped = [i for i, (a, b) in enumerate(zip(payload, after))
+                   if a != b]
+        assert flipped == [len(payload) // 2]
+        assert after[flipped[0]] == payload[flipped[0]] ^ 0xFF
+
+    def test_corrupt_truncate_keeps_a_fraction(self, tmp_path):
+        from repro.pipeline.faults import TRUNCATE_KEEP_FRACTION, \
+            corrupt_truncate
+
+        path = tmp_path / "segment"
+        path.write_bytes(b"x" * 1000)
+        corrupt_truncate(str(path))
+        assert path.stat().st_size \
+            == int(1000 * TRUNCATE_KEEP_FRACTION)
+
+    def test_corrupt_torn_index_tears_the_sidecar_only(self, tmp_path):
+        from repro.pipeline.faults import corrupt_torn_index
+
+        segment = tmp_path / "segment"
+        segment.write_bytes(b"data" * 100)
+        sidecar = tmp_path / "segment.idx"
+        sidecar.write_text('{"postings": {"a": [1, 2]}}')
+        full = sidecar.stat().st_size
+        corrupt_torn_index(str(segment))
+        assert segment.read_bytes() == b"data" * 100   # data untouched
+        assert sidecar.stat().st_size == full // 2
+        # Without a sidecar, a torn stub appears (still invalid JSON).
+        lone = tmp_path / "lone"
+        lone.write_bytes(b"data")
+        corrupt_torn_index(str(lone))
+        assert (tmp_path / "lone.idx").read_bytes() == b'{"torn":'
+
+    def test_apply_archive_corruption_maps_positions(self, tmp_path):
+        from repro.pipeline.faults import FaultInjector
+
+        class Segment:
+            def __init__(self, path):
+                self.path = path
+
+        segments = []
+        for index in range(3):
+            path = tmp_path / f"seg{index}"
+            path.write_bytes(b"y" * 100)
+            segments.append(Segment(str(path)))
+        injector = FaultInjector(FaultPlan.parse(
+            "bitflip=archive@1,truncate=archive@3"))
+        applied = injector.apply_archive_corruption(segments)
+        assert applied == [("bitflip", segments[0].path),
+                           ("truncate", segments[2].path)]
+        assert len(injector.log) == 2
+        # The schedule is consumed: a second call corrupts nothing.
+        assert injector.apply_archive_corruption(segments) == []
+
+    def test_on_payload_read_sleeps_at_position(self):
+        import time
+        from repro.pipeline.faults import FaultInjector
+
+        injector = FaultInjector(FaultPlan.parse(
+            "slow-read=reader@2~0.05"))
+        before = time.monotonic()
+        injector.on_payload_read("/seg/a")          # read 1: fast
+        fast = time.monotonic() - before
+        before = time.monotonic()
+        injector.on_payload_read("/seg/b")          # read 2: slow
+        slow = time.monotonic() - before
+        assert fast < 0.04
+        assert slow >= 0.05
+        assert any("slow-read at read 2" in line
+                   for line in injector.log)
+
+
 class TestFaultyStream:
     def test_resumes_after_disconnect(self):
         updates = [upd(float(t)) for t in range(10)]

@@ -9,6 +9,7 @@ one interrupted by an injected writer crash and recovered with
 import json
 import math
 import os
+import re
 import urllib.error
 import urllib.request
 
@@ -297,6 +298,259 @@ class TestRecoveredArchiveServing:
             for path in ("/vps", "/moas", "/hijacks", "/status"):
                 status, _ = get_json(api.url + path)
                 assert status == 200
+
+
+def family_samples(registry, name):
+    for family in registry.to_json()["families"]:
+        if family["name"] == name:
+            return family["samples"]
+    return []
+
+
+def sample_total(registry, name, **labels):
+    total = 0.0
+    for sample in family_samples(registry, name):
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+class TestHealthProbes:
+    def test_healthz_always_ok(self, server):
+        status, body = get_json(server.url + "/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_readyz_ok_without_guard(self, server, epoch_archive):
+        archive, _, _ = epoch_archive
+        status, body = get_json(server.url + "/readyz")
+        assert status == 200
+        assert body["ready"] is True and body["status"] == "ok"
+        assert body["quarantined"] == []
+        assert body["watermark"] == archive.segments[-1].end
+
+    def test_draining_server_fails_readyz_but_not_healthz(
+            self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        with QueryAPIServer(engine) as api:
+            api.drain()
+            status, body = get_json(api.url + "/readyz")
+            assert status == 503 and body["status"] == "draining"
+            assert body["ready"] is False
+            # Liveness keeps answering: the process is healthy, it is
+            # just refusing new work.
+            status, _ = get_json(api.url + "/healthz")
+            assert status == 200
+            # Data endpoints shed with the draining 503.
+            status, body = get_json(api.url + "/updates")
+            assert status == 503 and body["error"] == "overloaded"
+            assert body["reason"] == "draining"
+        engine.close()
+
+
+class TestSanitizedInternalErrors:
+    class BoomEngine:
+        """Engine stand-in whose query path always explodes."""
+
+        def __init__(self, registry):
+            self.registry = registry
+
+        def query(self, spec, deadline=None):
+            raise RuntimeError("secret internal detail")
+
+        def watermark(self):
+            return None
+
+    def test_500_body_is_opaque(self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        with QueryAPIServer(engine) as api:
+            handler = api.httpd.RequestHandlerClass
+            handler.engine = self.BoomEngine(engine.registry)
+            try:
+                status, body = get_json(api.url + "/updates")
+            finally:
+                handler.engine = engine
+        engine.close()
+        assert status == 500
+        # The traceback and the exception text stay server-side; the
+        # client gets only an opaque request id to quote at an operator.
+        assert "secret internal detail" not in json.dumps(body)
+        assert "RuntimeError" not in json.dumps(body)
+        assert re.fullmatch(r"internal error \(request [0-9a-f]{12}\)",
+                            body["error"])
+
+    def test_repeated_500s_open_the_circuit_breaker(self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        with QueryAPIServer(engine, breaker_threshold=2,
+                            breaker_reset_s=60.0) as api:
+            handler = api.httpd.RequestHandlerClass
+            handler.engine = self.BoomEngine(engine.registry)
+            try:
+                for _ in range(2):
+                    status, _ = get_json(api.url + "/updates")
+                    assert status == 500
+                status, body = get_json(api.url + "/updates")
+                assert status == 503
+                assert body["reason"] == "circuit_open"
+                assert body["retry_after_s"] >= 1
+                # Only /updates tripped; other endpoints still serve.
+                handler.engine = engine
+                status, _ = get_json(api.url + "/vps")
+                assert status == 200
+                status, body = get_json(api.url + "/readyz")
+                assert status == 200 and body["status"] == "degraded"
+                assert body["breakers_open"] == ["/updates"]
+            finally:
+                handler.engine = engine
+        engine.close()
+
+
+class TestClientAborts:
+    def test_mid_response_hangup_is_counted_not_500ed(
+            self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        with QueryAPIServer(engine) as api:
+            handler = api.httpd.RequestHandlerClass
+            original = handler.engine
+
+            class Hangup:
+                registry = engine.registry
+
+                def query(self, spec, deadline=None):
+                    # What a write to a closed socket raises mid-body.
+                    raise BrokenPipeError("client went away")
+
+                def watermark(self):
+                    return None
+
+            handler.engine = Hangup()
+            try:
+                before = sample_total(engine.registry,
+                                      "repro_query_client_aborts_total")
+                # The client may see an empty reply or a reset —
+                # either way the server must not 500 or open a breaker.
+                try:
+                    urllib.request.urlopen(api.url + "/updates",
+                                           timeout=10).read()
+                except (urllib.error.HTTPError, urllib.error.URLError,
+                        ConnectionError):
+                    pass
+                after = sample_total(engine.registry,
+                                     "repro_query_client_aborts_total")
+                assert after == before + 1
+                assert api.breaker.open_endpoints() == []
+            finally:
+                handler.engine = original
+            status, _ = get_json(api.url + "/updates?limit=1")
+            assert status == 200
+        engine.close()
+
+
+class TestOverloadShedding:
+    def test_full_slots_shed_fast_503_with_retry_after(
+            self, epoch_archive):
+        import threading
+
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        entered = threading.Event()
+        release = threading.Event()
+        real_query = engine.query
+
+        def slow_query(spec, deadline=None):
+            entered.set()
+            release.wait(10.0)
+            return real_query(spec, deadline=deadline)
+
+        engine.query = slow_query
+        with QueryAPIServer(engine, max_concurrent=1,
+                            queue_limit=0) as api:
+            outcome = []
+
+            def occupant():
+                outcome.append(get_json(api.url + "/updates?limit=1"))
+
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            assert entered.wait(10.0)
+            # The only slot is taken and the queue is disabled: this
+            # request must be refused immediately, not queued.
+            request = urllib.request.Request(api.url + "/updates")
+            try:
+                urllib.request.urlopen(request, timeout=10)
+                pytest.fail("expected a 503")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                assert int(exc.headers["Retry-After"]) >= 1
+                body = json.loads(exc.read())
+                assert body["error"] == "overloaded"
+                assert body["reason"] == "queue_full"
+            release.set()
+            thread.join(10.0)
+            assert outcome[0][0] == 200      # the occupant finished
+            assert sample_total(engine.registry,
+                                "repro_guard_shed_total",
+                                reason="queue_full") >= 1
+            # Probes bypassed admission the whole time.
+            status, _ = get_json(api.url + "/healthz")
+            assert status == 200
+        engine.query = real_query
+        engine.close()
+
+    def test_expired_deadline_sheds_mid_request(self, epoch_archive):
+        import time
+
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        real_query = engine.query
+
+        def glacial_query(spec, deadline=None):
+            time.sleep(0.1)
+            if deadline is not None:
+                deadline.check("mid decode")
+            return real_query(spec, deadline=deadline)
+
+        engine.query = glacial_query
+        with QueryAPIServer(engine, request_timeout_s=0.02) as api:
+            status, body = get_json(api.url + "/updates")
+            assert status == 503
+            assert body["reason"] == "deadline"
+            assert sample_total(engine.registry,
+                                "repro_guard_shed_total",
+                                reason="deadline") >= 1
+        engine.query = real_query
+        engine.close()
+
+
+class TestServerStop:
+    def test_stop_closes_the_socket_and_joins(self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        api = QueryAPIServer(engine).start()
+        url = api.url
+        status, _ = get_json(url + "/healthz")
+        assert status == 200
+        api.stop()
+        assert api._thread is None
+        # The listening socket is gone: nothing can connect any more.
+        with pytest.raises((ConnectionError, urllib.error.URLError,
+                            OSError)):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
+        # A second stop is a harmless no-op, not a crash.
+        api.stop()
+        engine.close()
+
+    def test_double_start_refused(self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        api = QueryAPIServer(engine).start()
+        with pytest.raises(RuntimeError):
+            api.start()
+        api.stop()
+        engine.close()
 
 
 class TestVPsRanking:

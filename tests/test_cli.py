@@ -259,6 +259,47 @@ class TestEventsCLI:
         assert "ok 404 /events " in out
 
 
+class TestScrubCLI:
+    @pytest.fixture
+    def segment_dir(self, archive, tmp_path):
+        out_dir = str(tmp_path / "segments")
+        assert main(["pipeline", archive, "--archive-dir", out_dir,
+                     "--checkpoint", "--index"]) == 0
+        return out_dir
+
+    def test_clean_archive_scrubs_clean(self, segment_dir, capsys):
+        assert main(["scrub", segment_dir, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 quarantined" in out and "quarantined " not in out
+
+    def test_rot_is_reported_and_strict_fails(self, segment_dir,
+                                              capsys):
+        import os
+
+        from repro.pipeline.faults import corrupt_bitflip
+        victim = sorted(n for n in os.listdir(segment_dir)
+                        if n.startswith("updates.")
+                        and not n.endswith(".idx"))[0]
+        corrupt_bitflip(os.path.join(segment_dir, victim))
+        assert main(["scrub", segment_dir]) == 0   # default: report only
+        out = capsys.readouterr().out
+        assert f"quarantined {victim} (crc32)" in out
+        assert "quarantine directory:" in out
+        # The rot is already quarantined; strict now passes clean.
+        assert main(["scrub", segment_dir, "--strict"]) == 0
+        assert "already quarantined" in capsys.readouterr().out
+
+    def test_strict_exits_nonzero_on_fresh_rot(self, segment_dir):
+        import os
+
+        from repro.pipeline.faults import corrupt_truncate
+        victim = sorted(n for n in os.listdir(segment_dir)
+                        if n.startswith("updates.")
+                        and not n.endswith(".idx"))[-1]
+        corrupt_truncate(os.path.join(segment_dir, victim))
+        assert main(["scrub", segment_dir, "--strict"]) == 1
+
+
 class TestGillCLI:
     @pytest.fixture
     def overshoot(self, tmp_path):
