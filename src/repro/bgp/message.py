@@ -132,6 +132,20 @@ class AnnotatedUpdate:
                          - set(self.previous_communities))
 
 
+def canonical_key(update: BGPUpdate) -> Tuple:
+    """Total order over an update's attributes, ignoring time.
+
+    Equal-timestamp updates have no inherent order; any component that
+    must emit them deterministically (the writer's reorder buffer, the
+    gill filter's slot batches, the cluster's partition merge) breaks
+    the tie with this key so the archived byte stream is identical no
+    matter which thread, process, or partition delivered each update
+    first.
+    """
+    return (update.vp, update.prefix, update.as_path,
+            tuple(sorted(update.communities)), update.is_withdrawal)
+
+
 def sort_updates(updates: Iterable[BGPUpdate]) -> list:
     """Sort updates chronologically with a deterministic tie-break."""
     return sorted(

@@ -19,7 +19,8 @@ from __future__ import annotations
 import bz2
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, List, Tuple, Union
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple, \
+    Union
 
 from .message import BGPUpdate
 from .prefix import Prefix
@@ -165,17 +166,31 @@ def _decode_body(time: float, rtype: int, subtype: int,
     raise MRTError(f"unknown record type {rtype}/{subtype}")
 
 
+def read_record(buf: BinaryIO) -> Optional[Record]:
+    """Decode the next record from a binary stream, or None at EOF.
+
+    MRT records are self-framing (the header carries the body length),
+    so callers embedding them in a larger stream — notably the cluster
+    wire format (:mod:`repro.cluster.wire`) — can pull exactly one
+    record without knowing its size up front.
+    """
+    header = buf.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) != _HEADER.size:
+        raise MRTError("truncated MRT header")
+    time, rtype, subtype, length = _HEADER.unpack(header)
+    body = io.BytesIO(_read_exact(buf, length))
+    return _decode_body(time, rtype, subtype, body)
+
+
 def _decode_from(buf: BinaryIO) -> Iterator[Record]:
     """Decode records from any binary stream until EOF."""
     while True:
-        header = buf.read(_HEADER.size)
-        if not header:
+        record = read_record(buf)
+        if record is None:
             return
-        if len(header) != _HEADER.size:
-            raise MRTError("truncated MRT header")
-        time, rtype, subtype, length = _HEADER.unpack(header)
-        body = io.BytesIO(_read_exact(buf, length))
-        yield _decode_body(time, rtype, subtype, body)
+        yield record
 
 
 def decode_records(data: bytes) -> Iterator[Record]:

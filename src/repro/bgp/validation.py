@@ -27,6 +27,15 @@ from .prefix import Prefix
 #: considered established.
 ORIGIN_MAJORITY = 0.7
 
+
+def _vote_table() -> "defaultdict":
+    """Inner factory for the origin-vote table.
+
+    A named module-level function (not a lambda) so a configured
+    :class:`RouteValidator` can be pickled into worker processes.
+    """
+    return defaultdict(set)
+
 #: Suspicion above this flags the update.
 DEFAULT_FLAG_THRESHOLD = 0.5
 
@@ -57,7 +66,7 @@ class RouteValidator:
         self.flag_threshold = flag_threshold
         # prefix -> origin -> set of VPs that reported it.
         self._origin_votes: Dict[Prefix, Dict[int, Set[str]]] = \
-            defaultdict(lambda: defaultdict(set))
+            defaultdict(_vote_table)
         # undirected link -> set of VPs that reported it.
         self._link_votes: Dict[Tuple[int, int], Set[str]] = \
             defaultdict(set)

@@ -247,19 +247,31 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         cost_model = ServiceCostModel(args.capacity or CPU_CAPACITY)
 
     streams = split_by_vp(updates)
+    n_shards = args.workers if args.backend == "processes" \
+        and args.workers else args.shards
     fault_plan = None
+    if args.chaos_kills and args.backend != "processes":
+        print("--chaos-kills requires --backend processes",
+              file=sys.stderr)
+        return 2
     if args.faults:
         fault_plan = FaultPlan.parse(args.faults)
     elif args.chaos:
+        # Thread-stall faults have no process equivalent (a stalled
+        # worker process is a death, which worker-kill covers).
         fault_plan = FaultPlan.seeded(
-            args.chaos_seed, sorted(streams), args.shards,
-            horizon=max(2, len(updates) // max(1, len(streams))))
+            args.chaos_seed, sorted(streams), n_shards,
+            horizon=max(2, len(updates) // max(1, len(streams))),
+            stalls=0 if args.backend == "processes" else 1,
+            worker_kills=args.chaos_kills)
     if fault_plan:
         print(f"fault plan: {fault_plan.describe()}")
 
     pipeline = CollectionPipeline(
         PipelineConfig(
-            n_shards=args.shards,
+            n_shards=n_shards,
+            backend=args.backend,
+            workers=args.workers,
             shard_by=args.shard_by,
             ingest_queue_capacity=args.queue_capacity,
             overflow_policy=args.policy,
@@ -332,6 +344,58 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if not result.accounted:
         print("WARNING: pipeline lost queued updates", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    from .cluster import PartitionError, merge_archives
+    from .telemetry import MetricsRegistry
+
+    gill_config = None
+    if args.gill:
+        from .gill import GillConfig
+
+        keep = tuple(v for v in (args.keep or "").split(",") if v)
+        gill_config = GillConfig(definition=args.filter_def,
+                                 keep=keep,
+                                 max_anchors=args.gill_max_anchors)
+    elif args.keep or args.gill_max_anchors is not None:
+        print("--keep/--gill-max-anchors require --gill",
+              file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    event_pipeline = None
+    event_store = None
+    if args.events:
+        from .events import EventPipeline, EventStore, journal_path_for
+
+        event_store = EventStore(journal_path_for(args.out))
+        event_pipeline = EventPipeline(store=event_store,
+                                       registry=registry)
+    try:
+        report = merge_archives(args.parts, args.out,
+                                gill=gill_config,
+                                events=event_pipeline,
+                                registry=registry)
+    except PartitionError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"merged {report.partitions} partitions "
+          f"({report.empty_partitions} empty): {report.updates} updates "
+          f"into {len(report.segments)} segments at {args.out}")
+    print(f"max partition-head lag {report.max_lag_s:.1f}s stream time, "
+          f"merge took {report.duration_s:.2f}s")
+    if event_store is not None:
+        from .events import render_store_summary
+        print(render_store_summary(event_store))
+    if args.metrics_out:
+        text = registry.prometheus()
+        if args.metrics_out == "-":
+            print(text, end="")
+        else:
+            with open(args.metrics_out, "w") as handle:
+                handle.write(text)
+            print(f"wrote metrics exposition to {args.metrics_out}")
     return 0
 
 
@@ -686,6 +750,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay through the concurrent runtime")
     p.add_argument("archive")
     p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="run shard workers as threads (default) or OS "
+                        "processes with batched IPC (docs/CLUSTER.md)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker process count for --backend processes "
+                        "(overrides --shards)")
     p.add_argument("--shard-by", choices=("vp", "prefix"), default="vp")
     p.add_argument("--queue-capacity", type=int, default=1024)
     p.add_argument("--policy", choices=("drop", "block"), default="block")
@@ -713,6 +784,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a seeded random fault plan")
     p.add_argument("--chaos-seed", type=int, default=0,
                    help="seed for the --chaos fault plan")
+    p.add_argument("--chaos-kills", type=int, default=0,
+                   help="add N seeded worker-SIGKILL faults to the "
+                        "--chaos plan (requires --backend processes)")
     p.add_argument("--checkpoint", action="store_true",
                    help="crash-consistent archive checkpointing "
                         "(requires --archive-dir)")
@@ -753,6 +827,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-compress", action="store_true")
     p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("merge",
+                       help="merge partitioned partial archives into "
+                            "the canonical combined archive")
+    p.add_argument("parts",
+                   help="directory holding part-<i> partial archives "
+                        "(from partitioned collection)")
+    p.add_argument("out", help="combined archive output directory")
+    p.add_argument("--gill", action="store_true",
+                   help="run the gill redundancy filter over the "
+                        "merged stream (VP universe = union of the "
+                        "partition manifests)")
+    p.add_argument("--filter-def", type=int, choices=(1, 2, 3),
+                   default=1,
+                   help="redundancy definition for --gill")
+    p.add_argument("--keep",
+                   help="comma-separated VPs that always bypass the "
+                        "gill filter")
+    p.add_argument("--gill-max-anchors", type=int, default=None,
+                   help="cap the auto-selected anchor set size")
+    p.add_argument("--events", action="store_true",
+                   help="run event analysis on the merged segments, "
+                        "journaling incidents next to the output")
+    p.add_argument("--metrics", dest="metrics_out",
+                   help="dump the Prometheus exposition to a file "
+                        "('-' for stdout) after the merge")
+    p.set_defaults(func=cmd_merge)
 
     p = sub.add_parser("recover",
                        help="recover a checkpointed archive directory")

@@ -1,0 +1,486 @@
+"""The ``processes`` worker backend: shard workers as OS processes.
+
+The thread backend serializes all per-update work on the GIL; this
+backend moves the shard workers into child processes so filter
+evaluation and cost-model work run on real cores.  Topology::
+
+    sessions ──> ingest BoundedQueues ──> feeder threads ──┐ frames
+                                                           ▼
+                                              worker process per shard
+                                                           │ frames
+    writer BoundedQueue <── collector thread <─────────────┘
+
+* One **feeder thread** per shard drains that shard's existing ingest
+  queue and packs envelopes into batched wire frames
+  (:mod:`repro.cluster.wire`) — compact struct+MRT bytes over a
+  ``multiprocessing.Pipe``, never per-update pickling.  Heartbeats
+  flush the pending batch immediately so the writer's watermark keeps
+  moving under light load.
+* The **worker process** decodes each frame, runs the per-update hot
+  path (filter evaluation + cost-model charge), echoes heartbeats as
+  watermark records, and sends one result frame per input frame,
+  tagged with the same sequence number.
+* A single **collector thread** multiplexes every worker's result
+  pipe plus its process sentinel.  Results feed the unchanged
+  :class:`~repro.pipeline.stages.WriterStage` queue; route validation
+  and operator forwarding run here, coordinator-side, because both
+  need the *global* cross-shard view (a per-process validator would
+  only ever see its own shard's VPs).
+
+Crash safety — exactly-once at frame granularity: the coordinator
+keeps every frame until the matching result returns, detects worker
+death via the process sentinel (never via pipe EOF, which fork fd
+inheritance can mask), respawns the worker, and resends the
+outstanding tail in order.  A worker killed mid-frame (the
+``worker-kill`` chaos fault SIGKILLs it *before* the result send)
+therefore loses nothing: its successor reprocesses the frame and the
+writer sees each disposition exactly once.  Workers are stateless
+between frames — filters are pure and the cost model only burns time
+— so reprocessing is idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.filtering import FilterTable
+from ..bgp.message import BGPUpdate
+from ..pipeline.faults import FaultInjector, FaultPlan, SupervisorConfig
+from ..pipeline.metrics import PipelineMetrics
+from ..pipeline.queues import BoundedQueue, QueueClosed, QueueEmpty
+from ..pipeline.stages import Disposition, Envelope, Heartbeat, \
+    ServiceCostModel, ShardDone, WatermarkAdvance, _STOP
+from . import wire
+from .metrics import ClusterMetrics
+
+
+class WorkerDeath(RuntimeError):
+    """A shard worker process exceeded its respawn budget."""
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker process needs; must survive fork *and*
+    pickling (spawn start methods, respawn with partial schedules)."""
+
+    shard: int
+    filters: FilterTable
+    cost_model: Optional[ServiceCostModel] = None
+    #: Update counts (cumulative, per shard) at which the worker
+    #: SIGKILLs itself — the ``worker-kill`` chaos schedule.
+    kill_positions: Tuple[int, ...] = ()
+    #: Updates already acknowledged by previous incarnations.
+    start_count: int = 0
+
+
+def _worker_main(spec: WorkerSpec, conn) -> None:
+    """Child-process loop: decode frames, process, reply in kind."""
+    # The coordinator's signal handling must not leak into workers.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    last_seq = 0
+    processed = spec.start_count
+    kills = [p for p in spec.kill_positions if p > spec.start_count]
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            return                      # coordinator went away
+        seq, _, records = wire.decode_frame(data)
+        if seq <= last_seq:
+            continue                    # duplicate after a resend race
+        last_seq = seq
+        out: List[object] = []
+        done = False
+        for item in records:
+            if isinstance(item, Envelope):
+                update = item.update
+                retained = spec.filters.accept(update)
+                if spec.cost_model is not None:
+                    spec.cost_model.charge(retained)
+                processed += 1
+                if kills and processed >= kills[0]:
+                    # Deterministic crash point: die *before* this
+                    # frame's results are sent, so the coordinator must
+                    # redeliver and the successor must reprocess.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                out.append(Disposition(update, retained,
+                                       item.session, item.enqueued_at))
+            elif isinstance(item, Heartbeat):
+                out.append(WatermarkAdvance(spec.shard, item.session,
+                                            item.time))
+            elif isinstance(item, wire.EndOfInput):
+                out.append(ShardDone())
+                done = True
+        try:
+            conn.send_bytes(wire.encode_frame(seq, spec.shard, out))
+        except (BrokenPipeError, OSError):
+            return
+        if done:
+            return
+
+
+@dataclass
+class _Lane:
+    """Coordinator-side state for one shard's worker process."""
+
+    shard: int
+    spec: WorkerSpec
+    conn: object = None
+    process: object = None
+    #: seq -> (frame bytes, updates inside); insertion = seq order.
+    pending: "OrderedDict[int, Tuple[bytes, int]]" = \
+        field(default_factory=OrderedDict)
+    next_seq: int = 1
+    last_result_seq: int = 0
+    acked_updates: int = 0
+    respawns: int = 0
+    kill_remaining: List[int] = field(default_factory=list)
+    done: bool = False          # worker announced ShardDone
+    finished: bool = False      # process reaped, lane retired
+    conn_broken: bool = False
+    #: Serializes feeder sends against respawn conn swaps.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ProcessWorkerPool:
+    """Runs the shard-worker stage across supervised OS processes."""
+
+    def __init__(self, n_shards: int,
+                 ingest_queues: Sequence[BoundedQueue],
+                 writer_queue: BoundedQueue,
+                 filters: FilterTable,
+                 metrics: PipelineMetrics,
+                 cluster_metrics: ClusterMetrics,
+                 cost_model: Optional[ServiceCostModel] = None,
+                 validator=None,
+                 validator_lock: Optional[threading.Lock] = None,
+                 forwarding=None,
+                 forwarding_lock: Optional[threading.Lock] = None,
+                 flagged_sink: Optional[Callable[[BGPUpdate], None]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 injector: Optional[FaultInjector] = None,
+                 supervision: Optional[SupervisorConfig] = None,
+                 batch_max: int = 256,
+                 linger_s: float = 0.002,
+                 on_fatal: Optional[Callable[[BaseException], None]] = None):
+        self.n_shards = n_shards
+        self.ingest_queues = list(ingest_queues)
+        self.writer_queue = writer_queue
+        self.filters = filters
+        self.metrics = metrics
+        self.cluster = cluster_metrics
+        self.cost_model = cost_model
+        self.validator = validator
+        self.validator_lock = validator_lock or threading.Lock()
+        self.forwarding = forwarding
+        self.forwarding_lock = forwarding_lock or threading.Lock()
+        self.flagged_sink = flagged_sink
+        self.fault_plan = fault_plan
+        self.injector = injector
+        self.supervision = supervision or SupervisorConfig()
+        self.batch_max = max(1, batch_max)
+        self.linger_s = max(1e-4, linger_s)
+        self.on_fatal = on_fatal
+        self.error: Optional[BaseException] = None
+        self._ctx = multiprocessing.get_context()
+        self._lanes: List[_Lane] = []
+        self._feeders: List[threading.Thread] = []
+        self._collector: Optional[threading.Thread] = None
+        self._abort = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self, lane: _Lane) -> None:
+        """(Re)start ``lane``'s worker process with a fresh pipe.
+
+        Pipes are created and the child end closed *before* any later
+        fork, so no sibling worker ever inherits another lane's worker
+        end — that inheritance would mask pipe EOF/EPIPE and could
+        leave a feeder blocked against a dead reader forever.
+        """
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(lane.spec, child_conn),
+            name=f"repro-shard-{lane.shard}", daemon=True)
+        process.start()
+        child_conn.close()
+        lane.conn = parent_conn
+        lane.process = process
+        lane.conn_broken = False
+        self.cluster.worker_started()
+
+    def start(self) -> None:
+        plan = self.fault_plan
+        for shard in range(self.n_shards):
+            kills = list(plan.kill_positions(shard)) if plan else []
+            spec = WorkerSpec(shard=shard, filters=self.filters,
+                              cost_model=self.cost_model,
+                              kill_positions=tuple(kills))
+            lane = _Lane(shard=shard, spec=spec, kill_remaining=kills)
+            self.cluster.register_shard(shard)
+            self._lanes.append(lane)
+            self._spawn(lane)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="cluster-collector",
+            daemon=True)
+        self._collector.start()
+        for lane in self._lanes:
+            feeder = threading.Thread(
+                target=self._feed_loop, args=(lane,),
+                name=f"cluster-feeder-{lane.shard}", daemon=True)
+            self._feeders.append(feeder)
+            feeder.start()
+
+    def stop(self) -> None:
+        """Close every shard's input after the sessions finished."""
+        for queue in self.ingest_queues:
+            try:
+                queue.put(_STOP)
+            except QueueClosed:
+                pass
+
+    def abort(self) -> None:
+        """Tear the pool down without draining (fatal paths)."""
+        self._abort.set()
+        for lane in self._lanes:
+            process = lane.process
+            if process is not None and process.is_alive():
+                process.terminate()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        threads = self._feeders + \
+            ([self._collector] if self._collector else [])
+        for thread in threads:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            if thread.is_alive():
+                raise TimeoutError(
+                    f"cluster thread {thread.name} did not finish")
+        for lane in self._lanes:
+            if lane.process is not None:
+                remaining = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                lane.process.join(remaining)
+
+    # -- feeder side --------------------------------------------------------
+
+    def _send_frame(self, lane: _Lane, records: List[object],
+                    n_updates: int) -> None:
+        """Encode, remember, and (best-effort) send one frame.
+
+        The frame enters ``pending`` before the send: if the worker is
+        already dead the send fails, the frame survives in ``pending``,
+        and the respawn path redelivers it.
+        """
+        with lane.lock:
+            seq = lane.next_seq
+            lane.next_seq += 1
+            data = wire.encode_frame(seq, lane.shard, records)
+            lane.pending[seq] = (data, n_updates)
+            depth = len(lane.pending)
+            try:
+                lane.conn.send_bytes(data)
+            except (BrokenPipeError, OSError):
+                lane.conn_broken = True
+        self.cluster.frame_sent(lane.shard, n_updates, len(data))
+        self.cluster.outstanding(lane.shard, depth)
+
+    def _feed_loop(self, lane: _Lane) -> None:
+        queue = self.ingest_queues[lane.shard]
+        batch: List[object] = []
+        n_updates = 0
+
+        def flush() -> None:
+            nonlocal batch, n_updates
+            if batch:
+                self._send_frame(lane, batch, n_updates)
+                batch, n_updates = [], 0
+
+        while not self._abort.is_set():
+            try:
+                item = queue.get(timeout=self.linger_s)
+            except QueueEmpty:
+                flush()
+                continue
+            except QueueClosed:
+                return
+            if item is _STOP:
+                batch.append(wire.END_OF_INPUT)
+                flush()
+                return
+            if isinstance(item, Heartbeat):
+                # Watermark liveness: heartbeats flush immediately so
+                # the writer never waits a full batch for progress.
+                batch.append(item)
+                flush()
+                continue
+            batch.append(item)
+            n_updates += 1
+            if len(batch) >= self.batch_max:
+                flush()
+
+    # -- collector side -----------------------------------------------------
+
+    def _handle_disposition(self, item: Disposition) -> None:
+        """Coordinator-side tail of the worker stage.
+
+        Validation and forwarding stay here because both need the
+        global cross-shard view; the writer queue then reorders by
+        watermark exactly as in the thread backend.
+        """
+        update = item.update
+        if self.validator is not None:
+            with self.validator_lock:
+                verdict = self.validator.validate(update)
+            if verdict.flagged:
+                self.metrics.update_processed(False, flagged=True)
+                if self.flagged_sink is not None:
+                    self.flagged_sink(update)
+                self.metrics.process.latency.record(
+                    time.perf_counter() - item.enqueued_at)
+                return
+        reached = 0
+        if self.forwarding is not None:
+            with self.forwarding_lock:
+                reached = len(self.forwarding.process(update))
+        self.metrics.update_processed(item.retained,
+                                      forwarded_to=reached)
+        self.metrics.process.latency.record(
+            time.perf_counter() - item.enqueued_at)
+        self.writer_queue.put(item)
+
+    def _handle_result(self, lane: _Lane, data: bytes) -> None:
+        seq, _, records = wire.decode_frame(data)
+        if seq <= lane.last_result_seq:
+            return                      # duplicate result, already applied
+        lane.last_result_seq = seq
+        self.cluster.frame_received(len(data))
+        with lane.lock:
+            entry = lane.pending.pop(seq, None)
+            depth = len(lane.pending)
+        if entry is not None:
+            lane.acked_updates += entry[1]
+        self.cluster.outstanding(lane.shard, depth)
+        for item in records:
+            if isinstance(item, Disposition):
+                self._handle_disposition(item)
+            elif isinstance(item, WatermarkAdvance):
+                self.writer_queue.put(item)
+            elif isinstance(item, ShardDone):
+                lane.done = True
+                self.writer_queue.put(item)
+
+    def _drain_conn(self, lane: _Lane) -> None:
+        """Pull every buffered result frame off a lane's pipe."""
+        while True:
+            try:
+                if not lane.conn.poll():
+                    return
+                data = lane.conn.recv_bytes()
+            except (EOFError, OSError):
+                lane.conn_broken = True
+                return
+            self._handle_result(lane, data)
+
+    def _respawn(self, lane: _Lane) -> None:
+        lane.respawns += 1
+        if lane.respawns > self.supervision.quarantine_after:
+            raise WorkerDeath(
+                f"shard {lane.shard} worker died "
+                f"{lane.respawns} times; respawn budget exhausted")
+        # The schedule assumes the earliest remaining kill fired.
+        if lane.kill_remaining:
+            fired = lane.kill_remaining.pop(0)
+        else:
+            fired = None
+        lane.spec = WorkerSpec(
+            shard=lane.shard, filters=lane.spec.filters,
+            cost_model=lane.spec.cost_model,
+            kill_positions=tuple(lane.kill_remaining),
+            start_count=lane.acked_updates)
+        with lane.lock:
+            old_conn = lane.conn
+            self._spawn(lane)
+            if old_conn is not None:
+                old_conn.close()
+            # Redeliver the outstanding tail, oldest first; the fresh
+            # worker's dedup cursor accepts the whole range once.
+            for data, _ in lane.pending.values():
+                try:
+                    lane.conn.send_bytes(data)
+                except (BrokenPipeError, OSError):
+                    lane.conn_broken = True
+                    break
+            resent = len(lane.pending)
+        self.cluster.worker_respawned(lane.shard)
+        self.metrics.worker_restarted(lane.shard)
+        if self.injector is not None:
+            detail = f" after scheduled kill at {fired}" \
+                if fired is not None else ""
+            self.injector.record(
+                f"respawned shard{lane.shard} worker{detail}, "
+                f"resent {resent} frames")
+
+    def _collect_loop(self) -> None:
+        from multiprocessing.connection import wait as mp_wait
+        try:
+            while not self._abort.is_set():
+                live = [lane for lane in self._lanes if not lane.finished]
+                if not live:
+                    return
+                waitables = []
+                by_object: Dict[object, Tuple[_Lane, str]] = {}
+                for lane in live:
+                    if not lane.conn_broken:
+                        waitables.append(lane.conn)
+                        by_object[lane.conn] = (lane, "conn")
+                    sentinel = lane.process.sentinel
+                    waitables.append(sentinel)
+                    by_object[sentinel] = (lane, "sentinel")
+                for ready in mp_wait(waitables, timeout=0.1):
+                    lane, kind = by_object[ready]
+                    if lane.finished:
+                        continue
+                    if kind == "conn":
+                        try:
+                            data = lane.conn.recv_bytes()
+                        except (EOFError, OSError):
+                            lane.conn_broken = True
+                            continue
+                        self._handle_result(lane, data)
+                        continue
+                    # Process sentinel fired: drain any results still
+                    # buffered in the pipe before judging the death.
+                    self._drain_conn(lane)
+                    lane.process.join()
+                    if lane.done:
+                        lane.finished = True
+                        self.cluster.worker_exited()
+                        try:
+                            lane.conn.close()
+                        except OSError:
+                            pass
+                    else:
+                        self.cluster.worker_exited()
+                        self._respawn(lane)
+        except QueueClosed:
+            # The writer queue closed under a put: the writer died and
+            # the runtime is already poisoning the pipeline.  Exit
+            # quietly — the writer's own error is the authoritative
+            # one, and recording this secondary symptom would mask it.
+            self._abort.set()
+        except BaseException as exc:
+            self.error = exc
+            self._abort.set()
+            if self.on_fatal is not None:
+                self.on_fatal(exc)

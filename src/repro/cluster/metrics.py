@@ -1,0 +1,168 @@
+"""``repro_cluster_*`` telemetry for the multi-process backend.
+
+Everything the coordinator knows about its worker processes lands in
+the shared :class:`~repro.telemetry.MetricsRegistry`, so one
+``/metrics`` scrape (and the `top` dashboard, and the status page)
+covers IPC health alongside the existing pipeline families:
+
+``repro_cluster_workers``              live worker processes
+``repro_cluster_respawns_total``       supervised respawns, per shard
+``repro_cluster_frames_total``         frames moved, by direction
+``repro_cluster_frame_updates``        updates per frame (batch size)
+``repro_cluster_ipc_bytes_total``      frame bytes, by direction
+``repro_cluster_outstanding_frames``   unacked frames, per shard
+``repro_cluster_merge_lag_seconds``    partition head skew during merge
+``repro_cluster_merge_partitions``     partitions feeding a merge
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..telemetry import MetricsRegistry
+
+#: Batch-size buckets: powers of two up to the largest sane frame.
+_BATCH_BOUNDS: Tuple[float, ...] = tuple(
+    float(2 ** e) for e in range(0, 13))
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """Immutable view of the cluster counters for one observation."""
+
+    workers: int
+    respawns: int
+    frames_out: int
+    frames_in: int
+    ipc_bytes_out: int
+    ipc_bytes_in: int
+    #: Mean updates per coordinator→worker frame (0 when none sent).
+    mean_batch: float
+    #: Highest number of unacked frames outstanding on any shard.
+    outstanding_high_water: int
+    merge_lag_s: float = 0.0
+    merge_partitions: int = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.workers or self.respawns or self.frames_out
+                    or self.merge_partitions)
+
+
+class ClusterMetrics:
+    """Facade binding the cluster families into a registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        r = registry
+        self._workers = r.gauge(
+            "repro_cluster_workers",
+            "Live worker processes in the multiprocessing backend."
+        ).labels()
+        self._respawns = r.counter(
+            "repro_cluster_respawns_total",
+            "Supervised worker-process respawns after a death.",
+            labels=("shard",))
+        self._frames = r.counter(
+            "repro_cluster_frames_total",
+            "Batched IPC frames moved between coordinator and workers.",
+            labels=("direction",))
+        self._frames_out = self._frames.labels("out")
+        self._frames_in = self._frames.labels("in")
+        self._frame_updates = r.histogram(
+            "repro_cluster_frame_updates",
+            "Updates carried per coordinator-to-worker frame.",
+            bounds=_BATCH_BOUNDS).labels()
+        self._ipc_bytes = r.counter(
+            "repro_cluster_ipc_bytes_total",
+            "Wire bytes moved between coordinator and workers.",
+            labels=("direction",), unit="bytes")
+        self._bytes_out = self._ipc_bytes.labels("out")
+        self._bytes_in = self._ipc_bytes.labels("in")
+        self._outstanding = r.gauge(
+            "repro_cluster_outstanding_frames",
+            "Frames sent to a shard worker and not yet acknowledged.",
+            labels=("shard",), track_high_water=True)
+        self._merge_lag = r.gauge(
+            "repro_cluster_merge_lag_seconds",
+            "Stream-time skew between partition heads during a merge.",
+            unit="seconds").labels()
+        self._merge_partitions = r.gauge(
+            "repro_cluster_merge_partitions",
+            "Partial archives feeding the current merge.").labels()
+        self._respawn_children: Dict[int, object] = {}
+        self._outstanding_children: Dict[int, object] = {}
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def register_shard(self, shard: int) -> None:
+        self._respawn_children.setdefault(
+            shard, self._respawns.labels(str(shard)))
+        self._outstanding_children.setdefault(
+            shard, self._outstanding.labels(str(shard)))
+
+    def worker_started(self) -> None:
+        self._workers.inc()
+
+    def worker_exited(self) -> None:
+        self._workers.inc(-1.0)
+
+    def worker_respawned(self, shard: int) -> None:
+        self._respawn_children[shard].inc()
+
+    # -- IPC accounting -----------------------------------------------------
+
+    def frame_sent(self, shard: int, n_updates: int,
+                   n_bytes: int) -> None:
+        self._frames_out.inc()
+        self._bytes_out.inc(n_bytes)
+        self._frame_updates.record(float(n_updates))
+
+    def frame_received(self, n_bytes: int) -> None:
+        self._frames_in.inc()
+        self._bytes_in.inc(n_bytes)
+
+    def outstanding(self, shard: int, depth: int) -> None:
+        self._outstanding_children[shard].set(depth)
+
+    # -- merge --------------------------------------------------------------
+
+    def merge_started(self, partitions: int) -> None:
+        self._merge_partitions.set(partitions)
+
+    def merge_lag(self, seconds: float) -> None:
+        self._merge_lag.set(max(0.0, seconds))
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        frames = self._frame_updates.snapshot()
+        high_water = max(
+            (int(child.high_water)
+             for child in self._outstanding_children.values()),
+            default=0)
+        return ClusterSnapshot(
+            workers=int(self._workers.value),
+            respawns=sum(int(child.value)
+                         for child in self._respawn_children.values()),
+            frames_out=int(self._frames_out.value),
+            frames_in=int(self._frames_in.value),
+            ipc_bytes_out=int(self._bytes_out.value),
+            ipc_bytes_in=int(self._bytes_in.value),
+            mean_batch=frames.mean,
+            outstanding_high_water=high_water,
+            merge_lag_s=self._merge_lag.value,
+            merge_partitions=int(self._merge_partitions.value),
+        )
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count for the status/top renderings."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.0f}{unit}" if unit == "B" \
+                else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"

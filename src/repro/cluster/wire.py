@@ -1,0 +1,255 @@
+"""Compact binary wire format for cross-process pipeline handoff.
+
+The multiprocessing backend moves updates between the coordinator and
+its shard worker processes in *batched frames* rather than pickling
+queue payloads one object at a time.  A frame is::
+
+    !QHI      sequence number, shard id, record count
+    record*   tagged records, concatenated
+
+Each record is one tag byte followed by a tag-specific body; update
+payloads embed the exact MRT record bytes the archive itself uses
+(:func:`repro.bgp.mrt.encode_update`), so IPC never depends on pickle
+details and the hot path reuses a codec that already round-trips
+byte-exactly.
+
+Frames are the unit of delivery *and* of recovery: the coordinator
+keeps every frame it has sent until the matching result frame (same
+sequence number) comes back, and resends the outstanding tail to a
+respawned worker after a crash.  Workers therefore treat the sequence
+number as a dedup cursor — a frame at or below the last sequence they
+completed is dropped — giving exactly-once handoff at frame
+granularity without any shared state.
+
+Record tags:
+
+``ENVELOPE``     coordinator → worker, one in-flight update
+``HEARTBEAT``    coordinator → worker, a session progress marker
+``END``          coordinator → worker, shard input exhausted
+``DISPOSITION``  worker → coordinator, the verdict on one update
+``WATERMARK``    worker → coordinator, a heartbeat echoed past the shard
+``DONE``         worker → coordinator, shard has drained and is exiting
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterator, List, Sequence, Tuple
+
+from ..bgp import mrt
+from ..bgp.message import BGPUpdate
+from ..pipeline.stages import Disposition, Envelope, Heartbeat, \
+    ShardDone, WatermarkAdvance
+
+TAG_ENVELOPE = 1
+TAG_HEARTBEAT = 2
+TAG_END = 3
+TAG_DISPOSITION = 4
+TAG_WATERMARK = 5
+TAG_DONE = 6
+
+_TAG = struct.Struct("!B")
+_F64 = struct.Struct("!d")
+_U16 = struct.Struct("!H")
+_FLAGS = struct.Struct("!B")
+_FRAME = struct.Struct("!QHI")     # sequence, shard, record count
+
+_FLAG_RETAINED = 0x01
+
+
+class WireError(ValueError):
+    """Raised on malformed cluster wire data."""
+
+
+class EndOfInput:
+    """Control marker closing a worker's input stream (wire-level
+    analogue of the in-process ``_STOP`` queue sentinel)."""
+
+    def __repr__(self) -> str:
+        return "EndOfInput()"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EndOfInput)
+
+    def __hash__(self) -> int:
+        return hash(EndOfInput)
+
+    def to_bytes(self) -> bytes:
+        return _TAG.pack(TAG_END)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "EndOfInput":
+        marker = decode_record(data)
+        if not isinstance(marker, EndOfInput):
+            raise WireError(f"expected end marker, got {marker!r}")
+        return marker
+
+
+#: Singleton end-of-input marker.
+END_OF_INPUT = EndOfInput()
+
+
+def _read_exact(buf: BinaryIO, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise WireError(
+            f"truncated wire record: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def _write_str(buf: BinaryIO, value: str) -> None:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireError("string too long for wire encoding")
+    buf.write(_U16.pack(len(raw)))
+    buf.write(raw)
+
+
+def _read_str(buf: BinaryIO) -> str:
+    (length,) = _U16.unpack(_read_exact(buf, _U16.size))
+    return _read_exact(buf, length).decode("utf-8")
+
+
+def _read_update(buf: BinaryIO) -> BGPUpdate:
+    try:
+        record = mrt.read_record(buf)
+    except mrt.MRTError as exc:
+        raise WireError(f"bad embedded MRT record: {exc}") from exc
+    if not isinstance(record, BGPUpdate):
+        raise WireError(f"expected an update record, got {record!r}")
+    return record
+
+
+def write_record(buf: BinaryIO, item: object) -> None:
+    """Append one tagged record for ``item`` to ``buf``."""
+    if isinstance(item, Envelope):
+        buf.write(_TAG.pack(TAG_ENVELOPE))
+        _write_str(buf, item.session)
+        buf.write(_F64.pack(item.enqueued_at))
+        buf.write(mrt.encode_update(item.update))
+    elif isinstance(item, Heartbeat):
+        buf.write(_TAG.pack(TAG_HEARTBEAT))
+        _write_str(buf, item.session)
+        buf.write(_F64.pack(item.time))
+    elif isinstance(item, Disposition):
+        buf.write(_TAG.pack(TAG_DISPOSITION))
+        buf.write(_FLAGS.pack(_FLAG_RETAINED if item.retained else 0))
+        _write_str(buf, item.session)
+        buf.write(_F64.pack(item.enqueued_at))
+        buf.write(mrt.encode_update(item.update))
+    elif isinstance(item, WatermarkAdvance):
+        buf.write(_TAG.pack(TAG_WATERMARK))
+        buf.write(_U16.pack(item.shard))
+        _write_str(buf, item.session)
+        buf.write(_F64.pack(item.time))
+    elif isinstance(item, EndOfInput):
+        buf.write(_TAG.pack(TAG_END))
+    elif isinstance(item, ShardDone):
+        buf.write(_TAG.pack(TAG_DONE))
+    else:
+        raise WireError(f"cannot encode {type(item).__name__} on the wire")
+
+
+def read_wire_record(buf: BinaryIO) -> object:
+    """Decode the next tagged record from ``buf``."""
+    (tag,) = _TAG.unpack(_read_exact(buf, 1))
+    if tag == TAG_ENVELOPE:
+        session = _read_str(buf)
+        (enqueued_at,) = _F64.unpack(_read_exact(buf, _F64.size))
+        return Envelope(_read_update(buf), session, enqueued_at)
+    if tag == TAG_HEARTBEAT:
+        session = _read_str(buf)
+        (time,) = _F64.unpack(_read_exact(buf, _F64.size))
+        return Heartbeat(session, time)
+    if tag == TAG_DISPOSITION:
+        (flags,) = _FLAGS.unpack(_read_exact(buf, 1))
+        session = _read_str(buf)
+        (enqueued_at,) = _F64.unpack(_read_exact(buf, _F64.size))
+        return Disposition(_read_update(buf),
+                           bool(flags & _FLAG_RETAINED),
+                           session, enqueued_at)
+    if tag == TAG_WATERMARK:
+        (shard,) = _U16.unpack(_read_exact(buf, _U16.size))
+        session = _read_str(buf)
+        (time,) = _F64.unpack(_read_exact(buf, _F64.size))
+        return WatermarkAdvance(shard, session, time)
+    if tag == TAG_END:
+        return END_OF_INPUT
+    if tag == TAG_DONE:
+        return ShardDone()
+    raise WireError(f"unknown wire tag {tag}")
+
+
+def encode_record(item: object) -> bytes:
+    """Encode a single record (the ``to_bytes`` entry point)."""
+    buf = io.BytesIO()
+    write_record(buf, item)
+    return buf.getvalue()
+
+
+def decode_record(data: bytes) -> object:
+    """Decode exactly one record; trailing bytes are an error."""
+    buf = io.BytesIO(data)
+    item = read_wire_record(buf)
+    trailing = buf.read()
+    if trailing:
+        raise WireError(f"{len(trailing)} trailing bytes after record")
+    return item
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    return encode_record(envelope)
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    item = decode_record(data)
+    if not isinstance(item, Envelope):
+        raise WireError(f"expected an envelope, got {item!r}")
+    return item
+
+
+def encode_heartbeat(heartbeat: Heartbeat) -> bytes:
+    return encode_record(heartbeat)
+
+
+def decode_heartbeat(data: bytes) -> Heartbeat:
+    item = decode_record(data)
+    if not isinstance(item, Heartbeat):
+        raise WireError(f"expected a heartbeat, got {item!r}")
+    return item
+
+
+def encode_frame(sequence: int, shard: int,
+                 records: Sequence[object]) -> bytes:
+    """Pack ``records`` into one framed batch."""
+    buf = io.BytesIO()
+    buf.write(_FRAME.pack(sequence, shard, len(records)))
+    for item in records:
+        write_record(buf, item)
+    return buf.getvalue()
+
+
+def decode_frame(data: bytes) -> Tuple[int, int, List[object]]:
+    """Unpack one frame into ``(sequence, shard, records)``."""
+    if len(data) < _FRAME.size:
+        raise WireError("truncated frame header")
+    sequence, shard, count = _FRAME.unpack_from(data)
+    buf = io.BytesIO(data)
+    buf.seek(_FRAME.size)
+    records = [read_wire_record(buf) for _ in range(count)]
+    trailing = buf.read()
+    if trailing:
+        raise WireError(f"{len(trailing)} trailing bytes after frame")
+    return sequence, shard, records
+
+
+def iter_frame(data: bytes) -> Iterator[object]:
+    """Yield a frame's records without materializing the list."""
+    if len(data) < _FRAME.size:
+        raise WireError("truncated frame header")
+    _, _, count = _FRAME.unpack_from(data)
+    buf = io.BytesIO(data)
+    buf.seek(_FRAME.size)
+    for _ in range(count):
+        yield read_wire_record(buf)

@@ -59,6 +59,18 @@ class PipelineConfig:
     #: 'vp' keeps each peering session on one shard (per-session order
     #: is then trivially preserved); 'prefix' spreads hot sessions.
     shard_by: str = "vp"
+    #: 'threads' runs shard workers as threads in this process;
+    #: 'processes' runs them as supervised OS worker processes fed
+    #: over batched binary pipes (repro.cluster, docs/CLUSTER.md).
+    backend: str = "threads"
+    #: Worker-process count for the 'processes' backend; overrides
+    #: ``n_shards`` there (one shard per worker process).
+    workers: Optional[int] = None
+    #: Max envelopes packed into one IPC frame ('processes' backend).
+    ipc_batch: int = 256
+    #: How long a feeder waits for more envelopes before flushing a
+    #: partial frame ('processes' backend).
+    ipc_linger_s: float = 0.002
     ingest_queue_capacity: int = 1024
     writer_queue_capacity: int = 4096
     #: 'drop' loses updates at full ingest queues (daemon-style,
@@ -97,6 +109,15 @@ class PipelineConfig:
     gill: Optional[GillConfig] = None
 
     def __post_init__(self) -> None:
+        if self.backend not in ("threads", "processes"):
+            raise ValueError("backend must be 'threads' or 'processes'")
+        if self.workers is not None:
+            if self.workers <= 0:
+                raise ValueError("workers must be positive")
+            if self.backend == "processes":
+                # One shard per worker process: the worker count IS the
+                # sharding degree there.
+                self.n_shards = self.workers
         if self.n_shards <= 0:
             raise ValueError("need at least one shard")
         if self.shard_by not in ("vp", "prefix"):
@@ -107,11 +128,27 @@ class PipelineConfig:
             raise ValueError("time_scale must be positive")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.backend == "processes" and self.trace_sample_rate > 0.0:
+            raise ValueError("trace sampling requires the 'threads' "
+                             "backend (spans cannot cross processes)")
+        if self.ipc_batch <= 0:
+            raise ValueError("ipc_batch must be positive")
+        if self.ipc_linger_s <= 0:
+            raise ValueError("ipc_linger_s must be positive")
         if self.metrics_interval_s is not None \
                 and self.metrics_interval_s <= 0:
             raise ValueError("metrics_interval_s must be positive")
         if self.gill is not None and not isinstance(self.gill, GillConfig):
             raise ValueError("gill must be a GillConfig (or None)")
+        if self.fault_plan:
+            kinds = {spec.kind for spec in self.fault_plan.specs}
+            if self.backend == "processes" and "stall" in kinds:
+                raise ValueError("stall faults target worker threads; "
+                                 "use worker-kill with the 'processes' "
+                                 "backend")
+            if self.backend != "processes" and "worker-kill" in kinds:
+                raise ValueError("worker-kill faults require the "
+                                 "'processes' backend")
 
 
 @dataclass(frozen=True)
@@ -171,6 +208,8 @@ class CollectionPipeline:
         #: The online redundancy filter (built in ``start`` when the
         #: config carries a :class:`~repro.gill.GillConfig`).
         self.gill: Optional[GillStage] = None
+        #: The multiprocessing worker pool ('processes' backend only).
+        self._pool = None
         self._stop_event = threading.Event()
         self._sessions: List[PeerSession] = []
         self._workers: List[ShardWorker] = []
@@ -267,8 +306,30 @@ class CollectionPipeline:
             cfg.writer_queue_capacity,
             gauge=self.metrics.write.queue_depth)
 
-        self._workers = [self._make_worker(shard)
-                         for shard in range(cfg.n_shards)]
+        if cfg.backend == "processes":
+            from ..cluster.backend import ProcessWorkerPool
+            from ..cluster.metrics import ClusterMetrics
+            self.metrics.cluster = ClusterMetrics(self.metrics.registry)
+            self._pool = ProcessWorkerPool(
+                cfg.n_shards, self._ingest_queues, self._writer_queue,
+                filters=self.filters, metrics=self.metrics,
+                cluster_metrics=self.metrics.cluster,
+                cost_model=cfg.cost_model,
+                validator=self.validator,
+                validator_lock=self._validator_lock,
+                forwarding=self.forwarding,
+                forwarding_lock=self._forwarding_lock,
+                flagged_sink=self._keep_flagged,
+                fault_plan=cfg.fault_plan,
+                injector=self.injector,
+                supervision=cfg.supervision,
+                batch_max=cfg.ipc_batch,
+                linger_s=cfg.ipc_linger_s,
+                on_fatal=self._on_writer_fatal,
+            )
+        else:
+            self._workers = [self._make_worker(shard)
+                             for shard in range(cfg.n_shards)]
         self._writer = WriterStage(
             self._writer_queue, cfg.n_shards, list(streams),
             metrics=self.metrics, archive=archive,
@@ -295,11 +356,15 @@ class CollectionPipeline:
         if self.sampler is not None:
             self.sampler.start()
         self._writer.start()
+        if self._pool is not None:
+            self._pool.start()
         for worker in self._workers:
             worker.start()
         for session in self._sessions:
             session.start()
-        if self.injector is not None:
+        if self.injector is not None and self._pool is None:
+            # The stall watchdog supervises worker *threads*; worker
+            # processes are supervised by the pool's collector instead.
             self._watchdog = threading.Thread(
                 target=self._watchdog_loop, name="watchdog", daemon=True)
             self._watchdog.start()
@@ -307,13 +372,16 @@ class CollectionPipeline:
     # -- supervision --------------------------------------------------------
 
     def _on_writer_fatal(self, exc: BaseException) -> None:
-        """The writer died: poison every queue so no producer or
-        worker stays blocked behind it, then let ``wait`` re-raise."""
+        """The writer (or the worker pool) died: poison every queue so
+        no producer or worker stays blocked behind the corpse, then
+        let ``wait`` re-raise."""
         self._stop_event.set()
         for queue in self._ingest_queues:
             queue.close()
         if self._writer_queue is not None:
             self._writer_queue.close()
+        if self._pool is not None:
+            self._pool.abort()
 
     def _watchdog_loop(self) -> None:
         """Replace workers wedged inside an injected stall.
@@ -395,14 +463,18 @@ class CollectionPipeline:
         # All session end-markers are enqueued; now close the shards.
         # The watchdog stays up until the workers drain — a shard can
         # still be wedged in an injected stall at this point.
-        with self._workers_lock:
-            workers = list(self._workers)
-        for worker in workers:
-            try:
-                worker.stop()
-            except QueueClosed:
-                pass            # writer died; workers are exiting anyway
-        self._join_workers(timeout)
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool.join(timeout)
+        else:
+            with self._workers_lock:
+                workers = list(self._workers)
+            for worker in workers:
+                try:
+                    worker.stop()
+                except QueueClosed:
+                    pass        # writer died; workers are exiting anyway
+            self._join_workers(timeout)
         self._watchdog_stop.set()
         if self._watchdog is not None:
             self._watchdog.join(timeout)
@@ -412,6 +484,8 @@ class CollectionPipeline:
         self.metrics.mark_stopped()
         if self.sampler is not None:
             self.sampler.stop()
+        if self._pool is not None and self._pool.error is not None:
+            raise self._pool.error
         if self._writer.error is not None:
             raise self._writer.error
         return self.result()

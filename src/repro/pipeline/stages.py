@@ -60,7 +60,7 @@ from ..bgp.archive import RollingArchiveWriter
 from ..telemetry import NOOP_TRACE
 from ..bgp.daemon import FILTER_COST, PARSE_COST, WRITE_COST
 from ..bgp.filtering import FilterTable
-from ..bgp.message import BGPUpdate
+from ..bgp.message import BGPUpdate, canonical_key
 from ..bgp.validation import RouteValidator
 from ..core.forwarding import ForwardingService
 from .faults import FaultInjector, SupervisorConfig
@@ -85,6 +85,21 @@ class Envelope:
     #: attribute read per update.
     trace: Optional[object] = None
 
+    def to_bytes(self) -> bytes:
+        """Compact binary form for cross-process handoff.
+
+        Traces never cross a process boundary (sampling requires the
+        ``threads`` backend), so the encoding carries only the update,
+        session, and ingest stamp — see :mod:`repro.cluster.wire`.
+        """
+        from ..cluster import wire
+        return wire.encode_envelope(self)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Envelope":
+        from ..cluster import wire
+        return wire.decode_envelope(data)
+
 
 @dataclass(frozen=True)
 class Heartbeat:
@@ -92,6 +107,16 @@ class Heartbeat:
 
     session: str
     time: float            # stream time; END_OF_STREAM when finished
+
+    def to_bytes(self) -> bytes:
+        """Compact binary form for cross-process handoff."""
+        from ..cluster import wire
+        return wire.encode_heartbeat(self)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Heartbeat":
+        from ..cluster import wire
+        return wire.decode_heartbeat(data)
 
 
 @dataclass(frozen=True)
@@ -153,14 +178,34 @@ class ServiceCostModel:
                  parse_cost: float = PARSE_COST,
                  filter_cost: float = FILTER_COST,
                  write_cost: float = WRITE_COST,
-                 min_sleep_s: float = 0.002):
+                 min_sleep_s: float = 0.002,
+                 mode: str = "sleep"):
         if units_per_s <= 0:
             raise ValueError("capacity must be positive")
+        if mode not in ("sleep", "spin"):
+            raise ValueError("mode must be 'sleep' or 'spin'")
         self.units_per_s = units_per_s
         self.parse_cost = parse_cost
         self.filter_cost = filter_cost
         self.write_cost = write_cost
         self.min_sleep_s = min_sleep_s
+        #: ``sleep`` models an I/O-like budget (worker yields the CPU
+        #: while in debt); ``spin`` busy-waits the cost instead, which
+        #: models a CPU-bound daemon: spinning threads serialize on the
+        #: GIL while spinning processes use one core each, so only
+        #: ``spin`` lets the processes backend show real scaling.
+        self.mode = mode
+        self._lock = threading.Lock()
+        self._credit_s = 0.0
+        self._last = time.perf_counter()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._lock = threading.Lock()
         self._credit_s = 0.0
         self._last = time.perf_counter()
@@ -171,6 +216,12 @@ class ServiceCostModel:
 
     def charge(self, retained: bool) -> None:
         """Consume one update's work; sleep off any accumulated debt."""
+        if self.mode == "spin":
+            deadline = time.perf_counter() \
+                + self.cost(retained) / self.units_per_s
+            while time.perf_counter() < deadline:
+                pass
+            return
         with self._lock:
             now = time.perf_counter()
             self._credit_s += now - self._last
@@ -562,11 +613,25 @@ class WriterStage(threading.Thread):
             return self.archive.write(update)
 
     def _emit_ready(self) -> None:
-        """Flush every heap entry at or below the safe watermark."""
+        """Flush every *complete* equal-time run below the watermark.
+
+        Entries strictly below the safe watermark are complete: every
+        session has heartbeat past their timestamp, so (queues being
+        FIFO) no further disposition at those times can still be in
+        flight.  Each equal-time run is therefore released whole, in
+        canonical attribute order — arrival order across shards is a
+        scheduler accident, and sorting the ties is what makes the
+        archive byte stream identical across the ``threads`` backend,
+        the ``processes`` backend, and a partitioned merge.  Entries
+        *at* the watermark wait: a session whose heartbeat equals their
+        time may still send more updates at that same timestamp.
+        """
         watermark = self._safe_watermark()
         batch: List[Disposition] = []
-        while self._heap and self._heap[0][0] <= watermark:
+        while self._heap and self._heap[0][0] < watermark:
             batch.append(heapq.heappop(self._heap)[2])
+        batch.sort(key=lambda d: (d.update.time,
+                                  canonical_key(d.update), d.session))
         emitted = False
         for disposition in batch:
             if disposition.update.time < self._last_emitted:

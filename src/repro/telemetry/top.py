@@ -234,6 +234,47 @@ def render_top(current: dict, previous: Optional[dict] = None,
             f"anchors {anchors:.0f}  groups {groups:.0f}  "
             f"events {gill_events:.0f}  rescore mean {rescore}")
 
+    # Multi-process cluster (only when the processes backend or a
+    # partition merge populated the repro_cluster_* families).
+    workers = cur.value("repro_cluster_workers")
+    frames_out = cur.value("repro_cluster_frames_total", direction="out")
+    merge_partitions = cur.value("repro_cluster_merge_partitions")
+    if workers or frames_out or merge_partitions:
+        from ..cluster.metrics import format_bytes
+
+        respawns = sum(
+            s.get("value", 0.0) for s in
+            cur.by_label("repro_cluster_respawns_total",
+                         "shard").values())
+        frames_in = cur.value("repro_cluster_frames_total",
+                              direction="in")
+        bytes_out = cur.value("repro_cluster_ipc_bytes_total",
+                              direction="out")
+        bytes_in = cur.value("repro_cluster_ipc_bytes_total",
+                             direction="in")
+        batch_count, batch_sum = cur.histogram(
+            "repro_cluster_frame_updates")
+        mean_batch = "—" if not batch_count \
+            else f"{batch_sum / batch_count:.0f}"
+        depth = max(
+            (s.get("value", 0.0) for s in
+             cur.by_label("repro_cluster_outstanding_frames",
+                          "shard").values()),
+            default=0.0)
+        line = (f"cluster: workers {workers:.0f}  "
+                f"respawns {respawns:.0f}  "
+                f"frames {frames_out:.0f}/{frames_in:.0f} "
+                f"{rate_of(frames_out, 'repro_cluster_frames_total', direction='out')} "
+                f"(mean batch {mean_batch})  "
+                f"ipc {format_bytes(int(bytes_out))} out / "
+                f"{format_bytes(int(bytes_in))} in  "
+                f"outstanding {depth:.0f}")
+        if merge_partitions:
+            lag = cur.value("repro_cluster_merge_lag_seconds")
+            line += (f"  merge {merge_partitions:.0f} parts "
+                     f"lag {lag:.1f}s")
+        lines.append(line)
+
     # Integrity guard + overload protection (only once active).
     verifications = cur.by_label("repro_guard_verifications_total",
                                  "outcome")

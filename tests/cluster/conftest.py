@@ -1,0 +1,44 @@
+"""Shared fixtures for the multi-process cluster tests."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.workload import StreamConfig, SyntheticStreamGenerator, \
+    split_by_vp
+
+TIMEOUT = 60.0
+
+#: Every file class that must be byte-identical across backends and
+#: across a partitioned merge: the MRT segments themselves, the gill
+#: and event journals, and the checkpoint manifest carrying the guard
+#: digests of every sealed segment.
+DETERMINISTIC_FILES = (".mrt", ".jsonl")
+
+
+def archive_digest(directory) -> str:
+    """SHA-256 over every determinism-relevant file, name-tagged."""
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(DETERMINISTIC_FILES) or name == "CHECKPOINT.json":
+            digest.update(name.encode())
+            with open(os.path.join(directory, name), "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def archive_files(directory):
+    return sorted(name for name in os.listdir(directory)
+                  if name.endswith(DETERMINISTIC_FILES)
+                  or name == "CHECKPOINT.json")
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """Per-VP session streams of a moderate synthetic epoch."""
+    generator = SyntheticStreamGenerator(StreamConfig(
+        n_vps=10, n_prefix_groups=8, duration_s=1200.0, seed=13,
+    ))
+    _, stream = generator.generate()
+    return split_by_vp(stream)

@@ -1,0 +1,148 @@
+"""The ``processes`` worker backend: determinism, config, telemetry.
+
+The load-bearing property is *byte identity*: the same seeded epoch
+must publish the exact same archive bytes — segments, gill journal,
+event journal, checkpoint manifest with guard digests — whether the
+shard workers are threads in one process or supervised OS processes
+fed over the batched wire protocol.
+"""
+
+import pytest
+
+from repro.bgp.archive import RollingArchiveWriter
+from repro.events import EventPipeline, EventStore, journal_path_for
+from repro.gill import GillConfig
+from repro.pipeline import (
+    CollectionPipeline,
+    FaultPlan,
+    PipelineConfig,
+    render_metrics,
+)
+from repro.telemetry.top import render_top
+
+from .conftest import TIMEOUT, archive_digest, archive_files
+
+
+def run_epoch(streams, directory, backend, workers=3, gill=True,
+              events=True, fault_plan=None, supervision=None):
+    """One full collection epoch with every journaling layer on."""
+    kwargs = dict(overflow_policy="block", backend=backend,
+                  fault_plan=fault_plan)
+    if backend == "processes":
+        kwargs["workers"] = workers
+    else:
+        kwargs["n_shards"] = workers
+    if gill:
+        kwargs["gill"] = GillConfig(definition=1)
+    if supervision is not None:
+        kwargs["supervision"] = supervision
+    archive = RollingArchiveWriter(str(directory), interval_s=300.0,
+                                   compress=False, checkpoint=True)
+    pipeline = CollectionPipeline(PipelineConfig(**kwargs),
+                                  archive=archive)
+    if events:
+        store = EventStore(journal_path_for(str(directory)))
+        EventPipeline(store=store,
+                      registry=pipeline.metrics.registry).attach(archive)
+    result = pipeline.run(streams, timeout=TIMEOUT)
+    assert result.accounted, "pipeline lost queued updates"
+    return pipeline, result
+
+
+class TestBackendConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(backend="fibers")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(backend="processes", workers=0)
+
+    def test_workers_become_shards(self):
+        config = PipelineConfig(backend="processes", workers=5)
+        assert config.n_shards == 5
+
+    def test_tracing_needs_threads(self):
+        # Trace spans carry wall-clock marks from the worker; they do
+        # not cross the process boundary (the wire drops them).
+        with pytest.raises(ValueError):
+            PipelineConfig(backend="processes", workers=2,
+                           trace_sample_rate=0.5)
+
+    def test_worker_kill_needs_processes(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(
+                fault_plan=FaultPlan.parse("worker-kill=shard0@10"))
+
+    def test_stall_needs_threads(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(backend="processes", workers=2,
+                           fault_plan=FaultPlan.parse(
+                               "stall=shard0@10~0.1"))
+
+    def test_rejects_bad_ipc_tuning(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(ipc_batch=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(ipc_linger_s=-1.0)
+
+
+class TestBackendDifferential:
+    def test_processes_byte_identical_to_threads(self, streams,
+                                                 tmp_path):
+        """Same epoch, both backends: every published byte matches —
+        MRT segments, gill.jsonl, events.jsonl, and the checkpoint
+        manifest whose guard digests fingerprint each segment."""
+        run_epoch(streams, tmp_path / "threads", "threads")
+        run_epoch(streams, tmp_path / "processes", "processes")
+        assert archive_files(tmp_path / "threads") \
+            == archive_files(tmp_path / "processes")
+        assert "gill.jsonl" in archive_files(tmp_path / "threads")
+        assert "events.jsonl" in archive_files(tmp_path / "threads")
+        assert archive_digest(tmp_path / "threads") \
+            == archive_digest(tmp_path / "processes")
+
+    def test_worker_counts_agree(self, streams, tmp_path):
+        """Worker count must not change what is published, only how
+        the shards are laid out across processes."""
+        run_epoch(streams, tmp_path / "two", "processes", workers=2,
+                  gill=False, events=False)
+        run_epoch(streams, tmp_path / "four", "processes", workers=4,
+                  gill=False, events=False)
+        assert archive_digest(tmp_path / "two") \
+            == archive_digest(tmp_path / "four")
+
+
+class TestClusterTelemetry:
+    def test_snapshot_and_renderings(self, streams, tmp_path):
+        pipeline, result = run_epoch(streams, tmp_path / "arch",
+                                     "processes", gill=False,
+                                     events=False)
+        cluster = result.metrics.cluster
+        assert cluster is not None
+        assert cluster.frames_out > 0
+        assert cluster.frames_in > 0
+        assert cluster.ipc_bytes_out > 0
+        assert cluster.ipc_bytes_in > 0
+        assert cluster.mean_batch > 0
+        assert cluster.respawns == 0
+        assert cluster.active
+
+        # The families are in the shared registry (one /metrics scrape
+        # covers the cluster) and both operator renderings show them.
+        exposition = pipeline.metrics.registry.prometheus()
+        assert "repro_cluster_frames_total" in exposition
+        assert "repro_cluster_ipc_bytes_total" in exposition
+        assert "cluster:" in render_metrics(result.metrics)
+        frame = render_top(pipeline.metrics.registry.to_json())
+        assert "cluster:" in frame
+        assert "ipc" in frame
+
+    def test_threads_backend_stays_silent(self, streams, tmp_path):
+        pipeline, result = run_epoch(streams, tmp_path / "arch",
+                                     "threads", gill=False,
+                                     events=False)
+        assert result.metrics.cluster is None
+        assert "cluster:" not in render_metrics(result.metrics)
+        assert "cluster:" not in render_top(
+            pipeline.metrics.registry.to_json())

@@ -1,0 +1,199 @@
+"""Property tests for the cluster wire codec.
+
+The serialization contract the IPC path depends on: every payload type
+round-trips byte→object→byte without pickle, malformed data raises
+``WireError`` instead of mis-decoding, and frames carry their sequence
+number and shard id faithfully.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.cluster import wire
+from repro.cluster.wire import (
+    END_OF_INPUT,
+    EndOfInput,
+    WireError,
+    decode_frame,
+    decode_record,
+    encode_frame,
+    encode_record,
+    iter_frame,
+)
+from repro.pipeline.stages import (
+    END_OF_STREAM,
+    Disposition,
+    Envelope,
+    Heartbeat,
+    ShardDone,
+    WatermarkAdvance,
+)
+
+# -- strategies --------------------------------------------------------------
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=0x2FA0),
+    min_size=1, max_size=24)
+
+def _prefix(family, length, raw):
+    bits = 32 if family == 4 else 128
+    host = bits - length
+    return Prefix(family, (raw >> host) << host, length)
+
+
+prefixes = st.one_of(
+    st.builds(_prefix, st.just(4),
+              st.integers(0, 32), st.integers(0, 2 ** 32 - 1)),
+    st.builds(_prefix, st.just(6),
+              st.integers(0, 128), st.integers(0, 2 ** 128 - 1)),
+)
+
+times = st.floats(min_value=0.0, max_value=2e9,
+                  allow_nan=False, allow_infinity=False)
+
+stamps = st.floats(min_value=-1e6, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+
+announcements = st.builds(
+    BGPUpdate, names, times, prefixes,
+    st.lists(st.integers(1, 2 ** 32 - 1), max_size=6).map(tuple),
+    st.frozensets(st.tuples(st.integers(0, 2 ** 32 - 1),
+                            st.integers(0, 2 ** 32 - 1)), max_size=4),
+)
+
+withdrawals = st.builds(
+    BGPUpdate, names, times, prefixes,
+    st.just(()), st.just(frozenset()), st.just(True))
+
+updates = st.one_of(announcements, withdrawals)
+
+envelopes = st.builds(Envelope, updates, names, stamps)
+
+heartbeats = st.one_of(
+    st.builds(Heartbeat, names, times),
+    st.builds(Heartbeat, names, st.just(END_OF_STREAM)),
+)
+
+dispositions = st.builds(Disposition, updates, st.booleans(),
+                         names, stamps)
+
+watermarks = st.builds(WatermarkAdvance, st.integers(0, 0xFFFF),
+                       names, times)
+
+records = st.one_of(envelopes, heartbeats, dispositions, watermarks,
+                    st.just(END_OF_INPUT))
+
+
+# -- record round-trips ------------------------------------------------------
+
+class TestRecordRoundtrip:
+    @given(envelopes)
+    @settings(max_examples=200)
+    def test_envelope(self, envelope):
+        assert Envelope.from_bytes(envelope.to_bytes()) == envelope
+
+    @given(heartbeats)
+    @settings(max_examples=200)
+    def test_heartbeat(self, heartbeat):
+        assert Heartbeat.from_bytes(heartbeat.to_bytes()) == heartbeat
+
+    @given(dispositions)
+    @settings(max_examples=200)
+    def test_disposition(self, disposition):
+        assert decode_record(encode_record(disposition)) == disposition
+
+    @given(watermarks)
+    def test_watermark(self, advance):
+        assert decode_record(encode_record(advance)) == advance
+
+    def test_end_marker(self):
+        data = END_OF_INPUT.to_bytes()
+        assert data == b"\x03"
+        assert EndOfInput.from_bytes(data) == END_OF_INPUT
+
+    def test_shard_done(self):
+        assert isinstance(decode_record(encode_record(ShardDone())),
+                          ShardDone)
+
+    def test_end_of_stream_heartbeat_survives(self):
+        marker = Heartbeat("rrc00", END_OF_STREAM)
+        decoded = Heartbeat.from_bytes(marker.to_bytes())
+        assert math.isinf(decoded.time)
+
+    def test_trace_is_not_transported(self):
+        # Sampled spans are thread-backend-only; the wire form must
+        # drop them rather than pickle an unpicklable live object.
+        env = Envelope(BGPUpdate("vp", 1.0, Prefix.parse("10.0.0.0/8")),
+                       "s", 0.0, trace=object())
+        assert Envelope.from_bytes(env.to_bytes()).trace is None
+
+
+# -- frame round-trips -------------------------------------------------------
+
+class TestFrameRoundtrip:
+    @given(st.integers(0, 2 ** 64 - 1), st.integers(0, 0xFFFF),
+           st.lists(records, max_size=12))
+    @settings(max_examples=100)
+    def test_frame(self, sequence, shard, batch):
+        encoded = encode_frame(sequence, shard, batch)
+        got_seq, got_shard, got = decode_frame(encoded)
+        assert got_seq == sequence
+        assert got_shard == shard
+        assert got == batch
+
+    @given(st.lists(records, min_size=1, max_size=8))
+    def test_iter_frame_matches_decode(self, batch):
+        encoded = encode_frame(7, 3, batch)
+        assert list(iter_frame(encoded)) == batch
+
+    def test_empty_frame(self):
+        assert decode_frame(encode_frame(0, 0, [])) == (0, 0, [])
+
+    def test_no_pickle_on_the_wire(self):
+        # A frame must be plain struct+MRT bytes: no pickle opcodes.
+        batch = [Envelope(BGPUpdate("vp", 1.0,
+                                    Prefix.parse("10.0.0.0/8")), "s", 0.0),
+                 Heartbeat("s", 2.0), END_OF_INPUT]
+        encoded = encode_frame(1, 0, batch)
+        assert b"\x80\x04" not in encoded      # pickle protocol 4 magic
+        assert b"pickle" not in encoded
+
+
+# -- malformed input ---------------------------------------------------------
+
+class TestMalformed:
+    def test_unknown_tag(self):
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode_record(b"\xff")
+
+    def test_trailing_bytes(self):
+        with pytest.raises(WireError, match="trailing"):
+            decode_record(END_OF_INPUT.to_bytes() + b"junk")
+
+    def test_truncated_frame_header(self):
+        with pytest.raises(WireError, match="truncated frame header"):
+            decode_frame(b"\x00\x01")
+
+    @given(st.lists(records, min_size=1, max_size=4),
+           st.integers(min_value=1))
+    @settings(max_examples=60)
+    def test_truncated_frame_body(self, batch, cut):
+        encoded = encode_frame(1, 0, batch)
+        cut = min(cut, len(encoded) - wire._FRAME.size)
+        if cut <= 0:
+            return
+        with pytest.raises(WireError):
+            decode_frame(encoded[:-cut])
+
+    def test_wrong_record_type(self):
+        with pytest.raises(WireError, match="expected a heartbeat"):
+            Heartbeat.from_bytes(encode_record(END_OF_INPUT))
+
+    def test_unencodable_type(self):
+        with pytest.raises(WireError, match="cannot encode"):
+            encode_record(object())
