@@ -35,13 +35,15 @@ Quickstart::
           f"{len(result.anchor_vps)} anchor VPs")
 """
 
+# Defined before the submodule imports: subsystems (telemetry build
+# info, the CLI) read it during their own import.
+__version__ = "1.1.0"
+
 from . import bgp, core, pipeline, platform, sampling, simulation, \
     usecases, workload
 from .core import GillSampler, Orchestrator, UpdateSampler
 from .pipeline import CollectionPipeline, PipelineConfig
 from .workload import StreamConfig, SyntheticStreamGenerator
-
-__version__ = "1.1.0"
 
 __all__ = [
     "CollectionPipeline",

@@ -468,6 +468,7 @@ _SMOKE_ENDPOINTS = (
     ("/status", (200,)),
     ("/metrics", (200,)),
     ("/metrics?format=json", (200,)),
+    ("/debug/traces", (200,)),
 )
 
 
@@ -657,6 +658,26 @@ def cmd_events(args: argparse.Namespace) -> int:
             print(render_store_summary(store))
     except KeyboardInterrupt:
         print()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    from .telemetry import render_request_traces
+
+    url = args.target if "://" in args.target \
+        else f"http://{args.target}"
+    url = url.rstrip("/") + f"/debug/traces?n={args.limit}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as reply:
+            document = json.loads(reply.read())
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"cannot fetch {url}: {exc}", file=sys.stderr)
+        return 2
+    print(render_request_traces(document), end="")
     return 0
 
 
@@ -939,6 +960,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=None,
                    help="stop --follow after N polls")
     p.set_defaults(func=cmd_events)
+
+    p = sub.add_parser("trace",
+                       help="slowest traced requests from a serve "
+                            "instance's /debug/traces ring")
+    p.add_argument("target",
+                   help="host:port or URL of a repro-bgp serve "
+                        "instance")
+    p.add_argument("-n", "--limit", type=int, default=20,
+                   help="show at most N traces (default 20)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("top",
                        help="live dashboard over a /metrics endpoint")

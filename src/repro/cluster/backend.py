@@ -27,6 +27,17 @@ evaluation and cost-model work run on real cores.  Topology::
   need the *global* cross-shard view (a per-process validator would
   only ever see its own shard's VPs).
 
+Distributed tracing rides the same frames: a sampled envelope's
+:class:`~repro.telemetry.distributed.TraceContext` crosses on the
+traced wire record, the worker measures its share as a
+:class:`~repro.telemetry.distributed.RemoteSpan` on the disposition,
+and the collector stitches it back into the registered coordinator
+trace — so one trace spans the coordinator and worker PIDs.  Every
+frame boundary is also noted in the process's flight recorder
+(:mod:`repro.telemetry.blackbox`), and each respawn both notes the
+kill and fires ``on_worker_kill`` so the runtime can dump the black
+box next to the archive.
+
 Crash safety — exactly-once at frame granularity: the coordinator
 keeps every frame until the matching result returns, detects worker
 death via the process sentinel (never via pipe EOF, which fork fd
@@ -47,7 +58,7 @@ import signal
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..bgp.filtering import FilterTable
@@ -57,6 +68,9 @@ from ..pipeline.metrics import PipelineMetrics
 from ..pipeline.queues import BoundedQueue, QueueClosed, QueueEmpty
 from ..pipeline.stages import Disposition, Envelope, Heartbeat, \
     ServiceCostModel, ShardDone, WatermarkAdvance, _STOP
+from ..telemetry.blackbox import recorder, set_process_role
+from ..telemetry.distributed import DistributedTrace, RemoteSpan, \
+    TraceContext
 from . import wire
 from .metrics import ClusterMetrics
 
@@ -84,6 +98,7 @@ def _worker_main(spec: WorkerSpec, conn) -> None:
     """Child-process loop: decode frames, process, reply in kind."""
     # The coordinator's signal handling must not leak into workers.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    box = set_process_role(f"shard{spec.shard}")
     last_seq = 0
     processed = spec.start_count
     kills = [p for p in spec.kill_positions if p > spec.start_count]
@@ -96,11 +111,17 @@ def _worker_main(spec: WorkerSpec, conn) -> None:
         if seq <= last_seq:
             continue                    # duplicate after a resend race
         last_seq = seq
+        box.note_frame("recv", spec.shard, seq)
         out: List[object] = []
         done = False
         for item in records:
             if isinstance(item, Envelope):
                 update = item.update
+                # A sampled envelope arrives with the decoded trace
+                # context; measure this process's share as a remote
+                # span and ride it back on the disposition.
+                span = RemoteSpan(item.trace) \
+                    if isinstance(item.trace, TraceContext) else None
                 retained = spec.filters.accept(update)
                 if spec.cost_model is not None:
                     spec.cost_model.charge(retained)
@@ -110,8 +131,9 @@ def _worker_main(spec: WorkerSpec, conn) -> None:
                     # frame's results are sent, so the coordinator must
                     # redeliver and the successor must reprocess.
                     os.kill(os.getpid(), signal.SIGKILL)
-                out.append(Disposition(update, retained,
-                                       item.session, item.enqueued_at))
+                out.append(Disposition(
+                    update, retained, item.session, item.enqueued_at,
+                    span.close() if span is not None else None))
             elif isinstance(item, Heartbeat):
                 out.append(WatermarkAdvance(spec.shard, item.session,
                                             item.time))
@@ -122,6 +144,7 @@ def _worker_main(spec: WorkerSpec, conn) -> None:
             conn.send_bytes(wire.encode_frame(seq, spec.shard, out))
         except (BrokenPipeError, OSError):
             return
+        box.note_frame("send", spec.shard, seq, records=len(out))
         if done:
             return
 
@@ -169,7 +192,9 @@ class ProcessWorkerPool:
                  supervision: Optional[SupervisorConfig] = None,
                  batch_max: int = 256,
                  linger_s: float = 0.002,
-                 on_fatal: Optional[Callable[[BaseException], None]] = None):
+                 on_fatal: Optional[Callable[[BaseException], None]] = None,
+                 on_worker_kill: Optional[
+                     Callable[[int, Optional[int]], None]] = None):
         self.n_shards = n_shards
         self.ingest_queues = list(ingest_queues)
         self.writer_queue = writer_queue
@@ -188,6 +213,12 @@ class ProcessWorkerPool:
         self.batch_max = max(1, batch_max)
         self.linger_s = max(1e-4, linger_s)
         self.on_fatal = on_fatal
+        #: Called as ``(shard, fired_position)`` after every respawn —
+        #: the runtime's flight-recorder dump hook.
+        self.on_worker_kill = on_worker_kill
+        #: Coordinator-side stitching state when the pipeline tracer is
+        #: a DistributedTracer; None leaves tracing fully inert.
+        self.stitcher = getattr(metrics.tracer, "stitcher", None)
         self.error: Optional[BaseException] = None
         self._ctx = multiprocessing.get_context()
         self._lanes: List[_Lane] = []
@@ -294,6 +325,8 @@ class ProcessWorkerPool:
                 lane.conn_broken = True
         self.cluster.frame_sent(lane.shard, n_updates, len(data))
         self.cluster.outstanding(lane.shard, depth)
+        recorder().note_frame("send", lane.shard, seq,
+                              updates=n_updates, pending=depth)
 
     def _feed_loop(self, lane: _Lane) -> None:
         queue = self.ingest_queues[lane.shard]
@@ -324,12 +357,44 @@ class ProcessWorkerPool:
                 batch.append(item)
                 flush()
                 continue
+            trace = item.trace
+            if self.stitcher is not None \
+                    and isinstance(trace, DistributedTrace):
+                # The span's identity is about to cross the wire; park
+                # the live trace until the disposition brings its
+                # remote measurement back.
+                trace.mark("feeder-batch")
+                self.stitcher.register(trace)
             batch.append(item)
             n_updates += 1
             if len(batch) >= self.batch_max:
                 flush()
 
     # -- collector side -----------------------------------------------------
+
+    def _stitch(self, item: Disposition) -> Disposition:
+        """Swap a returned remote span for its originating live trace.
+
+        The worker sent back ``(trace_id, span_id, pid, duration)``;
+        the registered :class:`DistributedTrace` absorbs it as a
+        ``worker-shard`` span and continues through the writer.  An
+        unresolvable span (stitcher eviction, trace from a previous
+        incarnation) is dropped — the writer must only ever see live
+        traces or None.
+        """
+        span = item.trace
+        if not isinstance(span, RemoteSpan):
+            return item
+        trace = self.stitcher.resolve(span.trace_id) \
+            if self.stitcher is not None else None
+        if trace is None:
+            return replace(item, trace=None)
+        trace.add_remote_span("worker-shard", span.pid,
+                              span.duration_s)
+        note = getattr(self.metrics.tracer, "note_stitched", None)
+        if note is not None:
+            note()
+        return replace(item, trace=trace)
 
     def _handle_disposition(self, item: Disposition) -> None:
         """Coordinator-side tail of the worker stage.
@@ -338,6 +403,7 @@ class ProcessWorkerPool:
         global cross-shard view; the writer queue then reorders by
         watermark exactly as in the thread backend.
         """
+        item = self._stitch(item)
         update = item.update
         if self.validator is not None:
             with self.validator_lock:
@@ -348,6 +414,10 @@ class ProcessWorkerPool:
                     self.flagged_sink(update)
                 self.metrics.process.latency.record(
                     time.perf_counter() - item.enqueued_at)
+                if item.trace is not None:
+                    # The span ends here: flagged updates never reach
+                    # the writer.
+                    item.trace.finish()
                 return
         reached = 0
         if self.forwarding is not None:
@@ -365,6 +435,7 @@ class ProcessWorkerPool:
             return                      # duplicate result, already applied
         lane.last_result_seq = seq
         self.cluster.frame_received(len(data))
+        recorder().note_frame("recv", lane.shard, seq)
         with lane.lock:
             entry = lane.pending.pop(seq, None)
             depth = len(lane.pending)
@@ -424,12 +495,17 @@ class ProcessWorkerPool:
             resent = len(lane.pending)
         self.cluster.worker_respawned(lane.shard)
         self.metrics.worker_restarted(lane.shard)
+        recorder().note("worker-kill", shard=lane.shard,
+                        position=fired, respawns=lane.respawns,
+                        resent=resent)
         if self.injector is not None:
             detail = f" after scheduled kill at {fired}" \
                 if fired is not None else ""
             self.injector.record(
                 f"respawned shard{lane.shard} worker{detail}, "
                 f"resent {resent} frames")
+        if self.on_worker_kill is not None:
+            self.on_worker_kill(lane.shard, fired)
 
     def _collect_loop(self) -> None:
         from multiprocessing.connection import wait as mp_wait

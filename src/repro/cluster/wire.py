@@ -29,6 +29,17 @@ Record tags:
 ``DISPOSITION``  worker → coordinator, the verdict on one update
 ``WATERMARK``    worker → coordinator, a heartbeat echoed past the shard
 ``DONE``         worker → coordinator, shard has drained and is exiting
+``ENVELOPE_TRACED``     an envelope carrying a distributed trace context
+``DISPOSITION_TRACED``  a disposition carrying the worker's remote span
+
+Frame versioning — a frame whose records carry trace payloads is
+emitted as a *v2* frame: one magic byte (:data:`FRAME_MAGIC`, a value
+a v1 sequence number's leading byte can never take in practice), one
+version byte, then the unchanged ``!QHI`` header and records.  Frames
+without trace payloads keep the original headerless v1 layout
+byte-for-byte, so tracing-off wire traffic is identical to what older
+peers produced, and this decoder accepts both forms — old frames
+still parse, and old captures replay.
 """
 
 from __future__ import annotations
@@ -41,6 +52,8 @@ from ..bgp import mrt
 from ..bgp.message import BGPUpdate
 from ..pipeline.stages import Disposition, Envelope, Heartbeat, \
     ShardDone, WatermarkAdvance
+from ..telemetry.distributed import CONTEXT_SIZE, RemoteSpan, \
+    TraceContext
 
 TAG_ENVELOPE = 1
 TAG_HEARTBEAT = 2
@@ -48,12 +61,21 @@ TAG_END = 3
 TAG_DISPOSITION = 4
 TAG_WATERMARK = 5
 TAG_DONE = 6
+TAG_ENVELOPE_TRACED = 7
+TAG_DISPOSITION_TRACED = 8
 
 _TAG = struct.Struct("!B")
 _F64 = struct.Struct("!d")
 _U16 = struct.Struct("!H")
 _FLAGS = struct.Struct("!B")
 _FRAME = struct.Struct("!QHI")     # sequence, shard, record count
+_SPAN = struct.Struct("!QQId")     # trace id, span id, pid, duration
+
+#: First byte of a v2 (trace-capable) frame.  A v1 frame starts with
+#: the high byte of its u64 sequence number, which stays 0 for the
+#: first ~7.2e16 frames — the magic can never collide in practice.
+FRAME_MAGIC = 0xF7
+FRAME_VERSION = 2
 
 _FLAG_RETAINED = 0x01
 
@@ -121,10 +143,44 @@ def _read_update(buf: BinaryIO) -> BGPUpdate:
     return record
 
 
+def _trace_context(trace: object) -> "TraceContext | None":
+    """The propagatable context of an envelope's trace, if any.
+
+    Only sampled distributed traces produce one: a plain in-process
+    :class:`~repro.telemetry.trace.Trace` has no wire identity and is
+    deliberately *not* transported (the live object cannot cross a
+    pipe), so frames carrying those stay v1 byte-for-byte.
+    """
+    if trace is None:
+        return None
+    if isinstance(trace, TraceContext):
+        return trace if trace.sampled else None
+    derive = getattr(trace, "context", None)
+    if callable(derive):
+        context = derive()
+        if isinstance(context, TraceContext) and context.sampled:
+            return context
+    return None
+
+
+def record_is_traced(item: object) -> bool:
+    """Whether ``item`` needs a trace-capable (v2) frame."""
+    if isinstance(item, Envelope):
+        return _trace_context(item.trace) is not None
+    if isinstance(item, Disposition):
+        return isinstance(item.trace, RemoteSpan)
+    return False
+
+
 def write_record(buf: BinaryIO, item: object) -> None:
     """Append one tagged record for ``item`` to ``buf``."""
     if isinstance(item, Envelope):
-        buf.write(_TAG.pack(TAG_ENVELOPE))
+        context = _trace_context(item.trace)
+        if context is not None:
+            buf.write(_TAG.pack(TAG_ENVELOPE_TRACED))
+            buf.write(context.to_bytes())
+        else:
+            buf.write(_TAG.pack(TAG_ENVELOPE))
         _write_str(buf, item.session)
         buf.write(_F64.pack(item.enqueued_at))
         buf.write(mrt.encode_update(item.update))
@@ -133,8 +189,17 @@ def write_record(buf: BinaryIO, item: object) -> None:
         _write_str(buf, item.session)
         buf.write(_F64.pack(item.time))
     elif isinstance(item, Disposition):
-        buf.write(_TAG.pack(TAG_DISPOSITION))
-        buf.write(_FLAGS.pack(_FLAG_RETAINED if item.retained else 0))
+        span = item.trace if isinstance(item.trace, RemoteSpan) else None
+        if span is not None:
+            buf.write(_TAG.pack(TAG_DISPOSITION_TRACED))
+            buf.write(_FLAGS.pack(
+                _FLAG_RETAINED if item.retained else 0))
+            buf.write(_SPAN.pack(span.trace_id, span.span_id,
+                                 span.pid, span.duration_s))
+        else:
+            buf.write(_TAG.pack(TAG_DISPOSITION))
+            buf.write(_FLAGS.pack(
+                _FLAG_RETAINED if item.retained else 0))
         _write_str(buf, item.session)
         buf.write(_F64.pack(item.enqueued_at))
         buf.write(mrt.encode_update(item.update))
@@ -158,6 +223,13 @@ def read_wire_record(buf: BinaryIO) -> object:
         session = _read_str(buf)
         (enqueued_at,) = _F64.unpack(_read_exact(buf, _F64.size))
         return Envelope(_read_update(buf), session, enqueued_at)
+    if tag == TAG_ENVELOPE_TRACED:
+        context = TraceContext.from_bytes(
+            _read_exact(buf, CONTEXT_SIZE))
+        session = _read_str(buf)
+        (enqueued_at,) = _F64.unpack(_read_exact(buf, _F64.size))
+        return Envelope(_read_update(buf), session, enqueued_at,
+                        trace=context)
     if tag == TAG_HEARTBEAT:
         session = _read_str(buf)
         (time,) = _F64.unpack(_read_exact(buf, _F64.size))
@@ -169,6 +241,17 @@ def read_wire_record(buf: BinaryIO) -> object:
         return Disposition(_read_update(buf),
                            bool(flags & _FLAG_RETAINED),
                            session, enqueued_at)
+    if tag == TAG_DISPOSITION_TRACED:
+        (flags,) = _FLAGS.unpack(_read_exact(buf, 1))
+        trace_id, span_id, pid, duration_s = _SPAN.unpack(
+            _read_exact(buf, _SPAN.size))
+        session = _read_str(buf)
+        (enqueued_at,) = _F64.unpack(_read_exact(buf, _F64.size))
+        return Disposition(_read_update(buf),
+                           bool(flags & _FLAG_RETAINED),
+                           session, enqueued_at,
+                           trace=RemoteSpan.from_wire(
+                               trace_id, span_id, pid, duration_s))
     if tag == TAG_WATERMARK:
         (shard,) = _U16.unpack(_read_exact(buf, _U16.size))
         session = _read_str(buf)
@@ -222,21 +305,48 @@ def decode_heartbeat(data: bytes) -> Heartbeat:
 
 def encode_frame(sequence: int, shard: int,
                  records: Sequence[object]) -> bytes:
-    """Pack ``records`` into one framed batch."""
+    """Pack ``records`` into one framed batch.
+
+    Emits the original v1 layout unless some record carries a trace
+    payload, in which case the frame gains the two-byte
+    magic + version prefix — so tracing-off traffic stays
+    byte-identical to pre-versioning peers.
+    """
     buf = io.BytesIO()
+    if any(record_is_traced(item) for item in records):
+        buf.write(_TAG.pack(FRAME_MAGIC))
+        buf.write(_TAG.pack(FRAME_VERSION))
     buf.write(_FRAME.pack(sequence, shard, len(records)))
     for item in records:
         write_record(buf, item)
     return buf.getvalue()
 
 
+def _frame_header(data: bytes) -> Tuple[int, int, int, int]:
+    """Parse a v1 or v2 frame header.
+
+    Returns ``(sequence, shard, count, body_offset)``.
+    """
+    if data[:1] == bytes((FRAME_MAGIC,)):
+        if len(data) < 2:
+            raise WireError("truncated frame header")
+        version = data[1]
+        if version != FRAME_VERSION:
+            raise WireError(f"unsupported frame version {version}")
+        offset = 2
+    else:
+        offset = 0
+    if len(data) < offset + _FRAME.size:
+        raise WireError("truncated frame header")
+    sequence, shard, count = _FRAME.unpack_from(data, offset)
+    return sequence, shard, count, offset + _FRAME.size
+
+
 def decode_frame(data: bytes) -> Tuple[int, int, List[object]]:
     """Unpack one frame into ``(sequence, shard, records)``."""
-    if len(data) < _FRAME.size:
-        raise WireError("truncated frame header")
-    sequence, shard, count = _FRAME.unpack_from(data)
+    sequence, shard, count, offset = _frame_header(data)
     buf = io.BytesIO(data)
-    buf.seek(_FRAME.size)
+    buf.seek(offset)
     records = [read_wire_record(buf) for _ in range(count)]
     trailing = buf.read()
     if trailing:
@@ -246,10 +356,8 @@ def decode_frame(data: bytes) -> Tuple[int, int, List[object]]:
 
 def iter_frame(data: bytes) -> Iterator[object]:
     """Yield a frame's records without materializing the list."""
-    if len(data) < _FRAME.size:
-        raise WireError("truncated frame header")
-    _, _, count = _FRAME.unpack_from(data)
+    _, _, count, offset = _frame_header(data)
     buf = io.BytesIO(data)
-    buf.seek(_FRAME.size)
+    buf.seek(offset)
     for _ in range(count):
         yield read_wire_record(buf)

@@ -1,0 +1,141 @@
+"""Crash incidents from flight-recorder dumps.
+
+A flight-recorder dump (:mod:`repro.telemetry.blackbox`) is mostly
+diagnostic — wall-clock timestamps, live metric values, the last
+seconds of spans and wire frames — but its ``incidents`` block is
+deterministic: the coordinator records each worker kill as
+``{"kind": "worker-kill", "shard": N, "position": P}``, both facts
+fixed by the seeded chaos schedule.  This module turns that block into
+``crash`` events in the :class:`~repro.events.store.EventStore`, with
+the dump file name attached as evidence so ``repro-bgp events report``
+can point an operator at the black box.
+
+Determinism contract (the reason absorption happens at *archive
+close*, not at dump time): event content may depend only on the
+incident facts and the store's stream-time watermark — never on wall
+clock or on when during the epoch the kill happened.  The event
+pipeline's replay invariant then holds: a recovery ``sync()``
+re-absorbs the same dumps after re-processing the segments and
+converges on a byte-identical ``events.jsonl``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry.blackbox import find_dumps, load_dump
+from .model import Detection, Event, EventState
+from .store import EventStore
+
+
+def _incident_key(incident: Dict[str, object]
+                  ) -> Optional[Tuple[str, int, int]]:
+    """The identity of one deterministic incident, or None if torn."""
+    kind = incident.get("kind")
+    shard = incident.get("shard")
+    position = incident.get("position")
+    if not isinstance(kind, str) or not isinstance(shard, int):
+        return None
+    # A kill that fired off-schedule (budget exhaustion, a real crash)
+    # has no position; key it as -1 so it still journals once.
+    if not isinstance(position, int):
+        position = -1
+    return (kind, shard, position)
+
+
+def crash_incidents(directory: str) -> List[Dict[str, object]]:
+    """Every deterministic incident across a directory's dumps.
+
+    Deduplicated (repeated dumps carry the cumulative list) and sorted
+    by ``(kind, shard, position)`` so absorption order never depends
+    on dump file enumeration order.
+    """
+    seen: Dict[Tuple[str, int, int], Dict[str, object]] = {}
+    for path in find_dumps(directory):
+        document = load_dump(path)
+        if document is None:
+            continue
+        incidents = document.get("incidents")
+        if not isinstance(incidents, list):
+            continue
+        source = os.path.basename(path)
+        for incident in incidents:
+            if not isinstance(incident, dict):
+                continue
+            key = _incident_key(incident)
+            if key is None or key in seen:
+                continue
+            entry = dict(incident)
+            entry["flightrecorder"] = source
+            seen[key] = entry
+    return [seen[key] for key in sorted(seen)]
+
+
+def crash_event(incident: Dict[str, object],
+                watermark: float) -> Event:
+    """One deterministic ``crash`` event for one incident.
+
+    The event is born RESOLVED — the process was already respawned (or
+    the epoch is over) by the time absorption runs — and every time
+    field is the store's stream-time watermark, never wall clock.
+    """
+    kind = str(incident.get("kind", "crash"))
+    shard = incident.get("shard")
+    position = incident.get("position")
+    suffix = f"shard{shard}" if shard is not None else "proc"
+    if isinstance(position, int) and position >= 0:
+        summary = (f"{kind}: shard {shard} worker killed at "
+                   f"update {position}")
+        event_id = f"crash-{suffix}-{position}"
+    else:
+        summary = f"{kind}: shard {shard} worker died off-schedule"
+        event_id = f"crash-{suffix}-unscheduled"
+    detection = Detection(
+        detector="flightrecorder",
+        type="crash",
+        key=(kind, shard, position),
+        time=watermark,
+        summary=summary,
+        lifecycle=False,
+        extra=dict(incident),
+    )
+    event = Event(
+        id=event_id, type="crash", state=EventState.RESOLVED,
+        first_seen=watermark, last_seen=watermark,
+        resolved_at=watermark,
+    )
+    event.absorb(detection)
+    event.segments = 1
+    return event
+
+
+def absorb_crash_dumps(store: EventStore, directory: str,
+                       watermark: Optional[float] = None) -> List[Event]:
+    """Journal every dump incident under ``directory`` into ``store``.
+
+    ``watermark`` defaults to the store's own watermark (the last
+    sealed segment's end) and falls back to 0.0 for a store that never
+    saw a segment.  Idempotent: event ids are derived from the
+    incident identity, so re-absorption upserts identical records.
+    Returns the events applied, in id order.
+    """
+    incidents = crash_incidents(directory)
+    if not incidents:
+        return []
+    if watermark is None:
+        watermark = store.watermark if store.watermark is not None \
+            else 0.0
+    applied: List[Event] = []
+    for incident in incidents:
+        event = crash_event(incident, watermark)
+        existing = store.get(event.id)
+        if existing is not None \
+                and existing.to_json() == event.to_json():
+            # Already journaled with identical content (a sync that
+            # replayed this epoch's dumps): appending another upsert
+            # would break journal byte parity for nothing.
+            continue
+        store.apply(event, watermark)
+        applied.append(event)
+    return applied

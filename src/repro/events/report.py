@@ -103,6 +103,16 @@ def render_event_report(event: Event) -> str:
     if event.open_keys:
         lines.append(f"open keys  : {len(event.open_keys)} "
                      f"(incident still active)")
+    recorders = []
+    for detection in event.evidence:
+        dump = detection.extra.get("flightrecorder")
+        if isinstance(dump, str) and dump not in recorders:
+            recorders.append(dump)
+    if recorders:
+        # Crash and quarantine incidents carry the black box that was
+        # dumped when they fired; point the operator straight at it.
+        lines.append(f"black box  : {', '.join(recorders)} "
+                     f"(in the archive directory)")
     lines.append("timeline:")
     lines.extend(_timeline(event.evidence, event.evidence_dropped))
     return "\n".join(lines)

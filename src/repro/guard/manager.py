@@ -10,9 +10,12 @@ manifest digests, the guard:
   ``quarantine/`` under the archive directory, so it can never be
   served again but an operator can still inspect it;
 * bumps the ``repro_guard_*`` metric families;
+* dumps this process's flight recorder
+  (:mod:`repro.telemetry.blackbox`) next to the archive, so the black
+  box shows what the reader was doing when it found the rot;
 * journals an ``integrity`` incident into the events store (when one
-  is attached), so quarantines surface on ``/events`` next to hijacks
-  and outages.
+  is attached) with the dump file as evidence, so quarantines surface
+  on ``/events`` next to hijacks and outages.
 
 Quarantine state is rebuilt from the ``quarantine/`` directory on
 construction, so a restarted server remembers what a previous process
@@ -29,6 +32,7 @@ import threading
 from typing import Optional, Tuple
 
 from ..telemetry import MetricsRegistry
+from ..telemetry.blackbox import recorder
 
 #: Sub-directory of the archive dir where condemned segments go.
 QUARANTINE_DIR = "quarantine"
@@ -111,8 +115,24 @@ class IntegrityGuard:
             self._quarantines.labels(reason=reason).inc()
             self._quarantined_gauge.set(float(len(self._quarantined)))
             self._move_aside(path, name)
-        self._journal_incident(name, reason, watermark)
+        dump = self._dump_flight(name, reason)
+        self._journal_incident(name, reason, watermark, dump)
         return True
+
+    def _dump_flight(self, name: str, reason: str) -> Optional[str]:
+        """Black-box the quarantine: the serve/replay process's last
+        seconds often show *how* the rot was found (which query, which
+        scrub pass).  Returns the dump's basename, or None when the
+        disk refused."""
+        box = recorder()
+        box.note("quarantine", segment=name, reason=reason)
+        try:
+            path = box.dump(self.directory,
+                            reason=f"quarantine {name}",
+                            registry=self.registry)
+        except OSError:
+            return None
+        return os.path.basename(path)
 
     def _move_aside(self, path: str, name: str) -> None:
         qdir = quarantine_dir_for(self.directory)
@@ -131,11 +151,15 @@ class IntegrityGuard:
             pass
 
     def _journal_incident(self, name: str, reason: str,
-                          watermark: Optional[float]) -> None:
+                          watermark: Optional[float],
+                          dump: Optional[str] = None) -> None:
         if self.events is None:
             return
         from ..events.model import Detection, Event, EventState
         when = watermark if watermark is not None else 0.0
+        extra = {"segment": name, "reason": reason}
+        if dump is not None:
+            extra["flightrecorder"] = dump
         detection = Detection(
             detector="guard",
             type="integrity",
@@ -144,7 +168,7 @@ class IntegrityGuard:
             score=1.0,
             lifecycle=False,
             summary=f"segment {name} quarantined ({reason})",
-            extra={"segment": name, "reason": reason},
+            extra=extra,
         )
         event = Event(
             id=f"guard-{name}",

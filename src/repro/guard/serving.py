@@ -195,12 +195,18 @@ class CircuitBreaker:
                  failure_threshold: int = 5,
                  reset_after_s: float = 5.0,
                  registry=None,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 on_open=None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         self.failure_threshold = failure_threshold
         self.reset_after_s = reset_after_s
         self._clock = clock
+        #: Called with the endpoint key each time a circuit opens (the
+        #: server hooks the flight recorder here).  Runs under the
+        #: breaker lock on the failing request's thread: keep it short
+        #: and never call back into the breaker.
+        self.on_open = on_open
         self._lock = threading.Lock()
         self._states: Dict[str, _BreakerState] = {}
         self._open_gauge = None
@@ -266,3 +272,10 @@ class CircuitBreaker:
     def _note(self, key: str, open_: bool) -> None:
         if self._open_gauge is not None:
             self._open_gauge.labels(endpoint=key).set(1.0 if open_ else 0.0)
+        if open_ and self.on_open is not None:
+            try:
+                self.on_open(key)
+            except Exception:
+                # A failing observer must never turn breaker
+                # bookkeeping into a request error.
+                pass

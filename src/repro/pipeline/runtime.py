@@ -43,8 +43,10 @@ from ..bgp.filtering import FilterTable
 from ..bgp.message import BGPUpdate
 from ..bgp.validation import RouteValidator
 from ..core.forwarding import ForwardingService
+from .. import __version__
 from ..gill import GillConfig, GillStage
-from ..telemetry import TimeSeriesSampler, Tracer
+from ..telemetry import DistributedTracer, TimeSeriesSampler, Tracer, \
+    set_build_info, set_process_role
 from .faults import FaultInjector, FaultPlan, SupervisorConfig
 from .metrics import PipelineMetrics, PipelineMetricsSnapshot
 from .queues import BoundedQueue, QueueClosed
@@ -128,9 +130,6 @@ class PipelineConfig:
             raise ValueError("time_scale must be positive")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ValueError("trace_sample_rate must be in [0, 1]")
-        if self.backend == "processes" and self.trace_sample_rate > 0.0:
-            raise ValueError("trace sampling requires the 'threads' "
-                             "backend (spans cannot cross processes)")
         if self.ipc_batch <= 0:
             raise ValueError("ipc_batch must be positive")
         if self.ipc_linger_s <= 0:
@@ -189,15 +188,32 @@ class CollectionPipeline:
         #: re-establishes — the §8 hook for re-dumping its RIB.
         self.on_reestablish = on_reestablish
         self.metrics = PipelineMetrics()
+        set_build_info(self.metrics.registry, __version__,
+                       backend=self.config.backend)
         if self.config.trace_sample_rate > 0.0:
             # Replace the default (disabled) tracer with a sampling
             # one bound to the same registry, so the trace families
-            # appear in the same exposition.
-            self.metrics.tracer = Tracer(
+            # appear in the same exposition.  The processes backend
+            # needs the distributed variant: its spans cross the
+            # cluster wire and are stitched back at the coordinator.
+            tracer_cls = DistributedTracer \
+                if self.config.backend == "processes" else Tracer
+            self.metrics.tracer = tracer_cls(
                 self.config.trace_sample_rate,
                 registry=self.metrics.registry,
                 ring_size=self.config.trace_ring,
                 slow_threshold_s=self.config.trace_slow_threshold_s)
+        #: This process's crash flight recorder, named for the
+        #: coordinator role and wired so finished spans land in its
+        #: black-box ring alongside the cluster frame notes.
+        self.flight = set_process_role("coordinator")
+        self.flight.bind_registry(self.metrics.registry)
+        self.metrics.tracer.flight = self.flight
+        #: Deterministic crash incidents (worker kills) accumulated
+        #: for the flight dump's ``incidents`` block, which the event
+        #: subsystem absorbs reproducibly at archive close.
+        self._crash_reports: List[Dict[str, object]] = []
+        self._crash_lock = threading.Lock()
         self.sampler: Optional[TimeSeriesSampler] = None
         if self.config.metrics_interval_s is not None:
             self.sampler = TimeSeriesSampler(
@@ -326,6 +342,7 @@ class CollectionPipeline:
                 batch_max=cfg.ipc_batch,
                 linger_s=cfg.ipc_linger_s,
                 on_fatal=self._on_writer_fatal,
+                on_worker_kill=self._on_worker_kill,
             )
         else:
             self._workers = [self._make_worker(shard)
@@ -371,10 +388,57 @@ class CollectionPipeline:
 
     # -- supervision --------------------------------------------------------
 
+    def _dump_directory(self) -> Optional[str]:
+        """Where flight-recorder dumps land: next to the archive."""
+        directory = getattr(self.archive, "directory", None)
+        return directory if isinstance(directory, str) else None
+
+    def _queue_depths(self) -> Dict[str, object]:
+        depths: Dict[str, object] = {
+            f"ingest{i}": len(queue)
+            for i, queue in enumerate(self._ingest_queues)
+        }
+        if self._writer_queue is not None:
+            depths["writer"] = len(self._writer_queue)
+        return depths
+
+    def _dump_flight(self, reason: str) -> Optional[str]:
+        """Dump the coordinator's black box next to the archive.
+
+        The dump itself is diagnostic (wall clock, live metrics); its
+        ``incidents`` block is the deterministic record of worker
+        kills that the event subsystem journals at archive close.
+        """
+        directory = self._dump_directory()
+        if directory is None:
+            return None
+        with self._crash_lock:
+            incidents = list(self._crash_reports)
+        try:
+            return self.flight.dump(directory, reason,
+                                    incidents=incidents,
+                                    registry=self.metrics.registry,
+                                    queues=self._queue_depths())
+        except OSError:
+            return None         # a failing disk must not mask the fault
+
+    def _on_worker_kill(self, shard: int,
+                        position: Optional[int]) -> None:
+        """Pool hook: a worker process died and was respawned."""
+        with self._crash_lock:
+            self._crash_reports.append({
+                "kind": "worker-kill",
+                "shard": shard,
+                "position": position,
+            })
+        self._dump_flight(f"worker-kill shard{shard}")
+
     def _on_writer_fatal(self, exc: BaseException) -> None:
         """The writer (or the worker pool) died: poison every queue so
         no producer or worker stays blocked behind the corpse, then
         let ``wait`` re-raise."""
+        self.flight.note("writer-fatal", error=repr(exc))
+        self._dump_flight(f"writer-fatal {type(exc).__name__}")
         self._stop_event.set()
         for queue in self._ingest_queues:
             queue.close()

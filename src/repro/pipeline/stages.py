@@ -88,9 +88,10 @@ class Envelope:
     def to_bytes(self) -> bytes:
         """Compact binary form for cross-process handoff.
 
-        Traces never cross a process boundary (sampling requires the
-        ``threads`` backend), so the encoding carries only the update,
-        session, and ingest stamp — see :mod:`repro.cluster.wire`.
+        A live in-process trace cannot cross a pipe, but a sampled
+        distributed trace's :class:`~repro.telemetry.distributed
+        .TraceContext` can: it rides the traced wire record and is
+        re-hydrated in the worker — see :mod:`repro.cluster.wire`.
         """
         from ..cluster import wire
         return wire.encode_envelope(self)
@@ -645,6 +646,7 @@ class WriterStage(threading.Thread):
                 continue
             self._last_emitted = disposition.update.time
             emitted = True
+            sealed = False
             if self.mirror is not None:
                 self.mirror(disposition.update, disposition.retained)
             if disposition.retained and self.archive is not None:
@@ -656,15 +658,21 @@ class WriterStage(threading.Thread):
                     for ready in self.gill.offer(disposition.update):
                         if self._write_archived(ready) is not None:
                             self.metrics.segment_flushed()
+                            sealed = True
                 else:
                     segment = self._write_archived(disposition.update)
                     if segment is not None:
                         self.metrics.segment_flushed()
+                        sealed = True
             self.metrics.write.add(processed=1)
             self.metrics.write.latency.record(
                 time.perf_counter() - disposition.enqueued_at)
             if disposition.trace is not None:
                 disposition.trace.mark("write")
+                if sealed:
+                    # This write also rolled a segment: give the seal
+                    # its own (distributed-trace-visible) stage.
+                    disposition.trace.mark("seal")
                 disposition.trace.finish()
         if emitted:
             self.metrics.writer_advanced(self._last_emitted)

@@ -279,7 +279,9 @@ class QueryEngine:
             self.guard.quarantine(segment.path, reason,
                                   watermark=segment.end)
 
-    def _read_verified(self, segment: ArchiveSegment) -> Optional[bytes]:
+    def _read_verified(self, segment: ArchiveSegment,
+                       verify_sink: Optional[List[float]] = None
+                       ) -> Optional[bytes]:
         """The segment's decompressed payload, or None when the file
         is gone (quarantined/deleted) or fails verification.
 
@@ -298,8 +300,13 @@ class QueryEngine:
         except OSError:
             return None
         if self.verify:
+            started = time_mod.perf_counter()
             reason = mismatch_reason(raw, size=segment.size,
                                      crc32=segment.crc32)
+            if verify_sink is not None:
+                # list.append is atomic under the GIL, so pool threads
+                # can share one sink without a lock.
+                verify_sink.append(time_mod.perf_counter() - started)
             if reason is not None:
                 self._quarantine(segment, reason)
                 return None
@@ -316,11 +323,12 @@ class QueryEngine:
     # -- execution -----------------------------------------------------------
 
     def _scan_segment(self, planned: PlannedSegment, spec: QuerySpec,
-                      deadline: Optional[Deadline] = None
+                      deadline: Optional[Deadline] = None,
+                      verify_sink: Optional[List[float]] = None
                       ) -> List[BGPUpdate]:
         if deadline is not None:
             deadline.check("before segment decode")
-        payload = self._read_verified(planned.segment)
+        payload = self._read_verified(planned.segment, verify_sink)
         if payload is None:
             return []
         hits: List[BGPUpdate] = []
@@ -359,33 +367,52 @@ class QueryEngine:
         return plan_query(self.catalog.segments(), spec, self._index_for)
 
     def query(self, spec: QuerySpec,
-              deadline: Optional[Deadline] = None) -> List[BGPUpdate]:
+              deadline: Optional[Deadline] = None,
+              trace=None) -> List[BGPUpdate]:
         """Answer one spec; equal to a naive scan-and-filter of the
         whole archive, in ``(time, vp, prefix)`` order.
 
         A ``deadline`` propagates into the decode loops: when it
         expires mid-scan, :class:`~repro.guard.serving.
         DeadlineExceeded` is raised and nothing is cached.
+
+        A ``trace`` (any :class:`~repro.telemetry.trace.Trace`, e.g.
+        the server's per-request span) gets stage marks for the cache
+        lookup, the index prune, the decode pass, and — as an
+        aggregated overlay, since it runs on the pool threads — guard
+        verification.
         """
         segments = self.catalog.segments()
         token = self._token(segments)
         key = spec.key()
         stale_before = self.cache.invalidations
         cached = self.cache.get(key, token)
+        if trace is not None:
+            trace.mark("cache-lookup")
         if cached is not None:
             self.stats.query_served(cache_hit=True, returned=len(cached))
             return list(cached)
         if self.cache.invalidations > stale_before:
             self.stats.cache_invalidated()
         plan = plan_query(segments, spec, self._index_for)
+        if trace is not None:
+            trace.mark("index-prune")
+        verify_sink: Optional[List[float]] = \
+            [] if trace is not None and self.verify else None
         if len(plan.scan) <= 1:
-            hit_lists = [self._scan_segment(planned, spec, deadline)
+            hit_lists = [self._scan_segment(planned, spec, deadline,
+                                            verify_sink)
                          for planned in plan.scan]
         else:
             hit_lists = list(self._pool.map(
                 lambda planned: self._scan_segment(planned, spec,
-                                                   deadline),
+                                                   deadline,
+                                                   verify_sink),
                 plan.scan))
+        if trace is not None:
+            trace.mark("segment-decode")
+            if verify_sink:
+                trace.add_stage("guard-verify", sum(verify_sink))
         results: List[BGPUpdate] = [u for hits in hit_lists for u in hits]
         results.sort(key=lambda u: (u.time, u.vp, u.prefix))
         if spec.limit is not None:

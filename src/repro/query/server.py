@@ -23,7 +23,16 @@ engine's thread-pool executor and GIL-releasing bz2 decode):
   indexes; ``GET /events/<id>`` returns one incident with evidence;
 * ``GET /status``    — watermark, segment count and engine counters;
 * ``GET /metrics``   — the engine's metrics registry, Prometheus text
-  by default or JSON with ``?format=json`` (docs/TELEMETRY.md).
+  by default or JSON with ``?format=json`` (docs/TELEMETRY.md);
+* ``GET /debug/traces`` — the slowest recently-traced requests with
+  per-stage latencies (``repro-bgp trace`` renders it).
+
+Every request is traced (:class:`~repro.telemetry.distributed.
+RequestTracer`): an inbound ``X-Trace-Id`` is honoured, spans cover
+admission, the engine's cache lookup / index prune / segment decode /
+guard verification, and the response write, and **all** responses —
+including sheds and errors — carry ``X-Trace-Id`` and ``X-Request-Id``
+headers matching the server log.
 
 Responses are JSON; errors map to ``{"error": ...}`` with 400
 (malformed parameters), 404 (unknown path / no data), 500 (internal —
@@ -46,18 +55,20 @@ import logging
 import math
 import threading
 import traceback
-import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from .. import __version__
 from ..bgp.message import BGPUpdate
 from ..events.store import EventStore
 from ..guard.manager import IntegrityGuard
 from ..guard.scrub import Scrubber
 from ..guard.serving import AdmissionController, CircuitBreaker, \
     Deadline, DeadlineExceeded, Overloaded
+from ..telemetry import RequestTracer, set_build_info
+from ..telemetry.blackbox import recorder, set_process_role
 from ..usecases import DFOHDetector, detect_moas
 from .engine import QueryEngine
 from .planner import QuerySpec
@@ -132,6 +143,9 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
     admission: AdmissionController
     breaker: Optional[CircuitBreaker] = None
     guard: Optional[IntegrityGuard] = None
+    #: Always-on request tracing, bound by QueryAPIServer; backs the
+    #: X-Trace-Id / X-Request-Id response headers and /debug/traces.
+    tracer: RequestTracer
     request_timeout_s: Optional[float] = None
     aborts = None                # repro_query_client_aborts_total child
     protocol_version = "HTTP/1.1"
@@ -146,12 +160,23 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(fmt, *args)
 
+    def _send_trace_headers(self, status: int) -> None:
+        """X-Trace-Id / X-Request-Id on every response (satellite: a
+        client can always correlate an answer — or a shed — with the
+        server's logs and /debug/traces)."""
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header("X-Trace-Id", trace.trace_id_hex)
+            self.send_header("X-Request-Id", trace.request_id)
+            self._last_status = status
+
     def _send_json(self, payload: dict, status: int = 200,
                    headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_trace_headers(status)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -163,6 +188,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type",
                          "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(encoded)))
+        self._send_trace_headers(status)
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -175,6 +201,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/json")
         self.send_header("Transfer-Encoding", "chunked")
+        self._send_trace_headers(200)
         self.end_headers()
         for chunk in chunks:
             if chunk:
@@ -187,9 +214,16 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
     def _shed(self, reason: str, retry_after_s: float = 1.0) -> None:
         """Fast 503: the request was refused, not failed."""
         retry = max(1, int(math.ceil(retry_after_s)))
+        trace = getattr(self, "_trace", None)
+        request_id = trace.request_id if trace is not None else "-"
+        # Sheds are the responses an operator investigates most, so
+        # the request id goes to the log as well as the body/headers.
+        _log.log(logging.DEBUG if self.quiet else logging.WARNING,
+                 "request %s shed: %s (retry in %ds)",
+                 request_id, reason, retry)
         self._send_json(
             {"error": "overloaded", "reason": reason,
-             "retry_after_s": retry},
+             "retry_after_s": retry, "request_id": request_id},
             503, headers={"Retry-After": str(retry)})
 
     def _client_aborted(self) -> None:
@@ -212,15 +246,31 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:    # noqa: N802 (http.server naming)
         url = urlsplit(self.path)
-        request_id = uuid.uuid4().hex[:12]
-        self._deadline: Optional[Deadline] = None
         endpoint = "/events/<id>" if url.path.startswith("/events/") \
             else url.path
+        # Every request gets a span, honouring an inbound X-Trace-Id
+        # so a caller can stitch our processing into its own trace.
+        trace = self.tracer.start_request(
+            endpoint, inbound_trace_id=self.headers.get("X-Trace-Id"),
+            query=url.query)
+        self._trace = trace
+        self._last_status = 0
+        request_id = trace.request_id
+        self._deadline: Optional[Deadline] = None
+        try:
+            self._route(url, endpoint, request_id)
+        finally:
+            trace.mark("respond")
+            trace.finish(self._last_status)
+
+    def _route(self, url, endpoint: str, request_id: str) -> None:
+        trace = self._trace
         try:
             try:
                 params = _parse_params(url.query)
-                # Probes and scrapes bypass admission: they must keep
-                # answering precisely when the server is overloaded.
+                # Probes, scrapes and the trace ring bypass admission:
+                # they must keep answering precisely when the server
+                # is overloaded.
                 if url.path == "/healthz":
                     self._get_healthz(params)
                     return
@@ -229,6 +279,9 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
                     return
                 if url.path == "/metrics":
                     self._get_metrics(params)
+                    return
+                if url.path == "/debug/traces":
+                    self._get_debug_traces(params)
                     return
                 route = {
                     "/updates": self._get_updates,
@@ -255,6 +308,7 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
                 if self.request_timeout_s is not None:
                     self._deadline = Deadline(self.request_timeout_s)
                 with self.admission.admit():
+                    trace.mark("admission")
                     if route is None:
                         self._get_event(url.path[len("/events/"):],
                                         params)
@@ -307,7 +361,8 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
 
     def _get_updates(self, params: Dict[str, str]) -> None:
         spec = QuerySpec.from_params(params)
-        updates = self.engine.query(spec, deadline=self._deadline)
+        updates = self.engine.query(spec, deadline=self._deadline,
+                                    trace=self._trace)
         self._send_json({
             "watermark": self.engine.watermark(),
             "count": len(updates),
@@ -410,7 +465,8 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             return
         params.pop("source", None)
         spec = QuerySpec.from_params(params)
-        updates = self.engine.query(spec, deadline=self._deadline)
+        updates = self.engine.query(spec, deadline=self._deadline,
+                                    trace=self._trace)
         conflicts = detect_moas(updates)
         self._send_json({
             "source": "scan",
@@ -466,7 +522,8 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
         cached = entry is not None
         if entry is None:
             spec = QuerySpec.from_params(params)
-            updates = self.engine.query(spec, deadline=self._deadline)
+            updates = self.engine.query(spec, deadline=self._deadline,
+                                        trace=self._trace)
             train, scan = _split_for_training(updates)
             detector = DFOHDetector()
             detector.train_on_updates(train)
@@ -594,6 +651,17 @@ class _QueryAPIHandler(BaseHTTPRequestHandler):
             raise ValueError(f"unknown format {fmt!r} "
                              "(expected 'prometheus' or 'json')")
 
+    def _get_debug_traces(self, params: Dict[str, str]) -> None:
+        """The slow-request ring (docs/TELEMETRY.md): the ``n``
+        slowest recently-traced requests with per-stage latencies."""
+        unknown = set(params) - {"n"}
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        n = int(params.get("n", 20))
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self._send_json(self.tracer.to_json(n))
+
     def _get_status(self, params: Dict[str, str]) -> None:
         if params:
             raise ValueError("/status takes no parameters")
@@ -668,14 +736,29 @@ class QueryAPIServer:
                  request_timeout_s: Optional[float] = 30.0,
                  breaker_threshold: int = 5,
                  breaker_reset_s: float = 5.0,
-                 scrub_interval_s: Optional[float] = None):
+                 scrub_interval_s: Optional[float] = None,
+                 trace_ring_size: int = 128,
+                 slow_trace_threshold_s: float = 0.0):
         registry = engine.registry
+        set_build_info(registry, __version__, backend="serve")
+        # Name this process's black box — unless the pipeline already
+        # claimed the role (an embedded server in a collector process
+        # must not steal the coordinator's dump file).
+        box = recorder()
+        if box.proc.startswith("pid"):
+            box = set_process_role("serve")
+        box.bind_registry(registry)
         self.admission = AdmissionController(
             max_concurrent=max_concurrent, max_queue=queue_limit,
             queue_timeout_s=queue_timeout_s, registry=registry)
         self.breaker = CircuitBreaker(
             failure_threshold=breaker_threshold,
-            reset_after_s=breaker_reset_s, registry=registry)
+            reset_after_s=breaker_reset_s, registry=registry,
+            on_open=self._breaker_opened)
+        self.tracer = RequestTracer(
+            registry=registry, ring_size=trace_ring_size,
+            slow_threshold_s=slow_trace_threshold_s)
+        self.tracer.flight = box
         aborts = registry.counter(
             "repro_query_client_aborts_total",
             "Responses abandoned because the client disconnected.")
@@ -686,6 +769,7 @@ class QueryAPIServer:
                         "admission": self.admission,
                         "breaker": self.breaker,
                         "guard": guard,
+                        "tracer": self.tracer,
                         "request_timeout_s": request_timeout_s,
                         "aborts": aborts})
         self.engine = engine
@@ -700,6 +784,22 @@ class QueryAPIServer:
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+
+    def _breaker_opened(self, endpoint: str) -> None:
+        """A circuit just opened: black-box the last seconds of
+        serving next to the archive, so the spans and requests that
+        burned through the failure budget are preserved."""
+        box = recorder()
+        box.note("breaker-open", endpoint=endpoint)
+        directory = self.guard.directory if self.guard is not None \
+            else getattr(self.engine.catalog, "directory", None)
+        if not isinstance(directory, str):
+            return
+        try:
+            box.dump(directory, reason=f"breaker-open {endpoint}",
+                     registry=self.engine.registry)
+        except OSError:
+            pass
 
     @property
     def host(self) -> str:

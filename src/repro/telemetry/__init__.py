@@ -14,13 +14,35 @@ archive writer, query engine — and exposes them uniformly:
   rates, ring-buffered and optionally appended to a JSONL file
   (:mod:`repro.telemetry.timeseries`);
 * **dashboard** — the ``repro-bgp top`` terminal view
-  (:mod:`repro.telemetry.top`).
+  (:mod:`repro.telemetry.top`);
+* **distributed tracing** — trace contexts that cross process
+  boundaries on the cluster wire and per-request serve-path spans
+  (:mod:`repro.telemetry.distributed`);
+* **flight recorder** — a per-process black-box ring dumped as
+  ``flightrecorder-<proc>.json`` on crashes, quarantines and breaker
+  opens (:mod:`repro.telemetry.blackbox`).
 
 The module has no repro-internal imports, so every subsystem can
 depend on it without cycles.  See docs/TELEMETRY.md for the metric
 catalogue.
 """
 
+from .blackbox import FlightRecorder, dump_filename, find_dumps, \
+    load_dump, recorder, set_process_role
+from .distributed import (
+    DistributedTrace,
+    DistributedTracer,
+    RemoteSpan,
+    RequestTrace,
+    RequestTracer,
+    SpanRecord,
+    StitchedTraceRecord,
+    TraceContext,
+    TraceStitcher,
+    format_trace_id,
+    parse_trace_id,
+    render_request_traces,
+)
 from .exposition import flatten_scalars, to_json, to_prometheus
 from .registry import (
     DEFAULT_LATENCY_BOUNDS,
@@ -32,6 +54,7 @@ from .registry import (
     MetricFamily,
     MetricsRegistry,
     Sample,
+    set_build_info,
 )
 from .timeseries import TimePoint, TimeSeriesSampler
 from .top import TopDashboard, fetch_exposition, normalize_metrics_url, \
@@ -47,25 +70,44 @@ from .trace import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BOUNDS",
+    "DistributedTrace",
+    "DistributedTracer",
     "FamilySnapshot",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "MetricFamily",
     "MetricsRegistry",
     "NOOP_TRACE",
+    "RemoteSpan",
+    "RequestTrace",
+    "RequestTracer",
     "Sample",
+    "SpanRecord",
+    "StitchedTraceRecord",
     "TimePoint",
     "TimeSeriesSampler",
     "TopDashboard",
     "Trace",
+    "TraceContext",
     "TraceRecord",
+    "TraceStitcher",
     "Tracer",
+    "dump_filename",
     "fetch_exposition",
+    "find_dumps",
     "flatten_scalars",
+    "format_trace_id",
+    "load_dump",
     "normalize_metrics_url",
+    "parse_trace_id",
+    "recorder",
+    "render_request_traces",
     "render_slow_traces",
     "render_top",
+    "set_build_info",
+    "set_process_role",
     "to_json",
     "to_prometheus",
 ]

@@ -438,3 +438,24 @@ class MetricsRegistry:
         """
         from .exposition import flatten_scalars
         return flatten_scalars(self.collect())
+
+
+def set_build_info(registry: MetricsRegistry, version: str,
+                   backend: str = "none") -> Gauge:
+    """Register the ``repro_build_info`` gauge on ``registry``.
+
+    The Prometheus build-info idiom: a gauge pinned at 1 whose labels
+    (package version, Python runtime, worker backend) let scrapes tell
+    deployments apart.  Idempotent per registry — re-binding with a
+    different backend just flips which child is set.
+    """
+    import platform as _platform
+
+    gauge = registry.gauge(
+        "repro_build_info",
+        "Build / deployment identity (value is always 1).",
+        labels=("version", "python", "backend"))
+    gauge.labels(version=version,
+                 python=_platform.python_version(),
+                 backend=backend).set(1.0)
+    return gauge

@@ -112,6 +112,13 @@ def render_top(current: dict, previous: Optional[dict] = None,
     header = "== repro-bgp top =="
     if source:
         header += f"  {source}"
+    # Build identity (repro_build_info): which deployment is this?
+    for sample in cur.samples("repro_build_info"):
+        labels = sample.get("labels", {})
+        if sample.get("value") and labels.get("version"):
+            header += (f"  v{labels['version']} "
+                       f"[{labels.get('backend', '?')}]")
+            break
     lines.append(header)
 
     # Writer watermark and its age.
@@ -302,12 +309,28 @@ def render_top(current: dict, previous: Optional[dict] = None,
             f"shed {shed_total:.0f} ({shed_detail})  "
             f"aborts {aborts:.0f}{breaker_detail}")
 
-    # Trace spans.
+    # Trace spans (+ distributed stitching and the flight recorder).
     span_count, span_sum = cur.histogram("repro_trace_span_seconds")
+    stitched = cur.value("repro_trace_stitched_total")
+    dumps = sum(s.get("value", 0.0) for s in
+                cur.by_label("repro_flightrecorder_dumps_total",
+                             "reason").values())
     if span_count:
-        lines.append(
-            f"spans: {span_count} sampled, "
-            f"mean {_fmt_latency(span_sum / span_count)} end-to-end")
+        line = (f"spans: {span_count} sampled, "
+                f"mean {_fmt_latency(span_sum / span_count)} "
+                f"end-to-end")
+        if stitched:
+            line += f"  stitched {stitched:.0f} cross-process"
+        lines.append(line)
+    if dumps:
+        detail = ", ".join(
+            f"{reason} {sample.get('value', 0.0):.0f}"
+            for reason, sample in sorted(
+                cur.by_label("repro_flightrecorder_dumps_total",
+                             "reason").items())
+            if sample.get("value", 0.0))
+        lines.append(f"flight recorder: {dumps:.0f} dump(s) "
+                     f"({detail})")
 
     # Supervision events, only when something fired.
     events = cur.by_label("repro_supervision_events_total", "event")

@@ -85,9 +85,19 @@ class Trace:
         self._stages.append((stage, now - self._last))
         self._last = now
 
+    def add_stage(self, stage: str, duration_s: float) -> None:
+        """Record an externally-measured stage without advancing the
+        clock — for work that ran concurrently on pool threads (the
+        query engine's per-segment verification), aggregated and
+        attached by the caller.  Such stages overlap wall-clock time
+        already covered by a :meth:`mark`, so ``total_s`` is *not*
+        the sum of stages once one is present."""
+        self._stages.append((stage, duration_s))
+
     @property
     def total_s(self) -> float:
-        """Elapsed time through the last mark (== sum of stages)."""
+        """Elapsed time through the last mark (the sum of marked
+        stages; see :meth:`add_stage` for the one exception)."""
         return self._last - self._t0
 
     def finish(self) -> None:
@@ -135,6 +145,9 @@ class Tracer:
         self._ring_lock = threading.Lock()
         self._ring: Deque[TraceRecord] = deque(maxlen=max(1, ring_size))
         self._keep = ring_size > 0
+        #: Optional flight recorder (repro.telemetry.blackbox): when
+        #: set, finished spans also land in the black-box ring.
+        self.flight = None
 
     def start(self, session: str):
         """A span for this update — :data:`NOOP_TRACE` unless sampled."""
@@ -153,6 +166,9 @@ class Tracer:
         self._span_hist.record(total)
         for stage, dt in trace._stages:
             self._stage_hist.labels(stage).record(dt)
+        if self.flight is not None:
+            self.flight.note("span", session=trace.session,
+                             total_s=round(total, 6))
         if self._keep and total >= self.slow_threshold_s:
             record = TraceRecord(trace.session, total,
                                  tuple(trace._stages), time.time())

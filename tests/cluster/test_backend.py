@@ -24,10 +24,12 @@ from .conftest import TIMEOUT, archive_digest, archive_files
 
 
 def run_epoch(streams, directory, backend, workers=3, gill=True,
-              events=True, fault_plan=None, supervision=None):
+              events=True, fault_plan=None, supervision=None,
+              trace_sample_rate=0.0):
     """One full collection epoch with every journaling layer on."""
     kwargs = dict(overflow_policy="block", backend=backend,
-                  fault_plan=fault_plan)
+                  fault_plan=fault_plan,
+                  trace_sample_rate=trace_sample_rate)
     if backend == "processes":
         kwargs["workers"] = workers
     else:
@@ -62,12 +64,13 @@ class TestBackendConfig:
         config = PipelineConfig(backend="processes", workers=5)
         assert config.n_shards == 5
 
-    def test_tracing_needs_threads(self):
-        # Trace spans carry wall-clock marks from the worker; they do
-        # not cross the process boundary (the wire drops them).
-        with pytest.raises(ValueError):
-            PipelineConfig(backend="processes", workers=2,
-                           trace_sample_rate=0.5)
+    def test_tracing_allowed_on_processes(self):
+        # Distributed tracing: the sampled context rides the wire and
+        # is stitched back at the coordinator, so the processes
+        # backend accepts a sample rate (it used to reject one).
+        config = PipelineConfig(backend="processes", workers=2,
+                                trace_sample_rate=0.5)
+        assert config.trace_sample_rate == 0.5
 
     def test_worker_kill_needs_processes(self):
         with pytest.raises(ValueError):
@@ -111,6 +114,72 @@ class TestBackendDifferential:
                   gill=False, events=False)
         assert archive_digest(tmp_path / "two") \
             == archive_digest(tmp_path / "four")
+
+
+class TestDistributedTracing:
+    def test_stitched_trace_spans_two_pids(self, streams, tmp_path):
+        """A sampled update's trace crosses the wire: the worker's
+        span (another PID) is grafted back into the coordinator's, so
+        one trace covers ingest → feeder-batch → worker-shard →
+        coordinator-writer across at least two processes."""
+        pipeline, _ = run_epoch(streams, tmp_path / "traced",
+                                "processes", gill=False, events=False,
+                                trace_sample_rate=0.05)
+        tracer = pipeline.metrics.tracer
+        stitched = tracer.stitched_traces(n=50, min_pids=2)
+        assert stitched, "no trace was stitched across processes"
+        record = stitched[0]
+        stage_names = [name for name, _ in record.stages]
+        for stage in ("ingest", "feeder-batch", "worker-shard",
+                      "coordinator-writer"):
+            assert stage in stage_names, stage_names
+        assert len(record.pids) >= 2
+
+    def test_tracing_preserves_byte_identity(self, streams, tmp_path):
+        """Tracing is observability, not behaviour: a traced epoch
+        publishes the exact bytes an untraced one does — segments,
+        journals, checkpoint digests."""
+        run_epoch(streams, tmp_path / "traced", "processes",
+                  trace_sample_rate=0.05)
+        run_epoch(streams, tmp_path / "untraced", "processes")
+        assert archive_digest(tmp_path / "traced") \
+            == archive_digest(tmp_path / "untraced")
+
+
+class TestFlightRecorder:
+    def test_worker_kill_dumps_and_journals(self, streams, tmp_path):
+        """A worker SIGKILL leaves a black box: the coordinator dumps
+        its flight recorder next to the archive, and the events
+        pipeline journals a resolved ``crash`` incident pointing at
+        the dump file."""
+        import json
+        import zlib
+
+        workers = 3
+        # Kill a shard that actually receives traffic.
+        shard = zlib.crc32(sorted(streams)[0].encode()) % workers
+        plan = FaultPlan.parse(f"worker-kill=shard{shard}@40")
+        directory = tmp_path / "kill"
+        _, result = run_epoch(streams, directory, "processes",
+                              workers=workers, gill=False,
+                              events=True, fault_plan=plan)
+        assert any("respawned" in line for line in result.fault_log)
+
+        dump_path = directory / "flightrecorder-coordinator.json"
+        assert dump_path.exists()
+        doc = json.loads(dump_path.read_text())
+        assert doc["incidents"] == [
+            {"kind": "worker-kill", "position": 40, "shard": shard}]
+        assert doc["entries"], "black-box ring was empty"
+
+        store = EventStore(journal_path_for(str(directory)))
+        crash = [e for e in store.events() if e.type == "crash"]
+        assert len(crash) == 1
+        event = crash[0]
+        assert event.id == f"crash-shard{shard}-40"
+        assert event.state == "resolved"
+        assert event.evidence[0].extra["flightrecorder"] \
+            == "flightrecorder-coordinator.json"
 
 
 class TestClusterTelemetry:

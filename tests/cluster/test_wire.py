@@ -17,6 +17,8 @@ from repro.bgp.prefix import Prefix
 from repro.cluster import wire
 from repro.cluster.wire import (
     END_OF_INPUT,
+    FRAME_MAGIC,
+    FRAME_VERSION,
     EndOfInput,
     WireError,
     decode_frame,
@@ -24,7 +26,9 @@ from repro.cluster.wire import (
     encode_frame,
     encode_record,
     iter_frame,
+    record_is_traced,
 )
+from repro.telemetry.distributed import RemoteSpan, TraceContext
 from repro.pipeline.stages import (
     END_OF_STREAM,
     Disposition,
@@ -87,6 +91,29 @@ watermarks = st.builds(WatermarkAdvance, st.integers(0, 0xFFFF),
 
 records = st.one_of(envelopes, heartbeats, dispositions, watermarks,
                     st.just(END_OF_INPUT))
+
+# Traced variants: a sampled TraceContext on an envelope, a closed
+# RemoteSpan on a disposition — the two payloads of the v2 frame.
+trace_contexts = st.builds(
+    TraceContext,
+    st.integers(1, 2 ** 64 - 1),        # trace id
+    st.integers(0, 2 ** 64 - 1),        # parent span id
+    st.just(True))
+
+traced_envelopes = st.builds(Envelope, updates, names, stamps,
+                             trace_contexts)
+
+remote_spans = st.builds(
+    RemoteSpan.from_wire,
+    st.integers(1, 2 ** 64 - 1),        # trace id
+    st.integers(1, 2 ** 64 - 1),        # span id
+    st.integers(0, 2 ** 31 - 1),        # pid
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+
+traced_dispositions = st.builds(Disposition, updates, st.booleans(),
+                                names, stamps, remote_spans)
+
+traced_records = st.one_of(traced_envelopes, traced_dispositions)
 
 
 # -- record round-trips ------------------------------------------------------
@@ -162,6 +189,79 @@ class TestFrameRoundtrip:
         encoded = encode_frame(1, 0, batch)
         assert b"\x80\x04" not in encoded      # pickle protocol 4 magic
         assert b"pickle" not in encoded
+
+
+# -- traced records and versioned frames -------------------------------------
+
+class TestTracedWire:
+    @given(traced_envelopes)
+    @settings(max_examples=200)
+    def test_traced_envelope_roundtrip(self, envelope):
+        # TraceContext is a frozen dataclass, so envelope equality
+        # covers the re-hydrated context exactly.
+        assert Envelope.from_bytes(envelope.to_bytes()) == envelope
+
+    @given(traced_dispositions)
+    @settings(max_examples=200)
+    def test_traced_disposition_roundtrip(self, disposition):
+        decoded = decode_record(encode_record(disposition))
+        span, back = disposition.trace, decoded.trace
+        assert isinstance(back, RemoteSpan)
+        assert (back.trace_id, back.span_id, back.pid) \
+            == (span.trace_id, span.span_id, span.pid)
+        assert back.duration_s == pytest.approx(span.duration_s)
+
+    @given(st.integers(0, 2 ** 64 - 1), st.integers(0, 0xFFFF),
+           st.lists(st.one_of(records, traced_records), max_size=12))
+    @settings(max_examples=100)
+    def test_mixed_frame_roundtrip(self, sequence, shard, batch):
+        encoded = encode_frame(sequence, shard, batch)
+        got_seq, got_shard, got = decode_frame(encoded)
+        assert (got_seq, got_shard) == (sequence, shard)
+        assert len(got) == len(batch)
+        for sent, received in zip(batch, got):
+            if isinstance(sent, Disposition) \
+                    and isinstance(sent.trace, RemoteSpan):
+                assert received.trace.span_id == sent.trace.span_id
+            else:
+                assert received == sent
+
+    @given(st.lists(records, max_size=8))
+    @settings(max_examples=100)
+    def test_untraced_frames_stay_v1(self, batch):
+        """Tracing-off traffic must be byte-identical to the legacy
+        frame format: no magic, no version byte, the ``!QHI`` header
+        at offset zero."""
+        encoded = encode_frame(9, 2, batch)
+        assert encoded[:1] != bytes((FRAME_MAGIC,))
+        assert wire._FRAME.unpack_from(encoded)[0] == 9
+
+    @given(st.lists(traced_records, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_traced_frames_carry_version(self, batch):
+        encoded = encode_frame(5, 1, batch)
+        assert encoded[0] == FRAME_MAGIC
+        assert encoded[1] == FRAME_VERSION
+
+    def test_record_is_traced(self):
+        update = BGPUpdate("vp", 1.0, Prefix.parse("10.0.0.0/8"))
+        plain = Envelope(update, "s", 0.0)
+        sampled = Envelope(update, "s", 0.0,
+                           trace=TraceContext(7, 3, True))
+        unsampled = Envelope(update, "s", 0.0,
+                             trace=TraceContext(7, 3, False))
+        assert not record_is_traced(plain)
+        assert record_is_traced(sampled)
+        assert not record_is_traced(unsampled)
+
+    def test_unsupported_frame_version(self):
+        encoded = encode_frame(
+            1, 0, [Envelope(BGPUpdate("vp", 1.0,
+                                      Prefix.parse("10.0.0.0/8")),
+                            "s", 0.0, trace=TraceContext(7, 3))])
+        bumped = bytes((encoded[0], FRAME_VERSION + 1)) + encoded[2:]
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bumped)
 
 
 # -- malformed input ---------------------------------------------------------

@@ -10,6 +10,7 @@ import json
 import math
 import os
 import re
+import time
 import urllib.error
 import urllib.request
 
@@ -355,7 +356,7 @@ class TestSanitizedInternalErrors:
         def __init__(self, registry):
             self.registry = registry
 
-        def query(self, spec, deadline=None):
+        def query(self, spec, deadline=None, trace=None):
             raise RuntimeError("secret internal detail")
 
         def watermark(self):
@@ -377,7 +378,7 @@ class TestSanitizedInternalErrors:
         # client gets only an opaque request id to quote at an operator.
         assert "secret internal detail" not in json.dumps(body)
         assert "RuntimeError" not in json.dumps(body)
-        assert re.fullmatch(r"internal error \(request [0-9a-f]{12}\)",
+        assert re.fullmatch(r"internal error \(request [0-9a-f]{8}\)",
                             body["error"])
 
     def test_repeated_500s_open_the_circuit_breaker(self, epoch_archive):
@@ -419,7 +420,7 @@ class TestClientAborts:
             class Hangup:
                 registry = engine.registry
 
-                def query(self, spec, deadline=None):
+                def query(self, spec, deadline=None, trace=None):
                     # What a write to a closed socket raises mid-body.
                     raise BrokenPipeError("client went away")
 
@@ -460,7 +461,7 @@ class TestOverloadShedding:
         release = threading.Event()
         real_query = engine.query
 
-        def slow_query(spec, deadline=None):
+        def slow_query(spec, deadline=None, trace=None):
             entered.set()
             release.wait(10.0)
             return real_query(spec, deadline=deadline)
@@ -507,7 +508,7 @@ class TestOverloadShedding:
         engine = QueryEngine(archive)
         real_query = engine.query
 
-        def glacial_query(spec, deadline=None):
+        def glacial_query(spec, deadline=None, trace=None):
             time.sleep(0.1)
             if deadline is not None:
                 deadline.check("mid decode")
@@ -619,3 +620,80 @@ class TestVPsRanking:
         assert [row["vp"] for row in body["vps"]] == vps[:2]
         values = [row["value"] for row in body["vps"]]
         assert values == sorted(values, reverse=True)
+
+
+class TestRequestTracing:
+    """Per-request tracing: id headers on every response, the
+    /debug/traces ring, and inbound trace propagation."""
+
+    @staticmethod
+    def _headers(url, trace_id=None):
+        request = urllib.request.Request(url)
+        if trace_id is not None:
+            request.add_header("X-Trace-Id", trace_id)
+        try:
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                return reply.status, dict(reply.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers)
+
+    def test_every_response_carries_ids(self, server):
+        # Success, client error, not-found, probe, scrape: all tagged.
+        for path in ("/updates?limit=1", "/vps?bogus=1",
+                     "/no-such-endpoint", "/healthz", "/readyz",
+                     "/metrics", "/status", "/debug/traces"):
+            status, headers = self._headers(server.url + path)
+            assert headers.get("X-Request-Id"), (path, status)
+            assert headers.get("X-Trace-Id"), (path, status)
+
+    def test_request_ids_are_distinct(self, server):
+        _, first = self._headers(server.url + "/healthz")
+        _, second = self._headers(server.url + "/healthz")
+        assert first["X-Request-Id"] != second["X-Request-Id"]
+
+    def test_inbound_trace_id_is_honoured(self, server):
+        inbound = "00000000deadbeef"
+        _, headers = self._headers(server.url + "/updates?limit=1",
+                                   trace_id=inbound)
+        assert headers["X-Trace-Id"] == inbound
+
+    def test_debug_traces_show_engine_stages(self, server):
+        inbound = "0000feedcafe0001"
+        self._headers(server.url + "/updates?origin=65000",
+                      trace_id=inbound)
+        # Ask for the whole ring: the shared server has answered many
+        # requests and ours need not be among the 20 slowest.  The
+        # handler thread records the span *after* flushing its
+        # response, so poll briefly for it to land in the ring.
+        mine = []
+        for _ in range(100):
+            status, body = get_json(server.url + "/debug/traces?n=500")
+            assert status == 200
+            mine = [t for t in body["traces"]
+                    if t["trace_id"] == inbound]
+            if mine:
+                break
+            time.sleep(0.01)
+        assert mine, body["traces"]
+        stages = [s["name"] for s in mine[0]["stages"]]
+        for stage in ("admission", "cache-lookup", "respond"):
+            assert stage in stages, stages
+        assert mine[0]["endpoint"] == "/updates"
+        assert mine[0]["status"] == 200
+
+    def test_debug_traces_bad_params(self, server):
+        status, _ = get_json(server.url + "/debug/traces?n=0")
+        assert status == 400
+        status, _ = get_json(server.url + "/debug/traces?bogus=1")
+        assert status == 400
+
+    def test_shed_carries_request_id(self, epoch_archive):
+        archive, _, _ = epoch_archive
+        engine = QueryEngine(archive)
+        with QueryAPIServer(engine) as api:
+            api.drain()
+            status, body = get_json(api.url + "/updates")
+            assert status == 503
+            assert body["reason"] == "draining"
+            assert body["request_id"]
+        engine.close()
